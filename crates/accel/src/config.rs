@@ -1,0 +1,370 @@
+//! Accelerator configuration and the paper's hardware search space.
+
+use hdx_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// On-chip dataflow of the PE array (§4.4 of the paper).
+///
+/// * [`Dataflow::WeightStationary`] — TPU-like; exploits channel-level
+///   parallelism, low latency on channel-rich layers, poor on depthwise.
+/// * [`Dataflow::OutputStationary`] — ShiDianNao-like; partial sums stay
+///   in place, outputs mapped across the array.
+/// * [`Dataflow::RowStationary`] — Eyeriss-like; filter/activation rows
+///   are reused diagonally, best energy efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weight-stationary (TPU-like).
+    WeightStationary,
+    /// Output-stationary (ShiDianNao-like).
+    OutputStationary,
+    /// Row-stationary (Eyeriss-like).
+    RowStationary,
+}
+
+impl Dataflow {
+    /// All dataflows in a fixed canonical order.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+        Dataflow::RowStationary,
+    ];
+
+    /// Canonical index (0 = WS, 1 = OS, 2 = RS).
+    pub fn index(self) -> usize {
+        match self {
+            Dataflow::WeightStationary => 0,
+            Dataflow::OutputStationary => 1,
+            Dataflow::RowStationary => 2,
+        }
+    }
+
+    /// Dataflow from its canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    pub fn from_index(index: usize) -> Dataflow {
+        Self::ALL[index]
+    }
+
+    /// Short display label ("WS", "OS", "RS").
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+            Dataflow::RowStationary => "RS",
+        }
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when an [`AccelConfig`] lies outside the search space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid accelerator configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A point in the accelerator design space.
+///
+/// Constructed via [`AccelConfig::new`], which validates against the
+/// paper's space (PE array 12×8 … 20×24, RF ∈ {16, 32, 64, 128, 256} B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccelConfig {
+    pe_rows: usize,
+    pe_cols: usize,
+    rf_bytes: usize,
+    dataflow: Dataflow,
+}
+
+impl AccelConfig {
+    /// Validates and creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is outside the search
+    /// space defined by [`SearchSpace::paper`].
+    pub fn new(
+        pe_rows: usize,
+        pe_cols: usize,
+        rf_bytes: usize,
+        dataflow: Dataflow,
+    ) -> Result<Self, ConfigError> {
+        let space = SearchSpace::paper();
+        if !(space.min_rows..=space.max_rows).contains(&pe_rows) {
+            return Err(ConfigError {
+                message: format!(
+                    "pe_rows {pe_rows} outside [{}, {}]",
+                    space.min_rows, space.max_rows
+                ),
+            });
+        }
+        if !(space.min_cols..=space.max_cols).contains(&pe_cols) {
+            return Err(ConfigError {
+                message: format!(
+                    "pe_cols {pe_cols} outside [{}, {}]",
+                    space.min_cols, space.max_cols
+                ),
+            });
+        }
+        if !space.rf_options.contains(&rf_bytes) {
+            return Err(ConfigError {
+                message: format!("rf_bytes {rf_bytes} not in {:?}", space.rf_options),
+            });
+        }
+        Ok(Self { pe_rows, pe_cols, rf_bytes, dataflow })
+    }
+
+    /// PE array rows.
+    pub fn pe_rows(&self) -> usize {
+        self.pe_rows
+    }
+
+    /// PE array columns.
+    pub fn pe_cols(&self) -> usize {
+        self.pe_cols
+    }
+
+    /// Total number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Per-PE register file size in bytes.
+    pub fn rf_bytes(&self) -> usize {
+        self.rf_bytes
+    }
+
+    /// The configured dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// Encodes the configuration as normalized features in `[0, 1]`:
+    /// `[rows, cols, log2(rf), ws, os, rs]`.
+    ///
+    /// This is the representation consumed by the surrogate networks.
+    pub fn encode(&self) -> [f32; 6] {
+        let space = SearchSpace::paper();
+        let rows = (self.pe_rows - space.min_rows) as f32
+            / (space.max_rows - space.min_rows) as f32;
+        let cols = (self.pe_cols - space.min_cols) as f32
+            / (space.max_cols - space.min_cols) as f32;
+        let rf_min = (*space.rf_options.first().expect("non-empty") as f32).log2();
+        let rf_max = (*space.rf_options.last().expect("non-empty") as f32).log2();
+        let rf = ((self.rf_bytes as f32).log2() - rf_min) / (rf_max - rf_min);
+        let mut feat = [rows, cols, rf, 0.0, 0.0, 0.0];
+        feat[3 + self.dataflow.index()] = 1.0;
+        feat
+    }
+
+    /// Decodes normalized features (see [`AccelConfig::encode`]) to the
+    /// nearest valid configuration. Values are clamped to `[0, 1]`; the
+    /// dataflow is taken as the arg-max of the last three entries.
+    pub fn decode(features: &[f32; 6]) -> AccelConfig {
+        let space = SearchSpace::paper();
+        let clamp = |x: f32| x.clamp(0.0, 1.0);
+        let rows = space.min_rows
+            + (clamp(features[0]) * (space.max_rows - space.min_rows) as f32).round() as usize;
+        let cols = space.min_cols
+            + (clamp(features[1]) * (space.max_cols - space.min_cols) as f32).round() as usize;
+        let rf_min = (*space.rf_options.first().expect("non-empty") as f32).log2();
+        let rf_max = (*space.rf_options.last().expect("non-empty") as f32).log2();
+        let target_log = rf_min + clamp(features[2]) * (rf_max - rf_min);
+        let rf = *space
+            .rf_options
+            .iter()
+            .min_by(|a, b| {
+                let da = ((**a as f32).log2() - target_log).abs();
+                let db = ((**b as f32).log2() - target_log).abs();
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("non-empty");
+        let df_idx = features[3..6]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("three dataflows");
+        AccelConfig {
+            pe_rows: rows,
+            pe_cols: cols,
+            rf_bytes: rf,
+            dataflow: Dataflow::from_index(df_idx),
+        }
+    }
+}
+
+impl std::fmt::Display for AccelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} PE array, {} B RF, {} dataflow",
+            self.pe_rows, self.pe_cols, self.rf_bytes, self.dataflow
+        )
+    }
+}
+
+/// The legal accelerator design space (§4.4: "PE array size from 12×8 to
+/// 20×24, register file size per PE from 16B to 256B", three dataflows).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Minimum PE rows (inclusive).
+    pub min_rows: usize,
+    /// Maximum PE rows (inclusive).
+    pub max_rows: usize,
+    /// Minimum PE columns (inclusive).
+    pub min_cols: usize,
+    /// Maximum PE columns (inclusive).
+    pub max_cols: usize,
+    /// Allowed register-file sizes in bytes.
+    pub rf_options: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// The paper's space: rows 12…20, cols 8…24, RF {16, 32, 64, 128, 256}.
+    pub fn paper() -> Self {
+        Self {
+            min_rows: 12,
+            max_rows: 20,
+            min_cols: 8,
+            max_cols: 24,
+            rf_options: vec![16, 32, 64, 128, 256],
+        }
+    }
+
+    /// Total number of configurations.
+    pub fn len(&self) -> usize {
+        (self.max_rows - self.min_rows + 1)
+            * (self.max_cols - self.min_cols + 1)
+            * self.rf_options.len()
+            * Dataflow::ALL.len()
+    }
+
+    /// Whether the space is degenerate (never true for [`Self::paper`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every configuration in a deterministic order.
+    pub fn enumerate(&self) -> Vec<AccelConfig> {
+        let mut out = Vec::with_capacity(self.len());
+        for rows in self.min_rows..=self.max_rows {
+            for cols in self.min_cols..=self.max_cols {
+                for &rf in &self.rf_options {
+                    for df in Dataflow::ALL {
+                        out.push(AccelConfig {
+                            pe_rows: rows,
+                            pe_cols: cols,
+                            rf_bytes: rf,
+                            dataflow: df,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Draws a uniformly random configuration.
+    pub fn sample(&self, rng: &mut Rng) -> AccelConfig {
+        AccelConfig {
+            pe_rows: rng.range_inclusive(self.min_rows, self.max_rows),
+            pe_cols: rng.range_inclusive(self.min_cols, self.max_cols),
+            rf_bytes: self.rf_options[rng.below(self.rf_options.len())],
+            dataflow: Dataflow::from_index(rng.below(3)),
+        }
+    }
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_has_2295_points() {
+        // 9 rows × 17 cols × 5 RF × 3 dataflows
+        assert_eq!(SearchSpace::paper().len(), 9 * 17 * 5 * 3);
+        assert_eq!(SearchSpace::paper().enumerate().len(), 2295);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AccelConfig::new(12, 8, 16, Dataflow::RowStationary).is_ok());
+        assert!(AccelConfig::new(20, 24, 256, Dataflow::WeightStationary).is_ok());
+        assert!(AccelConfig::new(11, 8, 16, Dataflow::RowStationary).is_err());
+        assert!(AccelConfig::new(12, 25, 16, Dataflow::RowStationary).is_err());
+        assert!(AccelConfig::new(12, 8, 48, Dataflow::RowStationary).is_err());
+    }
+
+    #[test]
+    fn config_error_displays_reason() {
+        let err = AccelConfig::new(99, 8, 16, Dataflow::RowStationary).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("pe_rows"), "message: {msg}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_for_all_configs() {
+        for cfg in SearchSpace::paper().enumerate() {
+            let decoded = AccelConfig::decode(&cfg.encode());
+            assert_eq!(cfg, decoded, "round-trip failed for {cfg}");
+        }
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range() {
+        let cfg = AccelConfig::decode(&[-5.0, 99.0, 2.0, 0.0, 1.0, 0.5]);
+        assert_eq!(cfg.pe_rows(), 12);
+        assert_eq!(cfg.pe_cols(), 24);
+        assert_eq!(cfg.rf_bytes(), 256);
+        assert_eq!(cfg.dataflow(), Dataflow::OutputStationary);
+    }
+
+    #[test]
+    fn sample_is_always_valid() {
+        let mut rng = hdx_tensor::Rng::new(1);
+        let space = SearchSpace::paper();
+        for _ in 0..500 {
+            let cfg = space.sample(&mut rng);
+            assert!(AccelConfig::new(
+                cfg.pe_rows(),
+                cfg.pe_cols(),
+                cfg.rf_bytes(),
+                cfg.dataflow()
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn dataflow_index_roundtrip() {
+        for df in Dataflow::ALL {
+            assert_eq!(Dataflow::from_index(df.index()), df);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = AccelConfig::new(16, 16, 64, Dataflow::RowStationary).unwrap();
+        assert_eq!(cfg.to_string(), "16x16 PE array, 64 B RF, RS dataflow");
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-access energy and per-component area tables (Accelergy substitute).
+//!
+//! Numbers follow the qualitative structure of published 45/65 nm
+//! estimates (Eyeriss/Accelergy): a register-file access is ~an order of
+//! magnitude cheaper than a global-buffer access, which is ~an order of
+//! magnitude cheaper than DRAM, and both RF energy-per-access and RF
+//! area grow with RF size. A single global calibration constant
+//! ([`ENERGY_CALIBRATION`]) maps our synthetic network scale onto the
+//! paper's reported millijoule range; the *relative* ordering between
+//! design points — which is all the search ever consumes — is unaffected
+//! by it.
+
+/// Energy of one multiply–accumulate, picojoules.
+pub const MAC_PJ: f64 = 2.0;
+
+/// Energy of one global-buffer byte access, picojoules.
+pub const GB_PJ_PER_BYTE: f64 = 12.0;
+
+/// Energy of one DRAM byte access, picojoules.
+pub const DRAM_PJ_PER_BYTE: f64 = 320.0;
+
+/// Global scale mapping model picojoules onto the paper's millijoule
+/// range (the paper's networks are ImageNet/CIFAR CNNs; ours are
+/// geometry-faithful but smaller in batch/feature scale).
+pub const ENERGY_CALIBRATION: f64 = 4.0;
+
+/// Clock frequency of the PE array, MHz.
+pub const CLOCK_MHZ: f64 = 100.0;
+
+/// Global-buffer bandwidth, bytes per cycle.
+pub const GB_BYTES_PER_CYCLE: f64 = 64.0;
+
+/// DRAM bandwidth, bytes per cycle.
+pub const DRAM_BYTES_PER_CYCLE: f64 = 16.0;
+
+/// Global-buffer capacity, bytes (fixed across the search space).
+pub const GB_CAPACITY_BYTES: f64 = 131_072.0;
+
+/// Per-access register-file energy in picojoules for a given RF size.
+///
+/// Larger register files burn more energy per access (longer bitlines,
+/// wider decoders); the growth is logarithmic in capacity, matching
+/// Accelergy's SRAM trend.
+pub fn rf_pj_per_access(rf_bytes: usize) -> f64 {
+    let steps = (rf_bytes as f64 / 16.0).log2().max(0.0);
+    0.9 * (1.0 + 0.35 * steps)
+}
+
+/// Area of one PE (MAC + control + its register file), mm².
+pub fn pe_area_mm2(rf_bytes: usize) -> f64 {
+    const MAC_AREA: f64 = 0.0030;
+    const RF_AREA_PER_BYTE: f64 = 0.000020;
+    MAC_AREA + rf_bytes as f64 * RF_AREA_PER_BYTE
+}
+
+/// Fixed area of the global buffer and NoC, mm².
+pub const GB_AREA_MM2: f64 = 0.72;
+
+/// Dataflow controller area, mm² (row-stationary needs the most complex
+/// control per Eyeriss; weight-stationary the least).
+pub fn controller_area_mm2(dataflow: crate::config::Dataflow) -> f64 {
+    use crate::config::Dataflow::*;
+    match dataflow {
+        WeightStationary => 0.05,
+        OutputStationary => 0.07,
+        RowStationary => 0.11,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Dataflow;
+
+    #[test]
+    fn rf_energy_grows_with_size() {
+        let sizes = [16, 32, 64, 128, 256];
+        for w in sizes.windows(2) {
+            assert!(
+                rf_pj_per_access(w[0]) < rf_pj_per_access(w[1]),
+                "RF energy must grow with size: {} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn memory_hierarchy_energy_ordering() {
+        // RF < GB < DRAM per byte, the canonical pyramid.
+        assert!(rf_pj_per_access(256) < GB_PJ_PER_BYTE);
+        assert!(GB_PJ_PER_BYTE < DRAM_PJ_PER_BYTE);
+    }
+
+    #[test]
+    fn pe_area_grows_with_rf() {
+        assert!(pe_area_mm2(16) < pe_area_mm2(256));
+    }
+
+    #[test]
+    fn rs_controller_is_largest() {
+        assert!(
+            controller_area_mm2(Dataflow::RowStationary)
+                > controller_area_mm2(Dataflow::WeightStationary)
+        );
+        assert!(
+            controller_area_mm2(Dataflow::RowStationary)
+                > controller_area_mm2(Dataflow::OutputStationary)
+        );
+    }
+}

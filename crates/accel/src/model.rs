@@ -1,0 +1,416 @@
+//! The analytical mapping model: latency, energy and area for a
+//! network on a configuration (the Timeloop-substitute).
+//!
+//! For each convolution sublayer the model computes:
+//!
+//! 1. **Spatial utilization** of the PE array under the configured
+//!    dataflow (how well the layer's parallel dimensions tile onto the
+//!    physical rows × columns),
+//! 2. **Data movement** at the global-buffer and DRAM levels, with
+//!    dataflow- and RF-size-dependent reuse (the essence of Eyeriss-style
+//!    analysis: weight-stationary keeps weights resident but re-streams
+//!    activations per output-channel tile and spills partial sums across
+//!    input-channel tiles; output-stationary keeps partial sums local;
+//!    row-stationary maximizes on-chip reuse of all three tensors),
+//! 3. **Latency** as the max of compute-bound and memory-bound cycle
+//!    counts, and **energy** from per-access energy tables.
+//!
+//! Area depends only on the configuration (PE array + RF + buffer +
+//! dataflow controller).
+
+use crate::config::{AccelConfig, Dataflow};
+use crate::energy::{
+    controller_area_mm2, pe_area_mm2, rf_pj_per_access, CLOCK_MHZ, DRAM_BYTES_PER_CYCLE,
+    DRAM_PJ_PER_BYTE, ENERGY_CALIBRATION, GB_AREA_MM2, GB_BYTES_PER_CYCLE, GB_CAPACITY_BYTES,
+    GB_PJ_PER_BYTE, MAC_PJ,
+};
+use crate::layer::ConvLayer;
+use crate::metrics::HwMetrics;
+
+/// Compute-pipeline efficiency per dataflow. Weight-stationary systolic
+/// arrays stream with essentially no bubbles; output-stationary pays
+/// accumulation turnaround; row-stationary pays for its psum NoC.
+fn dataflow_efficiency(df: Dataflow) -> f64 {
+    match df {
+        Dataflow::WeightStationary => 1.0,
+        Dataflow::OutputStationary => 0.85,
+        Dataflow::RowStationary => 0.70,
+    }
+}
+
+/// Fraction of an `n`-wide physical dimension kept busy when a logical
+/// dimension of size `d` is tiled onto it.
+fn tile_eff(d: usize, n: usize) -> f64 {
+    debug_assert!(n > 0, "tile_eff: physical dimension must be positive");
+    if d == 0 {
+        return 0.0;
+    }
+    let tiles = d.div_ceil(n);
+    d as f64 / (tiles * n) as f64
+}
+
+/// Fraction of an `n`-wide dimension kept busy when a logical dimension
+/// of size `d ≤ n` can be *replicated* (across channels/filters) to fill
+/// the remainder — the Eyeriss folding trick. The multicast network
+/// limits the fanout to [`MAX_REPLICATION`] copies, so degenerate
+/// dimensions (e.g. the k = 1 rows of a pointwise convolution) cannot
+/// fill a large array.
+fn replicated_eff(d: usize, n: usize) -> f64 {
+    if d == 0 {
+        return 0.0;
+    }
+    if d >= n {
+        return tile_eff(d, n);
+    }
+    let replicas = (n / d).min(MAX_REPLICATION);
+    (d * replicas) as f64 / n as f64
+}
+
+/// Maximum folding replication supported by the on-chip multicast NoC.
+pub(crate) const MAX_REPLICATION: usize = 10;
+
+/// Spatial PE-array utilization of `layer` under `cfg`.
+pub fn utilization(layer: &ConvLayer, cfg: &AccelConfig) -> f64 {
+    let rows = cfg.pe_rows();
+    let cols = cfg.pe_cols();
+    match cfg.dataflow() {
+        // Channels across the array: input channels (per group) on rows,
+        // output channels on columns. Depthwise has one input channel
+        // per group; the best WS can do is an im2col-style fallback that
+        // maps the k² weights per channel onto the rows, paying a 2x
+        // gather/scatter penalty — the MobileNet-on-TPU effect.
+        Dataflow::WeightStationary => {
+            if layer.is_depthwise() {
+                let k2 = layer.kernel * layer.kernel;
+                0.5 * tile_eff(k2, rows) * tile_eff(layer.c_out, cols)
+            } else {
+                tile_eff(layer.c_in_per_group(), rows) * tile_eff(layer.c_out, cols)
+            }
+        }
+        // The 2-D output pixel grid maps directly onto the 2-D array
+        // (ShiDianNao-style); the per-channel weight broadcast prevents
+        // filling idle PEs with other channels, so small late-stage
+        // feature maps underutilize large arrays.
+        Dataflow::OutputStationary => {
+            tile_eff(layer.h_out(), rows) * tile_eff(layer.w_out(), cols)
+        }
+        // Filter rows on rows (replicated across channels when k < rows),
+        // output rows on columns (replicated when short).
+        Dataflow::RowStationary => {
+            replicated_eff(layer.kernel, rows) * replicated_eff(layer.h_out(), cols)
+        }
+    }
+}
+
+/// Global-buffer traffic in bytes for one layer: `(weights, acts, psums)`.
+fn gb_traffic(layer: &ConvLayer, cfg: &AccelConfig) -> (f64, f64, f64) {
+    let w = layer.weights() as f64;
+    let a_in = layer.input_activations() as f64;
+    let a_out = layer.output_activations() as f64;
+    let rf = cfg.rf_bytes() as f64;
+    let k2 = (layer.kernel * layer.kernel) as f64;
+    match cfg.dataflow() {
+        Dataflow::WeightStationary => {
+            // Weights resident per PE; reloaded if one filter plane
+            // exceeds the RF.
+            let w_reload = (k2 / rf).ceil().max(1.0);
+            if layer.is_depthwise() {
+                // Each output channel reads only its own input channel:
+                // no re-streaming across output-channel tiles, psums
+                // accumulate within one pass.
+                let act_reload = (k2 / rf).max(1.0);
+                (w * w_reload, a_in * act_reload, a_out)
+            } else {
+                // Activations re-streamed once per output-channel tile.
+                let cout_tiles = layer.c_out.div_ceil(cfg.pe_cols()) as f64;
+                // Partial sums spilled and re-read across input-channel tiles.
+                let cin_tiles = layer.c_in_per_group().div_ceil(cfg.pe_rows()) as f64;
+                (w * w_reload, a_in * cout_tiles, a_out * (2.0 * cin_tiles - 1.0))
+            }
+        }
+        Dataflow::OutputStationary => {
+            // Psums stationary: written out exactly once. The price is
+            // operand streaming: every in-flight output pulls its own
+            // input window, shared only across the multicast fanout and
+            // whatever the RF caches.
+            let macs = layer.macs() as f64;
+            let shared =
+                macs / (crate::model::MAX_REPLICATION as f64 * (rf / 32.0).max(1.0));
+            let act_bytes = shared.max(a_in);
+            // Weights re-streamed per residency window of output pixels.
+            let pixels_per_residency = (rf / 2.0).max(1.0);
+            let w_reload = (layer.out_pixels() as f64 / pixels_per_residency).max(1.0);
+            (w * w_reload, act_bytes, a_out)
+        }
+        Dataflow::RowStationary => {
+            // Filter rows resident; large kernels thrash small RFs.
+            let w_reload = (layer.kernel as f64 / (rf / 16.0).max(1.0)).max(1.0);
+            // Diagonal activation reuse: each activation enters once.
+            // Psums accumulate in-RF across the channel loop; spill when
+            // an output row of psums exceeds the RF.
+            let psum_spill = ((layer.w_out() as f64 * 2.0) / rf).max(1.0);
+            (w * w_reload, a_in, a_out * psum_spill)
+        }
+    }
+}
+
+/// DRAM traffic in bytes: compulsory misses, capacity spill, plus a
+/// fraction of the global-buffer *re-reference* traffic (data that a
+/// small RF forces back through the GB also misses to DRAM part of the
+/// time). This is what makes a larger RF pay for itself in off-chip
+/// energy, as in the paper's 30 fps design (Fig. 5b).
+fn dram_traffic(layer: &ConvLayer, gb_bytes: f64) -> f64 {
+    let compulsory =
+        (layer.weights() + layer.input_activations() + layer.output_activations()) as f64;
+    let spill = 1.0 + 0.5 * (compulsory / GB_CAPACITY_BYTES - 1.0).max(0.0);
+    let rereference = 0.25 * (gb_bytes - compulsory).max(0.0);
+    compulsory * spill.min(4.0) + rereference
+}
+
+/// Evaluates one convolution layer on a configuration.
+///
+/// The returned `area_mm2` is the (workload-independent) configuration
+/// area so that [`HwMetrics::accumulate`] composes correctly.
+pub fn evaluate_layer(layer: &ConvLayer, cfg: &AccelConfig) -> HwMetrics {
+    let macs = layer.macs() as f64;
+    let util = utilization(layer, cfg).max(1e-6);
+    let eff = dataflow_efficiency(cfg.dataflow());
+    let compute_cycles = macs / (cfg.num_pes() as f64 * util * eff);
+
+    let (gb_w, gb_a, gb_p) = gb_traffic(layer, cfg);
+    let gb_bytes = gb_w + gb_a + gb_p;
+    let gb_cycles = gb_bytes / GB_BYTES_PER_CYCLE;
+    let dram_bytes = dram_traffic(layer, gb_bytes);
+    let dram_cycles = dram_bytes / DRAM_BYTES_PER_CYCLE;
+
+    let cycles = compute_cycles.max(gb_cycles).max(dram_cycles);
+    let latency_ms = cycles / (CLOCK_MHZ * 1e3);
+
+    let rf_accesses = 3.0 * macs;
+    let energy_pj = macs * MAC_PJ
+        + rf_accesses * rf_pj_per_access(cfg.rf_bytes())
+        + gb_bytes * GB_PJ_PER_BYTE
+        + dram_bytes * DRAM_PJ_PER_BYTE;
+    let energy_mj = energy_pj * ENERGY_CALIBRATION * 1e-9;
+
+    HwMetrics::new(latency_ms, energy_mj, config_area(cfg))
+}
+
+/// Area of a configuration in mm² (independent of the workload).
+pub fn config_area(cfg: &AccelConfig) -> f64 {
+    cfg.num_pes() as f64 * pe_area_mm2(cfg.rf_bytes())
+        + GB_AREA_MM2
+        + controller_area_mm2(cfg.dataflow())
+}
+
+/// Evaluates a whole network (sequence of layers) on a configuration.
+///
+/// Latency and energy are summed across layers; area is the
+/// configuration area.
+pub fn evaluate_network(layers: &[ConvLayer], cfg: &AccelConfig) -> HwMetrics {
+    let mut total = HwMetrics::new(0.0, 0.0, config_area(cfg));
+    for layer in layers {
+        total.accumulate(&evaluate_layer(layer, cfg));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchSpace;
+    use crate::layer::MbConv;
+
+    fn cfg(rows: usize, cols: usize, rf: usize, df: Dataflow) -> AccelConfig {
+        AccelConfig::new(rows, cols, rf, df).expect("valid config")
+    }
+
+    /// A channel-rich pointwise layer (where WS should shine).
+    fn pointwise_layer() -> ConvLayer {
+        ConvLayer::pointwise(96, 192, 32, 32)
+    }
+
+    /// A depthwise layer (where WS should starve).
+    fn depthwise_layer() -> ConvLayer {
+        ConvLayer::depthwise(192, 32, 32, 5, 1)
+    }
+
+    /// An 18-block CIFAR-scale network matching the geometry used by the
+    /// NAS search space (stages of 6 blocks at 32ch/32², 64ch/16², 128ch/8²).
+    fn net_with_kernel(k: usize) -> Vec<ConvLayer> {
+        let mut layers = Vec::new();
+        let mut c = 32;
+        let mut hw = 32;
+        for &(c_out, first_stride) in &[(32, 1), (64, 2), (128, 2)] {
+            for i in 0..6 {
+                let stride = if i == 0 { first_stride } else { 1 };
+                layers.extend(MbConv::new(c, c_out, hw, hw, stride, k, 6).sublayers());
+                c = c_out;
+                hw = hw.div_ceil(stride);
+            }
+        }
+        layers
+    }
+
+    fn cifar_like_net() -> Vec<ConvLayer> {
+        net_with_kernel(3)
+    }
+
+    #[test]
+    fn ws_starves_on_depthwise() {
+        let dw = depthwise_layer();
+        let ws = utilization(&dw, &cfg(16, 16, 64, Dataflow::WeightStationary));
+        let rs = utilization(&dw, &cfg(16, 16, 64, Dataflow::RowStationary));
+        assert!(ws < rs * 0.7, "WS utilization on depthwise ({ws}) should trail RS ({rs})");
+    }
+
+    #[test]
+    fn ws_fills_on_pointwise() {
+        let pw = pointwise_layer();
+        let ws = utilization(&pw, &cfg(16, 16, 64, Dataflow::WeightStationary));
+        assert!(ws > 0.9, "WS on channel-rich pointwise should be near 1, got {ws}");
+    }
+
+    #[test]
+    fn ws_has_lowest_latency_on_small_kernel_net() {
+        // Fig. 5 story: the 60 fps design pairs small kernels with WS.
+        let net = net_with_kernel(3);
+        let lat = |df| evaluate_network(&net, &cfg(16, 16, 64, df)).latency_ms;
+        let (ws, rs) = (lat(Dataflow::WeightStationary), lat(Dataflow::RowStationary));
+        assert!(ws < rs, "WS latency ({ws:.2}) should beat RS ({rs:.2}) at k=3");
+    }
+
+    #[test]
+    fn rs_catches_up_on_large_kernel_net() {
+        // Fig. 5 story: large kernels favour RS; the WS advantage at k=3
+        // must shrink or invert at k=7.
+        let ratio = |k: usize| {
+            let net = net_with_kernel(k);
+            let ws = evaluate_network(&net, &cfg(16, 16, 64, Dataflow::WeightStationary));
+            let rs = evaluate_network(&net, &cfg(16, 16, 64, Dataflow::RowStationary));
+            ws.latency_ms / rs.latency_ms
+        };
+        assert!(
+            ratio(7) > ratio(3),
+            "WS/RS latency ratio should grow with kernel size: k3 {} vs k7 {}",
+            ratio(3),
+            ratio(7)
+        );
+    }
+
+    #[test]
+    fn rs_has_lowest_energy() {
+        // Fig. 5 story: RS is the energy-efficient dataflow.
+        let net = cifar_like_net();
+        let e = |df| evaluate_network(&net, &cfg(16, 16, 64, df)).energy_mj;
+        let (ws, os, rs) = (
+            e(Dataflow::WeightStationary),
+            e(Dataflow::OutputStationary),
+            e(Dataflow::RowStationary),
+        );
+        assert!(rs < ws, "RS energy ({rs:.2}) should beat WS ({ws:.2})");
+        assert!(rs < os, "RS energy ({rs:.2}) should beat OS ({os:.2})");
+    }
+
+    #[test]
+    fn more_pes_means_lower_latency() {
+        let net = cifar_like_net();
+        let small = evaluate_network(&net, &cfg(12, 8, 64, Dataflow::WeightStationary));
+        let large = evaluate_network(&net, &cfg(20, 24, 64, Dataflow::WeightStationary));
+        assert!(large.latency_ms < small.latency_ms);
+        assert!(large.area_mm2 > small.area_mm2);
+    }
+
+    #[test]
+    fn bigger_rf_costs_area_but_reduces_reload_traffic() {
+        let dw = ConvLayer::depthwise(192, 32, 32, 7, 1);
+        let small = evaluate_layer(&dw, &cfg(16, 16, 16, Dataflow::RowStationary));
+        let large = evaluate_layer(&dw, &cfg(16, 16, 128, Dataflow::RowStationary));
+        assert!(large.area_mm2 > small.area_mm2);
+        // With a 7x7 kernel, a 16 B RF thrashes weight rows.
+        assert!(
+            large.latency_ms <= small.latency_ms,
+            "large RF {} vs small {}",
+            large.latency_ms,
+            small.latency_ms
+        );
+    }
+
+    #[test]
+    fn latency_in_paper_ballpark() {
+        // Tables 1–2 operate at 4–100 ms for CIFAR-class networks; the
+        // model must land in that decade for sane constraint targets.
+        let net = cifar_like_net();
+        let best = evaluate_network(&net, &cfg(20, 24, 64, Dataflow::WeightStationary));
+        let worst = evaluate_network(&net, &cfg(12, 8, 16, Dataflow::WeightStationary));
+        assert!(
+            best.latency_ms > 1.0 && best.latency_ms < 40.0,
+            "best-case latency {:.2} ms out of range",
+            best.latency_ms
+        );
+        assert!(
+            worst.latency_ms > best.latency_ms && worst.latency_ms < 400.0,
+            "worst-case latency {:.2} ms out of range",
+            worst.latency_ms
+        );
+    }
+
+    #[test]
+    fn energy_in_paper_ballpark() {
+        // Table 2 reports 8–37 mJ.
+        let net = cifar_like_net();
+        let m = evaluate_network(&net, &cfg(16, 16, 64, Dataflow::RowStationary));
+        assert!(
+            m.energy_mj > 1.0 && m.energy_mj < 80.0,
+            "energy {:.2} mJ out of range",
+            m.energy_mj
+        );
+    }
+
+    #[test]
+    fn area_in_paper_ballpark() {
+        // Table 2 reports 1.86–2.53 mm².
+        let small = config_area(&cfg(12, 8, 16, Dataflow::WeightStationary));
+        let mid = config_area(&cfg(16, 16, 64, Dataflow::RowStationary));
+        assert!(small > 0.8 && small < 2.0, "small area {small:.2}");
+        assert!(mid > 1.5 && mid < 3.5, "mid area {mid:.2}");
+    }
+
+    #[test]
+    fn all_configs_produce_valid_metrics() {
+        let net = cifar_like_net();
+        for c in SearchSpace::paper().enumerate() {
+            let m = evaluate_network(&net, &c);
+            assert!(m.is_valid(), "invalid metrics {m:?} for {c}");
+            assert!(m.latency_ms > 0.0 && m.energy_mj > 0.0 && m.area_mm2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn network_metrics_are_layer_sums() {
+        let net = cifar_like_net();
+        let c = cfg(16, 16, 64, Dataflow::RowStationary);
+        let total = evaluate_network(&net, &c);
+        let lat_sum: f64 = net.iter().map(|l| evaluate_layer(l, &c).latency_ms).sum();
+        let e_sum: f64 = net.iter().map(|l| evaluate_layer(l, &c).energy_mj).sum();
+        assert!((total.latency_ms - lat_sum).abs() < 1e-9);
+        assert!((total.energy_mj - e_sum).abs() < 1e-9);
+        assert!((total.area_mm2 - config_area(&c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_eff_basics() {
+        assert_eq!(tile_eff(16, 16), 1.0);
+        assert_eq!(tile_eff(8, 16), 0.5);
+        assert!((tile_eff(17, 16) - 17.0 / 32.0).abs() < 1e-12);
+        assert_eq!(tile_eff(0, 16), 0.0);
+    }
+
+    #[test]
+    fn replicated_eff_fills_with_folding() {
+        // k = 3 on 16 rows: 5 replicas fill 15/16 of the array.
+        assert!((replicated_eff(3, 16) - 15.0 / 16.0).abs() < 1e-12);
+        // Oversized dimensions fall back to tiling.
+        assert!((replicated_eff(20, 16) - tile_eff(20, 16)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Exhaustive hardware search and per-layer cost LUTs.
+//!
+//! Two consumers:
+//!
+//! * the **NAS → HW** baseline (Table 1 / Fig. 3) searches the entire
+//!   2295-point accelerator space for a fixed network — the paper does
+//!   this with Timeloop; we do it with the analytical model;
+//! * the **Auto-NBA-style** baseline expresses hardware cost as a
+//!   lookup table over (layer, configuration) pairs; [`build_layer_lut`]
+//!   materializes that table.
+
+use crate::config::{AccelConfig, SearchSpace};
+use crate::layer::ConvLayer;
+use crate::metrics::{CostWeights, HwMetrics, Metric};
+use crate::model::{evaluate_layer, evaluate_network};
+
+/// Result of an exhaustive hardware search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The best configuration found.
+    pub config: AccelConfig,
+    /// Its metrics on the evaluated network.
+    pub metrics: HwMetrics,
+    /// Its `Cost_HW` under the weights used for the search.
+    pub cost: f64,
+}
+
+/// Exhaustively searches the accelerator space for the configuration
+/// minimizing `Cost_HW`, optionally subject to upper-bound constraints
+/// `(metric, target)`.
+///
+/// Returns `None` when no configuration satisfies every constraint.
+pub fn exhaustive_search(
+    layers: &[ConvLayer],
+    weights: &CostWeights,
+    constraints: &[(Metric, f64)],
+) -> Option<SearchOutcome> {
+    let mut best: Option<SearchOutcome> = None;
+    for cfg in SearchSpace::paper().enumerate() {
+        let metrics = evaluate_network(layers, &cfg);
+        if constraints.iter().any(|&(m, t)| metrics.get(m) > t) {
+            continue;
+        }
+        let cost = weights.cost(&metrics);
+        let better = best.as_ref().is_none_or(|b| cost < b.cost);
+        if better {
+            best = Some(SearchOutcome { config: cfg, metrics, cost });
+        }
+    }
+    best
+}
+
+/// Per-(layer, configuration) metric lookup table for LUT-based
+/// differentiable baselines (Auto-NBA-like).
+///
+/// Index order: `lut[layer_index][config_index]` with configurations in
+/// [`SearchSpace::enumerate`] order.
+#[derive(Debug, Clone)]
+pub struct LayerLut {
+    configs: Vec<AccelConfig>,
+    entries: Vec<Vec<HwMetrics>>,
+}
+
+impl LayerLut {
+    /// The enumerated configurations (column order of the table).
+    pub fn configs(&self) -> &[AccelConfig] {
+        &self.configs
+    }
+
+    /// Number of layers (rows).
+    pub fn num_layers(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Metrics of `layer_index` on `config_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn metrics(&self, layer_index: usize, config_index: usize) -> &HwMetrics {
+        &self.entries[layer_index][config_index]
+    }
+
+    /// Network metrics for a configuration: per-layer latency/energy
+    /// summed, area taken from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config_index` is out of range.
+    pub fn network_metrics(&self, config_index: usize) -> HwMetrics {
+        let mut total = HwMetrics::default();
+        for row in &self.entries {
+            total.accumulate(&row[config_index]);
+        }
+        total
+    }
+}
+
+/// Builds the per-layer LUT for a fixed set of layers over the whole
+/// accelerator space.
+pub fn build_layer_lut(layers: &[ConvLayer]) -> LayerLut {
+    let configs = SearchSpace::paper().enumerate();
+    let entries = layers
+        .iter()
+        .map(|layer| configs.iter().map(|cfg| evaluate_layer(layer, cfg)).collect())
+        .collect();
+    LayerLut { configs, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Dataflow;
+    use crate::layer::MbConv;
+
+    fn small_net() -> Vec<ConvLayer> {
+        let mut layers = MbConv::new(16, 32, 16, 16, 1, 3, 6).sublayers();
+        layers.extend(MbConv::new(32, 64, 16, 16, 2, 5, 3).sublayers());
+        layers
+    }
+
+    #[test]
+    fn unconstrained_search_finds_global_minimum() {
+        let net = small_net();
+        let w = CostWeights::paper();
+        let best = exhaustive_search(&net, &w, &[]).expect("non-empty space");
+        // Verify optimality by re-scanning.
+        for cfg in SearchSpace::paper().enumerate() {
+            let m = evaluate_network(&net, &cfg);
+            assert!(w.cost(&m) >= best.cost - 1e-9, "found better config {cfg}");
+        }
+    }
+
+    #[test]
+    fn constrained_search_respects_constraints() {
+        let net = small_net();
+        let w = CostWeights::paper();
+        let unconstrained = exhaustive_search(&net, &w, &[]).expect("some solution");
+        // Constrain area below the unconstrained optimum's area.
+        let target = unconstrained.metrics.area_mm2 * 0.9;
+        if let Some(constrained) = exhaustive_search(&net, &w, &[(Metric::Area, target)]) {
+            assert!(constrained.metrics.area_mm2 <= target);
+            assert!(constrained.cost >= unconstrained.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn impossible_constraint_returns_none() {
+        let net = small_net();
+        let res = exhaustive_search(&net, &CostWeights::paper(), &[(Metric::Latency, 1e-9)]);
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn lut_matches_direct_evaluation() {
+        let net = small_net();
+        let lut = build_layer_lut(&net);
+        assert_eq!(lut.num_layers(), net.len());
+        // Spot-check a handful of configurations.
+        for idx in [0usize, 100, 1000, 2294] {
+            let cfg = lut.configs()[idx];
+            let from_lut = lut.network_metrics(idx);
+            let direct = evaluate_network(&net, &cfg);
+            assert!((from_lut.latency_ms - direct.latency_ms).abs() < 1e-9);
+            assert!((from_lut.energy_mj - direct.energy_mj).abs() < 1e-9);
+            assert!((from_lut.area_mm2 - direct.area_mm2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lut_has_all_2295_configs() {
+        let lut = build_layer_lut(&small_net());
+        assert_eq!(lut.configs().len(), 2295);
+        assert!(lut.configs().contains(&AccelConfig::new(16, 16, 64, Dataflow::RowStationary).unwrap()));
+    }
+}

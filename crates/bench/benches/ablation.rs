@@ -1,0 +1,67 @@
+//! Ablation (beyond the paper): which parts of the gradient
+//! manipulation matter?
+//!
+//! * **HDX (full)** — agreement test + growing δ;
+//! * **fixed δ** — the pull never grows (p effectively 0 is illegal in
+//!   the paper's policy, so we emulate it with a minuscule p);
+//! * **DANCE** — no manipulation at all (lower bound);
+//! * **DANCE + strong soft penalty** — penalty-only alternative.
+//!
+//! The question: is the δ schedule (not just the projection) needed to
+//! cross into the feasible region?
+
+use hdx_bench::{bench_context, bench_options};
+use hdx_core::{run_search, write_csv, Constraint, Method, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 800);
+    let ctx = prepared.context();
+    let constraint = Constraint::fps(60.0);
+
+    let variants: Vec<(&str, Method, Option<f64>)> = vec![
+        ("HDX (delta grows)", Method::Hdx { delta0: 1e-3, p: 1e-2 }, None),
+        ("HDX (fixed delta)", Method::Hdx { delta0: 1e-3, p: 1e-9 }, None),
+        ("HDX (large delta0)", Method::Hdx { delta0: 1e-1, p: 1e-2 }, None),
+        ("DANCE", Method::Dance, None),
+        ("DANCE + strong soft", Method::Dance, Some(5.0)),
+    ];
+
+    println!("\nAblation — gradient-manipulation components (60 fps target)");
+    println!(
+        "{:<22} {:>5} {:>10} {:>9} {:>9} {:>10}",
+        "variant", "in?", "Lat(ms)", "Err(%)", "CostHW", "manip.steps"
+    );
+    let mut rows = Vec::new();
+    for (label, method, soft) in variants {
+        let mut opts = bench_options();
+        opts.method = method;
+        opts.lambda_soft = soft;
+        opts.constraints = vec![constraint];
+        opts.seed = 99;
+        let r = run_search(&ctx, &opts);
+        let manip: usize = r.trajectory.iter().map(|t| t.manipulated_steps).sum();
+        println!(
+            "{:<22} {:>5} {:>10.2} {:>9.2} {:>9.2} {:>10}",
+            label,
+            if r.in_constraint { "yes" } else { "NO" },
+            r.metrics.latency_ms,
+            r.error * 100.0,
+            r.cost_hw,
+            manip
+        );
+        rows.push(vec![
+            label.to_owned(),
+            format!("{}", r.in_constraint),
+            format!("{:.4}", r.metrics.latency_ms),
+            format!("{:.4}", r.error * 100.0),
+            format!("{:.4}", r.cost_hw),
+            format!("{manip}"),
+        ]);
+    }
+    let path = write_csv(
+        "ablation",
+        "variant,in_constraint,latency_ms,error_pct,cost_hw,manipulated_steps",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Figure 1 — motivational experiment: sweep λ_Cost from 0.001 to
+//! 0.010 (3 seeds each) with unconstrained DANCE-style co-exploration
+//! and show that latency/energy do **not** track λ_Cost reliably.
+//!
+//! Paper's finding: "inconsistency in both direction and variance of
+//! the trajectory is dominant" — tuning λ cannot implement a hard
+//! constraint.
+
+use hdx_bench::{bench_context, bench_options};
+use hdx_core::{run_search, write_csv, Method, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 100);
+    let ctx = prepared.context();
+    let lambdas: Vec<f64> = (1..=10).map(|i| i as f64 * 0.001).collect();
+    let seeds = [11u64, 22, 33];
+
+    println!("\nFig. 1 — lambda sweep (DANCE, unconstrained)");
+    println!("{:>8} {:>6} {:>12} {:>12} {:>10}", "lambda", "seed", "latency(ms)", "energy(mJ)", "error(%)");
+    let mut rows = Vec::new();
+    for &lambda in &lambdas {
+        let mut lat_avg = 0.0;
+        let mut en_avg = 0.0;
+        let mut err_avg = 0.0;
+        for &seed in &seeds {
+            let mut opts = bench_options();
+            opts.method = Method::Dance;
+            opts.lambda_cost = lambda;
+            opts.seed = seed;
+            let r = run_search(&ctx, &opts);
+            println!(
+                "{:>8.3} {:>6} {:>12.2} {:>12.2} {:>10.2}",
+                lambda,
+                seed,
+                r.metrics.latency_ms,
+                r.metrics.energy_mj,
+                r.error * 100.0
+            );
+            rows.push(vec![
+                format!("{lambda}"),
+                format!("{seed}"),
+                format!("{:.4}", r.metrics.latency_ms),
+                format!("{:.4}", r.metrics.energy_mj),
+                format!("{:.4}", r.error * 100.0),
+            ]);
+            lat_avg += r.metrics.latency_ms / seeds.len() as f64;
+            en_avg += r.metrics.energy_mj / seeds.len() as f64;
+            err_avg += r.error * 100.0 / seeds.len() as f64;
+        }
+        println!(
+            "{:>8.3} {:>6} {:>12.2} {:>12.2} {:>10.2}   <- mean",
+            lambda, "mean", lat_avg, en_avg, err_avg
+        );
+    }
+    let path = write_csv("fig1_lambda_sweep", "lambda,seed,latency_ms,energy_mj,error_pct", &rows);
+    println!("\nCSV: {}", path.display());
+    println!(
+        "Expected shape (paper): no strictly monotone latency/energy response to lambda; \
+         high per-seed variance."
+    );
+}

@@ -1,0 +1,108 @@
+//! Figure 3 — co-exploration results on the CIFAR-like task.
+//!
+//! Left/mid: error vs latency under 16.6 ms (60 fps) and 33.3 ms
+//! (30 fps) targets, λ_Cost ∈ {0.001 … 0.005} per method (10 points for
+//! NAS→HW). Right: error vs Cost_HW (Pareto quality).
+//!
+//! Expected shape (paper): every HDX point lands just below its
+//! constraint bar; DANCE/Auto-NBA scatter across it (soft constraints
+//! help but do not guarantee); HDX's Cost_HW/error frontier matches or
+//! beats the unconstrained methods.
+
+use hdx_bench::{bench_context, bench_options};
+use hdx_core::{run_search, write_csv, Constraint, Method, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 300);
+    let ctx = prepared.context();
+    let lambdas = [0.001, 0.002, 0.003, 0.004, 0.005];
+    let targets = [Constraint::fps(60.0), Constraint::fps(30.0)];
+
+    println!("\nFig. 3 — co-exploration scatter");
+    println!(
+        "{:<10} {:>9} {:>8} {:>11} {:>9} {:>9} {:>5}",
+        "method", "constr", "lambda", "latency(ms)", "err(%)", "CostHW", "in?"
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut emit = |method: &str, constr: &str, lambda: f64, r: &hdx_core::SearchResult| {
+        println!(
+            "{:<10} {:>9} {:>8.3} {:>11.2} {:>9.2} {:>9.2} {:>5}",
+            method,
+            constr,
+            lambda,
+            r.metrics.latency_ms,
+            r.error * 100.0,
+            r.cost_hw,
+            if r.in_constraint { "yes" } else { "no" }
+        );
+        rows.push(vec![
+            method.to_owned(),
+            constr.to_owned(),
+            format!("{lambda}"),
+            format!("{:.4}", r.metrics.latency_ms),
+            format!("{:.4}", r.error * 100.0),
+            format!("{:.4}", r.cost_hw),
+            format!("{}", r.in_constraint),
+        ]);
+    };
+
+    // HDX under each constraint, per lambda.
+    for target in targets {
+        for (i, &lambda) in lambdas.iter().enumerate() {
+            let mut opts = bench_options();
+            opts.method = Method::Hdx { delta0: 1e-3, p: 1e-2 };
+            opts.lambda_cost = lambda;
+            opts.constraints = vec![target];
+            opts.seed = 40 + i as u64;
+            let r = run_search(&ctx, &opts);
+            emit("HDX", &format!("{:.1}ms", target.target), lambda, &r);
+        }
+    }
+
+    // Unconstrained DANCE and Auto-NBA (black markers), per lambda.
+    for (name, method) in [("DANCE", Method::Dance), ("Auto-NBA", Method::AutoNba)] {
+        for (i, &lambda) in lambdas.iter().enumerate() {
+            let mut opts = bench_options();
+            opts.method = method;
+            opts.lambda_cost = lambda;
+            opts.constraints = vec![targets[0]]; // monitored only
+            opts.seed = 60 + i as u64;
+            let r = run_search(&ctx, &opts);
+            emit(name, "none", lambda, &r);
+        }
+        // Colored markers: soft constraint at each target.
+        for target in targets {
+            for (i, &lambda) in lambdas.iter().enumerate().take(3) {
+                let mut opts = bench_options();
+                opts.method = method;
+                opts.lambda_cost = lambda;
+                opts.lambda_soft = Some(0.5);
+                opts.constraints = vec![target];
+                opts.seed = 80 + i as u64;
+                let r = run_search(&ctx, &opts);
+                emit(
+                    &format!("{name}+S"),
+                    &format!("{:.1}ms", target.target),
+                    lambda,
+                    &r,
+                );
+            }
+        }
+    }
+
+    // NAS→HW reference points (10 solutions of various MAC penalties).
+    for (i, lm) in (0..10).map(|i| (i, 0.004 * 1.6f64.powi(i))) {
+        let mut opts = bench_options();
+        opts.method = Method::NasThenHw { lambda_macs: lm };
+        opts.seed = 90 + i as u64;
+        let r = run_search(&ctx, &opts);
+        emit("NAS->HW", "none", lm, &r);
+    }
+
+    let path = write_csv(
+        "fig3_coexploration",
+        "method,constraint,lambda,latency_ms,error_pct,cost_hw,in_constraint",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}

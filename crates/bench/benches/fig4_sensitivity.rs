@@ -1,0 +1,50 @@
+//! Figure 4 — sensitivity to the pulling magnitude p.
+//!
+//! Runs HDX at p ∈ {1e-2, 7e-3, 4e-3} under a 33.3 ms latency
+//! constraint and prints the per-epoch global-loss and latency
+//! trajectories. Expected shape (paper): three phases — loss-first
+//! optimization while δ grows, a pull phase where latency drops under
+//! the bar, then in-constraint refinement; final solutions are
+//! insensitive to p.
+
+use hdx_bench::{bench_context, bench_options, env_usize};
+use hdx_core::{run_search, write_csv, Constraint, Method, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 600);
+    let ctx = prepared.context();
+    let constraint = Constraint::fps(30.0);
+    let ps = [1e-2f32, 7e-3, 4e-3];
+
+    let mut rows = Vec::new();
+    for &p in &ps {
+        let mut opts = bench_options();
+        opts.method = Method::Hdx { delta0: 1e-3, p };
+        opts.constraints = vec![constraint];
+        opts.epochs = env_usize("HDX_EPOCHS", 40);
+        opts.seed = 77;
+        let r = run_search(&ctx, &opts);
+        println!("\nFig. 4 — p = {p:.0e} (final: {} | in-constraint {})", r.metrics, r.in_constraint);
+        println!("{:>6} {:>12} {:>12} {:>10} {:>9}", "epoch", "global_loss", "latency(ms)", "delta", "violated");
+        for t in &r.trajectory {
+            println!(
+                "{:>6} {:>12.3} {:>12.2} {:>10.2e} {:>9}",
+                t.epoch, t.global_loss, t.truth.latency_ms, t.delta, t.violated
+            );
+            rows.push(vec![
+                format!("{p}"),
+                format!("{}", t.epoch),
+                format!("{:.4}", t.global_loss),
+                format!("{:.4}", t.truth.latency_ms),
+                format!("{:.4e}", t.delta),
+                format!("{}", t.violated),
+            ]);
+        }
+    }
+    let path = write_csv(
+        "fig4_sensitivity",
+        "p,epoch,global_loss,latency_ms,delta,violated",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Figure 5 — visualization of the searched network + accelerator for
+//! the 60 fps and 30 fps constraints.
+//!
+//! Expected shape (paper): the tight 16.6 ms design uses small kernels
+//! and a large weight-stationary PE array; the relaxed 33.3 ms design
+//! settles on an energy-friendly row-stationary array with fewer PEs
+//! and a larger register file, and larger kernels in the network.
+
+use hdx_bench::{bench_context, bench_options};
+use hdx_core::{run_search, write_csv, Constraint, Method, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 700);
+    let ctx = prepared.context();
+    let mut rows = Vec::new();
+
+    for (fps, seed) in [(60.0, 7u64), (30.0, 8)] {
+        let constraint = Constraint::fps(fps);
+        let mut opts = bench_options();
+        opts.method = Method::Hdx { delta0: 1e-3, p: 1e-2 };
+        opts.constraints = vec![constraint];
+        opts.seed = seed;
+        let r = run_search(&ctx, &opts);
+
+        println!("\nFig. 5 — searched design for {fps:.0} fps ({:.1} ms target)", constraint.target);
+        println!("  network   : (3,1) FIXED {}", r.architecture);
+        println!("  accelerator: {}", r.accel);
+        println!("  metrics   : {}  (in-constraint: {})", r.metrics, r.in_constraint);
+        let mean_kernel: f64 = r
+            .architecture
+            .choices()
+            .iter()
+            .map(|&c| hdx_nas::OP_SET[c].kernel as f64)
+            .sum::<f64>()
+            / r.architecture.num_layers() as f64;
+        println!("  mean kernel size: {mean_kernel:.2}");
+        rows.push(vec![
+            format!("{fps}"),
+            r.architecture.summary(),
+            r.accel.to_string(),
+            format!("{:.4}", r.metrics.latency_ms),
+            format!("{:.4}", r.metrics.energy_mj),
+            format!("{:.4}", r.metrics.area_mm2),
+            format!("{mean_kernel:.3}"),
+            format!("{}", r.in_constraint),
+        ]);
+    }
+    let path = write_csv(
+        "fig5_solutions",
+        "fps,network,accelerator,latency_ms,energy_mj,area_mm2,mean_kernel,in_constraint",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}

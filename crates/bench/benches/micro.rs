@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks: throughput of the substrate kernels the
+//! co-exploration loop leans on (accelerator model, estimator
+//! inference, gradient manipulation, supernet step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdx_accel::{evaluate_network, AccelConfig, Dataflow, SearchSpace};
+use hdx_core::manipulate;
+use hdx_nas::{Architecture, Dataset, NetworkPlan, Supernet, SupernetConfig, TaskSpec};
+use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
+use hdx_tensor::{Rng, Tape};
+use std::hint::black_box;
+
+fn bench_accel_model(c: &mut Criterion) {
+    let plan = NetworkPlan::cifar18();
+    let layers = plan.layers_for(&Architecture::uniform(18, 3));
+    let cfg = AccelConfig::new(16, 16, 64, Dataflow::RowStationary).expect("valid");
+    c.bench_function("accel/evaluate_network_cifar18", |b| {
+        b.iter(|| black_box(evaluate_network(black_box(&layers), black_box(&cfg))))
+    });
+}
+
+fn bench_exhaustive_search(c: &mut Criterion) {
+    let plan = NetworkPlan::cifar18();
+    let layers = plan.layers_for(&Architecture::uniform(18, 1));
+    let weights = hdx_accel::CostWeights::paper();
+    c.bench_function("accel/exhaustive_search_2295_configs", |b| {
+        b.iter(|| black_box(hdx_accel::exhaustive_search(black_box(&layers), &weights, &[])))
+    });
+}
+
+fn bench_estimator_inference(c: &mut Criterion) {
+    let plan = NetworkPlan::cifar18();
+    let mut rng = Rng::new(1);
+    let pairs = PairSet::sample(&plan, 400, &mut rng);
+    let mut est = Estimator::new(
+        &plan,
+        EstimatorConfig { epochs: 3, ..Default::default() },
+        &mut rng,
+    );
+    est.train(&pairs, &mut rng);
+    let input = pairs.input_row(0).to_vec();
+    c.bench_function("surrogate/estimator_predict", |b| {
+        b.iter(|| black_box(est.predict_raw(black_box(&input))))
+    });
+}
+
+fn bench_gradient_manipulation(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let g_loss: Vec<f32> = (0..108).map(|_| rng.normal()).collect();
+    let g_const: Vec<f32> = (0..108).map(|_| rng.normal()).collect();
+    c.bench_function("core/manipulate_108d", |b| {
+        b.iter(|| black_box(manipulate(black_box(&g_loss), black_box(&g_const), true, 1e-3)))
+    });
+}
+
+fn bench_supernet_step(c: &mut Criterion) {
+    let spec = TaskSpec::cifar_like(1);
+    let ds = Dataset::generate(&spec);
+    let mut rng = Rng::new(3);
+    let net = Supernet::new(18, spec.feature_dim, spec.num_classes, SupernetConfig::default(), &mut rng);
+    c.bench_function("nas/supernet_forward_backward", |b| {
+        b.iter(|| {
+            let batch = ds.train_batch(32, &mut rng);
+            let mut tape = Tape::new();
+            let (w, a) = net.bind(&mut tape);
+            let loss = net.task_loss(&mut tape, &w, &a, &batch, &mut rng);
+            black_box(tape.backward(loss));
+        })
+    });
+}
+
+fn bench_space_enumeration(c: &mut Criterion) {
+    c.bench_function("accel/enumerate_space", |b| {
+        b.iter(|| black_box(SearchSpace::paper().enumerate().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_accel_model, bench_exhaustive_search, bench_estimator_inference,
+              bench_gradient_manipulation, bench_supernet_step, bench_space_enumeration
+}
+criterion_main!(benches);

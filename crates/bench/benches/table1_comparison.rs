@@ -1,0 +1,81 @@
+//! Table 1 — comparison of differentiable co-explorations under a
+//! 60 FPS (16.6 ms) hard latency constraint: number of searches needed,
+//! total search cost, and average error of the accepted solutions.
+//!
+//! Baselines find constrained solutions via the meta λ-search (§5.2);
+//! HDX needs exactly one search. `HDX_REPS` controls repetitions
+//! (paper: 100; default here: 3).
+
+use hdx_bench::{bench_context, bench_options, env_usize};
+use hdx_core::{constrained_meta_search, write_csv, Constraint, Method, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 200);
+    let ctx = prepared.context();
+    let constraint = Constraint::fps(60.0);
+    let reps = env_usize("HDX_REPS", 3);
+    let max_searches = 10;
+
+    // (label, method, lambda_soft, hard?, nn-hw relation?)
+    let methods: Vec<(&str, Method, Option<f64>, &str, &str)> = vec![
+        ("NAS->HW search", Method::NasThenHw { lambda_macs: 0.002 }, None, "x", "x"),
+        ("Auto-NBA", Method::AutoNba, None, "x", "v"),
+        ("DANCE", Method::Dance, None, "x", "v"),
+        ("DANCE + Soft const.", Method::Dance, Some(0.05), "x", "v"),
+        ("HDX (Proposed)", Method::Hdx { delta0: 1e-3, p: 1e-2 }, None, "v", "v"),
+    ];
+
+    println!("\nTable 1 — search with 60 FPS constraint ({reps} reps/method)");
+    println!(
+        "{:<22} {:>5} {:>6} {:>10} {:>10} {:>10}",
+        "Method", "Hard", "NN-HW", "#Searches", "Cost(s)*", "Avg.Err(%)"
+    );
+    let mut rows = Vec::new();
+    for (label, method, soft, hard, nnhw) in methods {
+        let mut searches_sum = 0.0;
+        let mut cost_sum = 0.0;
+        let mut err_sum = 0.0;
+        let mut satisfied = 0usize;
+        for rep in 0..reps {
+            let mut opts = bench_options();
+            opts.method = method;
+            opts.lambda_soft = soft;
+            // Accuracy-leaning default λ_Cost: the paper's premise is
+            // that the designer's first guess does not satisfy the
+            // constraint, forcing baselines into repeated searches.
+            opts.lambda_cost = 0.001;
+            opts.seed = 1000 + rep as u64 * 77;
+            let outcome = constrained_meta_search(&ctx, &opts, constraint, max_searches);
+            searches_sum += outcome.searches as f64;
+            cost_sum += outcome.total_seconds;
+            err_sum += outcome.result.error * 100.0;
+            if outcome.satisfied {
+                satisfied += 1;
+            }
+        }
+        let n = reps as f64;
+        println!(
+            "{:<22} {:>5} {:>6} {:>10.1} {:>10.1} {:>10.2}   ({}entries in-constraint: {}/{reps})",
+            label,
+            hard,
+            nnhw,
+            searches_sum / n,
+            cost_sum / n,
+            err_sum / n,
+            "",
+            satisfied
+        );
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.2}", searches_sum / n),
+            format!("{:.2}", cost_sum / n),
+            format!("{:.3}", err_sum / n),
+            format!("{satisfied}"),
+        ]);
+    }
+    let path = write_csv("table1_comparison", "method,searches,cost_s,avg_err_pct,satisfied", &rows);
+    println!("\n*Cost is wall-clock search seconds on this machine (the paper reports GPU-hours;");
+    println!(" the comparison is about the ratio between methods, which is substrate-independent).");
+    println!("CSV: {}", path.display());
+    println!("Expected shape (paper): baselines need ~5-7 searches, HDX exactly 1, at equal or better error.");
+}

@@ -1,0 +1,87 @@
+//! Table 2 — quality of HDX solutions against DANCE "anchors".
+//!
+//! Two anchor solutions are found with plain DANCE; their metrics
+//! become hard constraints for HDX re-searches (latency-only,
+//! energy-only, area-only, and all three). Because a satisfying
+//! solution *exists* (the anchor itself), a good method must find one
+//! of at least similar quality (global loss).
+
+use hdx_bench::{bench_context, bench_options};
+use hdx_core::{run_search, write_csv, Constraint, Method, Metric, Task};
+
+fn main() {
+    let prepared = bench_context(Task::Cifar, 400);
+    let ctx = prepared.context();
+
+    let mut rows = Vec::new();
+    println!("\nTable 2 — anchored constraint satisfaction");
+    println!(
+        "{:<8} {:<12} {:>9} {:>8} {:>10} {:>8} {:>8} {:>7}",
+        "Anchor", "Constrained", "Lat(ms)", "E(mJ)", "Area(mm2)", "Err(%)", "CostHW", "Loss"
+    );
+
+    for (anchor_idx, (anchor_seed, lambda)) in [(3u64, 0.002f64), (4, 0.004)].iter().enumerate() {
+        let name = ["A", "B"][anchor_idx];
+        let mut anchor_opts = bench_options();
+        anchor_opts.method = Method::Dance;
+        anchor_opts.lambda_cost = *lambda;
+        anchor_opts.seed = *anchor_seed;
+        let anchor = run_search(&ctx, &anchor_opts);
+        let print_row = |label: &str, r: &hdx_core::SearchResult, rows: &mut Vec<Vec<String>>| {
+            println!(
+                "{:<8} {:<12} {:>9.2} {:>8.2} {:>10.2} {:>8.2} {:>8.2} {:>7.3}",
+                name,
+                label,
+                r.metrics.latency_ms,
+                r.metrics.energy_mj,
+                r.metrics.area_mm2,
+                r.error * 100.0,
+                r.cost_hw,
+                r.global_loss
+            );
+            rows.push(vec![
+                name.to_owned(),
+                label.to_owned(),
+                format!("{:.4}", r.metrics.latency_ms),
+                format!("{:.4}", r.metrics.energy_mj),
+                format!("{:.4}", r.metrics.area_mm2),
+                format!("{:.4}", r.error * 100.0),
+                format!("{:.4}", r.cost_hw),
+                format!("{:.4}", r.global_loss),
+            ]);
+        };
+        print_row("Anchor", &anchor, &mut rows);
+
+        let cases: Vec<(&str, Vec<Constraint>)> = vec![
+            ("Latency", vec![Constraint::new(Metric::Latency, anchor.metrics.latency_ms)]),
+            ("Energy", vec![Constraint::new(Metric::Energy, anchor.metrics.energy_mj)]),
+            ("Chip Area", vec![Constraint::new(Metric::Area, anchor.metrics.area_mm2)]),
+            (
+                "All",
+                vec![
+                    Constraint::new(Metric::Latency, anchor.metrics.latency_ms),
+                    Constraint::new(Metric::Energy, anchor.metrics.energy_mj),
+                    Constraint::new(Metric::Area, anchor.metrics.area_mm2),
+                ],
+            ),
+        ];
+        for (label, constraints) in cases {
+            let mut opts = bench_options();
+            opts.method = Method::Hdx { delta0: 1e-3, p: 1e-2 };
+            opts.lambda_cost = *lambda;
+            opts.constraints = constraints.clone();
+            opts.seed = anchor_seed * 31 + 7;
+            let r = run_search(&ctx, &opts);
+            let ok = constraints.iter().all(|c| c.is_satisfied(&r.metrics));
+            print_row(&format!("{label}{}", if ok { "" } else { " (!)" }), &r, &mut rows);
+        }
+    }
+    let path = write_csv(
+        "table2_anchors",
+        "anchor,constrained,latency_ms,energy_mj,area_mm2,error_pct,cost_hw,loss",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+    println!("Expected shape (paper): all 8 constrained rows satisfy their anchors' bounds");
+    println!("with global loss similar to the anchor's.");
+}

@@ -1,0 +1,93 @@
+//! Hard constraints on hardware metrics.
+
+use hdx_accel::{HwMetrics, Metric};
+use serde::{Deserialize, Serialize};
+
+/// An upper-bound hard constraint `metric ≤ target` (Eq. 2's `t ≤ T`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The constrained metric.
+    pub metric: Metric,
+    /// The target upper bound `T`, in the metric's unit.
+    pub target: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not positive and finite.
+    pub fn new(metric: Metric, target: f64) -> Self {
+        assert!(
+            target > 0.0 && target.is_finite(),
+            "Constraint: target must be positive and finite, got {target}"
+        );
+        Self { metric, target }
+    }
+
+    /// Latency constraint for a frame rate: `1000/fps` ms (e.g. 60 fps →
+    /// 16.6 ms, the paper's headline use case).
+    pub fn fps(frames_per_second: f64) -> Self {
+        Self::new(Metric::Latency, 1000.0 / frames_per_second)
+    }
+
+    /// The violation `max(t − T, 0)` for an evaluated metric record.
+    pub fn violation(&self, metrics: &HwMetrics) -> f64 {
+        (metrics.get(self.metric) - self.target).max(0.0)
+    }
+
+    /// Whether the record satisfies the constraint.
+    pub fn is_satisfied(&self, metrics: &HwMetrics) -> bool {
+        metrics.get(self.metric) <= self.target
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} <= {:.2} {}", self.metric, self.target, self.metric.unit())
+    }
+}
+
+/// Whether all constraints are satisfied by a metric record.
+pub fn all_satisfied(constraints: &[Constraint], metrics: &HwMetrics) -> bool {
+    constraints.iter().all(|c| c.is_satisfied(metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fps_constraint_matches_paper_values() {
+        let c60 = Constraint::fps(60.0);
+        assert!((c60.target - 16.666).abs() < 1e-2);
+        let c30 = Constraint::fps(30.0);
+        assert!((c30.target - 33.333).abs() < 1e-2);
+        assert_eq!(c60.metric, Metric::Latency);
+    }
+
+    #[test]
+    fn violation_is_hinge() {
+        let c = Constraint::new(Metric::Latency, 20.0);
+        assert_eq!(c.violation(&HwMetrics::new(25.0, 0.0, 0.0)), 5.0);
+        assert_eq!(c.violation(&HwMetrics::new(15.0, 0.0, 0.0)), 0.0);
+        assert!(c.is_satisfied(&HwMetrics::new(20.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn all_satisfied_requires_every_constraint() {
+        let cs = vec![
+            Constraint::new(Metric::Latency, 20.0),
+            Constraint::new(Metric::Energy, 10.0),
+        ];
+        assert!(all_satisfied(&cs, &HwMetrics::new(15.0, 9.0, 99.0)));
+        assert!(!all_satisfied(&cs, &HwMetrics::new(15.0, 11.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_non_positive_target() {
+        let _ = Constraint::new(Metric::Latency, 0.0);
+    }
+}

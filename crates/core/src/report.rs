@@ -1,0 +1,65 @@
+//! Report helpers shared by the experiment binaries: CSV output under
+//! `target/experiments/` plus row formatting.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Ensures the workspace-level `target/experiments/` exists and
+/// returns its path (anchored at the workspace root so experiment
+/// binaries agree on one location regardless of their own cwd).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn ensure_experiment_dir() -> PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file named `<name>.csv` under `target/experiments/`.
+///
+/// `header` is written first; each row is joined with commas.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures).
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) -> PathBuf {
+    let path = ensure_experiment_dir().join(format!("{name}.csv"));
+    let mut file = std::fs::File::create(&path).expect("create csv");
+    writeln!(file, "{header}").expect("write header");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Formats a float with fixed precision for table rows.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let rows = vec![vec!["1".to_owned(), "2.5".to_owned()]];
+        let path = write_csv("unit_test_report", "a,b", &rows);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("a,b"));
+        assert!(text.contains("1,2.5"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(10.0, 1), "10.0");
+    }
+}

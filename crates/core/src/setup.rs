@@ -1,0 +1,138 @@
+//! One-stop preparation of a search environment (plan, task, estimator).
+//!
+//! Estimator pre-training is the expensive one-time step (the paper
+//! pre-trains once per search space and freezes it, §4.4); callers
+//! prepare a [`PreparedContext`] once and run many searches against it.
+
+use crate::engine::SearchContext;
+use hdx_accel::CostWeights;
+use hdx_nas::{Dataset, NetworkPlan, TaskSpec};
+use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
+use hdx_tensor::Rng;
+
+/// Which benchmark task to prepare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// CIFAR-10-like task on the 18-layer plan.
+    Cifar,
+    /// ImageNet-like task on the 21-layer plan.
+    ImageNet,
+}
+
+impl Task {
+    /// The network plan for this task (§4.4: 18 / 21 layers).
+    pub fn plan(self) -> NetworkPlan {
+        match self {
+            Task::Cifar => NetworkPlan::cifar18(),
+            Task::ImageNet => NetworkPlan::imagenet21(),
+        }
+    }
+
+    /// The dataset spec for this task.
+    pub fn spec(self, seed: u64) -> TaskSpec {
+        match self {
+            Task::Cifar => TaskSpec::cifar_like(seed),
+            Task::ImageNet => TaskSpec::imagenet_like(seed),
+        }
+    }
+}
+
+/// Owned search environment: plan + dataset + pre-trained estimator.
+#[derive(Debug)]
+pub struct PreparedContext {
+    plan: NetworkPlan,
+    dataset: Dataset,
+    estimator: Estimator,
+    weights: CostWeights,
+    /// Fraction of held-out pairs the estimator predicts within 10 %.
+    pub estimator_accuracy: f64,
+}
+
+impl PreparedContext {
+    /// Borrowed view for the engine.
+    pub fn context(&self) -> SearchContext<'_> {
+        SearchContext {
+            plan: &self.plan,
+            dataset: &self.dataset,
+            estimator: &self.estimator,
+            weights: self.weights,
+        }
+    }
+
+    /// The network plan.
+    pub fn plan(&self) -> &NetworkPlan {
+        &self.plan
+    }
+
+    /// The dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The pre-trained estimator.
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+}
+
+/// Number of estimator pre-training pairs (scaled stand-in for the
+/// paper's 10.8 M; override with the `HDX_EST_PAIRS` environment
+/// variable).
+fn est_pairs() -> usize {
+    std::env::var("HDX_EST_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(8_000)
+}
+
+/// Builds the full environment for a task: generates the synthetic
+/// dataset, samples estimator pre-training pairs against the analytical
+/// model, trains the estimator, and reports its held-out accuracy.
+pub fn prepare_context(task: Task, seed: u64) -> PreparedContext {
+    prepare_context_with(
+        task,
+        seed,
+        est_pairs(),
+        EstimatorConfig { epochs: 30, batch: 128, lr: 2e-3, ..Default::default() },
+    )
+}
+
+/// [`prepare_context`] with explicit estimator pre-training budget
+/// (pair count and estimator hyper-parameters).
+pub fn prepare_context_with(
+    task: Task,
+    seed: u64,
+    pairs: usize,
+    est_cfg: EstimatorConfig,
+) -> PreparedContext {
+    let plan = task.plan();
+    let dataset = Dataset::generate(&task.spec(seed));
+    let mut rng = Rng::new(seed ^ 0xE57A_u64.rotate_left(31));
+    let train_pairs = PairSet::sample(&plan, pairs, &mut rng);
+    let holdout = PairSet::sample(&plan, 500, &mut rng);
+    let mut estimator = Estimator::new(&plan, est_cfg, &mut rng);
+    estimator.train(&train_pairs, &mut rng);
+    let estimator_accuracy = estimator.within_tolerance(&holdout, 0.10);
+    PreparedContext {
+        plan,
+        dataset,
+        estimator,
+        weights: CostWeights::paper(),
+        estimator_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_plans_have_paper_layer_counts() {
+        assert_eq!(Task::Cifar.plan().num_layers(), 18);
+        assert_eq!(Task::ImageNet.plan().num_layers(), 21);
+    }
+
+    #[test]
+    fn task_specs_differ() {
+        let c = Task::Cifar.spec(0);
+        let i = Task::ImageNet.spec(0);
+        assert!(i.num_classes > c.num_classes);
+    }
+}

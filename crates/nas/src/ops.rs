@@ -1,0 +1,102 @@
+//! The MBConv candidate-operator set (§4.4): kernel ∈ {3, 5, 7} ×
+//! expand ratio ∈ {3, 6}.
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate MBConv operator: a (kernel, expand-ratio) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MbConvOp {
+    /// Depthwise kernel size (3, 5 or 7).
+    pub kernel: usize,
+    /// Channel expansion ratio (3 or 6).
+    pub expand: usize,
+}
+
+impl MbConvOp {
+    /// Creates an operator descriptor.
+    pub fn new(kernel: usize, expand: usize) -> Self {
+        Self { kernel, expand }
+    }
+
+    /// A relative *capacity* factor used to size the trainable proxy
+    /// block for this operator: grows with both kernel and expand so
+    /// that bigger ops can achieve lower task loss, mirroring the
+    /// accuracy/os-cost tension of real MBConv choices.
+    pub fn capacity(&self) -> f32 {
+        let e = self.expand as f32 / 3.0;
+        let k = self.kernel as f32 / 3.0;
+        e.powf(0.9) * k.powf(0.5)
+    }
+
+    /// Index of this op within [`OP_SET`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op is not a member of the canonical set.
+    pub fn index(&self) -> usize {
+        OP_SET
+            .iter()
+            .position(|o| o == self)
+            .unwrap_or_else(|| panic!("op {self} is not in the canonical set"))
+    }
+}
+
+impl std::fmt::Display for MbConvOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.kernel, self.expand)
+    }
+}
+
+/// The canonical candidate set, ordered small to large:
+/// `(k, e)` for k ∈ {3, 5, 7}, e ∈ {3, 6}.
+pub const OP_SET: [MbConvOp; 6] = [
+    MbConvOp { kernel: 3, expand: 3 },
+    MbConvOp { kernel: 3, expand: 6 },
+    MbConvOp { kernel: 5, expand: 3 },
+    MbConvOp { kernel: 5, expand: 6 },
+    MbConvOp { kernel: 7, expand: 3 },
+    MbConvOp { kernel: 7, expand: 6 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_set_has_all_kernel_expand_pairs() {
+        for k in [3, 5, 7] {
+            for e in [3, 6] {
+                assert!(OP_SET.contains(&MbConvOp::new(k, e)));
+            }
+        }
+        assert_eq!(OP_SET.len(), 6);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, op) in OP_SET.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn capacity_grows_with_kernel_and_expand() {
+        assert!(MbConvOp::new(3, 6).capacity() > MbConvOp::new(3, 3).capacity());
+        assert!(MbConvOp::new(7, 3).capacity() > MbConvOp::new(3, 3).capacity());
+        assert!(MbConvOp::new(7, 6).capacity() > MbConvOp::new(3, 6).capacity());
+        // The largest op has the highest capacity overall.
+        let max = OP_SET.iter().map(|o| o.capacity()).fold(0.0f32, f32::max);
+        assert_eq!(max, MbConvOp::new(7, 6).capacity());
+    }
+
+    #[test]
+    fn smallest_op_capacity_is_one() {
+        assert!((MbConvOp::new(3, 3).capacity() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the canonical set")]
+    fn foreign_op_index_panics() {
+        let _ = MbConvOp::new(9, 2).index();
+    }
+}

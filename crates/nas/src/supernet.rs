@@ -1,0 +1,617 @@
+//! The differentiable supernet (ProxylessNAS-style) and final-network
+//! training.
+//!
+//! Every searchable layer holds six candidate blocks (one per
+//! [`crate::ops::OP_SET`] entry) and a vector of architecture logits
+//! `α_l ∈ R⁶`. A forward pass mixes the outputs of a *sampled subset*
+//! of candidate paths, weighted by the re-normalized softmax of their
+//! logits — the path-sampling trick ProxylessNAS uses to keep memory
+//! and compute proportional to a single network rather than the whole
+//! supernet. Both the block weights `w` and the logits `α` receive
+//! gradients through the mixture.
+//!
+//! The candidate block for op `(k, e)` is a two-layer MLP whose hidden
+//! width scales with [`crate::ops::MbConvOp::capacity`]. Blocks form an
+//! **additive ensemble**: every layer reads the shared projected
+//! features and adds its contribution to an accumulator, so the whole
+//! model is a one-hidden-layer network whose effective width is the sum
+//! of the chosen blocks' widths. Against the fixed-width random teacher
+//! that labels the task (see [`crate::data`]) this makes capacity the
+//! *binding* constraint: choosing small ops everywhere underfits the
+//! teacher, choosing large ones approaches the label-noise floor —
+//! exactly the accuracy/hardware tension the paper searches over.
+
+use crate::arch::Architecture;
+use crate::data::Batch;
+use crate::ops::OP_SET;
+use hdx_tensor::{Binding, CosineLr, Linear, ParamStore, Rng, Sgd, Tape, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the supernet proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupernetConfig {
+    /// Internal feature width of the backbone.
+    pub feature_dim: usize,
+    /// Hidden width of the smallest candidate block; other ops scale by
+    /// their capacity factor.
+    pub base_hidden: usize,
+    /// Number of candidate paths sampled per layer per step (≥ 1; 6
+    /// disables sampling entirely).
+    pub num_paths: usize,
+    /// Softmax temperature on the architecture logits.
+    pub temperature: f32,
+}
+
+impl Default for SupernetConfig {
+    fn default() -> Self {
+        Self { feature_dim: 20, base_hidden: 3, num_paths: 2, temperature: 1.0 }
+    }
+}
+
+/// One candidate block: `D → h → D` MLP (the proxy for an MBConv op).
+#[derive(Debug, Clone)]
+struct CandidateBlock {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl CandidateBlock {
+    fn new(params: &mut ParamStore, dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        let l1 = Linear::new(params, dim, hidden, rng);
+        let l2 = Linear::new(params, hidden, dim, rng);
+        // Down-scale the residual branch output at init so deep stacks
+        // start near the identity (stabilizes 18–21-layer training).
+        let (w2, _) = l2.param_ids();
+        let scaled = params.get(w2).scale(0.5);
+        params.set(w2, scaled);
+        Self { l1, l2 }
+    }
+
+    fn forward(&self, tape: &mut Tape, w: &Binding, x: Var) -> Var {
+        let h = self.l1.forward(tape, w, x);
+        let h = tape.relu(h);
+        self.l2.forward(tape, w, h)
+    }
+}
+
+/// The searchable supernet: backbone weights `w` plus architecture
+/// logits `α` (one `[1, 6]` tensor per layer).
+///
+/// # Example
+///
+/// ```
+/// use hdx_nas::{Supernet, SupernetConfig, TaskSpec, Dataset};
+/// use hdx_tensor::{Rng, Tape};
+///
+/// let mut rng = Rng::new(0);
+/// let spec = TaskSpec::cifar_like(0);
+/// let net = Supernet::new(18, spec.feature_dim, spec.num_classes, SupernetConfig::default(), &mut rng);
+/// let ds = Dataset::generate(&spec);
+/// let mut tape = Tape::new();
+/// let (w, a) = net.bind(&mut tape);
+/// let batch = ds.val_batch(8, &mut rng);
+/// let loss = net.task_loss(&mut tape, &w, &a, &batch, &mut rng);
+/// assert!(tape.value(loss).item().is_finite());
+/// ```
+#[derive(Debug)]
+pub struct Supernet {
+    cfg: SupernetConfig,
+    num_layers: usize,
+    num_classes: usize,
+    w: ParamStore,
+    alpha: ParamStore,
+    input: Linear,
+    classifier: Linear,
+    blocks: Vec<Vec<CandidateBlock>>,
+}
+
+impl Supernet {
+    /// Builds a supernet with `num_layers` searchable layers over
+    /// `in_dim`-dimensional inputs and `num_classes` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_paths` is zero or exceeds the op count.
+    pub fn new(
+        num_layers: usize,
+        in_dim: usize,
+        num_classes: usize,
+        cfg: SupernetConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(
+            (1..=OP_SET.len()).contains(&cfg.num_paths),
+            "num_paths must be in 1..=6, got {}",
+            cfg.num_paths
+        );
+        let mut w = ParamStore::new();
+        let input = Linear::new(&mut w, in_dim, cfg.feature_dim, rng);
+        let blocks = (0..num_layers)
+            .map(|_| {
+                OP_SET
+                    .iter()
+                    .map(|op| {
+                        let hidden = ((cfg.base_hidden as f32) * op.capacity()).round() as usize;
+                        CandidateBlock::new(&mut w, cfg.feature_dim, hidden.max(4), rng)
+                    })
+                    .collect()
+            })
+            .collect();
+        let classifier = Linear::new(&mut w, cfg.feature_dim, num_classes, rng);
+
+        let mut alpha = ParamStore::new();
+        for _ in 0..num_layers {
+            // Small random symmetric init keeps early search unbiased.
+            alpha.alloc(Tensor::randn(&[1, OP_SET.len()], 1e-3, rng));
+        }
+
+        Self { cfg, num_layers, num_classes, w, alpha, input, classifier, blocks }
+    }
+
+    /// Number of searchable layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Number of task classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SupernetConfig {
+        &self.cfg
+    }
+
+    /// Backbone weight store (read-only).
+    pub fn w_store(&self) -> &ParamStore {
+        &self.w
+    }
+
+    /// Backbone weight store (for the `w` optimizer).
+    pub fn w_store_mut(&mut self) -> &mut ParamStore {
+        &mut self.w
+    }
+
+    /// Architecture logit store (read-only).
+    pub fn alpha_store(&self) -> &ParamStore {
+        &self.alpha
+    }
+
+    /// Architecture logit store (for the `α` optimizer).
+    pub fn alpha_store_mut(&mut self) -> &mut ParamStore {
+        &mut self.alpha
+    }
+
+    /// Binds `(w, α)` onto a tape for one step.
+    pub fn bind(&self, tape: &mut Tape) -> (Binding, Binding) {
+        (self.w.bind(tape), self.alpha.bind(tape))
+    }
+
+    /// The flattened `[1, 6·L]` differentiable architecture encoding:
+    /// per-layer softmax(α/temperature), concatenated layer-major.
+    ///
+    /// This is the encoding consumed by the generator and estimator
+    /// surrogates, so hardware gradients flow back into α through it.
+    pub fn arch_encoding(&self, tape: &mut Tape, alpha: &Binding) -> Var {
+        let mut parts = Vec::with_capacity(self.num_layers);
+        for l in 0..self.num_layers {
+            let logits = alpha.var(self.alpha.id(l));
+            let scaled = tape.scale(logits, 1.0 / self.cfg.temperature);
+            parts.push(tape.softmax_rows(scaled));
+        }
+        tape.concat_cols(&parts)
+    }
+
+    /// Current (non-differentiable) architecture distribution, flattened
+    /// `6·L` softmax probabilities.
+    pub fn arch_probs(&self) -> Vec<f32> {
+        let mut probs = Vec::with_capacity(self.num_layers * OP_SET.len());
+        for l in 0..self.num_layers {
+            let logits = self.alpha.get(self.alpha.id(l)).scale(1.0 / self.cfg.temperature);
+            probs.extend_from_slice(logits.softmax_rows().data());
+        }
+        probs
+    }
+
+    /// The current dominant discrete architecture (arg-max per layer).
+    pub fn architecture(&self) -> Architecture {
+        Architecture::from_distribution(&self.arch_probs())
+    }
+
+    /// Builds the mixed-path task loss (cross-entropy) for a batch.
+    ///
+    /// Paths are sampled per layer according to the current softmax(α);
+    /// the sampled paths' weights are re-normalized so the mixture stays
+    /// differentiable in α.
+    pub fn task_loss(
+        &self,
+        tape: &mut Tape,
+        w: &Binding,
+        alpha: &Binding,
+        batch: &Batch,
+        rng: &mut Rng,
+    ) -> Var {
+        let logits = self.forward_logits(tape, w, alpha, batch, rng);
+        tape.cross_entropy_logits(logits, &batch.y)
+    }
+
+    /// Forward pass producing classifier logits for a batch.
+    pub fn forward_logits(
+        &self,
+        tape: &mut Tape,
+        w: &Binding,
+        alpha: &Binding,
+        batch: &Batch,
+        rng: &mut Rng,
+    ) -> Var {
+        let x0 = tape.leaf(batch.x.clone());
+        let features = self.input.forward(tape, w, x0);
+        let features = tape.relu(features);
+        let mut acc = features;
+        for l in 0..self.num_layers {
+            let logits = alpha.var(self.alpha.id(l));
+            let scaled = tape.scale(logits, 1.0 / self.cfg.temperature);
+            let probs_var = tape.softmax_rows(scaled);
+            let probs = tape.value(probs_var).data().to_vec();
+            let chosen = sample_paths(&probs, self.cfg.num_paths, rng);
+
+            // Renormalized mixture over the sampled paths.
+            let slices: Vec<Var> =
+                chosen.iter().map(|&o| tape.slice_cols(probs_var, o, o + 1)).collect();
+            let denom = match slices.len() {
+                1 => None,
+                _ => {
+                    let mut acc_s = slices[0];
+                    for &s in &slices[1..] {
+                        acc_s = tape.add(acc_s, s);
+                    }
+                    Some(acc_s)
+                }
+            };
+            let mut mixed: Option<Var> = None;
+            for (slice, &op) in slices.iter().zip(&chosen) {
+                let weight = match denom {
+                    Some(d) => tape.div(*slice, d),
+                    None => {
+                        // Single path: weight ≡ 1 but keep the α path alive
+                        // by dividing the slice by its own constant value.
+                        let c = tape.value(*slice).item().max(1e-6);
+                        tape.scale(*slice, 1.0 / c)
+                    }
+                };
+                // All blocks read the shared features (additive ensemble).
+                let out = self.blocks[l][op].forward(tape, w, features);
+                let contrib = tape.mul_scalar_var(out, weight);
+                mixed = Some(match mixed {
+                    Some(m) => tape.add(m, contrib),
+                    None => contrib,
+                });
+            }
+            let mixed = mixed.expect("at least one path sampled");
+            acc = tape.add(acc, mixed);
+        }
+        self.classifier.forward(tape, w, acc)
+    }
+
+    /// Classification error rate (fraction wrong) on a batch, using the
+    /// full (non-sampled) mixture weighted by softmax(α).
+    pub fn error_rate(&self, batch: &Batch, rng: &mut Rng) -> f64 {
+        let mut tape = Tape::new();
+        let (w, a) = self.bind(&mut tape);
+        // Use all paths for deterministic evaluation.
+        let full = Supernet { cfg: SupernetConfig { num_paths: OP_SET.len(), ..self.cfg }, ..clone_parts(self) };
+        let logits = full.forward_logits(&mut tape, &w, &a, batch, rng);
+        error_from_logits(tape.value(logits), &batch.y)
+    }
+}
+
+/// Shallow structural clone for read-only forward passes (weights are
+/// cloned tensors; cheap relative to a training step).
+fn clone_parts(net: &Supernet) -> Supernet {
+    Supernet {
+        cfg: net.cfg,
+        num_layers: net.num_layers,
+        num_classes: net.num_classes,
+        w: net.w.clone(),
+        alpha: net.alpha.clone(),
+        input: net.input.clone(),
+        classifier: net.classifier.clone(),
+        blocks: net.blocks.clone(),
+    }
+}
+
+/// Fraction of rows whose arg-max logit disagrees with the label.
+pub fn error_from_logits(logits: &Tensor, labels: &[usize]) -> f64 {
+    let wrong = labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, &y)| logits.argmax_row(i) != y)
+        .count();
+    wrong as f64 / labels.len().max(1) as f64
+}
+
+/// Samples `n` distinct path indices according to `probs` (first chosen
+/// by weight, remainder by renormalized weight over the rest).
+fn sample_paths(probs: &[f32], n: usize, rng: &mut Rng) -> Vec<usize> {
+    let k = probs.len();
+    let n = n.min(k);
+    if n == k {
+        return (0..k).collect();
+    }
+    let mut remaining: Vec<usize> = (0..k).collect();
+    let mut weights: Vec<f32> = probs.to_vec();
+    let mut chosen = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = rng.weighted_index(&weights);
+        chosen.push(remaining[idx]);
+        remaining.remove(idx);
+        weights.remove(idx);
+        if weights.iter().all(|&w| w <= 0.0) {
+            for w in &mut weights {
+                *w = 1.0;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// A discretized final network: the chosen block per layer, trained
+/// from scratch (paper §5.1: final architectures are retrained before
+/// error is reported).
+#[derive(Debug)]
+pub struct FinalNet {
+    num_classes: usize,
+    w: ParamStore,
+    input: Linear,
+    classifier: Linear,
+    blocks: Vec<CandidateBlock>,
+}
+
+impl FinalNet {
+    /// Builds a fresh (randomly initialized) network realizing `arch`.
+    pub fn new(
+        arch: &Architecture,
+        in_dim: usize,
+        num_classes: usize,
+        cfg: &SupernetConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        let mut w = ParamStore::new();
+        let input = Linear::new(&mut w, in_dim, cfg.feature_dim, rng);
+        let blocks = arch
+            .choices()
+            .iter()
+            .map(|&c| {
+                let hidden = ((cfg.base_hidden as f32) * OP_SET[c].capacity()).round() as usize;
+                CandidateBlock::new(&mut w, cfg.feature_dim, hidden.max(4), rng)
+            })
+            .collect();
+        let classifier = Linear::new(&mut w, cfg.feature_dim, num_classes, rng);
+        Self { num_classes, w, input, classifier, blocks }
+    }
+
+    /// Number of task classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Binds the network weights onto a tape.
+    pub fn bind(&self, tape: &mut Tape) -> Binding {
+        self.w.bind(tape)
+    }
+
+    /// Forward pass producing logits for a batch.
+    pub fn forward_logits(&self, tape: &mut Tape, w: &Binding, batch: &Batch) -> Var {
+        let x0 = tape.leaf(batch.x.clone());
+        let features = self.input.forward(tape, w, x0);
+        let features = tape.relu(features);
+        let mut acc = features;
+        for block in &self.blocks {
+            let out = block.forward(tape, w, features);
+            acc = tape.add(acc, out);
+        }
+        self.classifier.forward(tape, w, acc)
+    }
+
+    /// Trains from scratch with SGD + Nesterov momentum and a cosine
+    /// schedule (§5.1), returning the final training loss.
+    pub fn train(
+        &mut self,
+        dataset: &crate::data::Dataset,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut Rng,
+    ) -> f32 {
+        // Paper settings scaled to the proxy: momentum 0.9 (Nesterov),
+        // weight decay 1e-3, cosine LR. The base LR is raised from the
+        // paper's 0.008 because the proxy network is far smaller.
+        let mut opt = Sgd::new(0.9, true, 1e-3);
+        let sched = CosineLr::new(0.02, steps.max(1));
+        let mut last = f32::NAN;
+        for step in 0..steps {
+            let batch = dataset.train_batch(batch_size, rng);
+            let mut tape = Tape::new();
+            let w = self.w.bind(&mut tape);
+            let logits = self.forward_logits(&mut tape, &w, &batch);
+            let loss = tape.cross_entropy_logits(logits, &batch.y);
+            last = tape.value(loss).item();
+            let grads = tape.backward(loss);
+            let mut collected = w.gradients(&grads);
+            Binding::clip_grad_norm(&mut collected, 5.0);
+            opt.step(&mut self.w, &collected, sched.lr(step));
+        }
+        last
+    }
+
+    /// Classification error rate on a batch.
+    pub fn error_rate(&self, batch: &Batch) -> f64 {
+        let mut tape = Tape::new();
+        let w = self.w.bind(&mut tape);
+        let logits = self.forward_logits(&mut tape, &w, batch);
+        error_from_logits(tape.value(logits), &batch.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, TaskSpec};
+
+    fn tiny_setup() -> (Supernet, Dataset, Rng) {
+        let mut rng = Rng::new(11);
+        let spec = TaskSpec { train: 256, val: 128, test: 256, ..TaskSpec::cifar_like(1) };
+        let ds = Dataset::generate(&spec);
+        let net = Supernet::new(4, spec.feature_dim, spec.num_classes, SupernetConfig::default(), &mut rng);
+        (net, ds, rng)
+    }
+
+    #[test]
+    fn alpha_receives_gradients_through_task_loss() {
+        let (net, ds, mut rng) = tiny_setup();
+        let mut tape = Tape::new();
+        let (w, a) = net.bind(&mut tape);
+        let batch = ds.train_batch(16, &mut rng);
+        let loss = net.task_loss(&mut tape, &w, &a, &batch, &mut rng);
+        let grads = tape.backward(loss);
+        let a_grads = a.gradients(&grads);
+        let nonzero = a_grads
+            .iter()
+            .flatten()
+            .map(Tensor::norm)
+            .filter(|n| *n > 0.0)
+            .count();
+        assert!(nonzero > 0, "α should receive gradients through the sampled mixture");
+    }
+
+    #[test]
+    fn arch_encoding_is_row_of_simplexes() {
+        let (net, _, _) = tiny_setup();
+        let mut tape = Tape::new();
+        let (_, a) = net.bind(&mut tape);
+        let enc = net.arch_encoding(&mut tape, &a);
+        let v = tape.value(enc);
+        assert_eq!(v.shape(), &[1, 4 * 6]);
+        for l in 0..4 {
+            let s: f32 = (0..6).map(|o| v.at(0, l * 6 + o)).sum();
+            assert!((s - 1.0).abs() < 1e-5, "layer {l} simplex sums to {s}");
+        }
+    }
+
+    #[test]
+    fn arch_probs_match_encoding() {
+        let (net, _, _) = tiny_setup();
+        let mut tape = Tape::new();
+        let (_, a) = net.bind(&mut tape);
+        let enc = net.arch_encoding(&mut tape, &a);
+        let probs = net.arch_probs();
+        for (i, &p) in probs.iter().enumerate() {
+            assert!((p - tape.value(enc).data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn supernet_training_reduces_loss() {
+        let (mut net, ds, mut rng) = tiny_setup();
+        let mut opt = hdx_tensor::Adam::new(3e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let batch = ds.train_batch(32, &mut rng);
+            let mut tape = Tape::new();
+            let (w, a) = net.bind(&mut tape);
+            let loss = net.task_loss(&mut tape, &w, &a, &batch, &mut rng);
+            last = tape.value(loss).item();
+            first.get_or_insert(last);
+            let grads = tape.backward(loss);
+            let collected = w.gradients(&grads);
+            opt.step(net.w_store_mut(), &collected);
+        }
+        let first = first.expect("at least one step");
+        assert!(
+            last < first * 0.8,
+            "training should reduce loss: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn architecture_follows_alpha() {
+        let (mut net, _, _) = tiny_setup();
+        // Push layer 0 strongly toward op 5.
+        let id = net.alpha.id(0);
+        net.alpha_store_mut().set(id, Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 0.0, 5.0], &[1, 6]));
+        let arch = net.architecture();
+        assert_eq!(arch.choices()[0], 5);
+    }
+
+    #[test]
+    fn sample_paths_distinct_and_sorted() {
+        let mut rng = Rng::new(3);
+        for _ in 0..200 {
+            let probs = vec![0.1, 0.2, 0.05, 0.3, 0.25, 0.1];
+            let paths = sample_paths(&probs, 2, &mut rng);
+            assert_eq!(paths.len(), 2);
+            assert!(paths[0] < paths[1]);
+        }
+    }
+
+    #[test]
+    fn sample_paths_all_when_n_equals_k() {
+        let mut rng = Rng::new(3);
+        let paths = sample_paths(&[0.5, 0.5], 2, &mut rng);
+        assert_eq!(paths, vec![0, 1]);
+    }
+
+    #[test]
+    fn final_net_learns_task() {
+        let mut rng = Rng::new(5);
+        let spec = TaskSpec { train: 512, val: 128, test: 512, ..TaskSpec::cifar_like(2) };
+        let ds = Dataset::generate(&spec);
+        let arch = Architecture::uniform(4, 5);
+        let mut net = FinalNet::new(&arch, spec.feature_dim, spec.num_classes, &SupernetConfig::default(), &mut rng);
+        let before = net.error_rate(&ds.test_all());
+        net.train(&ds, 300, 32, &mut rng);
+        let after = net.error_rate(&ds.test_all());
+        assert!(
+            after < before * 0.6,
+            "final training should cut error: before {before:.3}, after {after:.3}"
+        );
+        assert!(after < 0.25, "trained error {after:.3} too high");
+    }
+
+    #[test]
+    fn bigger_arch_fits_at_least_as_well() {
+        // Capacity monotonicity: with the full 18-layer plan, the
+        // largest ops must reach a test error no worse than the smallest
+        // ops (up to noise) on the calibrated task.
+        let mut rng = Rng::new(9);
+        let spec = TaskSpec::cifar_like(3);
+        let ds = Dataset::generate(&spec);
+        let mut small = FinalNet::new(
+            &Architecture::uniform(18, 0),
+            spec.feature_dim,
+            spec.num_classes,
+            &SupernetConfig::default(),
+            &mut Rng::new(42),
+        );
+        let mut large = FinalNet::new(
+            &Architecture::uniform(18, 5),
+            spec.feature_dim,
+            spec.num_classes,
+            &SupernetConfig::default(),
+            &mut Rng::new(42),
+        );
+        small.train(&ds, 2500, 32, &mut rng);
+        large.train(&ds, 2500, 32, &mut rng);
+        let es = small.error_rate(&ds.test_all());
+        let el = large.error_rate(&ds.test_all());
+        assert!(
+            el <= es + 0.01,
+            "large ops should generalize at least as well: small {es:.4}, large {el:.4}"
+        );
+        // Both must land in the calibrated CIFAR-like band.
+        assert!(es < 0.12, "small-arch error {es:.3} out of band");
+        assert!(el < 0.10, "large-arch error {el:.3} out of band");
+    }
+}

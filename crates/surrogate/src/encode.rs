@@ -1,0 +1,122 @@
+//! Joint (architecture, hardware) feature encoding and target
+//! normalization statistics.
+
+use hdx_nas::ops::OP_SET;
+use serde::{Deserialize, Serialize};
+
+/// Dimensionality of the joint estimator input for a plan with
+/// `num_layers` searchable layers: `6·L` architecture probabilities +
+/// 6 hardware features ([`hdx_accel::AccelConfig::encode`]).
+pub fn joint_dim(num_layers: usize) -> usize {
+    num_layers * OP_SET.len() + 6
+}
+
+/// Per-metric normalization of the log-scale targets.
+///
+/// The estimator regresses `(ln t − mean) / std` per metric; predictions
+/// are mapped back with [`TargetStats::denormalize_log`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetStats {
+    /// Mean of `ln(metric)` per metric (latency, energy, area).
+    pub mean: [f32; 3],
+    /// Standard deviation of `ln(metric)` per metric.
+    pub std: [f32; 3],
+}
+
+impl TargetStats {
+    /// Computes stats from raw (non-log) metric triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or contains non-positive values.
+    pub fn from_targets(targets: &[[f64; 3]]) -> Self {
+        assert!(!targets.is_empty(), "from_targets: no samples");
+        let n = targets.len() as f32;
+        let mut mean = [0.0f32; 3];
+        for t in targets {
+            for m in 0..3 {
+                assert!(t[m] > 0.0, "from_targets: metric {m} must be positive, got {}", t[m]);
+                mean[m] += (t[m] as f32).ln();
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = [0.0f32; 3];
+        for t in targets {
+            for m in 0..3 {
+                let d = (t[m] as f32).ln() - mean[m];
+                var[m] += d * d;
+            }
+        }
+        let std = [
+            (var[0] / n).sqrt().max(1e-4),
+            (var[1] / n).sqrt().max(1e-4),
+            (var[2] / n).sqrt().max(1e-4),
+        ];
+        Self { mean, std }
+    }
+
+    /// Normalizes a raw metric triple to z-scored log space.
+    pub fn normalize(&self, raw: &[f64; 3]) -> [f32; 3] {
+        let mut out = [0.0f32; 3];
+        for m in 0..3 {
+            out[m] = ((raw[m] as f32).ln() - self.mean[m]) / self.std[m];
+        }
+        out
+    }
+
+    /// Maps one normalized log prediction back to physical units.
+    pub fn denormalize_log(&self, metric_index: usize, z: f32) -> f64 {
+        ((z * self.std[metric_index] + self.mean[metric_index]) as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_dim_counts() {
+        assert_eq!(joint_dim(18), 18 * 6 + 6);
+        assert_eq!(joint_dim(21), 21 * 6 + 6);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let targets = vec![[10.0, 20.0, 2.0], [30.0, 10.0, 2.5], [20.0, 15.0, 1.8]];
+        let stats = TargetStats::from_targets(&targets);
+        for t in &targets {
+            let z = stats.normalize(t);
+            for m in 0..3 {
+                let back = stats.denormalize_log(m, z[m]);
+                assert!(
+                    (back - t[m]).abs() / t[m] < 1e-4,
+                    "round-trip failed: {} vs {}",
+                    back,
+                    t[m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_zero_mean_unit_std() {
+        let targets: Vec<[f64; 3]> =
+            (1..=100).map(|i| [i as f64, (i * 2) as f64, (i * 3) as f64]).collect();
+        let stats = TargetStats::from_targets(&targets);
+        let zs: Vec<[f32; 3]> = targets.iter().map(|t| stats.normalize(t)).collect();
+        for m in 0..3 {
+            let mean: f32 = zs.iter().map(|z| z[m]).sum::<f32>() / zs.len() as f32;
+            let var: f32 = zs.iter().map(|z| (z[m] - mean).powi(2)).sum::<f32>() / zs.len() as f32;
+            assert!(mean.abs() < 1e-3, "metric {m} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "metric {m} var {var}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn rejects_empty() {
+        let _ = TargetStats::from_targets(&[]);
+    }
+}

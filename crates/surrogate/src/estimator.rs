@@ -1,0 +1,231 @@
+//! The estimator network `est()` — a five-layer residual MLP mapping
+//! the joint (architecture, hardware) encoding to hardware metrics.
+
+use crate::dataset::PairSet;
+use crate::encode::{joint_dim, TargetStats};
+use hdx_nas::NetworkPlan;
+use hdx_tensor::{Adam, Binding, ParamStore, ResidualMlp, Rng, Tape, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// Estimator hyper-parameters.
+///
+/// The paper pre-trains for 200 epochs with batch 256 and Adam 1e-4 on
+/// 10.8 M pairs; the defaults here are scaled to the CPU budget (the
+/// training-set size is chosen by the caller via [`PairSet::sample`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Hidden width of the residual MLP.
+    pub hidden: usize,
+    /// Total layer count (the paper uses 5).
+    pub depth: usize,
+    /// Pre-training epochs.
+    pub epochs: usize,
+    /// Pre-training batch size (paper: 256).
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self { hidden: 64, depth: 5, epochs: 25, batch: 256, lr: 1e-3 }
+    }
+}
+
+/// The pre-trained, frozen hardware-metric estimator.
+#[derive(Debug)]
+pub struct Estimator {
+    cfg: EstimatorConfig,
+    input_dim: usize,
+    params: ParamStore,
+    mlp: ResidualMlp,
+    stats: TargetStats,
+}
+
+impl Estimator {
+    /// Allocates an (untrained) estimator for a network plan.
+    pub fn new(plan: &NetworkPlan, cfg: EstimatorConfig, rng: &mut Rng) -> Self {
+        let input_dim = joint_dim(plan.num_layers());
+        let mut params = ParamStore::new();
+        let mlp = ResidualMlp::new(&mut params, input_dim, cfg.hidden, 3, cfg.depth, rng);
+        Self {
+            cfg,
+            input_dim,
+            params,
+            mlp,
+            stats: TargetStats { mean: [0.0; 3], std: [1.0; 3] },
+        }
+    }
+
+    /// Input feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The target normalization statistics (set by [`Estimator::train`]).
+    pub fn stats(&self) -> &TargetStats {
+        &self.stats
+    }
+
+    /// Pre-trains on a pair set (Adam, MSE in z-scored log space) and
+    /// returns the final epoch's mean training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or its dimension mismatches.
+    pub fn train(&mut self, pairs: &PairSet, rng: &mut Rng) -> f32 {
+        assert!(!pairs.is_empty(), "train: empty pair set");
+        assert_eq!(pairs.dim(), self.input_dim, "train: pair dimension mismatch");
+        self.stats = *pairs.stats();
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let mut last_epoch_loss = f32::NAN;
+        for _ in 0..self.cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(self.cfg.batch) {
+                let (x, t) = pairs.batch(chunk);
+                let mut tape = Tape::new();
+                let binding = self.params.bind(&mut tape);
+                let xv = tape.leaf(x);
+                let tv = tape.leaf(t);
+                let pred = self.mlp.forward(&mut tape, &binding, xv);
+                let loss = tape.mse(pred, tv);
+                epoch_loss += tape.value(loss).item();
+                batches += 1;
+                let grads = tape.backward(loss);
+                let collected = binding.gradients(&grads);
+                opt.step(&mut self.params, &collected);
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Binds the (frozen) estimator weights onto a tape.
+    pub fn bind(&self, tape: &mut Tape) -> Binding {
+        self.params.bind(tape)
+    }
+
+    /// Builds the normalized-log prediction `[rows, 3]` on the tape.
+    pub fn predict_norm(&self, tape: &mut Tape, binding: &Binding, input: Var) -> Var {
+        self.mlp.forward(tape, binding, input)
+    }
+
+    /// Builds physical-unit metric predictions `(latency_ms, energy_mj,
+    /// area_mm2)` as scalar vars for a single `[1, dim]` input.
+    pub fn predict_metrics(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        input: Var,
+    ) -> (Var, Var, Var) {
+        let norm = self.predict_norm(tape, binding, input);
+        let mut out = Vec::with_capacity(3);
+        for m in 0..3 {
+            let z = tape.slice_cols(norm, m, m + 1);
+            let logv = tape.scale(z, self.stats.std[m]);
+            let shifted = tape.add_scalar(logv, self.stats.mean[m]);
+            out.push(tape.exp(shifted));
+        }
+        (out[0], out[1], out[2])
+    }
+
+    /// Convenience: physical-unit predictions for a raw input row,
+    /// without touching an external tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn predict_raw(&self, input: &[f32]) -> [f64; 3] {
+        assert_eq!(input.len(), self.input_dim, "predict_raw: input dimension mismatch");
+        let mut tape = Tape::new();
+        let binding = self.bind(&mut tape);
+        let xv = tape.leaf(Tensor::from_vec(input.to_vec(), &[1, self.input_dim]));
+        let norm = self.predict_norm(&mut tape, &binding, xv);
+        let z = tape.value(norm);
+        [
+            self.stats.denormalize_log(0, z.at(0, 0)),
+            self.stats.denormalize_log(1, z.at(0, 1)),
+            self.stats.denormalize_log(2, z.at(0, 2)),
+        ]
+    }
+
+    /// Fraction of pairs whose predictions are within `tol` relative
+    /// error on **all three** metrics (the paper reports estimator
+    /// "accuracy" > 99 %).
+    pub fn within_tolerance(&self, pairs: &PairSet, tol: f64) -> f64 {
+        let mut ok = 0usize;
+        for i in 0..pairs.len() {
+            let pred = self.predict_raw(pairs.input_row(i));
+            let truth = pairs.target_raw(i);
+            let all_close = (0..3).all(|m| (pred[m] - truth[m]).abs() / truth[m] <= tol);
+            if all_close {
+                ok += 1;
+            }
+        }
+        ok as f64 / pairs.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_nas::NetworkPlan;
+
+    #[test]
+    fn untrained_estimator_has_identity_stats() {
+        let mut rng = Rng::new(0);
+        let est = Estimator::new(&NetworkPlan::cifar18(), EstimatorConfig::default(), &mut rng);
+        assert_eq!(est.stats().mean, [0.0; 3]);
+        assert_eq!(est.input_dim(), 114);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_predicts_reasonably() {
+        let plan = NetworkPlan::cifar18();
+        let mut rng = Rng::new(1);
+        let pairs = PairSet::sample(&plan, 1200, &mut rng);
+        let cfg = EstimatorConfig { epochs: 40, batch: 64, lr: 3e-3, ..Default::default() };
+        let mut est = Estimator::new(&plan, cfg, &mut rng);
+        let acc_before = est.within_tolerance(&pairs, 0.10);
+        let final_loss = est.train(&pairs, &mut rng);
+        let acc_after = est.within_tolerance(&pairs, 0.10);
+        assert!(final_loss < 0.15, "final training loss {final_loss}");
+        assert!(
+            acc_after > acc_before && acc_after > 0.5,
+            "within-10% accuracy {acc_after:.3} (was {acc_before:.3})"
+        );
+    }
+
+    #[test]
+    fn predict_metrics_matches_predict_raw() {
+        let plan = NetworkPlan::cifar18();
+        let mut rng = Rng::new(2);
+        let pairs = PairSet::sample(&plan, 200, &mut rng);
+        let mut est = Estimator::new(
+            &plan,
+            EstimatorConfig { epochs: 3, ..Default::default() },
+            &mut rng,
+        );
+        est.train(&pairs, &mut rng);
+        let row = pairs.input_row(0).to_vec();
+        let raw = est.predict_raw(&row);
+        let mut tape = Tape::new();
+        let binding = est.bind(&mut tape);
+        let xv = tape.leaf(Tensor::from_vec(row.clone(), &[1, row.len()]));
+        let (l, e, a) = est.predict_metrics(&mut tape, &binding, xv);
+        assert!((tape.value(l).item() as f64 - raw[0]).abs() / raw[0] < 1e-4);
+        assert!((tape.value(e).item() as f64 - raw[1]).abs() / raw[1] < 1e-4);
+        assert!((tape.value(a).item() as f64 - raw[2]).abs() / raw[2] < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_raw_rejects_wrong_dim() {
+        let mut rng = Rng::new(3);
+        let est = Estimator::new(&NetworkPlan::cifar18(), EstimatorConfig::default(), &mut rng);
+        let _ = est.predict_raw(&[0.0; 10]);
+    }
+}

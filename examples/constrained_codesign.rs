@@ -1,0 +1,55 @@
+//! Constrained co-design scenario: an object-detection camera pipeline
+//! that must hit 60 fps (the paper's motivating use case, §1).
+//!
+//! Compares HDX (one search, hard constraint) against DANCE with a soft
+//! constraint (which may or may not land under the target).
+//!
+//! ```sh
+//! cargo run --release --example constrained_codesign
+//! ```
+
+use hdx_core::{prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task};
+
+fn main() {
+    let constraint = Constraint::fps(60.0);
+    println!("== camera pipeline co-design: {constraint} ==");
+    let prepared = prepare_context_with(
+        Task::Cifar,
+        1,
+        4_000,
+        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+    );
+    let ctx = prepared.context();
+
+    let hdx = SearchOptions {
+        method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        constraints: vec![constraint],
+        seed: 11,
+        ..SearchOptions::default()
+    };
+    let dance_soft = SearchOptions {
+        method: Method::Dance,
+        lambda_soft: Some(2.0),
+        constraints: vec![constraint],
+        seed: 11,
+        ..SearchOptions::default()
+    };
+
+    println!("running HDX ...");
+    let r_hdx = run_search(&ctx, &hdx);
+    println!("running DANCE + soft constraint ...");
+    let r_soft = run_search(&ctx, &dance_soft);
+
+    println!("\n{:<16} {:>10} {:>8} {:>9} {:>8}", "method", "latency", "in?", "error", "CostHW");
+    for (name, r) in [("HDX", &r_hdx), ("DANCE+Soft", &r_soft)] {
+        println!(
+            "{:<16} {:>8.2}ms {:>8} {:>8.2}% {:>8.2}",
+            name,
+            r.metrics.latency_ms,
+            if r.in_constraint { "yes" } else { "NO" },
+            r.error * 100.0,
+            r.cost_hw
+        );
+    }
+    println!("\nHDX design: {} | {}", r_hdx.architecture, r_hdx.accel);
+}

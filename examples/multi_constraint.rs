@@ -1,0 +1,55 @@
+//! Multiple simultaneous hard constraints (the paper's generalized
+//! formulation, Eq. 8–9, and the "All" rows of Table 2): a battery- and
+//! area-limited edge device with a frame-rate requirement.
+//!
+//! ```sh
+//! cargo run --release --example multi_constraint
+//! ```
+
+use hdx_core::{
+    prepare_context_with, run_search, Constraint, EstimatorConfig, Method, Metric, SearchOptions,
+    Task,
+};
+
+fn main() {
+    let constraints = vec![
+        Constraint::fps(25.0),                  // 40 ms latency budget
+        Constraint::new(Metric::Energy, 30.0),  // 30 mJ per inference
+        Constraint::new(Metric::Area, 2.3),     // 2.3 mm^2 silicon budget
+    ];
+    println!("== multi-constraint co-design ==");
+    for c in &constraints {
+        println!("  constraint: {c}");
+    }
+
+    let prepared = prepare_context_with(
+        Task::Cifar,
+        2,
+        4_000,
+        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+    );
+    let opts = SearchOptions {
+        method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        constraints: constraints.clone(),
+        seed: 21,
+        ..SearchOptions::default()
+    };
+    let result = run_search(&prepared.context(), &opts);
+
+    println!("\nnetwork     : {}", result.architecture);
+    println!("accelerator : {}", result.accel);
+    println!("metrics     : {}", result.metrics);
+    for c in &constraints {
+        let v = result.metrics.get(c.metric);
+        let ok = c.is_satisfied(&result.metrics);
+        println!(
+            "  {:<8} {:>8.2} {:<4} target {:>8.2}  [{}]",
+            c.metric.to_string(),
+            v,
+            c.metric.unit(),
+            c.target,
+            if ok { "ok" } else { "VIOLATED" }
+        );
+    }
+    println!("test error  : {:.2}%", result.error * 100.0);
+}

@@ -1,0 +1,46 @@
+//! Pareto sweep: vary λ_Cost and compare the error/Cost_HW frontier of
+//! HDX (under a 30 fps constraint) against unconstrained DANCE —
+//! a miniature of Fig. 3 (right).
+//!
+//! ```sh
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use hdx_core::{prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task};
+
+fn main() {
+    let prepared = prepare_context_with(
+        Task::Cifar,
+        3,
+        4_000,
+        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+    );
+    let ctx = prepared.context();
+    let lambdas = [0.001, 0.003, 0.005];
+
+    println!("{:<8} {:>8} {:>10} {:>9} {:>9} {:>6}", "method", "lambda", "latency", "CostHW", "error", "in?");
+    for &lambda in &lambdas {
+        for (name, method, constraints) in [
+            ("DANCE", Method::Dance, vec![]),
+            ("HDX", Method::Hdx { delta0: 1e-3, p: 1e-2 }, vec![Constraint::fps(30.0)]),
+        ] {
+            let opts = SearchOptions {
+                method,
+                lambda_cost: lambda,
+                constraints,
+                seed: 31 + (lambda * 1e4) as u64,
+                ..SearchOptions::default()
+            };
+            let r = run_search(&ctx, &opts);
+            println!(
+                "{:<8} {:>8.3} {:>8.2}ms {:>9.2} {:>8.2}% {:>6}",
+                name,
+                lambda,
+                r.metrics.latency_ms,
+                r.cost_hw,
+                r.error * 100.0,
+                if r.in_constraint { "yes" } else { "no" }
+            );
+        }
+    }
+}

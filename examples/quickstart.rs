@@ -1,0 +1,42 @@
+//! Quickstart: run one HDX co-exploration under a 30 fps hard latency
+//! constraint on the CIFAR-like task and print the solution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hdx_core::{prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task};
+
+fn main() {
+    println!("== HDX quickstart: 30 fps (33.3 ms) hard latency constraint ==");
+    println!("preparing task + pre-training the hardware estimator ...");
+    let prepared = prepare_context_with(
+        Task::Cifar,
+        0,
+        4_000,
+        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+    );
+    println!(
+        "estimator ready: within-10% accuracy {:.1}% on held-out pairs",
+        prepared.estimator_accuracy * 100.0
+    );
+
+    let constraint = Constraint::fps(30.0);
+    let opts = SearchOptions {
+        method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        constraints: vec![constraint],
+        ..SearchOptions::default()
+    };
+    println!("searching ({} epochs x {} steps) ...", opts.epochs, opts.steps_per_epoch);
+    let result = run_search(&prepared.context(), &opts);
+
+    println!("\n-- solution --------------------------------------------");
+    println!("network     : {}", result.architecture);
+    println!("accelerator : {}", result.accel);
+    println!("metrics     : {}", result.metrics);
+    println!("constraint  : {constraint}  ->  in-constraint: {}", result.in_constraint);
+    println!("Cost_HW     : {:.2}", result.cost_hw);
+    println!("test error  : {:.2}%", result.error * 100.0);
+    println!("global loss : {:.3}", result.global_loss);
+    println!("search time : {:.1}s", result.search_seconds);
+}

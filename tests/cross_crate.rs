@@ -1,0 +1,104 @@
+//! Cross-crate consistency checks: the contracts between the NAS
+//! geometry, the accelerator model, and the surrogates.
+
+use hdx_accel::{evaluate_network, AccelConfig, CostWeights, Dataflow, SearchSpace};
+use hdx_nas::{Architecture, NetworkPlan};
+use hdx_surrogate::dataset::expected_metrics;
+use hdx_surrogate::{Generator, PairSet};
+use hdx_tensor::{Rng, Tape, Tensor};
+
+#[test]
+fn relaxed_expectation_is_convex_combination_of_vertices() {
+    // For every layer independently mixing two ops, the expected
+    // latency must equal the probability-weighted sum of the pure
+    // choices (additivity of the per-layer cost model).
+    let plan = NetworkPlan::cifar18();
+    let cfg = AccelConfig::new(14, 12, 32, Dataflow::OutputStationary).expect("valid");
+    let a = Architecture::uniform(18, 0);
+    let b = Architecture::uniform(18, 5);
+    let la = evaluate_network(&plan.layers_for(&a), &cfg).latency_ms;
+    let lb = evaluate_network(&plan.layers_for(&b), &cfg).latency_ms;
+    for w in [0.25f32, 0.5, 0.75] {
+        let mut probs = vec![0.0f32; 18 * 6];
+        for l in 0..18 {
+            probs[l * 6] = 1.0 - w;
+            probs[l * 6 + 5] = w;
+        }
+        let mixed = expected_metrics(&plan, &probs, &cfg).latency_ms;
+        let lin = (1.0 - w as f64) * la + w as f64 * lb;
+        assert!(
+            (mixed - lin).abs() / lin < 1e-9,
+            "expectation not linear at w={w}: {mixed} vs {lin}"
+        );
+    }
+}
+
+#[test]
+fn every_plan_architecture_evaluates_on_every_dataflow() {
+    let mut rng = Rng::new(3);
+    for plan in [NetworkPlan::cifar18(), NetworkPlan::imagenet21()] {
+        let arch = Architecture::random(plan.num_layers(), &mut rng);
+        let layers = plan.layers_for(&arch);
+        for df in Dataflow::ALL {
+            let cfg = AccelConfig::new(16, 16, 64, df).expect("valid");
+            let m = evaluate_network(&layers, &cfg);
+            assert!(m.is_valid(), "invalid metrics for {} on {df}", plan.name());
+        }
+    }
+}
+
+#[test]
+fn generator_output_feeds_estimator_input() {
+    // gen() and est() must agree on the hardware encoding layout.
+    let plan = NetworkPlan::cifar18();
+    let mut rng = Rng::new(4);
+    let generator = Generator::new(&plan, &mut rng);
+    let enc_data = Architecture::uniform(18, 1).one_hot();
+    let mut tape = Tape::new();
+    let vb = generator.bind(&mut tape);
+    let enc = tape.leaf(Tensor::from_vec(enc_data.clone(), &[1, 108]));
+    let hw = generator.forward(&mut tape, &vb, enc);
+    let joint = tape.concat_cols(&[enc, hw]);
+    assert_eq!(tape.value(joint).shape(), &[1, 114]);
+    // Decoding the generator's hardware output always lands in-space.
+    let cfg = Generator::decode(tape.value(hw).data());
+    assert!(SearchSpace::paper().enumerate().contains(&cfg));
+}
+
+#[test]
+fn pair_targets_match_analytical_model_at_one_hot() {
+    let plan = NetworkPlan::cifar18();
+    let mut rng = Rng::new(5);
+    let pairs = PairSet::sample(&plan, 40, &mut rng);
+    // Even-indexed samples are one-hot by construction: reconstruct and
+    // compare against the direct evaluation.
+    for i in (0..pairs.len()).step_by(2) {
+        let row = pairs.input_row(i);
+        let arch = Architecture::from_distribution(&row[..108]);
+        let hw: [f32; 6] = row[108..114].try_into().expect("6 features");
+        let cfg = AccelConfig::decode(&hw);
+        let direct = evaluate_network(&plan.layers_for(&arch), &cfg);
+        let target = pairs.target_raw(i);
+        assert!(
+            (direct.latency_ms - target[0]).abs() / target[0] < 1e-6,
+            "pair {i}: latency {} vs {}",
+            direct.latency_ms,
+            target[0]
+        );
+    }
+}
+
+#[test]
+fn cost_weights_give_paper_scale_costs_across_space() {
+    // Fig. 3 (right) plots Cost_HW in roughly [5, 30]; the normalized
+    // weights must keep the whole (net, config) space in one decade.
+    let plan = NetworkPlan::cifar18();
+    let weights = CostWeights::paper();
+    let mut rng = Rng::new(6);
+    for _ in 0..50 {
+        let arch = Architecture::random(18, &mut rng);
+        let cfg = SearchSpace::paper().sample(&mut rng);
+        let cost = weights.cost(&evaluate_network(&plan.layers_for(&arch), &cfg));
+        assert!((1.0..60.0).contains(&cost), "cost {cost} out of expected scale");
+    }
+}
