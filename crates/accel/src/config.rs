@@ -1,7 +1,6 @@
 //! Accelerator configuration and the paper's hardware search space.
 
 use hdx_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// On-chip dataflow of the PE array (§4.4 of the paper).
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 ///   in place, outputs mapped across the array.
 /// * [`Dataflow::RowStationary`] — Eyeriss-like; filter/activation rows
 ///   are reused diagonally, best energy efficiency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// Weight-stationary (TPU-like).
     WeightStationary,
@@ -81,7 +80,7 @@ impl std::error::Error for ConfigError {}
 ///
 /// Constructed via [`AccelConfig::new`], which validates against the
 /// paper's space (PE array 12×8 … 20×24, RF ∈ {16, 32, 64, 128, 256} B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccelConfig {
     pe_rows: usize,
     pe_cols: usize,
@@ -124,7 +123,12 @@ impl AccelConfig {
                 message: format!("rf_bytes {rf_bytes} not in {:?}", space.rf_options),
             });
         }
-        Ok(Self { pe_rows, pe_cols, rf_bytes, dataflow })
+        Ok(Self {
+            pe_rows,
+            pe_cols,
+            rf_bytes,
+            dataflow,
+        })
     }
 
     /// PE array rows.
@@ -158,10 +162,10 @@ impl AccelConfig {
     /// This is the representation consumed by the surrogate networks.
     pub fn encode(&self) -> [f32; 6] {
         let space = SearchSpace::paper();
-        let rows = (self.pe_rows - space.min_rows) as f32
-            / (space.max_rows - space.min_rows) as f32;
-        let cols = (self.pe_cols - space.min_cols) as f32
-            / (space.max_cols - space.min_cols) as f32;
+        let rows =
+            (self.pe_rows - space.min_rows) as f32 / (space.max_rows - space.min_rows) as f32;
+        let cols =
+            (self.pe_cols - space.min_cols) as f32 / (space.max_cols - space.min_cols) as f32;
         let rf_min = (*space.rf_options.first().expect("non-empty") as f32).log2();
         let rf_max = (*space.rf_options.last().expect("non-empty") as f32).log2();
         let rf = ((self.rf_bytes as f32).log2() - rf_min) / (rf_max - rf_min);
@@ -219,7 +223,7 @@ impl std::fmt::Display for AccelConfig {
 
 /// The legal accelerator design space (§4.4: "PE array size from 12×8 to
 /// 20×24, register file size per PE from 16B to 256B", three dataflows).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchSpace {
     /// Minimum PE rows (inclusive).
     pub min_rows: usize,
@@ -345,13 +349,10 @@ mod tests {
         let space = SearchSpace::paper();
         for _ in 0..500 {
             let cfg = space.sample(&mut rng);
-            assert!(AccelConfig::new(
-                cfg.pe_rows(),
-                cfg.pe_cols(),
-                cfg.rf_bytes(),
-                cfg.dataflow()
-            )
-            .is_ok());
+            assert!(
+                AccelConfig::new(cfg.pe_rows(), cfg.pe_cols(), cfg.rf_bytes(), cfg.dataflow())
+                    .is_ok()
+            );
         }
     }
 

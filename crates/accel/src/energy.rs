@@ -89,7 +89,7 @@ mod tests {
     fn memory_hierarchy_energy_ordering() {
         // RF < GB < DRAM per byte, the canonical pyramid.
         assert!(rf_pj_per_access(256) < GB_PJ_PER_BYTE);
-        assert!(GB_PJ_PER_BYTE < DRAM_PJ_PER_BYTE);
+        const { assert!(GB_PJ_PER_BYTE < DRAM_PJ_PER_BYTE) };
     }
 
     #[test]

@@ -5,13 +5,11 @@
 //! convolution, and a 1×1 projection convolution. The accelerator model
 //! consumes the flat list of [`ConvLayer`]s these decompose into.
 
-use serde::{Deserialize, Serialize};
-
 /// A single convolution layer as seen by the hardware model.
 ///
 /// `groups == 1` is a dense convolution; `groups == c_in == c_out`
 /// is a depthwise convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvLayer {
     /// Input channels.
     pub c_in: usize,
@@ -53,7 +51,15 @@ impl ConvLayer {
             c_in % groups == 0 && c_out % groups == 0,
             "ConvLayer: channels (in {c_in}, out {c_out}) must divide groups {groups}"
         );
-        Self { c_in, c_out, h_in, w_in, kernel, stride, groups }
+        Self {
+            c_in,
+            c_out,
+            h_in,
+            w_in,
+            kernel,
+            stride,
+            groups,
+        }
     }
 
     /// A 1×1 (pointwise) convolution.
@@ -62,7 +68,13 @@ impl ConvLayer {
     }
 
     /// A k×k depthwise convolution over `channels`.
-    pub fn depthwise(channels: usize, h_in: usize, w_in: usize, kernel: usize, stride: usize) -> Self {
+    pub fn depthwise(
+        channels: usize,
+        h_in: usize,
+        w_in: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Self {
         Self::new(channels, channels, h_in, w_in, kernel, stride, channels)
     }
 
@@ -134,7 +146,7 @@ impl std::fmt::Display for ConvLayer {
 
 /// An MBConv (inverted residual) block from the NAS search space:
 /// kernel ∈ {3, 5, 7}, expand ratio ∈ {3, 6} in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MbConv {
     /// Input channels.
     pub c_in: usize,
@@ -171,7 +183,15 @@ impl MbConv {
             c_in > 0 && c_out > 0 && h_in > 0 && w_in > 0 && stride > 0 && kernel > 0 && expand > 0,
             "MbConv: all dimensions must be positive"
         );
-        Self { c_in, c_out, h_in, w_in, stride, kernel, expand }
+        Self {
+            c_in,
+            c_out,
+            h_in,
+            w_in,
+            stride,
+            kernel,
+            expand,
+        }
     }
 
     /// Expanded (inner) channel count.
@@ -188,7 +208,13 @@ impl MbConv {
         if self.expand > 1 {
             layers.push(ConvLayer::pointwise(self.c_in, mid, self.h_in, self.w_in));
         }
-        layers.push(ConvLayer::depthwise(mid, self.h_in, self.w_in, self.kernel, self.stride));
+        layers.push(ConvLayer::depthwise(
+            mid,
+            self.h_in,
+            self.w_in,
+            self.kernel,
+            self.stride,
+        ));
         let h_out = self.h_in.div_ceil(self.stride);
         let w_out = self.w_in.div_ceil(self.stride);
         layers.push(ConvLayer::pointwise(mid, self.c_out, h_out, w_out));
@@ -300,7 +326,11 @@ mod tests {
 
     #[test]
     fn display_labels() {
-        assert!(ConvLayer::pointwise(8, 8, 4, 4).to_string().starts_with("pw"));
-        assert!(ConvLayer::depthwise(8, 4, 4, 3, 1).to_string().starts_with("dw"));
+        assert!(ConvLayer::pointwise(8, 8, 4, 4)
+            .to_string()
+            .starts_with("pw"));
+        assert!(ConvLayer::depthwise(8, 4, 4, 3, 1)
+            .to_string()
+            .starts_with("dw"));
     }
 }

@@ -1,9 +1,7 @@
 //! Hardware metrics and the paper's weighted cost function (Eq. 10).
 
-use serde::{Deserialize, Serialize};
-
 /// A constrained/reported hardware metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Inference latency in milliseconds.
     Latency,
@@ -47,7 +45,7 @@ impl std::fmt::Display for Metric {
 }
 
 /// Evaluated hardware metrics for one (network, accelerator) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HwMetrics {
     /// Inference latency in milliseconds.
     pub latency_ms: f64,
@@ -60,7 +58,11 @@ pub struct HwMetrics {
 impl HwMetrics {
     /// Creates a metrics record.
     pub fn new(latency_ms: f64, energy_mj: f64, area_mm2: f64) -> Self {
-        Self { latency_ms, energy_mj, area_mm2 }
+        Self {
+            latency_ms,
+            energy_mj,
+            area_mm2,
+        }
     }
 
     /// Reads a metric by kind.
@@ -109,7 +111,7 @@ impl std::fmt::Display for HwMetrics {
 /// The reported CostHW values (~9.5–22 in Table 2) imply the raw
 /// metrics are normalized by reference scales before weighting; we use
 /// 10 mJ / 33.3 ms / 2.5 mm² which reproduces the table's magnitudes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
     /// Energy weight `C_E`.
     pub c_e: f64,
@@ -130,7 +132,14 @@ impl CostWeights {
     /// `C_A = 1.0` (§5.3) with the normalization references that match
     /// the CostHW magnitudes of Table 2.
     pub fn paper() -> Self {
-        Self { c_e: 2.9, c_l: 6.2, c_a: 1.0, e_ref: 10.0, l_ref: 33.3, a_ref: 2.5 }
+        Self {
+            c_e: 2.9,
+            c_l: 6.2,
+            c_a: 1.0,
+            e_ref: 10.0,
+            l_ref: 33.3,
+            a_ref: 2.5,
+        }
     }
 
     /// Evaluates `Cost_HW` for a metrics record.

@@ -91,9 +91,7 @@ pub fn utilization(layer: &ConvLayer, cfg: &AccelConfig) -> f64 {
         // (ShiDianNao-style); the per-channel weight broadcast prevents
         // filling idle PEs with other channels, so small late-stage
         // feature maps underutilize large arrays.
-        Dataflow::OutputStationary => {
-            tile_eff(layer.h_out(), rows) * tile_eff(layer.w_out(), cols)
-        }
+        Dataflow::OutputStationary => tile_eff(layer.h_out(), rows) * tile_eff(layer.w_out(), cols),
         // Filter rows on rows (replicated across channels when k < rows),
         // output rows on columns (replicated when short).
         Dataflow::RowStationary => {
@@ -125,7 +123,11 @@ fn gb_traffic(layer: &ConvLayer, cfg: &AccelConfig) -> (f64, f64, f64) {
                 let cout_tiles = layer.c_out.div_ceil(cfg.pe_cols()) as f64;
                 // Partial sums spilled and re-read across input-channel tiles.
                 let cin_tiles = layer.c_in_per_group().div_ceil(cfg.pe_rows()) as f64;
-                (w * w_reload, a_in * cout_tiles, a_out * (2.0 * cin_tiles - 1.0))
+                (
+                    w * w_reload,
+                    a_in * cout_tiles,
+                    a_out * (2.0 * cin_tiles - 1.0),
+                )
             }
         }
         Dataflow::OutputStationary => {
@@ -134,8 +136,7 @@ fn gb_traffic(layer: &ConvLayer, cfg: &AccelConfig) -> (f64, f64, f64) {
             // input window, shared only across the multicast fanout and
             // whatever the RF caches.
             let macs = layer.macs() as f64;
-            let shared =
-                macs / (crate::model::MAX_REPLICATION as f64 * (rf / 32.0).max(1.0));
+            let shared = macs / (crate::model::MAX_REPLICATION as f64 * (rf / 32.0).max(1.0));
             let act_bytes = shared.max(a_in);
             // Weights re-streamed per residency window of output pixels.
             let pixels_per_residency = (rf / 2.0).max(1.0);
@@ -261,14 +262,20 @@ mod tests {
         let dw = depthwise_layer();
         let ws = utilization(&dw, &cfg(16, 16, 64, Dataflow::WeightStationary));
         let rs = utilization(&dw, &cfg(16, 16, 64, Dataflow::RowStationary));
-        assert!(ws < rs * 0.7, "WS utilization on depthwise ({ws}) should trail RS ({rs})");
+        assert!(
+            ws < rs * 0.7,
+            "WS utilization on depthwise ({ws}) should trail RS ({rs})"
+        );
     }
 
     #[test]
     fn ws_fills_on_pointwise() {
         let pw = pointwise_layer();
         let ws = utilization(&pw, &cfg(16, 16, 64, Dataflow::WeightStationary));
-        assert!(ws > 0.9, "WS on channel-rich pointwise should be near 1, got {ws}");
+        assert!(
+            ws > 0.9,
+            "WS on channel-rich pointwise should be near 1, got {ws}"
+        );
     }
 
     #[test]
@@ -276,8 +283,14 @@ mod tests {
         // Fig. 5 story: the 60 fps design pairs small kernels with WS.
         let net = net_with_kernel(3);
         let lat = |df| evaluate_network(&net, &cfg(16, 16, 64, df)).latency_ms;
-        let (ws, rs) = (lat(Dataflow::WeightStationary), lat(Dataflow::RowStationary));
-        assert!(ws < rs, "WS latency ({ws:.2}) should beat RS ({rs:.2}) at k=3");
+        let (ws, rs) = (
+            lat(Dataflow::WeightStationary),
+            lat(Dataflow::RowStationary),
+        );
+        assert!(
+            ws < rs,
+            "WS latency ({ws:.2}) should beat RS ({rs:.2}) at k=3"
+        );
     }
 
     #[test]

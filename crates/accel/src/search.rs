@@ -8,11 +8,21 @@
 //! * the **Auto-NBA-style** baseline expresses hardware cost as a
 //!   lookup table over (layer, configuration) pairs; [`build_layer_lut`]
 //!   materializes that table.
+//!
+//! Both are embarrassingly parallel over the configuration (resp.
+//! layer) axis and fan out over [`hdx_tensor::par`] worker threads. The
+//! parallel paths are **bit-identical** to a single-threaded run: every
+//! configuration is evaluated independently and the winner is selected
+//! by a sequential scan in enumeration order, exactly as the original
+//! sequential loop did.
 
 use crate::config::{AccelConfig, SearchSpace};
 use crate::layer::ConvLayer;
 use crate::metrics::{CostWeights, HwMetrics, Metric};
-use crate::model::{evaluate_layer, evaluate_network};
+use crate::model::evaluate_layer;
+use hdx_tensor::par::parallel_map;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Result of an exhaustive hardware search.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +37,8 @@ pub struct SearchOutcome {
 
 /// Exhaustively searches the accelerator space for the configuration
 /// minimizing `Cost_HW`, optionally subject to upper-bound constraints
-/// `(metric, target)`.
+/// `(metric, target)`, fanning the 2295 evaluations out over the
+/// default worker count ([`hdx_tensor::par::num_jobs`] of 0).
 ///
 /// Returns `None` when no configuration satisfies every constraint.
 pub fn exhaustive_search(
@@ -35,16 +46,51 @@ pub fn exhaustive_search(
     weights: &CostWeights,
     constraints: &[(Metric, f64)],
 ) -> Option<SearchOutcome> {
-    let mut best: Option<SearchOutcome> = None;
-    for cfg in SearchSpace::paper().enumerate() {
-        let metrics = evaluate_network(layers, &cfg);
+    exhaustive_search_jobs(layers, weights, constraints, 0)
+}
+
+/// [`exhaustive_search`] with an explicit worker count (`0` = auto,
+/// `1` = the sequential reference path). Every worker count produces
+/// the identical [`SearchOutcome`]: candidate evaluation is
+/// independent per configuration and the arg-min scan runs in
+/// enumeration order with strict `<`, so the first optimum wins, as in
+/// the sequential loop.
+///
+/// Per-layer metrics come from the shared [`LayerLut::cached`] table,
+/// so repeated searches over the same layer sequence (the NAS→HW
+/// baseline re-searches every epoch; the HDX repair step re-searches
+/// the found architecture) skip the expensive model evaluations
+/// entirely. `LayerLut::network_metrics` accumulates exactly as
+/// `evaluate_network` does, so the LUT route is bit-identical to
+/// direct evaluation (pinned by `lut_matches_direct_evaluation`).
+pub fn exhaustive_search_jobs(
+    layers: &[ConvLayer],
+    weights: &CostWeights,
+    constraints: &[(Metric, f64)],
+    jobs: usize,
+) -> Option<SearchOutcome> {
+    let lut = LayerLut::cached_jobs(layers, jobs);
+    let indices: Vec<usize> = (0..lut.configs().len()).collect();
+    let evaluated = parallel_map(&indices, jobs, |_, &idx| {
+        let metrics = lut.network_metrics(idx);
         if constraints.iter().any(|&(m, t)| metrics.get(m) > t) {
-            continue;
+            return None;
         }
         let cost = weights.cost(&metrics);
-        let better = best.as_ref().is_none_or(|b| cost < b.cost);
-        if better {
-            best = Some(SearchOutcome { config: cfg, metrics, cost });
+        Some((metrics, cost))
+    });
+
+    let mut best: Option<SearchOutcome> = None;
+    for (&cfg, candidate) in lut.configs().iter().zip(evaluated) {
+        let Some((metrics, cost)) = candidate else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(SearchOutcome {
+                config: cfg,
+                metrics,
+                cost,
+            });
         }
     }
     best
@@ -84,26 +130,77 @@ impl LayerLut {
     /// Network metrics for a configuration: per-layer latency/energy
     /// summed, area taken from the configuration.
     ///
+    /// Seeds the accumulator exactly as `evaluate_network` does
+    /// (zero latency/energy, the configuration's area), so the result
+    /// is bit-identical to direct evaluation — including for an empty
+    /// layer list, where the area must still be the configuration's.
+    ///
     /// # Panics
     ///
     /// Panics if `config_index` is out of range.
     pub fn network_metrics(&self, config_index: usize) -> HwMetrics {
-        let mut total = HwMetrics::default();
+        let area = crate::model::config_area(&self.configs[config_index]);
+        let mut total = HwMetrics::new(0.0, 0.0, area);
         for row in &self.entries {
             total.accumulate(&row[config_index]);
         }
         total
     }
+
+    /// Maximum number of distinct layer sequences kept in the process
+    /// cache. One table is ~2295 × layers × 24 B (≈ 2.5 MB for an
+    /// 18-block network); the bound keeps a long meta-search that
+    /// visits many architectures from growing without limit. On
+    /// overflow the whole cache is dropped (outstanding [`Arc`]s keep
+    /// their tables alive), which is crude but deterministic.
+    const MAX_CACHED: usize = 32;
+
+    /// Memoized, thread-safe LUT lookup: the table for a given layer
+    /// sequence is shared process-wide behind an [`Arc`]. The build
+    /// runs *outside* the cache lock, so concurrent callers for
+    /// distinct layer sequences build in parallel; two racing callers
+    /// for the same sequence may both build, in which case the first
+    /// insertion wins (the tables are identical — the build is
+    /// deterministic).
+    pub fn cached(layers: &[ConvLayer]) -> Arc<LayerLut> {
+        Self::cached_jobs(layers, 0)
+    }
+
+    /// [`LayerLut::cached`] with an explicit worker count for a cache
+    /// miss's build (`0` = auto).
+    pub fn cached_jobs(layers: &[ConvLayer], jobs: usize) -> Arc<LayerLut> {
+        static CACHE: OnceLock<Mutex<HashMap<Vec<ConvLayer>, Arc<LayerLut>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("LayerLut cache poisoned").get(layers) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(build_layer_lut_jobs(layers, jobs));
+        let mut map = cache.lock().expect("LayerLut cache poisoned");
+        if map.len() >= Self::MAX_CACHED {
+            map.clear();
+        }
+        Arc::clone(map.entry(layers.to_vec()).or_insert(built))
+    }
 }
 
 /// Builds the per-layer LUT for a fixed set of layers over the whole
-/// accelerator space.
+/// accelerator space, fanning the rows out over the default worker
+/// count. Use [`LayerLut::cached`] when the same layer sequence is
+/// evaluated repeatedly.
 pub fn build_layer_lut(layers: &[ConvLayer]) -> LayerLut {
+    build_layer_lut_jobs(layers, 0)
+}
+
+/// [`build_layer_lut`] with an explicit worker count (`0` = auto).
+/// Rows are independent, so every worker count yields identical tables.
+pub fn build_layer_lut_jobs(layers: &[ConvLayer], jobs: usize) -> LayerLut {
     let configs = SearchSpace::paper().enumerate();
-    let entries = layers
-        .iter()
-        .map(|layer| configs.iter().map(|cfg| evaluate_layer(layer, cfg)).collect())
-        .collect();
+    let entries = parallel_map(layers, jobs, |_, layer| {
+        configs
+            .iter()
+            .map(|cfg| evaluate_layer(layer, cfg))
+            .collect()
+    });
     LayerLut { configs, entries }
 }
 
@@ -112,6 +209,7 @@ mod tests {
     use super::*;
     use crate::config::Dataflow;
     use crate::layer::MbConv;
+    use crate::model::evaluate_network;
 
     fn small_net() -> Vec<ConvLayer> {
         let mut layers = MbConv::new(16, 32, 16, 16, 1, 3, 6).sublayers();
@@ -152,6 +250,17 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_matches_sequential_bit_for_bit() {
+        let net = small_net();
+        let w = CostWeights::paper();
+        let seq = exhaustive_search_jobs(&net, &w, &[], 1).expect("non-empty space");
+        for jobs in [2usize, 4, 7] {
+            let par = exhaustive_search_jobs(&net, &w, &[], jobs).expect("non-empty space");
+            assert_eq!(par, seq, "jobs={jobs} diverged from sequential");
+        }
+    }
+
+    #[test]
     fn lut_matches_direct_evaluation() {
         let net = small_net();
         let lut = build_layer_lut(&net);
@@ -171,6 +280,57 @@ mod tests {
     fn lut_has_all_2295_configs() {
         let lut = build_layer_lut(&small_net());
         assert_eq!(lut.configs().len(), 2295);
-        assert!(lut.configs().contains(&AccelConfig::new(16, 16, 64, Dataflow::RowStationary).unwrap()));
+        assert!(lut
+            .configs()
+            .contains(&AccelConfig::new(16, 16, 64, Dataflow::RowStationary).unwrap()));
+    }
+
+    #[test]
+    fn empty_network_still_reports_config_area() {
+        // evaluate_network(&[], cfg) returns the configuration's area;
+        // the LUT route must agree, or an exhaustive search over an
+        // empty layer list would rank every config at cost 0 and stop
+        // honoring area constraints.
+        let lut = build_layer_lut(&[]);
+        for idx in [0usize, 777, 2294] {
+            let cfg = lut.configs()[idx];
+            let direct = evaluate_network(&[], &cfg);
+            assert_eq!(lut.network_metrics(idx), direct, "config {cfg}");
+            assert!(direct.area_mm2 > 0.0);
+        }
+        let best = exhaustive_search(&[], &CostWeights::paper(), &[]).expect("non-empty space");
+        assert!(best.metrics.area_mm2 > 0.0);
+        assert!(best.cost > 0.0);
+    }
+
+    #[test]
+    fn cached_lut_is_shared_and_correct() {
+        let net = small_net();
+        let a = LayerLut::cached(&net);
+        let b = LayerLut::cached(&net);
+        assert!(Arc::ptr_eq(&a, &b), "same layers must share one cached LUT");
+        let direct = build_layer_lut(&net);
+        assert_eq!(a.num_layers(), direct.num_layers());
+        let m_cached = a.network_metrics(1234);
+        let m_direct = direct.network_metrics(1234);
+        assert_eq!(m_cached, m_direct);
+
+        // A different layer sequence gets its own entry.
+        let other = MbConv::new(16, 16, 8, 8, 1, 7, 3).sublayers();
+        let c = LayerLut::cached(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.num_layers(), other.len());
+    }
+
+    #[test]
+    fn parallel_lut_matches_sequential() {
+        let net = small_net();
+        let seq = build_layer_lut_jobs(&net, 1);
+        let par = build_layer_lut_jobs(&net, 4);
+        for layer in 0..net.len() {
+            for idx in [0usize, 500, 2294] {
+                assert_eq!(seq.metrics(layer, idx), par.metrics(layer, idx));
+            }
+        }
     }
 }

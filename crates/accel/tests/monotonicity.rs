@@ -1,0 +1,105 @@
+//! Monotonicity regression tests for the analytical cost model.
+//!
+//! The §4.4 hardware space orders naturally: adding processing
+//! elements can only add compute and bandwidth parallelism, so for a
+//! fixed workload, RF size, and dataflow, a strictly larger PE array
+//! must never *increase* latency and must never *shrink* area. The
+//! co-exploration engine leans on exactly this shape (growing the
+//! array is the model's escape hatch from a latency constraint), so a
+//! regression here silently breaks every constrained search. Every
+//! [`Dataflow`] variant is covered on a chain of nested array sizes.
+
+use hdx_accel::{evaluate_network, AccelConfig, ConvLayer, Dataflow, MbConv};
+
+/// A small but representative network: channel-rich pointwise stages,
+/// a depthwise stage, and a strided reduction.
+fn net() -> Vec<ConvLayer> {
+    let mut layers = MbConv::new(16, 32, 32, 32, 1, 3, 6).sublayers();
+    layers.extend(MbConv::new(32, 64, 32, 32, 2, 5, 3).sublayers());
+    layers.extend(MbConv::new(64, 64, 16, 16, 1, 7, 6).sublayers());
+    layers
+}
+
+/// Nested PE-array chain: every step grows one dimension, so each
+/// config strictly contains its predecessor's parallelism.
+const ARRAY_CHAIN: [(usize, usize); 6] =
+    [(12, 8), (12, 16), (14, 16), (16, 16), (16, 24), (20, 24)];
+
+fn chain_configs(rf: usize, df: Dataflow) -> Vec<AccelConfig> {
+    ARRAY_CHAIN
+        .iter()
+        .map(|&(r, c)| AccelConfig::new(r, c, rf, df).expect("chain configs are in-space"))
+        .collect()
+}
+
+#[test]
+fn larger_pe_array_never_increases_latency() {
+    let layers = net();
+    for df in Dataflow::ALL {
+        for rf in [16usize, 64, 256] {
+            let configs = chain_configs(rf, df);
+            let latencies: Vec<f64> = configs
+                .iter()
+                .map(|cfg| evaluate_network(&layers, cfg).latency_ms)
+                .collect();
+            for w in latencies.windows(2).zip(configs.windows(2)) {
+                let ([prev, next], [cfg_prev, cfg_next]) = w else {
+                    unreachable!()
+                };
+                assert!(
+                    next <= &(prev * (1.0 + 1e-12)),
+                    "{df}/{rf}B: latency grew {prev:.6} -> {next:.6} \
+                     from {cfg_prev} to {cfg_next}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_pe_array_never_shrinks_area() {
+    let layers = net();
+    for df in Dataflow::ALL {
+        for rf in [16usize, 64, 256] {
+            let configs = chain_configs(rf, df);
+            let areas: Vec<f64> = configs
+                .iter()
+                .map(|cfg| evaluate_network(&layers, cfg).area_mm2)
+                .collect();
+            for w in areas.windows(2).zip(configs.windows(2)) {
+                let ([prev, next], [cfg_prev, cfg_next]) = w else {
+                    unreachable!()
+                };
+                assert!(
+                    next >= prev,
+                    "{df}/{rf}B: area shrank {prev:.6} -> {next:.6} \
+                     from {cfg_prev} to {cfg_next}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_rf_never_shrinks_area() {
+    // The per-PE register file is physical SRAM: growing it must not
+    // shrink the chip, for every dataflow and array size.
+    let layers = net();
+    for df in Dataflow::ALL {
+        for &(rows, cols) in &[(12usize, 8usize), (16, 16), (20, 24)] {
+            let mut prev: Option<(usize, f64)> = None;
+            for rf in [16usize, 32, 64, 128, 256] {
+                let cfg = AccelConfig::new(rows, cols, rf, df).expect("in-space");
+                let area = evaluate_network(&layers, &cfg).area_mm2;
+                if let Some((prev_rf, prev_area)) = prev {
+                    assert!(
+                        area >= prev_area,
+                        "{df}/{rows}x{cols}: area shrank {prev_area:.6} -> {area:.6} \
+                         when RF grew {prev_rf} -> {rf}"
+                    );
+                }
+                prev = Some((rf, area));
+            }
+        }
+    }
+}

@@ -19,9 +19,30 @@ fn main() {
     let constraint = Constraint::fps(60.0);
 
     let variants: Vec<(&str, Method, Option<f64>)> = vec![
-        ("HDX (delta grows)", Method::Hdx { delta0: 1e-3, p: 1e-2 }, None),
-        ("HDX (fixed delta)", Method::Hdx { delta0: 1e-3, p: 1e-9 }, None),
-        ("HDX (large delta0)", Method::Hdx { delta0: 1e-1, p: 1e-2 }, None),
+        (
+            "HDX (delta grows)",
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
+            None,
+        ),
+        (
+            "HDX (fixed delta)",
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-9,
+            },
+            None,
+        ),
+        (
+            "HDX (large delta0)",
+            Method::Hdx {
+                delta0: 1e-1,
+                p: 1e-2,
+            },
+            None,
+        ),
         ("DANCE", Method::Dance, None),
         ("DANCE + strong soft", Method::Dance, Some(5.0)),
     ];

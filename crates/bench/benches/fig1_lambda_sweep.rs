@@ -16,7 +16,10 @@ fn main() {
     let seeds = [11u64, 22, 33];
 
     println!("\nFig. 1 — lambda sweep (DANCE, unconstrained)");
-    println!("{:>8} {:>6} {:>12} {:>12} {:>10}", "lambda", "seed", "latency(ms)", "energy(mJ)", "error(%)");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>10}",
+        "lambda", "seed", "latency(ms)", "energy(mJ)", "error(%)"
+    );
     let mut rows = Vec::new();
     for &lambda in &lambdas {
         let mut lat_avg = 0.0;
@@ -52,7 +55,11 @@ fn main() {
             lambda, "mean", lat_avg, en_avg, err_avg
         );
     }
-    let path = write_csv("fig1_lambda_sweep", "lambda,seed,latency_ms,energy_mj,error_pct", &rows);
+    let path = write_csv(
+        "fig1_lambda_sweep",
+        "lambda,seed,latency_ms,energy_mj,error_pct",
+        &rows,
+    );
     println!("\nCSV: {}", path.display());
     println!(
         "Expected shape (paper): no strictly monotone latency/energy response to lambda; \

@@ -50,7 +50,10 @@ fn main() {
     for target in targets {
         for (i, &lambda) in lambdas.iter().enumerate() {
             let mut opts = bench_options();
-            opts.method = Method::Hdx { delta0: 1e-3, p: 1e-2 };
+            opts.method = Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            };
             opts.lambda_cost = lambda;
             opts.constraints = vec![target];
             opts.seed = 40 + i as u64;

@@ -24,8 +24,14 @@ fn main() {
         opts.epochs = env_usize("HDX_EPOCHS", 40);
         opts.seed = 77;
         let r = run_search(&ctx, &opts);
-        println!("\nFig. 4 — p = {p:.0e} (final: {} | in-constraint {})", r.metrics, r.in_constraint);
-        println!("{:>6} {:>12} {:>12} {:>10} {:>9}", "epoch", "global_loss", "latency(ms)", "delta", "violated");
+        println!(
+            "\nFig. 4 — p = {p:.0e} (final: {} | in-constraint {})",
+            r.metrics, r.in_constraint
+        );
+        println!(
+            "{:>6} {:>12} {:>12} {:>10} {:>9}",
+            "epoch", "global_loss", "latency(ms)", "delta", "violated"
+        );
         for t in &r.trajectory {
             println!(
                 "{:>6} {:>12.3} {:>12.2} {:>10.2e} {:>9}",

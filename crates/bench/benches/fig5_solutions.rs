@@ -17,15 +17,24 @@ fn main() {
     for (fps, seed) in [(60.0, 7u64), (30.0, 8)] {
         let constraint = Constraint::fps(fps);
         let mut opts = bench_options();
-        opts.method = Method::Hdx { delta0: 1e-3, p: 1e-2 };
+        opts.method = Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        };
         opts.constraints = vec![constraint];
         opts.seed = seed;
         let r = run_search(&ctx, &opts);
 
-        println!("\nFig. 5 — searched design for {fps:.0} fps ({:.1} ms target)", constraint.target);
+        println!(
+            "\nFig. 5 — searched design for {fps:.0} fps ({:.1} ms target)",
+            constraint.target
+        );
         println!("  network   : (3,1) FIXED {}", r.architecture);
         println!("  accelerator: {}", r.accel);
-        println!("  metrics   : {}  (in-constraint: {})", r.metrics, r.in_constraint);
+        println!(
+            "  metrics   : {}  (in-constraint: {})",
+            r.metrics, r.in_constraint
+        );
         let mean_kernel: f64 = r
             .architecture
             .choices()

@@ -1,84 +1,164 @@
-//! Criterion micro-benchmarks: throughput of the substrate kernels the
+//! Micro-benchmarks: throughput of the substrate kernels the
 //! co-exploration loop leans on (accelerator model, estimator
-//! inference, gradient manipulation, supernet step).
+//! inference, gradient manipulation, supernet step), timed with a
+//! plain `std::time` harness (the container has no criterion).
+//!
+//! Set `HDX_BENCH_SECS` to change the per-benchmark measurement budget
+//! (default 2 s after a 0.3 s warm-up).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hdx_accel::{evaluate_network, AccelConfig, Dataflow, SearchSpace};
 use hdx_core::manipulate;
 use hdx_nas::{Architecture, Dataset, NetworkPlan, Supernet, SupernetConfig, TaskSpec};
 use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
 use hdx_tensor::{Rng, Tape};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_accel_model(c: &mut Criterion) {
+fn measure_secs() -> f64 {
+    std::env::var("HDX_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0)
+}
+
+/// Runs `f` repeatedly for the measurement budget and prints mean
+/// time/iter and iterations/second.
+fn bench(name: &str, mut f: impl FnMut()) -> f64 {
+    let warmup = Duration::from_millis(300);
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    while start.elapsed() < warmup {
+        f();
+        warm_iters += 1;
+    }
+
+    let budget = Duration::from_secs_f64(measure_secs());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let per_iter = elapsed / iters as f64;
+    println!(
+        "{name:<44} {:>12.3} us/iter {:>12.1} iter/s  ({iters} iters, {warm_iters} warm)",
+        per_iter * 1e6,
+        1.0 / per_iter
+    );
+    per_iter
+}
+
+fn bench_accel_model() {
     let plan = NetworkPlan::cifar18();
     let layers = plan.layers_for(&Architecture::uniform(18, 3));
     let cfg = AccelConfig::new(16, 16, 64, Dataflow::RowStationary).expect("valid");
-    c.bench_function("accel/evaluate_network_cifar18", |b| {
-        b.iter(|| black_box(evaluate_network(black_box(&layers), black_box(&cfg))))
+    bench("accel/evaluate_network_cifar18", || {
+        black_box(evaluate_network(black_box(&layers), black_box(&cfg)));
     });
 }
 
-fn bench_exhaustive_search(c: &mut Criterion) {
+fn bench_exhaustive_search() {
     let plan = NetworkPlan::cifar18();
     let layers = plan.layers_for(&Architecture::uniform(18, 1));
     let weights = hdx_accel::CostWeights::paper();
-    c.bench_function("accel/exhaustive_search_2295_configs", |b| {
-        b.iter(|| black_box(hdx_accel::exhaustive_search(black_box(&layers), &weights, &[])))
+    let jobs = hdx_tensor::num_jobs(0);
+
+    // Cold path: the per-(layer, config) model evaluations that fill
+    // the LUT. This is the expensive, parallelizable work — fresh
+    // every iteration (build_layer_lut_jobs bypasses the cache).
+    let seq = bench("accel/layer_lut_build_2295 (jobs=1)", || {
+        black_box(hdx_accel::build_layer_lut_jobs(black_box(&layers), 1));
+    });
+    let par = bench(&format!("accel/layer_lut_build_2295 (jobs={jobs})"), || {
+        black_box(hdx_accel::build_layer_lut_jobs(black_box(&layers), 0));
+    });
+    println!(
+        "    -> parallel LUT-build speedup: {:.2}x on {jobs} workers",
+        seq / par
+    );
+
+    // Warm path: exhaustive_search_jobs hits the process-global cached
+    // LUT after its first call, so this measures the post-build scan —
+    // the cost of every *repeated* search over the same layers.
+    bench("accel/exhaustive_search_2295 (cached LUT)", || {
+        black_box(hdx_accel::exhaustive_search_jobs(
+            black_box(&layers),
+            &weights,
+            &[],
+            0,
+        ));
     });
 }
 
-fn bench_estimator_inference(c: &mut Criterion) {
+fn bench_estimator_inference() {
     let plan = NetworkPlan::cifar18();
     let mut rng = Rng::new(1);
     let pairs = PairSet::sample(&plan, 400, &mut rng);
     let mut est = Estimator::new(
         &plan,
-        EstimatorConfig { epochs: 3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 3,
+            ..Default::default()
+        },
         &mut rng,
     );
     est.train(&pairs, &mut rng);
     let input = pairs.input_row(0).to_vec();
-    c.bench_function("surrogate/estimator_predict", |b| {
-        b.iter(|| black_box(est.predict_raw(black_box(&input))))
+    bench("surrogate/estimator_predict", || {
+        black_box(est.predict_raw(black_box(&input)));
     });
 }
 
-fn bench_gradient_manipulation(c: &mut Criterion) {
+fn bench_gradient_manipulation() {
     let mut rng = Rng::new(2);
     let g_loss: Vec<f32> = (0..108).map(|_| rng.normal()).collect();
     let g_const: Vec<f32> = (0..108).map(|_| rng.normal()).collect();
-    c.bench_function("core/manipulate_108d", |b| {
-        b.iter(|| black_box(manipulate(black_box(&g_loss), black_box(&g_const), true, 1e-3)))
+    bench("core/manipulate_108d", || {
+        black_box(manipulate(
+            black_box(&g_loss),
+            black_box(&g_const),
+            true,
+            1e-3,
+        ));
     });
 }
 
-fn bench_supernet_step(c: &mut Criterion) {
+fn bench_supernet_step() {
     let spec = TaskSpec::cifar_like(1);
     let ds = Dataset::generate(&spec);
     let mut rng = Rng::new(3);
-    let net = Supernet::new(18, spec.feature_dim, spec.num_classes, SupernetConfig::default(), &mut rng);
-    c.bench_function("nas/supernet_forward_backward", |b| {
-        b.iter(|| {
-            let batch = ds.train_batch(32, &mut rng);
-            let mut tape = Tape::new();
-            let (w, a) = net.bind(&mut tape);
-            let loss = net.task_loss(&mut tape, &w, &a, &batch, &mut rng);
-            black_box(tape.backward(loss));
-        })
+    let net = Supernet::new(
+        18,
+        spec.feature_dim,
+        spec.num_classes,
+        SupernetConfig::default(),
+        &mut rng,
+    );
+    bench("nas/supernet_forward_backward", || {
+        let batch = ds.train_batch(32, &mut rng);
+        let mut tape = Tape::new();
+        let (w, a) = net.bind(&mut tape);
+        let loss = net.task_loss(&mut tape, &w, &a, &batch, &mut rng);
+        black_box(tape.backward(loss));
     });
 }
 
-fn bench_space_enumeration(c: &mut Criterion) {
-    c.bench_function("accel/enumerate_space", |b| {
-        b.iter(|| black_box(SearchSpace::paper().enumerate().len()))
+fn bench_space_enumeration() {
+    bench("accel/enumerate_space", || {
+        black_box(SearchSpace::paper().enumerate().len());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_accel_model, bench_exhaustive_search, bench_estimator_inference,
-              bench_gradient_manipulation, bench_supernet_step, bench_space_enumeration
+fn main() {
+    println!(
+        "HDX micro-benchmarks ({}s budget per case)\n",
+        measure_secs()
+    );
+    bench_accel_model();
+    bench_exhaustive_search();
+    bench_estimator_inference();
+    bench_gradient_manipulation();
+    bench_supernet_step();
+    bench_space_enumeration();
 }
-criterion_main!(benches);

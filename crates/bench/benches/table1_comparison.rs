@@ -18,11 +18,26 @@ fn main() {
 
     // (label, method, lambda_soft, hard?, nn-hw relation?)
     let methods: Vec<(&str, Method, Option<f64>, &str, &str)> = vec![
-        ("NAS->HW search", Method::NasThenHw { lambda_macs: 0.002 }, None, "x", "x"),
+        (
+            "NAS->HW search",
+            Method::NasThenHw { lambda_macs: 0.002 },
+            None,
+            "x",
+            "x",
+        ),
         ("Auto-NBA", Method::AutoNba, None, "x", "v"),
         ("DANCE", Method::Dance, None, "x", "v"),
         ("DANCE + Soft const.", Method::Dance, Some(0.05), "x", "v"),
-        ("HDX (Proposed)", Method::Hdx { delta0: 1e-3, p: 1e-2 }, None, "v", "v"),
+        (
+            "HDX (Proposed)",
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
+            None,
+            "v",
+            "v",
+        ),
     ];
 
     println!("\nTable 1 — search with 60 FPS constraint ({reps} reps/method)");
@@ -55,14 +70,13 @@ fn main() {
         }
         let n = reps as f64;
         println!(
-            "{:<22} {:>5} {:>6} {:>10.1} {:>10.1} {:>10.2}   ({}entries in-constraint: {}/{reps})",
+            "{:<22} {:>5} {:>6} {:>10.1} {:>10.1} {:>10.2}   (entries in-constraint: {}/{reps})",
             label,
             hard,
             nnhw,
             searches_sum / n,
             cost_sum / n,
             err_sum / n,
-            "",
             satisfied
         );
         rows.push(vec![
@@ -73,9 +87,15 @@ fn main() {
             format!("{satisfied}"),
         ]);
     }
-    let path = write_csv("table1_comparison", "method,searches,cost_s,avg_err_pct,satisfied", &rows);
+    let path = write_csv(
+        "table1_comparison",
+        "method,searches,cost_s,avg_err_pct,satisfied",
+        &rows,
+    );
     println!("\n*Cost is wall-clock search seconds on this machine (the paper reports GPU-hours;");
-    println!(" the comparison is about the ratio between methods, which is substrate-independent).");
+    println!(
+        " the comparison is about the ratio between methods, which is substrate-independent)."
+    );
     println!("CSV: {}", path.display());
     println!("Expected shape (paper): baselines need ~5-7 searches, HDX exactly 1, at equal or better error.");
 }

@@ -53,9 +53,18 @@ fn main() {
         print_row("Anchor", &anchor, &mut rows);
 
         let cases: Vec<(&str, Vec<Constraint>)> = vec![
-            ("Latency", vec![Constraint::new(Metric::Latency, anchor.metrics.latency_ms)]),
-            ("Energy", vec![Constraint::new(Metric::Energy, anchor.metrics.energy_mj)]),
-            ("Chip Area", vec![Constraint::new(Metric::Area, anchor.metrics.area_mm2)]),
+            (
+                "Latency",
+                vec![Constraint::new(Metric::Latency, anchor.metrics.latency_ms)],
+            ),
+            (
+                "Energy",
+                vec![Constraint::new(Metric::Energy, anchor.metrics.energy_mj)],
+            ),
+            (
+                "Chip Area",
+                vec![Constraint::new(Metric::Area, anchor.metrics.area_mm2)],
+            ),
             (
                 "All",
                 vec![
@@ -67,13 +76,20 @@ fn main() {
         ];
         for (label, constraints) in cases {
             let mut opts = bench_options();
-            opts.method = Method::Hdx { delta0: 1e-3, p: 1e-2 };
+            opts.method = Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            };
             opts.lambda_cost = *lambda;
             opts.constraints = constraints.clone();
             opts.seed = anchor_seed * 31 + 7;
             let r = run_search(&ctx, &opts);
             let ok = constraints.iter().all(|c| c.is_satisfied(&r.metrics));
-            print_row(&format!("{label}{}", if ok { "" } else { " (!)" }), &r, &mut rows);
+            print_row(
+                &format!("{label}{}", if ok { "" } else { " (!)" }),
+                &r,
+                &mut rows,
+            );
         }
     }
     let path = write_csv(

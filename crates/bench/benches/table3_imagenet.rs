@@ -19,14 +19,44 @@ fn main() {
     );
     let mut rows = Vec::new();
     let cases: Vec<(&str, Method, Option<f64>, f64, u64)> = vec![
-        ("NAS->HW", Method::NasThenHw { lambda_macs: 0.01 }, None, 0.001, 1),
-        ("NAS->HW", Method::NasThenHw { lambda_macs: 0.08 }, None, 0.003, 2),
+        (
+            "NAS->HW",
+            Method::NasThenHw { lambda_macs: 0.01 },
+            None,
+            0.001,
+            1,
+        ),
+        (
+            "NAS->HW",
+            Method::NasThenHw { lambda_macs: 0.08 },
+            None,
+            0.003,
+            2,
+        ),
         ("DANCE", Method::Dance, None, 0.001, 3),
         ("DANCE", Method::Dance, None, 0.003, 4),
         ("DANCE+Soft", Method::Dance, Some(0.5), 0.001, 5),
         ("DANCE+Soft", Method::Dance, Some(0.5), 0.003, 6),
-        ("HDX (Proposed)", Method::Hdx { delta0: 1e-3, p: 1e-2 }, None, 0.001, 7),
-        ("HDX (Proposed)", Method::Hdx { delta0: 1e-3, p: 1e-2 }, None, 0.003, 8),
+        (
+            "HDX (Proposed)",
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
+            None,
+            0.001,
+            7,
+        ),
+        (
+            "HDX (Proposed)",
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
+            None,
+            0.003,
+            8,
+        ),
     ];
     for (label, method, soft, lambda, seed) in cases {
         let mut opts = bench_options();

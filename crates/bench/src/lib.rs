@@ -18,7 +18,10 @@ use hdx_core::{prepare_context_with, EstimatorConfig, PreparedContext, SearchOpt
 
 /// Reads a scale knob from the environment.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Prepares the experiment context for a task at the configured
@@ -31,7 +34,12 @@ pub fn bench_context(task: Task, seed: u64) -> PreparedContext {
         task,
         seed,
         pairs,
-        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 25,
+            batch: 128,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     eprintln!(
         "[setup] estimator within-10% (all metrics jointly): {:.1}%",

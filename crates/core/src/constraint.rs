@@ -1,10 +1,9 @@
 //! Hard constraints on hardware metrics.
 
 use hdx_accel::{HwMetrics, Metric};
-use serde::{Deserialize, Serialize};
 
 /// An upper-bound hard constraint `metric ≤ target` (Eq. 2's `t ≤ T`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Constraint {
     /// The constrained metric.
     pub metric: Metric,
@@ -45,7 +44,13 @@ impl Constraint {
 
 impl std::fmt::Display for Constraint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} <= {:.2} {}", self.metric, self.target, self.metric.unit())
+        write!(
+            f,
+            "{} <= {:.2} {}",
+            self.metric,
+            self.target,
+            self.metric.unit()
+        )
     }
 }
 

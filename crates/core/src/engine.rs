@@ -26,7 +26,6 @@ use hdx_nas::{Architecture, Dataset, NetworkPlan, SupernetConfig};
 use hdx_surrogate::dataset::expected_metrics;
 use hdx_surrogate::{Estimator, Generator};
 use hdx_tensor::{Adam, Binding, ParamStore, Rng, Tape, Tensor, Var};
-use serde::{Deserialize, Serialize};
 
 /// Which co-exploration method to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,12 +105,19 @@ pub struct SearchOptions {
     /// surrogate error. Reported metrics are always ground truth against
     /// the *unmargined* targets.
     pub safety_margin: f64,
+    /// Worker threads for the parallel evaluation paths the engine
+    /// drives (the exhaustive hardware searches; `0` = auto, `1` =
+    /// sequential). Results are bit-identical at every worker count.
+    pub jobs: usize,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
         Self {
-            method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+            method: Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
             lambda_cost: 0.003,
             lambda_soft: None,
             constraints: Vec::new(),
@@ -125,6 +131,7 @@ impl Default for SearchOptions {
             seed: 0,
             supernet: SupernetConfig::default(),
             safety_margin: 0.10,
+            jobs: 0,
         }
     }
 }
@@ -143,7 +150,7 @@ pub struct SearchContext<'a> {
 }
 
 /// One epoch's trace (drives Fig. 1 / Fig. 4-style plots).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpochTrace {
     /// Epoch index.
     pub epoch: usize,
@@ -195,7 +202,10 @@ pub struct SearchResult {
 /// Panics if `opts.epochs` or `opts.steps_per_epoch` is zero, or if the
 /// estimator's input dimension does not match the plan.
 pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult {
-    assert!(opts.epochs > 0 && opts.steps_per_epoch > 0, "run_search: empty schedule");
+    assert!(
+        opts.epochs > 0 && opts.steps_per_epoch > 0,
+        "run_search: empty schedule"
+    );
     let spec = ctx.dataset.spec();
     let num_layers = ctx.plan.num_layers();
     assert_eq!(
@@ -206,8 +216,13 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
 
     let start = std::time::Instant::now();
     let mut rng = Rng::new(opts.seed);
-    let mut supernet =
-        Supernet::new(num_layers, spec.feature_dim, spec.num_classes, opts.supernet, &mut rng);
+    let mut supernet = Supernet::new(
+        num_layers,
+        spec.feature_dim,
+        spec.num_classes,
+        opts.supernet,
+        &mut rng,
+    );
     let mut generator = Generator::new(ctx.plan, &mut rng);
     // Auto-NBA trains hardware parameters directly.
     let mut hw_params = ParamStore::new();
@@ -223,9 +238,7 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
 
     // Differentiable MAC proxy for NAS→HW: expected MACs = enc · macs.
     let macs_vector: Vec<f32> = (0..num_layers)
-        .flat_map(|l| {
-            (0..6).map(move |o| (l, o))
-        })
+        .flat_map(|l| (0..6).map(move |o| (l, o)))
         .map(|(l, o)| ctx.plan.block_at(l, o).macs() as f32)
         .collect();
     let macs_mean = macs_vector.iter().sum::<f32>() / macs_vector.len() as f32;
@@ -424,9 +437,14 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
     let architecture = supernet.architecture();
     let accel = match opts.method {
         Method::NasThenHw { .. } => {
-            hdx_accel::exhaustive_search(&ctx.plan.layers_for(&architecture), &ctx.weights, &[])
-                .expect("non-empty accelerator space")
-                .config
+            hdx_accel::exhaustive_search_jobs(
+                &ctx.plan.layers_for(&architecture),
+                &ctx.weights,
+                &[],
+                opts.jobs,
+            )
+            .expect("non-empty accelerator space")
+            .config
         }
         _ => propose_hardware(ctx, opts, &supernet, &generator, &hw_params, hw_theta),
     };
@@ -441,15 +459,17 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
     // cost-optimal *in-constraint* configuration for the found
     // architecture when the decoded one misses. The architecture (the
     // part shaped by gradient manipulation) is never touched.
-    if matches!(opts.method, Method::Hdx { .. })
-        && !all_satisfied(&opts.constraints, &metrics)
-    {
-        let bounds: Vec<(hdx_accel::Metric, f64)> =
-            opts.constraints.iter().map(|c| (c.metric, c.target)).collect();
-        if let Some(fixed) = hdx_accel::exhaustive_search(
+    if matches!(opts.method, Method::Hdx { .. }) && !all_satisfied(&opts.constraints, &metrics) {
+        let bounds: Vec<(hdx_accel::Metric, f64)> = opts
+            .constraints
+            .iter()
+            .map(|c| (c.metric, c.target))
+            .collect();
+        if let Some(fixed) = hdx_accel::exhaustive_search_jobs(
             &ctx.plan.layers_for(&architecture),
             &ctx.weights,
             &bounds,
+            opts.jobs,
         ) {
             accel = fixed.config;
             metrics = fixed.metrics;
@@ -519,9 +539,14 @@ fn propose_hardware(
     match opts.method {
         Method::NasThenHw { .. } => {
             let arch = supernet.architecture();
-            hdx_accel::exhaustive_search(&ctx.plan.layers_for(&arch), &ctx.weights, &[])
-                .expect("non-empty accelerator space")
-                .config
+            hdx_accel::exhaustive_search_jobs(
+                &ctx.plan.layers_for(&arch),
+                &ctx.weights,
+                &[],
+                opts.jobs,
+            )
+            .expect("non-empty accelerator space")
+            .config
         }
         Method::AutoNba => {
             let raw = hw_params.get(hw_theta);
@@ -555,7 +580,10 @@ fn unflatten(flat: &[f32], store: &ParamStore) -> Vec<Option<Tensor>> {
     let mut offset = 0;
     for (_, t) in store.iter() {
         let n = t.len();
-        out.push(Some(Tensor::from_vec(flat[offset..offset + n].to_vec(), t.shape())));
+        out.push(Some(Tensor::from_vec(
+            flat[offset..offset + n].to_vec(),
+            t.shape(),
+        )));
         offset += n;
     }
     assert_eq!(offset, flat.len(), "unflatten: length mismatch");
@@ -578,7 +606,12 @@ mod tests {
                 Task::Cifar,
                 7,
                 2500,
-                EstimatorConfig { epochs: 20, batch: 128, lr: 2e-3, ..Default::default() },
+                EstimatorConfig {
+                    epochs: 20,
+                    batch: 128,
+                    lr: 2e-3,
+                    ..Default::default()
+                },
             )
         })
     }
@@ -612,7 +645,10 @@ mod tests {
         let c = Constraint::fps(30.0);
         let opts = SearchOptions {
             constraints: vec![c],
-            ..quick_opts(Method::Hdx { delta0: 1e-3, p: 1e-2 })
+            ..quick_opts(Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            })
         };
         let result = run_search(&prepared.context(), &opts);
         assert!(
@@ -655,15 +691,23 @@ mod tests {
         let prepared = ctx();
         let opts = quick_opts(Method::AutoNba);
         let result = run_search(&prepared.context(), &opts);
-        assert!(hdx_accel::SearchSpace::paper().enumerate().contains(&result.accel));
+        assert!(hdx_accel::SearchSpace::paper()
+            .enumerate()
+            .contains(&result.accel));
     }
 
     #[test]
     fn soft_constraint_changes_search_pressure() {
         let prepared = ctx();
         let c = Constraint::fps(60.0);
-        let base = SearchOptions { constraints: vec![c], ..quick_opts(Method::Dance) };
-        let soft = SearchOptions { lambda_soft: Some(5.0), ..base.clone() };
+        let base = SearchOptions {
+            constraints: vec![c],
+            ..quick_opts(Method::Dance)
+        };
+        let soft = SearchOptions {
+            lambda_soft: Some(5.0),
+            ..base.clone()
+        };
         let r_base = run_search(&prepared.context(), &base);
         let r_soft = run_search(&prepared.context(), &soft);
         // The soft penalty must not *increase* latency beyond noise.
@@ -682,14 +726,21 @@ mod tests {
         let c = Constraint::fps(60.0);
         let opts = SearchOptions {
             constraints: vec![c],
-            ..quick_opts(Method::Hdx { delta0: 1e-3, p: 5e-2 })
+            ..quick_opts(Method::Hdx {
+                delta0: 1e-3,
+                p: 5e-2,
+            })
         };
         let result = run_search(&prepared.context(), &opts);
         let early = &result.trajectory[0];
         assert!(early.delta > 0.0);
         // If any epoch was violated, delta must have exceeded delta0.
         if result.trajectory.iter().any(|t| t.violated) {
-            let max_delta = result.trajectory.iter().map(|t| t.delta).fold(0.0f32, f32::max);
+            let max_delta = result
+                .trajectory
+                .iter()
+                .map(|t| t.delta)
+                .fold(0.0f32, f32::max);
             assert!(max_delta > 1e-3, "delta never grew: {max_delta}");
         }
     }

@@ -15,10 +15,8 @@
 //! the constraint is violated δ grows geometrically (`δ ← (1+p)·δ`);
 //! once satisfied it resets to `δ₀`.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one manipulation decision (for tracing/analysis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ManipulationKind {
     /// Constraint satisfied: `g_Loss` used unmodified (Eq. 4 case 1).
     Satisfied,
@@ -57,15 +55,27 @@ pub fn manipulate(g_loss: &[f32], g_const: &[f32], violated: bool, delta: f32) -
     );
     let dot: f32 = g_loss.iter().zip(g_const).map(|(a, b)| a * b).sum();
     if !violated {
-        return Manipulated { gradient: g_loss.to_vec(), kind: ManipulationKind::Satisfied, dot };
+        return Manipulated {
+            gradient: g_loss.to_vec(),
+            kind: ManipulationKind::Satisfied,
+            dot,
+        };
     }
     if dot >= 0.0 {
-        return Manipulated { gradient: g_loss.to_vec(), kind: ManipulationKind::Agreeing, dot };
+        return Manipulated {
+            gradient: g_loss.to_vec(),
+            kind: ManipulationKind::Agreeing,
+            dot,
+        };
     }
     let norm_sq: f32 = g_const.iter().map(|x| x * x).sum();
     if norm_sq <= f32::EPSILON {
         // Degenerate constraint gradient: nothing to project onto.
-        return Manipulated { gradient: g_loss.to_vec(), kind: ManipulationKind::Agreeing, dot };
+        return Manipulated {
+            gradient: g_loss.to_vec(),
+            kind: ManipulationKind::Agreeing,
+            dot,
+        };
     }
     // m* = (δ − dot)/‖g_Const‖² · g_Const  (Eq. 7, minimum-norm solution)
     let coeff = (delta - dot) / norm_sq;
@@ -74,12 +84,16 @@ pub fn manipulate(g_loss: &[f32], g_const: &[f32], violated: bool, delta: f32) -
         .zip(g_const)
         .map(|(gl, gc)| gl + coeff * gc)
         .collect();
-    Manipulated { gradient, kind: ManipulationKind::Manipulated, dot }
+    Manipulated {
+        gradient,
+        kind: ManipulationKind::Manipulated,
+        dot,
+    }
 }
 
 /// The paper's δ schedule (§4.3): grow by `(1+p)` while violated, reset
 /// to `δ₀` when satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeltaPolicy {
     delta0: f32,
     p: f32,
@@ -94,9 +108,16 @@ impl DeltaPolicy {
     ///
     /// Panics if `delta0 <= 0` or `p <= 0`.
     pub fn new(delta0: f32, p: f32) -> Self {
-        assert!(delta0 > 0.0, "DeltaPolicy: delta0 must be positive, got {delta0}");
+        assert!(
+            delta0 > 0.0,
+            "DeltaPolicy: delta0 must be positive, got {delta0}"
+        );
         assert!(p > 0.0, "DeltaPolicy: p must be positive, got {p}");
-        Self { delta0, p, current: delta0 }
+        Self {
+            delta0,
+            p,
+            current: delta0,
+        }
     }
 
     /// The paper's default: `δ₀ = 1e-3`, `p = 1e-2`.
@@ -155,7 +176,10 @@ mod tests {
         let m = manipulate(&g_loss, &g_const, true, delta);
         assert_eq!(m.kind, ManipulationKind::Manipulated);
         let new_dot: f32 = m.gradient.iter().zip(&g_const).map(|(a, b)| a * b).sum();
-        assert!((new_dot - delta).abs() < 1e-5, "post-manipulation dot {new_dot} != δ {delta}");
+        assert!(
+            (new_dot - delta).abs() < 1e-5,
+            "post-manipulation dot {new_dot} != δ {delta}"
+        );
     }
 
     #[test]

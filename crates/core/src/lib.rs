@@ -43,10 +43,10 @@ pub mod setup;
 pub use constraint::{all_satisfied, Constraint};
 pub use engine::{run_search, EpochTrace, Method, SearchContext, SearchOptions, SearchResult};
 pub use gradmanip::{manipulate, DeltaPolicy, Manipulated, ManipulationKind};
+pub use hdx_surrogate::{Estimator, EstimatorConfig, Generator};
 pub use meta_search::{constrained_meta_search, MetaSearchOutcome};
 pub use report::{ensure_experiment_dir, write_csv};
 pub use setup::{prepare_context, prepare_context_with, PreparedContext, Task};
-pub use hdx_surrogate::{Estimator, EstimatorConfig, Generator};
 
 pub use hdx_accel::{AccelConfig, CostWeights, Dataflow, HwMetrics, Metric};
 pub use hdx_nas::{Architecture, NetworkPlan};

@@ -48,9 +48,7 @@ fn with_control(opts: &SearchOptions, value: f64) -> SearchOptions {
 fn default_control(opts: &SearchOptions) -> f64 {
     match opts.method {
         Method::NasThenHw { lambda_macs } => lambda_macs,
-        Method::AutoNba | Method::Dance => {
-            opts.lambda_soft.unwrap_or(opts.lambda_cost)
-        }
+        Method::AutoNba | Method::Dance => opts.lambda_soft.unwrap_or(opts.lambda_cost),
         Method::Hdx { .. } => 0.0,
     }
 }
@@ -71,7 +69,10 @@ pub fn constrained_meta_search(
     constraint: Constraint,
     max_searches: usize,
 ) -> MetaSearchOutcome {
-    assert!(max_searches > 0, "constrained_meta_search: max_searches must be positive");
+    assert!(
+        max_searches > 0,
+        "constrained_meta_search: max_searches must be positive"
+    );
 
     // HDX: hard constraints are handled inside the single search.
     if matches!(base.method, Method::Hdx { .. }) {
@@ -82,7 +83,12 @@ pub fn constrained_meta_search(
         let result = run_search(ctx, &opts);
         let satisfied = constraint.is_satisfied(&result.metrics);
         let total_seconds = result.search_seconds;
-        return MetaSearchOutcome { searches: 1, result, total_seconds, satisfied };
+        return MetaSearchOutcome {
+            searches: 1,
+            result,
+            total_seconds,
+            satisfied,
+        };
     }
 
     let mut param = default_control(base);
@@ -94,7 +100,10 @@ pub fn constrained_meta_search(
 
     for attempt in 0..max_searches {
         let mut opts = with_control(base, param);
-        opts.seed = base.seed.wrapping_add(attempt as u64).wrapping_mul(0x9E37_79B9);
+        opts.seed = base
+            .seed
+            .wrapping_add(attempt as u64)
+            .wrapping_mul(0x9E37_79B9);
         if !opts.constraints.contains(&constraint) {
             opts.constraints.push(constraint); // monitored only
         }
@@ -159,7 +168,12 @@ pub fn constrained_meta_search(
 
     let result = best.expect("at least one search ran");
     let satisfied = constraint.is_satisfied(&result.metrics);
-    MetaSearchOutcome { searches: max_searches, result, total_seconds, satisfied }
+    MetaSearchOutcome {
+        searches: max_searches,
+        result,
+        total_seconds,
+        satisfied,
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +183,10 @@ mod tests {
 
     #[test]
     fn control_parameter_routing() {
-        let mut opts = SearchOptions { method: Method::Dance, ..Default::default() };
+        let mut opts = SearchOptions {
+            method: Method::Dance,
+            ..Default::default()
+        };
         assert_eq!(default_control(&opts), opts.lambda_cost);
         let with = with_control(&opts, 0.42);
         assert_eq!(with.lambda_cost, 0.42);

@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn fmt_precision() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(10.0, 1), "10.0");
     }
 }

@@ -79,7 +79,10 @@ impl PreparedContext {
 /// paper's 10.8 M; override with the `HDX_EST_PAIRS` environment
 /// variable).
 fn est_pairs() -> usize {
-    std::env::var("HDX_EST_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(8_000)
+    std::env::var("HDX_EST_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8_000)
 }
 
 /// Builds the full environment for a task: generates the synthetic
@@ -90,12 +93,23 @@ pub fn prepare_context(task: Task, seed: u64) -> PreparedContext {
         task,
         seed,
         est_pairs(),
-        EstimatorConfig { epochs: 30, batch: 128, lr: 2e-3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 30,
+            batch: 128,
+            lr: 2e-3,
+            ..Default::default()
+        },
     )
 }
 
 /// [`prepare_context`] with explicit estimator pre-training budget
 /// (pair count and estimator hyper-parameters).
+///
+/// The expensive steps — labelling the pre-training pairs with the
+/// analytical model, the sharded estimator gradient computation, and
+/// the held-out accuracy sweep — all fan out over
+/// [`EstimatorConfig::jobs`] worker threads (`0` = auto) and are
+/// bit-identical at every worker count.
 pub fn prepare_context_with(
     task: Task,
     seed: u64,
@@ -105,8 +119,8 @@ pub fn prepare_context_with(
     let plan = task.plan();
     let dataset = Dataset::generate(&task.spec(seed));
     let mut rng = Rng::new(seed ^ 0xE57A_u64.rotate_left(31));
-    let train_pairs = PairSet::sample(&plan, pairs, &mut rng);
-    let holdout = PairSet::sample(&plan, 500, &mut rng);
+    let train_pairs = PairSet::sample_jobs(&plan, pairs, &mut rng, est_cfg.jobs);
+    let holdout = PairSet::sample_jobs(&plan, 500, &mut rng, est_cfg.jobs);
     let mut estimator = Estimator::new(&plan, est_cfg, &mut rng);
     estimator.train(&train_pairs, &mut rng);
     let estimator_accuracy = estimator.within_tolerance(&holdout, 0.10);

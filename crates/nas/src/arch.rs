@@ -2,11 +2,10 @@
 
 use crate::ops::{MbConvOp, OP_SET};
 use hdx_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A discrete architecture: one operator index (into [`OP_SET`]) per
 /// searchable layer.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Architecture {
     choices: Vec<usize>,
 }
@@ -36,7 +35,9 @@ impl Architecture {
 
     /// A uniformly random architecture.
     pub fn random(num_layers: usize, rng: &mut Rng) -> Self {
-        Self { choices: (0..num_layers).map(|_| rng.below(OP_SET.len())).collect() }
+        Self {
+            choices: (0..num_layers).map(|_| rng.below(OP_SET.len())).collect(),
+        }
     }
 
     /// The per-layer op indices.
@@ -97,7 +98,10 @@ impl Architecture {
 
     /// Compact display string, e.g. `(3,3)(3,6)(5,3)…`.
     pub fn summary(&self) -> String {
-        self.choices.iter().map(|&c| OP_SET[c].to_string()).collect()
+        self.choices
+            .iter()
+            .map(|&c| OP_SET[c].to_string())
+            .collect()
     }
 }
 
@@ -122,7 +126,9 @@ mod tests {
 
     #[test]
     fn from_distribution_picks_argmax() {
-        let probs = vec![0.1, 0.5, 0.1, 0.1, 0.1, 0.1, 0.9, 0.02, 0.02, 0.02, 0.02, 0.02];
+        let probs = vec![
+            0.1, 0.5, 0.1, 0.1, 0.1, 0.1, 0.9, 0.02, 0.02, 0.02, 0.02, 0.02,
+        ];
         let arch = Architecture::from_distribution(&probs);
         assert_eq!(arch.choices(), &[1, 0]);
     }

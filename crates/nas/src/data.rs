@@ -15,10 +15,9 @@
 //! task).
 
 use hdx_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Specification of a synthetic classification task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Task name for reports.
     pub name: String,
@@ -126,7 +125,10 @@ impl Split {
             x.extend_from_slice(&self.x[i * dim..(i + 1) * dim]);
             y.push(self.y[i]);
         }
-        Batch { x: Tensor::from_vec(x, &[indices.len(), dim]), y }
+        Batch {
+            x: Tensor::from_vec(x, &[indices.len(), dim]),
+            y,
+        }
     }
 }
 
@@ -150,9 +152,13 @@ impl Teacher {
             width: w,
             classes: c,
             gain: spec.teacher_gain,
-            w1: (0..d * w).map(|_| rng.normal() / (d as f32).sqrt()).collect(),
+            w1: (0..d * w)
+                .map(|_| rng.normal() / (d as f32).sqrt())
+                .collect(),
             b1: (0..w).map(|_| 0.3 * rng.normal()).collect(),
-            w2: (0..w * c).map(|_| rng.normal() / (w as f32).sqrt()).collect(),
+            w2: (0..w * c)
+                .map(|_| rng.normal() / (w as f32).sqrt())
+                .collect(),
         }
     }
 
@@ -161,12 +167,12 @@ impl Teacher {
         let mut logits = vec![0.0f32; self.classes];
         for j in 0..self.width {
             let mut a = self.b1[j];
-            for k in 0..self.dim {
-                a += self.w1[k * self.width + j] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(self.dim) {
+                a += self.w1[k * self.width + j] * xk;
             }
             let h = (self.gain * a).tanh();
-            for cidx in 0..self.classes {
-                logits[cidx] += self.w2[j * self.classes + cidx] * h;
+            for (cidx, logit) in logits.iter_mut().enumerate() {
+                *logit += self.w2[j * self.classes + cidx] * h;
             }
         }
         let mut best = 0;
@@ -199,7 +205,7 @@ impl Dataset {
         let d = spec.feature_dim;
         let teacher = Teacher::new(spec, &mut rng);
 
-        let mut gen_split = |n: usize, rng: &mut Rng| {
+        let gen_split = |n: usize, rng: &mut Rng| {
             let mut x = Vec::with_capacity(n * d);
             let mut y = Vec::with_capacity(n);
             while y.len() < n {
@@ -222,7 +228,12 @@ impl Dataset {
         let train = gen_split(spec.train, &mut rng);
         let val = gen_split(spec.val, &mut rng);
         let test = gen_split(spec.test, &mut rng);
-        Self { spec: spec.clone(), train, val, test }
+        Self {
+            spec: spec.clone(),
+            train,
+            val,
+            test,
+        }
     }
 
     /// The generating spec.
@@ -302,7 +313,7 @@ mod tests {
     }
 
     #[test]
-    fn features_are_finite(){
+    fn features_are_finite() {
         let ds = Dataset::generate(&TaskSpec::imagenet_like(5));
         assert!(ds.test_all().x.all_finite());
     }
@@ -312,7 +323,10 @@ mod tests {
         // With 2% label noise, regenerating with zero noise should agree
         // on ~98% of labels.
         let spec = TaskSpec::cifar_like(6);
-        let clean = TaskSpec { label_noise: 0.0, ..spec.clone() };
+        let clean = TaskSpec {
+            label_noise: 0.0,
+            ..spec.clone()
+        };
         let noisy_ds = Dataset::generate(&spec);
         let clean_ds = Dataset::generate(&clean);
         let a = noisy_ds.test_all();

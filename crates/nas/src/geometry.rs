@@ -9,12 +9,11 @@
 use crate::arch::Architecture;
 use crate::ops::OP_SET;
 use hdx_accel::{ConvLayer, MbConv};
-use serde::{Deserialize, Serialize};
 
 /// A searchable layer position: its input/output channels, input
 /// spatial size and stride. The operator (kernel, expand) is what the
 /// search chooses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerSlot {
     /// Input channels.
     pub c_in: usize,
@@ -28,7 +27,7 @@ pub struct LayerSlot {
 
 /// A full network plan: fixed front layers, searchable slots, fixed
 /// head layers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkPlan {
     name: String,
     fixed_front: Vec<ConvLayer>,
@@ -52,7 +51,12 @@ impl NetworkPlan {
         for &(c_out, first_stride) in &[(32, 1), (64, 2), (128, 2)] {
             for i in 0..6 {
                 let stride = if i == 0 { first_stride } else { 1 };
-                slots.push(LayerSlot { c_in: c, c_out, hw, stride });
+                slots.push(LayerSlot {
+                    c_in: c,
+                    c_out,
+                    hw,
+                    stride,
+                });
                 c = c_out;
                 hw = hw.div_ceil(stride);
             }
@@ -60,7 +64,12 @@ impl NetworkPlan {
         debug_assert_eq!(slots.len(), 18);
 
         let head = vec![ConvLayer::pointwise(128, 256, 8, 8)];
-        Self { name: "cifar18".to_owned(), fixed_front, slots, fixed_head: head }
+        Self {
+            name: "cifar18".to_owned(),
+            fixed_front,
+            slots,
+            fixed_head: head,
+        }
     }
 
     /// The 21-layer ImageNet-class plan: 224×224 input, stride-2 stem to
@@ -81,7 +90,12 @@ impl NetworkPlan {
         {
             for i in 0..blocks {
                 let stride = if i == 0 { first_stride } else { 1 };
-                slots.push(LayerSlot { c_in: c, c_out, hw, stride });
+                slots.push(LayerSlot {
+                    c_in: c,
+                    c_out,
+                    hw,
+                    stride,
+                });
                 c = c_out;
                 hw = hw.div_ceil(stride);
             }
@@ -89,7 +103,12 @@ impl NetworkPlan {
         debug_assert_eq!(slots.len(), 21);
 
         let head = vec![ConvLayer::pointwise(384, 768, 7, 7)];
-        Self { name: "imagenet21".to_owned(), fixed_front, slots, fixed_head: head }
+        Self {
+            name: "imagenet21".to_owned(),
+            fixed_front,
+            slots,
+            fixed_head: head,
+        }
     }
 
     /// Plan name ("cifar18" / "imagenet21").
@@ -125,7 +144,15 @@ impl NetworkPlan {
     pub fn block_at(&self, slot_index: usize, op_index: usize) -> MbConv {
         let slot = self.slots[slot_index];
         let op = OP_SET[op_index];
-        MbConv::new(slot.c_in, slot.c_out, slot.hw, slot.hw, slot.stride, op.kernel, op.expand)
+        MbConv::new(
+            slot.c_in,
+            slot.c_out,
+            slot.hw,
+            slot.hw,
+            slot.stride,
+            op.kernel,
+            op.expand,
+        )
     }
 
     /// The full hardware layer list (fixed front + chosen blocks +
@@ -185,7 +212,12 @@ mod tests {
     fn slots_chain_consistently() {
         for plan in [NetworkPlan::cifar18(), NetworkPlan::imagenet21()] {
             for w in plan.slots().windows(2) {
-                assert_eq!(w[0].c_out, w[1].c_in, "channel chain broken in {}", plan.name());
+                assert_eq!(
+                    w[0].c_out,
+                    w[1].c_in,
+                    "channel chain broken in {}",
+                    plan.name()
+                );
                 assert_eq!(
                     w[0].hw.div_ceil(w[0].stride),
                     w[1].hw,

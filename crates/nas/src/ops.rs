@@ -1,10 +1,8 @@
 //! The MBConv candidate-operator set (§4.4): kernel ∈ {3, 5, 7} ×
 //! expand ratio ∈ {3, 6}.
 
-use serde::{Deserialize, Serialize};
-
 /// One candidate MBConv operator: a (kernel, expand-ratio) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MbConvOp {
     /// Depthwise kernel size (3, 5 or 7).
     pub kernel: usize,
@@ -50,12 +48,30 @@ impl std::fmt::Display for MbConvOp {
 /// The canonical candidate set, ordered small to large:
 /// `(k, e)` for k ∈ {3, 5, 7}, e ∈ {3, 6}.
 pub const OP_SET: [MbConvOp; 6] = [
-    MbConvOp { kernel: 3, expand: 3 },
-    MbConvOp { kernel: 3, expand: 6 },
-    MbConvOp { kernel: 5, expand: 3 },
-    MbConvOp { kernel: 5, expand: 6 },
-    MbConvOp { kernel: 7, expand: 3 },
-    MbConvOp { kernel: 7, expand: 6 },
+    MbConvOp {
+        kernel: 3,
+        expand: 3,
+    },
+    MbConvOp {
+        kernel: 3,
+        expand: 6,
+    },
+    MbConvOp {
+        kernel: 5,
+        expand: 3,
+    },
+    MbConvOp {
+        kernel: 5,
+        expand: 6,
+    },
+    MbConvOp {
+        kernel: 7,
+        expand: 3,
+    },
+    MbConvOp {
+        kernel: 7,
+        expand: 6,
+    },
 ];
 
 #[cfg(test)]

@@ -25,10 +25,9 @@ use crate::arch::Architecture;
 use crate::data::Batch;
 use crate::ops::OP_SET;
 use hdx_tensor::{Binding, CosineLr, Linear, ParamStore, Rng, Sgd, Tape, Tensor, Var};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the supernet proxy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupernetConfig {
     /// Internal feature width of the backbone.
     pub feature_dim: usize,
@@ -44,7 +43,12 @@ pub struct SupernetConfig {
 
 impl Default for SupernetConfig {
     fn default() -> Self {
-        Self { feature_dim: 20, base_hidden: 3, num_paths: 2, temperature: 1.0 }
+        Self {
+            feature_dim: 20,
+            base_hidden: 3,
+            num_paths: 2,
+            temperature: 1.0,
+        }
     }
 }
 
@@ -145,7 +149,16 @@ impl Supernet {
             alpha.alloc(Tensor::randn(&[1, OP_SET.len()], 1e-3, rng));
         }
 
-        Self { cfg, num_layers, num_classes, w, alpha, input, classifier, blocks }
+        Self {
+            cfg,
+            num_layers,
+            num_classes,
+            w,
+            alpha,
+            input,
+            classifier,
+            blocks,
+        }
     }
 
     /// Number of searchable layers.
@@ -208,7 +221,10 @@ impl Supernet {
     pub fn arch_probs(&self) -> Vec<f32> {
         let mut probs = Vec::with_capacity(self.num_layers * OP_SET.len());
         for l in 0..self.num_layers {
-            let logits = self.alpha.get(self.alpha.id(l)).scale(1.0 / self.cfg.temperature);
+            let logits = self
+                .alpha
+                .get(self.alpha.id(l))
+                .scale(1.0 / self.cfg.temperature);
             probs.extend_from_slice(logits.softmax_rows().data());
         }
         probs
@@ -257,8 +273,10 @@ impl Supernet {
             let chosen = sample_paths(&probs, self.cfg.num_paths, rng);
 
             // Renormalized mixture over the sampled paths.
-            let slices: Vec<Var> =
-                chosen.iter().map(|&o| tape.slice_cols(probs_var, o, o + 1)).collect();
+            let slices: Vec<Var> = chosen
+                .iter()
+                .map(|&o| tape.slice_cols(probs_var, o, o + 1))
+                .collect();
             let denom = match slices.len() {
                 1 => None,
                 _ => {
@@ -300,7 +318,13 @@ impl Supernet {
         let mut tape = Tape::new();
         let (w, a) = self.bind(&mut tape);
         // Use all paths for deterministic evaluation.
-        let full = Supernet { cfg: SupernetConfig { num_paths: OP_SET.len(), ..self.cfg }, ..clone_parts(self) };
+        let full = Supernet {
+            cfg: SupernetConfig {
+                num_paths: OP_SET.len(),
+                ..self.cfg
+            },
+            ..clone_parts(self)
+        };
         let logits = full.forward_logits(&mut tape, &w, &a, batch, rng);
         error_from_logits(tape.value(logits), &batch.y)
     }
@@ -348,9 +372,7 @@ fn sample_paths(probs: &[f32], n: usize, rng: &mut Rng) -> Vec<usize> {
         remaining.remove(idx);
         weights.remove(idx);
         if weights.iter().all(|&w| w <= 0.0) {
-            for w in &mut weights {
-                *w = 1.0;
-            }
+            weights.fill(1.0);
         }
     }
     chosen.sort_unstable();
@@ -389,7 +411,13 @@ impl FinalNet {
             })
             .collect();
         let classifier = Linear::new(&mut w, cfg.feature_dim, num_classes, rng);
-        Self { num_classes, w, input, classifier, blocks }
+        Self {
+            num_classes,
+            w,
+            input,
+            classifier,
+            blocks,
+        }
     }
 
     /// Number of task classes.
@@ -461,9 +489,20 @@ mod tests {
 
     fn tiny_setup() -> (Supernet, Dataset, Rng) {
         let mut rng = Rng::new(11);
-        let spec = TaskSpec { train: 256, val: 128, test: 256, ..TaskSpec::cifar_like(1) };
+        let spec = TaskSpec {
+            train: 256,
+            val: 128,
+            test: 256,
+            ..TaskSpec::cifar_like(1)
+        };
         let ds = Dataset::generate(&spec);
-        let net = Supernet::new(4, spec.feature_dim, spec.num_classes, SupernetConfig::default(), &mut rng);
+        let net = Supernet::new(
+            4,
+            spec.feature_dim,
+            spec.num_classes,
+            SupernetConfig::default(),
+            &mut rng,
+        );
         (net, ds, rng)
     }
 
@@ -482,7 +521,10 @@ mod tests {
             .map(Tensor::norm)
             .filter(|n| *n > 0.0)
             .count();
-        assert!(nonzero > 0, "α should receive gradients through the sampled mixture");
+        assert!(
+            nonzero > 0,
+            "α should receive gradients through the sampled mixture"
+        );
     }
 
     #[test]
@@ -540,7 +582,10 @@ mod tests {
         let (mut net, _, _) = tiny_setup();
         // Push layer 0 strongly toward op 5.
         let id = net.alpha.id(0);
-        net.alpha_store_mut().set(id, Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 0.0, 5.0], &[1, 6]));
+        net.alpha_store_mut().set(
+            id,
+            Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 0.0, 5.0], &[1, 6]),
+        );
         let arch = net.architecture();
         assert_eq!(arch.choices()[0], 5);
     }
@@ -566,10 +611,21 @@ mod tests {
     #[test]
     fn final_net_learns_task() {
         let mut rng = Rng::new(5);
-        let spec = TaskSpec { train: 512, val: 128, test: 512, ..TaskSpec::cifar_like(2) };
+        let spec = TaskSpec {
+            train: 512,
+            val: 128,
+            test: 512,
+            ..TaskSpec::cifar_like(2)
+        };
         let ds = Dataset::generate(&spec);
         let arch = Architecture::uniform(4, 5);
-        let mut net = FinalNet::new(&arch, spec.feature_dim, spec.num_classes, &SupernetConfig::default(), &mut rng);
+        let mut net = FinalNet::new(
+            &arch,
+            spec.feature_dim,
+            spec.num_classes,
+            &SupernetConfig::default(),
+            &mut rng,
+        );
         let before = net.error_rate(&ds.test_all());
         net.train(&ds, 300, 32, &mut rng);
         let after = net.error_rate(&ds.test_all());

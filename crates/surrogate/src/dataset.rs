@@ -65,13 +65,31 @@ impl PairSet {
     /// accelerator space. Half the architectures are one-hot, half are
     /// soft per-layer distributions (temperature-varied), matching the
     /// estimator's query distribution during search.
+    ///
+    /// Fans the pair generation out over the default worker count; see
+    /// [`PairSet::sample_jobs`] for the determinism contract.
     pub fn sample(plan: &NetworkPlan, n: usize, rng: &mut Rng) -> Self {
+        Self::sample_jobs(plan, n, rng, 0)
+    }
+
+    /// [`PairSet::sample`] with an explicit worker count (`0` = auto,
+    /// `1` = the sequential reference path).
+    ///
+    /// Each pair draws from its own child generator, derived by `n`
+    /// sequential [`Rng::split`] calls on the caller's stream *before*
+    /// any parallel work starts. Pair `i` is therefore a pure function
+    /// of (plan, child seed `i`), and every worker count produces the
+    /// bit-identical pair set. The expensive part — labelling each pair
+    /// with the analytical accelerator model — is what runs on the
+    /// workers.
+    pub fn sample_jobs(plan: &NetworkPlan, n: usize, rng: &mut Rng, jobs: usize) -> Self {
         let dim = joint_dim(plan.num_layers());
         let k = OP_SET.len();
         let space = SearchSpace::paper();
-        let mut inputs = Vec::with_capacity(n * dim);
-        let mut targets_raw = Vec::with_capacity(n);
-        for i in 0..n {
+        let streams: Vec<Rng> = (0..n).map(|_| rng.split()).collect();
+
+        let rows = hdx_tensor::parallel_map(&streams, jobs, |i, stream| {
+            let mut rng = stream.clone();
             // Architecture encoding.
             let mut probs = vec![0.0f32; plan.num_layers() * k];
             if i % 2 == 0 {
@@ -91,14 +109,29 @@ impl PairSet {
                     }
                 }
             }
-            let cfg = space.sample(rng);
+            let cfg = space.sample(&mut rng);
             let metrics = expected_metrics(plan, &probs, &cfg);
+            (
+                probs,
+                cfg,
+                [metrics.latency_ms, metrics.energy_mj, metrics.area_mm2],
+            )
+        });
+
+        let mut inputs = Vec::with_capacity(n * dim);
+        let mut targets_raw = Vec::with_capacity(n);
+        for (probs, cfg, target) in rows {
             inputs.extend_from_slice(&probs);
             inputs.extend_from_slice(&cfg.encode());
-            targets_raw.push([metrics.latency_ms, metrics.energy_mj, metrics.area_mm2]);
+            targets_raw.push(target);
         }
         let stats = TargetStats::from_targets(&targets_raw);
-        Self { dim, inputs, targets_raw, stats }
+        Self {
+            dim,
+            inputs,
+            targets_raw,
+            stats,
+        }
     }
 
     /// Number of pairs.
@@ -192,7 +225,10 @@ mod tests {
         assert_eq!(pairs.dim(), joint_dim(18));
         for i in 0..pairs.len() {
             let t = pairs.target_raw(i);
-            assert!(t.iter().all(|v| v.is_finite() && *v > 0.0), "bad target {t:?}");
+            assert!(
+                t.iter().all(|v| v.is_finite() && *v > 0.0),
+                "bad target {t:?}"
+            );
             // Architecture part: every layer row sums to ~1.
             let row = pairs.input_row(i);
             for l in 0..18 {

@@ -2,7 +2,6 @@
 //! normalization statistics.
 
 use hdx_nas::ops::OP_SET;
-use serde::{Deserialize, Serialize};
 
 /// Dimensionality of the joint estimator input for a plan with
 /// `num_layers` searchable layers: `6·L` architecture probabilities +
@@ -15,7 +14,7 @@ pub fn joint_dim(num_layers: usize) -> usize {
 ///
 /// The estimator regresses `(ln t − mean) / std` per metric; predictions
 /// are mapped back with [`TargetStats::denormalize_log`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TargetStats {
     /// Mean of `ln(metric)` per metric (latency, energy, area).
     pub mean: [f32; 3],
@@ -35,7 +34,11 @@ impl TargetStats {
         let mut mean = [0.0f32; 3];
         for t in targets {
             for m in 0..3 {
-                assert!(t[m] > 0.0, "from_targets: metric {m} must be positive, got {}", t[m]);
+                assert!(
+                    t[m] > 0.0,
+                    "from_targets: metric {m} must be positive, got {}",
+                    t[m]
+                );
                 mean[m] += (t[m] as f32).ln();
             }
         }
@@ -102,8 +105,9 @@ mod tests {
 
     #[test]
     fn stats_are_zero_mean_unit_std() {
-        let targets: Vec<[f64; 3]> =
-            (1..=100).map(|i| [i as f64, (i * 2) as f64, (i * 3) as f64]).collect();
+        let targets: Vec<[f64; 3]> = (1..=100)
+            .map(|i| [i as f64, (i * 2) as f64, (i * 3) as f64])
+            .collect();
         let stats = TargetStats::from_targets(&targets);
         let zs: Vec<[f32; 3]> = targets.iter().map(|t| stats.normalize(t)).collect();
         for m in 0..3 {

@@ -5,14 +5,13 @@ use crate::dataset::PairSet;
 use crate::encode::{joint_dim, TargetStats};
 use hdx_nas::NetworkPlan;
 use hdx_tensor::{Adam, Binding, ParamStore, ResidualMlp, Rng, Tape, Tensor, Var};
-use serde::{Deserialize, Serialize};
 
 /// Estimator hyper-parameters.
 ///
 /// The paper pre-trains for 200 epochs with batch 256 and Adam 1e-4 on
 /// 10.8 M pairs; the defaults here are scaled to the CPU budget (the
 /// training-set size is chosen by the caller via [`PairSet::sample`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimatorConfig {
     /// Hidden width of the residual MLP.
     pub hidden: usize,
@@ -24,11 +23,22 @@ pub struct EstimatorConfig {
     pub batch: usize,
     /// Adam learning rate.
     pub lr: f32,
+    /// Worker threads for sharded batch gradients and evaluation
+    /// (`0` = auto, `1` = sequential). Results are bit-identical at
+    /// every worker count; see [`Estimator::train`].
+    pub jobs: usize,
 }
 
 impl Default for EstimatorConfig {
     fn default() -> Self {
-        Self { hidden: 64, depth: 5, epochs: 25, batch: 256, lr: 1e-3 }
+        Self {
+            hidden: 64,
+            depth: 5,
+            epochs: 25,
+            batch: 256,
+            lr: 1e-3,
+            jobs: 0,
+        }
     }
 }
 
@@ -53,7 +63,10 @@ impl Estimator {
             input_dim,
             params,
             mlp,
-            stats: TargetStats { mean: [0.0; 3], std: [1.0; 3] },
+            stats: TargetStats {
+                mean: [0.0; 3],
+                std: [1.0; 3],
+            },
         }
     }
 
@@ -70,13 +83,28 @@ impl Estimator {
     /// Pre-trains on a pair set (Adam, MSE in z-scored log space) and
     /// returns the final epoch's mean training loss.
     ///
+    /// Each minibatch gradient is computed as a weighted sum over
+    /// fixed-size microbatch shards (see [`Estimator::batch_gradients`]),
+    /// fanned out over [`EstimatorConfig::jobs`] worker threads. The
+    /// shard decomposition is independent of the worker count, and the
+    /// shard results are merged in shard order, so training is
+    /// **bit-identical** at every worker count: only the optimizer's
+    /// (single-threaded) update consumes the merged gradient.
+    ///
     /// # Panics
     ///
     /// Panics if `pairs` is empty or its dimension mismatches.
     pub fn train(&mut self, pairs: &PairSet, rng: &mut Rng) -> f32 {
         assert!(!pairs.is_empty(), "train: empty pair set");
-        assert_eq!(pairs.dim(), self.input_dim, "train: pair dimension mismatch");
+        assert_eq!(
+            pairs.dim(),
+            self.input_dim,
+            "train: pair dimension mismatch"
+        );
         self.stats = *pairs.stats();
+        // Resolve the worker-count policy (env read, CPU probe) once per
+        // training run, not once per minibatch.
+        let jobs = hdx_tensor::num_jobs(self.cfg.jobs);
         let mut opt = Adam::new(self.cfg.lr);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut last_epoch_loss = f32::NAN;
@@ -85,22 +113,73 @@ impl Estimator {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(self.cfg.batch) {
-                let (x, t) = pairs.batch(chunk);
-                let mut tape = Tape::new();
-                let binding = self.params.bind(&mut tape);
-                let xv = tape.leaf(x);
-                let tv = tape.leaf(t);
-                let pred = self.mlp.forward(&mut tape, &binding, xv);
-                let loss = tape.mse(pred, tv);
-                epoch_loss += tape.value(loss).item();
+                let (loss, grads) = self.batch_gradients(pairs, chunk, jobs);
+                epoch_loss += loss;
                 batches += 1;
-                let grads = tape.backward(loss);
-                let collected = binding.gradients(&grads);
-                opt.step(&mut self.params, &collected);
+                opt.step(&mut self.params, &grads);
             }
             last_epoch_loss = epoch_loss / batches.max(1) as f32;
         }
         last_epoch_loss
+    }
+
+    /// Rows per microbatch shard of one gradient step. Fixed (not
+    /// derived from the worker count) so the shard decomposition — and
+    /// with it every floating-point sum — is the same no matter how
+    /// many threads execute the shards.
+    const SHARD_ROWS: usize = 32;
+
+    /// Loss and parameter gradients of one minibatch.
+    ///
+    /// The minibatch is split into [`Self::SHARD_ROWS`]-row shards;
+    /// each shard runs forward/backward on its own [`Tape`] against the
+    /// shared frozen parameters, and the per-shard results are merged
+    /// sequentially in shard order, each weighted by its row fraction
+    /// (`mse` averages over elements, so the weighted sum equals the
+    /// full-batch objective). `jobs` must already be resolved to a
+    /// concrete worker count by the caller.
+    fn batch_gradients(
+        &self,
+        pairs: &PairSet,
+        chunk: &[usize],
+        jobs: usize,
+    ) -> (f32, Vec<Option<Tensor>>) {
+        let shards: Vec<&[usize]> = chunk.chunks(Self::SHARD_ROWS).collect();
+        let results = hdx_tensor::parallel_map(&shards, jobs, |_, shard| {
+            let (x, t) = pairs.batch(shard);
+            let mut tape = Tape::new();
+            let binding = self.params.bind(&mut tape);
+            let xv = tape.leaf(x);
+            let tv = tape.leaf(t);
+            let pred = self.mlp.forward(&mut tape, &binding, xv);
+            let loss = tape.mse(pred, tv);
+            let value = tape.value(loss).item();
+            let grads = tape.backward(loss);
+            (value, binding.gradients(&grads), shard.len())
+        });
+
+        let n = chunk.len() as f32;
+        let mut total_loss = 0.0f32;
+        let mut merged: Vec<Option<Tensor>> = vec![None; self.params.len()];
+        for (value, grads, rows) in results {
+            let w = rows as f32 / n;
+            total_loss += w * value;
+            for (slot, g) in merged.iter_mut().zip(grads) {
+                let Some(mut g) = g else { continue };
+                for v in g.data_mut() {
+                    *v *= w;
+                }
+                match slot {
+                    Some(acc) => {
+                        for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                            *a += b;
+                        }
+                    }
+                    None => *slot = Some(g),
+                }
+            }
+        }
+        (total_loss, merged)
     }
 
     /// Binds the (frozen) estimator weights onto a tape.
@@ -139,7 +218,11 @@ impl Estimator {
     ///
     /// Panics if `input.len() != self.input_dim()`.
     pub fn predict_raw(&self, input: &[f32]) -> [f64; 3] {
-        assert_eq!(input.len(), self.input_dim, "predict_raw: input dimension mismatch");
+        assert_eq!(
+            input.len(),
+            self.input_dim,
+            "predict_raw: input dimension mismatch"
+        );
         let mut tape = Tape::new();
         let binding = self.bind(&mut tape);
         let xv = tape.leaf(Tensor::from_vec(input.to_vec(), &[1, self.input_dim]));
@@ -156,15 +239,13 @@ impl Estimator {
     /// error on **all three** metrics (the paper reports estimator
     /// "accuracy" > 99 %).
     pub fn within_tolerance(&self, pairs: &PairSet, tol: f64) -> f64 {
-        let mut ok = 0usize;
-        for i in 0..pairs.len() {
+        let indices: Vec<usize> = (0..pairs.len()).collect();
+        let hits = hdx_tensor::parallel_map(&indices, self.cfg.jobs, |_, &i| {
             let pred = self.predict_raw(pairs.input_row(i));
             let truth = pairs.target_raw(i);
-            let all_close = (0..3).all(|m| (pred[m] - truth[m]).abs() / truth[m] <= tol);
-            if all_close {
-                ok += 1;
-            }
-        }
+            (0..3).all(|m| (pred[m] - truth[m]).abs() / truth[m] <= tol)
+        });
+        let ok = hits.into_iter().filter(|h| *h).count();
         ok as f64 / pairs.len().max(1) as f64
     }
 }
@@ -177,7 +258,11 @@ mod tests {
     #[test]
     fn untrained_estimator_has_identity_stats() {
         let mut rng = Rng::new(0);
-        let est = Estimator::new(&NetworkPlan::cifar18(), EstimatorConfig::default(), &mut rng);
+        let est = Estimator::new(
+            &NetworkPlan::cifar18(),
+            EstimatorConfig::default(),
+            &mut rng,
+        );
         assert_eq!(est.stats().mean, [0.0; 3]);
         assert_eq!(est.input_dim(), 114);
     }
@@ -187,7 +272,12 @@ mod tests {
         let plan = NetworkPlan::cifar18();
         let mut rng = Rng::new(1);
         let pairs = PairSet::sample(&plan, 1200, &mut rng);
-        let cfg = EstimatorConfig { epochs: 40, batch: 64, lr: 3e-3, ..Default::default() };
+        let cfg = EstimatorConfig {
+            epochs: 40,
+            batch: 64,
+            lr: 3e-3,
+            ..Default::default()
+        };
         let mut est = Estimator::new(&plan, cfg, &mut rng);
         let acc_before = est.within_tolerance(&pairs, 0.10);
         let final_loss = est.train(&pairs, &mut rng);
@@ -206,7 +296,10 @@ mod tests {
         let pairs = PairSet::sample(&plan, 200, &mut rng);
         let mut est = Estimator::new(
             &plan,
-            EstimatorConfig { epochs: 3, ..Default::default() },
+            EstimatorConfig {
+                epochs: 3,
+                ..Default::default()
+            },
             &mut rng,
         );
         est.train(&pairs, &mut rng);
@@ -225,7 +318,11 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn predict_raw_rejects_wrong_dim() {
         let mut rng = Rng::new(3);
-        let est = Estimator::new(&NetworkPlan::cifar18(), EstimatorConfig::default(), &mut rng);
+        let est = Estimator::new(
+            &NetworkPlan::cifar18(),
+            EstimatorConfig::default(),
+            &mut rng,
+        );
         let _ = est.predict_raw(&[0.0; 10]);
     }
 }

@@ -28,7 +28,11 @@ impl Generator {
         let input_dim = plan.num_layers() * OP_SET.len();
         let mut params = ParamStore::new();
         let mlp = ResidualMlp::new(&mut params, input_dim, 48, 6, 5, rng);
-        Self { input_dim, params, mlp }
+        Self {
+            input_dim,
+            params,
+            mlp,
+        }
     }
 
     /// Input dimensionality (`6·L`).
@@ -74,7 +78,12 @@ impl Generator {
     ///
     /// Panics if `features.len() != 6`.
     pub fn decode(features: &[f32]) -> AccelConfig {
-        assert_eq!(features.len(), 6, "decode: expected 6 features, got {}", features.len());
+        assert_eq!(
+            features.len(),
+            6,
+            "decode: expected 6 features, got {}",
+            features.len()
+        );
         let arr: [f32; 6] = features.try_into().expect("length checked");
         AccelConfig::decode(&arr)
     }
@@ -134,7 +143,10 @@ mod tests {
         let space = SearchSpace::paper();
         for op in 0..6 {
             let cfg = generator.propose(&Architecture::uniform(18, op).one_hot());
-            assert!(space.enumerate().contains(&cfg), "proposed {cfg} not in space");
+            assert!(
+                space.enumerate().contains(&cfg),
+                "proposed {cfg} not in space"
+            );
         }
     }
 
@@ -145,7 +157,10 @@ mod tests {
         let generator = Generator::new(&plan, &mut rng);
         let mut tape = Tape::new();
         let binding = generator.bind(&mut tape);
-        let enc = tape.leaf(Tensor::from_vec(Architecture::uniform(18, 0).one_hot(), &[1, 108]));
+        let enc = tape.leaf(Tensor::from_vec(
+            Architecture::uniform(18, 0).one_hot(),
+            &[1, 108],
+        ));
         let out = generator.forward(&mut tape, &binding, enc);
         let loss = tape.sum(out);
         let grads = tape.backward(loss);

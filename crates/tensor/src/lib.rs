@@ -28,12 +28,14 @@
 
 pub mod nn;
 pub mod optim;
+pub mod par;
 pub mod rng;
 pub mod tape;
 pub mod tensor;
 
 pub use nn::{Binding, Linear, ParamId, ParamStore, ResidualMlp};
 pub use optim::{Adam, CosineLr, Sgd};
+pub use par::{num_jobs, parallel_map};
 pub use rng::Rng;
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -47,7 +47,9 @@ pub struct ParamStore {
 impl ParamStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Self { tensors: Vec::new() }
+        Self {
+            tensors: Vec::new(),
+        }
     }
 
     /// Registers a parameter tensor and returns its id.
@@ -97,7 +99,10 @@ impl ParamStore {
 
     /// Iterates over `(id, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
-        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), t))
     }
 
     /// The [`ParamId`] for the parameter at allocation index `index`.
@@ -192,10 +197,20 @@ pub struct Linear {
 
 impl Linear {
     /// Allocates a linear layer in `params` with Kaiming init.
-    pub fn new(params: &mut ParamStore, in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        params: &mut ParamStore,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let weight = params.alloc(kaiming(in_features, out_features, rng));
         let bias = params.alloc(Tensor::zeros(&[1, out_features]));
-        Self { weight, bias, in_features, out_features }
+        Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
     }
 
     /// Input feature count.
@@ -252,7 +267,11 @@ impl ResidualMlp {
             .map(|_| Linear::new(params, hidden_features, hidden_features, rng))
             .collect();
         let output = Linear::new(params, hidden_features, out_features, rng);
-        Self { input, hidden, output }
+        Self {
+            input,
+            hidden,
+            output,
+        }
     }
 
     /// Number of layers (input + hidden + output).

@@ -60,7 +60,12 @@ impl Sgd {
     /// Creates an optimizer; the paper's final-training settings are
     /// `Sgd::new(0.9, true, 1e-3)`.
     pub fn new(momentum: f32, nesterov: bool, weight_decay: f32) -> Self {
-        Self { momentum, nesterov, weight_decay, velocity: Vec::new() }
+        Self {
+            momentum,
+            nesterov,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Plain SGD without momentum or decay.
@@ -77,7 +82,11 @@ impl Sgd {
     ///
     /// Panics if `grads.len()` differs from the number of parameters.
     pub fn step(&mut self, params: &mut ParamStore, grads: &[Option<Tensor>], lr: f32) {
-        assert_eq!(grads.len(), params.len(), "Sgd::step: gradient/parameter count mismatch");
+        assert_eq!(
+            grads.len(),
+            params.len(),
+            "Sgd::step: gradient/parameter count mismatch"
+        );
         if self.velocity.len() != params.len() {
             self.velocity = vec![None; params.len()];
         }
@@ -89,8 +98,7 @@ impl Sgd {
                 g.add_scaled_assign(params.get(id), self.weight_decay);
             }
             if self.momentum != 0.0 {
-                let v = self.velocity[i]
-                    .get_or_insert_with(|| Tensor::zeros(g.shape()));
+                let v = self.velocity[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
                 // v ← μ·v + g
                 *v = v.scale(self.momentum);
                 v.add_scaled_assign(&g, 1.0);
@@ -122,7 +130,15 @@ impl Adam {
     /// Creates an Adam optimizer with the given learning rate and the
     /// standard defaults β1 = 0.9, β2 = 0.999, ε = 1e-8.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step_count: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The configured learning rate.
@@ -141,7 +157,11 @@ impl Adam {
     ///
     /// Panics if `grads.len()` differs from the number of parameters.
     pub fn step(&mut self, params: &mut ParamStore, grads: &[Option<Tensor>]) {
-        assert_eq!(grads.len(), params.len(), "Adam::step: gradient/parameter count mismatch");
+        assert_eq!(
+            grads.len(),
+            params.len(),
+            "Adam::step: gradient/parameter count mismatch"
+        );
         if self.m.len() != params.len() {
             self.m = vec![None; params.len()];
             self.v = vec![None; params.len()];

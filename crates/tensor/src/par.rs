@@ -1,0 +1,156 @@
+//! Deterministic scoped-thread data parallelism.
+//!
+//! The container builds offline with no third-party crates, so this
+//! module provides the tiny slice of rayon the workspace needs:
+//! [`parallel_map`], an index-preserving parallel map over a slice, and
+//! [`num_jobs`], the worker-count policy (the `--jobs`-style knob).
+//!
+//! Determinism is the contract that matters here: every consumer of
+//! this module (the exhaustive accelerator search, estimator pair
+//! labelling, sharded pre-training) must produce **bit-identical**
+//! results at any worker count. `parallel_map` guarantees that by
+//! construction — each element's closure sees only its own input, and
+//! results are written to the element's own output slot, so the merge
+//! order is the input order regardless of which thread ran what.
+//!
+//! # Example
+//!
+//! ```
+//! use hdx_tensor::par::parallel_map;
+//!
+//! let squares = parallel_map(&[1u64, 2, 3, 4], 2, |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+/// Resolves a `jobs` knob to a concrete worker count.
+///
+/// `0` means "auto": the `HDX_JOBS` environment variable if set and
+/// positive, otherwise [`std::thread::available_parallelism`]. Any
+/// positive value is taken as-is.
+pub fn num_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        return jobs;
+    }
+    if let Some(env) = std::env::var("HDX_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if env > 0 {
+            return env;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f(index, &item)` over `items` on up to `jobs` worker threads
+/// (resolved through [`num_jobs`]), returning outputs in input order.
+///
+/// The items are split into `jobs` contiguous chunks, one scoped thread
+/// per chunk; with one worker (or few items) everything runs on the
+/// calling thread. Because each element is evaluated independently and
+/// lands in its own output slot, the result is bit-identical for every
+/// worker count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = num_jobs(jobs).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(workers);
+
+    std::thread::scope(|scope| {
+        let mut out_rest: &mut [Option<U>] = &mut out;
+        let mut base = 0usize;
+        let f = &f;
+        for item_chunk in items.chunks(chunk) {
+            let (out_chunk, rest) = out_rest.split_at_mut(item_chunk.len());
+            out_rest = rest;
+            let start = base;
+            base += item_chunk.len();
+            scope.spawn(move || {
+                for (off, (slot, item)) in out_chunk.iter_mut().zip(item_chunk).enumerate() {
+                    *slot = Some(f(start + off, item));
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn maps_in_order_at_every_worker_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(&items, jobs, |_, x| x * 3 + 1),
+                expect,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn passes_true_indices() {
+        let items = vec![10u32; 40];
+        let got = parallel_map(&items, 4, |i, _| i);
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u8> = parallel_map(&[] as &[u8], 4, |_, x| *x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_asked() {
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(&items, 4, |_, _| {
+            seen.lock()
+                .expect("no poison")
+                .insert(std::thread::current().id());
+            // Keep workers alive long enough to overlap.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!(
+            seen.lock().expect("no poison").len() > 1,
+            "expected >1 worker thread"
+        );
+    }
+
+    #[test]
+    fn jobs_one_stays_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let items = [1u8, 2, 3];
+        let ids = parallel_map(&items, 1, |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn num_jobs_policy() {
+        assert_eq!(num_jobs(3), 3);
+        assert!(num_jobs(0) >= 1);
+    }
+}

@@ -198,7 +198,10 @@ mod tests {
         let mean: f32 = samples.iter().sum::<f32>() / n as f32;
         let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.02, "normal mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.05, "normal variance {var} too far from 1");
+        assert!(
+            (var - 1.0).abs() < 0.05,
+            "normal variance {var} too far from 1"
+        );
     }
 
     #[test]

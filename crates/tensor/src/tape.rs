@@ -55,13 +55,23 @@ enum Op {
     Mean(Var),
     SoftmaxRows(Var),
     LogSoftmaxRows(Var),
-    CrossEntropyLogits { logits: Var, targets: Vec<usize> },
+    CrossEntropyLogits {
+        logits: Var,
+        targets: Vec<usize>,
+    },
     Mse(Var, Var),
     ConcatCols(Vec<Var>),
-    SliceCols { input: Var, start: usize, end: usize },
+    SliceCols {
+        input: Var,
+        start: usize,
+        end: usize,
+    },
     Dot(Var, Var),
     NormSq(Var),
-    MulScalarVar { x: Var, s: Var },
+    MulScalarVar {
+        x: Var,
+        s: Var,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -87,7 +97,9 @@ impl Gradients {
 
     /// Gradient with respect to `var`, or a zero tensor of `shape`.
     pub fn wrt_or_zeros(&self, var: Var, shape: &[usize]) -> Tensor {
-        self.wrt(var).cloned().unwrap_or_else(|| Tensor::zeros(shape))
+        self.wrt(var)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(shape))
     }
 }
 
@@ -289,7 +301,12 @@ impl Tape {
         let xv = self.value(x);
         let bv = self.value(bias);
         let (m, n) = (xv.rows(), xv.cols());
-        assert_eq!(bv.shape(), &[1, n], "add_bias: bias must be [1,{n}], got {:?}", bv.shape());
+        assert_eq!(
+            bv.shape(),
+            &[1, n],
+            "add_bias: bias must be [1,{n}], got {:?}",
+            bv.shape()
+        );
         let mut out = xv.clone();
         for i in 0..m {
             for j in 0..n {
@@ -341,7 +358,12 @@ impl Tape {
     pub fn cross_entropy_logits(&mut self, logits: Var, targets: &[usize]) -> Var {
         let lv = self.value(logits);
         let (m, n) = (lv.rows(), lv.cols());
-        assert_eq!(targets.len(), m, "cross_entropy_logits: {} targets for batch {m}", targets.len());
+        assert_eq!(
+            targets.len(),
+            m,
+            "cross_entropy_logits: {} targets for batch {m}",
+            targets.len()
+        );
         let probs = lv.softmax_rows();
         let mut loss = 0.0;
         for (i, &t) in targets.iter().enumerate() {
@@ -349,7 +371,13 @@ impl Tape {
             loss -= probs.at(i, t).max(1e-30).ln();
         }
         let v = Tensor::scalar(loss / m as f32);
-        self.push(Op::CrossEntropyLogits { logits, targets: targets.to_vec() }, v)
+        self.push(
+            Op::CrossEntropyLogits {
+                logits,
+                targets: targets.to_vec(),
+            },
+            v,
+        )
     }
 
     /// Mean squared error between two same-shape tensors (scalar).
@@ -378,7 +406,12 @@ impl Tape {
         let mut col = 0;
         for &p in parts {
             let pv = self.value(p);
-            assert_eq!(pv.rows(), m, "concat_cols: row mismatch {} vs {m}", pv.rows());
+            assert_eq!(
+                pv.rows(),
+                m,
+                "concat_cols: row mismatch {} vs {m}",
+                pv.rows()
+            );
             for i in 0..m {
                 for j in 0..pv.cols() {
                     out.set(i, col + j, pv.at(i, j));
@@ -397,7 +430,10 @@ impl Tape {
     pub fn slice_cols(&mut self, input: Var, start: usize, end: usize) -> Var {
         let iv = self.value(input);
         let (m, n) = (iv.rows(), iv.cols());
-        assert!(start <= end && end <= n, "slice_cols: invalid range {start}..{end} of {n}");
+        assert!(
+            start <= end && end <= n,
+            "slice_cols: invalid range {start}..{end} of {n}"
+        );
         let mut out = Tensor::zeros(&[m, end - start]);
         for i in 0..m {
             for j in start..end {
@@ -437,6 +473,104 @@ impl Tape {
         self.push(Op::MulScalarVar { x, s }, v)
     }
 
+    /// Names of every differentiable [`Op`] variant, for the gradcheck
+    /// coverage test.
+    ///
+    /// The enforcement this provides: `name_of` is an **exhaustive**
+    /// match, so adding an `Op` variant fails to compile here until the
+    /// variant is named, and once the matching entry is added to the
+    /// `samples` array three lines below, the new name makes
+    /// `registry_covers_the_tape_surface` in [`crate::gradcheck`] fail
+    /// until a finite-difference case for the op is registered. The
+    /// `samples` array is the one sync point the compiler cannot check
+    /// — it lives directly under the match on purpose; extend both
+    /// together.
+    #[cfg(test)]
+    pub(crate) fn differentiable_op_names() -> Vec<&'static str> {
+        fn name_of(op: &Op) -> Option<&'static str> {
+            Some(match op {
+                Op::Leaf => return None,
+                Op::Add(..) => "add",
+                Op::Sub(..) => "sub",
+                Op::Mul(..) => "mul",
+                Op::Div(..) => "div",
+                Op::Neg(..) => "neg",
+                Op::Scale(..) => "scale",
+                Op::AddScalar(..) => "add_scalar",
+                Op::Relu(..) => "relu",
+                Op::LeakyRelu(..) => "leaky_relu",
+                Op::Sigmoid(..) => "sigmoid",
+                Op::Tanh(..) => "tanh",
+                Op::Exp(..) => "exp",
+                Op::Ln(..) => "ln",
+                Op::Square(..) => "square",
+                Op::ClampMin(..) => "clamp_min",
+                Op::MatMul(..) => "matmul",
+                Op::Transpose(..) => "transpose",
+                Op::AddBias(..) => "add_bias",
+                Op::Sum(..) => "sum",
+                Op::Mean(..) => "mean",
+                Op::SoftmaxRows(..) => "softmax_rows",
+                Op::LogSoftmaxRows(..) => "log_softmax_rows",
+                Op::CrossEntropyLogits { .. } => "cross_entropy_logits",
+                Op::Mse(..) => "mse",
+                Op::ConcatCols(..) => "concat_cols",
+                Op::SliceCols { .. } => "slice_cols",
+                Op::Dot(..) => "dot",
+                Op::NormSq(..) => "norm_sq",
+                Op::MulScalarVar { .. } => "mul_scalar_var",
+            })
+        }
+        let v = Var(0);
+        let samples = [
+            Op::Leaf,
+            Op::Add(v, v),
+            Op::Sub(v, v),
+            Op::Mul(v, v),
+            Op::Div(v, v),
+            Op::Neg(v),
+            Op::Scale(v, 1.0),
+            Op::AddScalar(v),
+            Op::Relu(v),
+            Op::LeakyRelu(v, 0.1),
+            Op::Sigmoid(v),
+            Op::Tanh(v),
+            Op::Exp(v),
+            Op::Ln(v),
+            Op::Square(v),
+            Op::ClampMin(v, 0.0),
+            Op::MatMul(v, v),
+            Op::Transpose(v),
+            Op::AddBias(v, v),
+            Op::Sum(v),
+            Op::Mean(v),
+            Op::SoftmaxRows(v),
+            Op::LogSoftmaxRows(v),
+            Op::CrossEntropyLogits {
+                logits: v,
+                targets: Vec::new(),
+            },
+            Op::Mse(v, v),
+            Op::ConcatCols(Vec::new()),
+            Op::SliceCols {
+                input: v,
+                start: 0,
+                end: 0,
+            },
+            Op::Dot(v, v),
+            Op::NormSq(v),
+            Op::MulScalarVar { x: v, s: v },
+        ];
+        let names: Vec<&'static str> = samples.iter().filter_map(name_of).collect();
+        let unique: std::collections::BTreeSet<_> = names.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            names.len(),
+            "duplicate sample in differentiable_op_names"
+        );
+        names
+    }
+
     /// Runs reverse-mode differentiation from the scalar `output`.
     ///
     /// # Panics
@@ -462,11 +596,9 @@ impl Tape {
 
     fn accumulate_parents(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
         let node = &self.nodes[idx];
-        let mut acc = |var: Var, contrib: Tensor| {
-            match &mut grads[var.0] {
-                Some(existing) => existing.add_scaled_assign(&contrib, 1.0),
-                slot @ None => *slot = Some(contrib),
-            }
+        let mut acc = |var: Var, contrib: Tensor| match &mut grads[var.0] {
+            Some(existing) => existing.add_scaled_assign(&contrib, 1.0),
+            slot @ None => *slot = Some(contrib),
         };
         match &node.op {
             Op::Leaf => {}
@@ -501,7 +633,10 @@ impl Tape {
             Op::LeakyRelu(a, slope) => {
                 let av = self.value(*a);
                 let s = *slope;
-                acc(*a, g.zip(av, move |gi, ai| if ai > 0.0 { gi } else { s * gi }));
+                acc(
+                    *a,
+                    g.zip(av, move |gi, ai| if ai > 0.0 { gi } else { s * gi }),
+                );
             }
             Op::Sigmoid(a) => {
                 let y = &node.value;
@@ -690,7 +825,12 @@ mod tests {
         assert_eq!(g.wrt(a).unwrap().shape(), &[2, 3]);
         assert_eq!(g.wrt(b).unwrap().shape(), &[3, 4]);
         // d(sum(A·B))/dA = 1·Bᵀ = rowsums of B = 4 for all-ones B
-        assert!(g.wrt(a).unwrap().data().iter().all(|&x| (x - 4.0).abs() < 1e-6));
+        assert!(g
+            .wrt(a)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&x| (x - 4.0).abs() < 1e-6));
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Tensor {
             shape,
             expected
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a `[1, 1]` scalar tensor.
@@ -128,7 +131,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn rows(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "rows: tensor is not 2-D: {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "rows: tensor is not 2-D: {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
@@ -138,7 +146,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn cols(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "cols: tensor is not 2-D: {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "cols: tensor is not 2-D: {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -159,7 +172,10 @@ impl Tensor {
     /// Panics if out of bounds or not 2-D.
     pub fn at(&self, r: usize, c: usize) -> f32 {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(r < rows && c < cols, "at: index ({r},{c}) out of bounds ({rows},{cols})");
+        assert!(
+            r < rows && c < cols,
+            "at: index ({r},{c}) out of bounds ({rows},{cols})"
+        );
         self.data[r * cols + c]
     }
 
@@ -170,7 +186,10 @@ impl Tensor {
     /// Panics if out of bounds or not 2-D.
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(r < rows && c < cols, "set: index ({r},{c}) out of bounds ({rows},{cols})");
+        assert!(
+            r < rows && c < cols,
+            "set: index ({r},{c}) out of bounds ({rows},{cols})"
+        );
         self.data[r * cols + c] = value;
     }
 
@@ -196,7 +215,11 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         self.assert_same_shape(other, "zip");
         Tensor::from_vec(
-            self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             &self.shape,
         )
     }
@@ -291,7 +314,11 @@ impl Tensor {
             self.len(),
             other.len()
         );
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Matrix product `self · other` for 2-D tensors `[m,k] × [k,n]`.
@@ -385,7 +412,10 @@ impl Tensor {
     /// Panics if the range is invalid.
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         let (m, n) = (self.rows(), self.cols());
-        assert!(start <= end && end <= m, "slice_rows: invalid range {start}..{end} of {m}");
+        assert!(
+            start <= end && end <= m,
+            "slice_rows: invalid range {start}..{end} of {m}"
+        );
         Tensor::from_vec(self.data[start * n..end * n].to_vec(), &[end - start, n])
     }
 

@@ -8,7 +8,9 @@
 //! cargo run --release --example constrained_codesign
 //! ```
 
-use hdx_core::{prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task};
+use hdx_core::{
+    prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task,
+};
 
 fn main() {
     let constraint = Constraint::fps(60.0);
@@ -17,12 +19,20 @@ fn main() {
         Task::Cifar,
         1,
         4_000,
-        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 25,
+            batch: 128,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     let ctx = prepared.context();
 
     let hdx = SearchOptions {
-        method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        method: Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        },
         constraints: vec![constraint],
         seed: 11,
         ..SearchOptions::default()
@@ -40,7 +50,10 @@ fn main() {
     println!("running DANCE + soft constraint ...");
     let r_soft = run_search(&ctx, &dance_soft);
 
-    println!("\n{:<16} {:>10} {:>8} {:>9} {:>8}", "method", "latency", "in?", "error", "CostHW");
+    println!(
+        "\n{:<16} {:>10} {:>8} {:>9} {:>8}",
+        "method", "latency", "in?", "error", "CostHW"
+    );
     for (name, r) in [("HDX", &r_hdx), ("DANCE+Soft", &r_soft)] {
         println!(
             "{:<16} {:>8.2}ms {:>8} {:>8.2}% {:>8.2}",

@@ -13,9 +13,9 @@ use hdx_core::{
 
 fn main() {
     let constraints = vec![
-        Constraint::fps(25.0),                  // 40 ms latency budget
-        Constraint::new(Metric::Energy, 30.0),  // 30 mJ per inference
-        Constraint::new(Metric::Area, 2.3),     // 2.3 mm^2 silicon budget
+        Constraint::fps(25.0),                 // 40 ms latency budget
+        Constraint::new(Metric::Energy, 30.0), // 30 mJ per inference
+        Constraint::new(Metric::Area, 2.3),    // 2.3 mm^2 silicon budget
     ];
     println!("== multi-constraint co-design ==");
     for c in &constraints {
@@ -26,10 +26,18 @@ fn main() {
         Task::Cifar,
         2,
         4_000,
-        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 25,
+            batch: 128,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     let opts = SearchOptions {
-        method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        method: Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        },
         constraints: constraints.clone(),
         seed: 21,
         ..SearchOptions::default()

@@ -6,23 +6,40 @@
 //! cargo run --release --example pareto_sweep
 //! ```
 
-use hdx_core::{prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task};
+use hdx_core::{
+    prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task,
+};
 
 fn main() {
     let prepared = prepare_context_with(
         Task::Cifar,
         3,
         4_000,
-        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 25,
+            batch: 128,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     let ctx = prepared.context();
     let lambdas = [0.001, 0.003, 0.005];
 
-    println!("{:<8} {:>8} {:>10} {:>9} {:>9} {:>6}", "method", "lambda", "latency", "CostHW", "error", "in?");
+    println!(
+        "{:<8} {:>8} {:>10} {:>9} {:>9} {:>6}",
+        "method", "lambda", "latency", "CostHW", "error", "in?"
+    );
     for &lambda in &lambdas {
         for (name, method, constraints) in [
             ("DANCE", Method::Dance, vec![]),
-            ("HDX", Method::Hdx { delta0: 1e-3, p: 1e-2 }, vec![Constraint::fps(30.0)]),
+            (
+                "HDX",
+                Method::Hdx {
+                    delta0: 1e-3,
+                    p: 1e-2,
+                },
+                vec![Constraint::fps(30.0)],
+            ),
         ] {
             let opts = SearchOptions {
                 method,

@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hdx_core::{prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task};
+use hdx_core::{
+    prepare_context_with, run_search, Constraint, EstimatorConfig, Method, SearchOptions, Task,
+};
 
 fn main() {
     println!("== HDX quickstart: 30 fps (33.3 ms) hard latency constraint ==");
@@ -14,7 +16,12 @@ fn main() {
         Task::Cifar,
         0,
         4_000,
-        EstimatorConfig { epochs: 25, batch: 128, lr: 2e-3, ..Default::default() },
+        EstimatorConfig {
+            epochs: 25,
+            batch: 128,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     println!(
         "estimator ready: within-10% accuracy {:.1}% on held-out pairs",
@@ -23,18 +30,27 @@ fn main() {
 
     let constraint = Constraint::fps(30.0);
     let opts = SearchOptions {
-        method: Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        method: Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        },
         constraints: vec![constraint],
         ..SearchOptions::default()
     };
-    println!("searching ({} epochs x {} steps) ...", opts.epochs, opts.steps_per_epoch);
+    println!(
+        "searching ({} epochs x {} steps) ...",
+        opts.epochs, opts.steps_per_epoch
+    );
     let result = run_search(&prepared.context(), &opts);
 
     println!("\n-- solution --------------------------------------------");
     println!("network     : {}", result.architecture);
     println!("accelerator : {}", result.accel);
     println!("metrics     : {}", result.metrics);
-    println!("constraint  : {constraint}  ->  in-constraint: {}", result.in_constraint);
+    println!(
+        "constraint  : {constraint}  ->  in-constraint: {}",
+        result.in_constraint
+    );
     println!("Cost_HW     : {:.2}", result.cost_hw);
     println!("test error  : {:.2}%", result.error * 100.0);
     println!("global loss : {:.3}", result.global_loss);

@@ -99,6 +99,9 @@ fn cost_weights_give_paper_scale_costs_across_space() {
         let arch = Architecture::random(18, &mut rng);
         let cfg = SearchSpace::paper().sample(&mut rng);
         let cost = weights.cost(&evaluate_network(&plan.layers_for(&arch), &cfg));
-        assert!((1.0..60.0).contains(&cost), "cost {cost} out of expected scale");
+        assert!(
+            (1.0..60.0).contains(&cost),
+            "cost {cost} out of expected scale"
+        );
     }
 }

@@ -1,0 +1,108 @@
+//! Parallel == sequential, bit for bit.
+//!
+//! The workspace's parallel evaluation paths (exhaustive accelerator
+//! search, estimator pair labelling, sharded estimator pre-training)
+//! promise results identical to a single-threaded run at any worker
+//! count. These tests pin that promise for seeds 0–2 — and verify the
+//! parallel path genuinely runs on more than one thread, so the
+//! equality is not vacuous.
+
+use hdx_accel::{exhaustive_search_jobs, CostWeights, Metric};
+use hdx_nas::{Architecture, NetworkPlan};
+use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
+use hdx_tensor::{parallel_map, Rng};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+const SEEDS: [u64; 3] = [0, 1, 2];
+const PAR_JOBS: usize = 4;
+
+#[test]
+fn parallel_map_actually_uses_multiple_threads() {
+    let seen = Mutex::new(HashSet::new());
+    let items: Vec<usize> = (0..256).collect();
+    parallel_map(&items, PAR_JOBS, |_, _| {
+        seen.lock()
+            .expect("no poison")
+            .insert(std::thread::current().id());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    });
+    let distinct = seen.lock().expect("no poison").len();
+    assert!(distinct > 1, "expected >1 worker thread, saw {distinct}");
+}
+
+#[test]
+fn exhaustive_search_is_thread_count_invariant() {
+    let plan = NetworkPlan::cifar18();
+    let weights = CostWeights::paper();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let layers = plan.layers_for(&Architecture::random(18, &mut rng));
+        for constraints in [vec![], vec![(Metric::Latency, 40.0), (Metric::Area, 2.6)]] {
+            let seq = exhaustive_search_jobs(&layers, &weights, &constraints, 1);
+            let par = exhaustive_search_jobs(&layers, &weights, &constraints, PAR_JOBS);
+            // SearchOutcome derives PartialEq over config + f64 metrics +
+            // f64 cost: equality here is exact, not approximate.
+            assert_eq!(seq, par, "seed {seed} constraints {constraints:?}");
+        }
+    }
+}
+
+#[test]
+fn pair_sampling_is_thread_count_invariant() {
+    let plan = NetworkPlan::cifar18();
+    for seed in SEEDS {
+        let seq = PairSet::sample_jobs(&plan, 120, &mut Rng::new(seed), 1);
+        let par = PairSet::sample_jobs(&plan, 120, &mut Rng::new(seed), PAR_JOBS);
+        assert_eq!(seq.len(), par.len(), "seed {seed}");
+        for i in 0..seq.len() {
+            assert_eq!(
+                seq.input_row(i),
+                par.input_row(i),
+                "seed {seed} pair {i} inputs"
+            );
+            assert_eq!(
+                seq.target_raw(i),
+                par.target_raw(i),
+                "seed {seed} pair {i} targets"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimator_pretraining_is_thread_count_invariant() {
+    let plan = NetworkPlan::cifar18();
+    for seed in SEEDS {
+        let train = |jobs: usize| {
+            let mut rng = Rng::new(seed);
+            let pairs = PairSet::sample_jobs(&plan, 400, &mut rng, jobs);
+            let cfg = EstimatorConfig {
+                epochs: 5,
+                batch: 96,
+                jobs,
+                ..Default::default()
+            };
+            let mut est = Estimator::new(&plan, cfg, &mut rng);
+            let loss = est.train(&pairs, &mut rng);
+            (est, pairs, loss)
+        };
+        let (est_seq, pairs, loss_seq) = train(1);
+        let (est_par, _, loss_par) = train(PAR_JOBS);
+        // f32 training loss must match exactly: the shard decomposition
+        // and merge order are worker-count independent by construction.
+        assert_eq!(loss_seq, loss_par, "seed {seed}: final losses diverged");
+        for i in (0..pairs.len()).step_by(37) {
+            assert_eq!(
+                est_seq.predict_raw(pairs.input_row(i)),
+                est_par.predict_raw(pairs.input_row(i)),
+                "seed {seed}: predictions diverged on pair {i}"
+            );
+        }
+        assert_eq!(
+            est_seq.within_tolerance(&pairs, 0.10),
+            est_par.within_tolerance(&pairs, 0.10),
+            "seed {seed}: accuracies diverged"
+        );
+    }
+}

@@ -3,8 +3,8 @@
 //! ground-truth evaluation → final retraining).
 
 use hdx_core::{
-    constrained_meta_search, prepare_context_with, run_search, Constraint, EstimatorConfig,
-    Method, Metric, PreparedContext, SearchOptions, Task,
+    constrained_meta_search, prepare_context_with, run_search, Constraint, EstimatorConfig, Method,
+    Metric, PreparedContext, SearchOptions, Task,
 };
 use std::sync::OnceLock;
 
@@ -15,7 +15,12 @@ fn ctx() -> &'static PreparedContext {
             Task::Cifar,
             42,
             2500,
-            EstimatorConfig { epochs: 20, batch: 128, lr: 2e-3, ..Default::default() },
+            EstimatorConfig {
+                epochs: 20,
+                batch: 128,
+                lr: 2e-3,
+                ..Default::default()
+            },
         )
     })
 }
@@ -37,10 +42,17 @@ fn hdx_end_to_end_satisfies_constraint_and_learns() {
     let constraint = Constraint::fps(30.0);
     let opts = SearchOptions {
         constraints: vec![constraint],
-        ..quick(Method::Hdx { delta0: 1e-3, p: 1e-2 })
+        ..quick(Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        })
     };
     let r = run_search(&prepared.context(), &opts);
-    assert!(r.in_constraint, "metrics {} vs target {}", r.metrics, constraint.target);
+    assert!(
+        r.in_constraint,
+        "metrics {} vs target {}",
+        r.metrics, constraint.target
+    );
     // The final network must be far better than chance (10 classes).
     assert!(r.error < 0.5, "final error {:.3}", r.error);
     // Ground truth is evaluated with the analytical model directly.
@@ -53,11 +65,16 @@ fn hdx_end_to_end_satisfies_constraint_and_learns() {
 fn hdx_handles_energy_and_area_constraints() {
     let prepared = ctx();
     // Targets picked inside the reachable range of the calibrated model.
-    let constraints =
-        vec![Constraint::new(Metric::Energy, 40.0), Constraint::new(Metric::Area, 2.4)];
+    let constraints = vec![
+        Constraint::new(Metric::Energy, 40.0),
+        Constraint::new(Metric::Area, 2.4),
+    ];
     let opts = SearchOptions {
         constraints: constraints.clone(),
-        ..quick(Method::Hdx { delta0: 1e-3, p: 1e-2 })
+        ..quick(Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        })
     };
     let r = run_search(&prepared.context(), &opts);
     for c in &constraints {
@@ -75,7 +92,10 @@ fn meta_search_needs_more_searches_for_dance_than_hdx() {
     let constraint = Constraint::fps(30.0);
     let hdx = constrained_meta_search(
         &prepared.context(),
-        &quick(Method::Hdx { delta0: 1e-3, p: 1e-2 }),
+        &quick(Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        }),
         constraint,
         6,
     );
@@ -96,14 +116,23 @@ fn all_methods_produce_valid_solutions() {
         Method::NasThenHw { lambda_macs: 0.02 },
         Method::AutoNba,
         Method::Dance,
-        Method::Hdx { delta0: 1e-3, p: 1e-2 },
+        Method::Hdx {
+            delta0: 1e-3,
+            p: 1e-2,
+        },
     ] {
         let r = run_search(&prepared.context(), &quick(method));
-        assert!(r.metrics.is_valid(), "{} produced invalid metrics", method.label());
+        assert!(
+            r.metrics.is_valid(),
+            "{} produced invalid metrics",
+            method.label()
+        );
         assert!(r.cost_hw > 0.0);
         assert_eq!(r.architecture.num_layers(), 18);
         assert!(
-            hdx_accel::SearchSpace::paper().enumerate().contains(&r.accel),
+            hdx_accel::SearchSpace::paper()
+                .enumerate()
+                .contains(&r.accel),
             "{} produced out-of-space config {}",
             method.label(),
             r.accel
@@ -114,7 +143,10 @@ fn all_methods_produce_valid_solutions() {
 #[test]
 fn searches_are_reproducible_for_fixed_seed() {
     let prepared = ctx();
-    let opts = quick(Method::Hdx { delta0: 1e-3, p: 1e-2 });
+    let opts = quick(Method::Hdx {
+        delta0: 1e-3,
+        p: 1e-2,
+    });
     let a = run_search(&prepared.context(), &opts);
     let b = run_search(&prepared.context(), &opts);
     assert_eq!(a.architecture, b.architecture);

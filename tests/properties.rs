@@ -1,122 +1,182 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-based tests on the core invariants.
+//!
+//! The container has no third-party property-testing crate, so these
+//! sweeps generate their random cases from the workspace's own seeded
+//! [`hdx_tensor::Rng`]: every case is reproducible from the printed
+//! seed, and each assertion message carries the generating seed so a
+//! failure pins down the offending input exactly.
 
 use hdx_accel::{evaluate_network, AccelConfig, Dataflow, MbConv, SearchSpace};
 use hdx_core::{manipulate, DeltaPolicy};
 use hdx_nas::{Architecture, NetworkPlan};
-use proptest::prelude::*;
+use hdx_tensor::Rng;
 
-fn arb_dataflow() -> impl Strategy<Value = Dataflow> {
-    prop_oneof![
-        Just(Dataflow::WeightStationary),
-        Just(Dataflow::OutputStationary),
-        Just(Dataflow::RowStationary),
-    ]
+const CASES: u64 = 48;
+
+fn random_dataflow(rng: &mut Rng) -> Dataflow {
+    Dataflow::from_index(rng.below(3))
 }
 
-fn arb_config() -> impl Strategy<Value = AccelConfig> {
-    (12usize..=20, 8usize..=24, prop_oneof![Just(16usize), Just(32), Just(64), Just(128), Just(256)], arb_dataflow())
-        .prop_map(|(r, c, rf, df)| AccelConfig::new(r, c, rf, df).expect("in-space"))
+fn random_config(rng: &mut Rng) -> AccelConfig {
+    SearchSpace::paper().sample(rng)
 }
 
-fn arb_arch() -> impl Strategy<Value = Architecture> {
-    proptest::collection::vec(0usize..6, 18).prop_map(Architecture::new)
+fn random_arch(rng: &mut Rng) -> Architecture {
+    Architecture::random(18, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_vec(rng: &mut Rng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform_in(lo, hi)).collect()
+}
 
-    /// Eq. 4 post-condition: after manipulation the applied gradient
-    /// never disagrees with the constraint direction.
-    #[test]
-    fn manipulated_gradient_never_disagrees(
-        g_loss in proptest::collection::vec(-10.0f32..10.0, 4..64),
-        seed_const in proptest::collection::vec(-10.0f32..10.0, 4..64),
-        delta in 0.0f32..1.0,
-    ) {
-        let n = g_loss.len().min(seed_const.len());
-        let gl = &g_loss[..n];
-        let gc = &seed_const[..n];
-        let m = manipulate(gl, gc, true, delta);
-        let dot: f32 = m.gradient.iter().zip(gc).map(|(a, b)| a * b).sum();
+/// Eq. 4 post-condition: after manipulation the applied gradient never
+/// disagrees with the constraint direction.
+#[test]
+fn manipulated_gradient_never_disagrees() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range_inclusive(4, 64);
+        let g_loss = random_vec(&mut rng, n, -10.0, 10.0);
+        let g_const = random_vec(&mut rng, n, -10.0, 10.0);
+        let delta = rng.uniform();
+        let m = manipulate(&g_loss, &g_const, true, delta);
+        let dot: f32 = m.gradient.iter().zip(&g_const).map(|(a, b)| a * b).sum();
         let scale = 1.0 + dot.abs();
-        prop_assert!(dot >= -1e-3 * scale, "dot {} after manipulation", dot);
+        assert!(
+            dot >= -1e-3 * scale,
+            "seed {seed}: dot {dot} after manipulation"
+        );
     }
+}
 
-    /// The manipulation is the identity when the constraint is met.
-    #[test]
-    fn manipulation_identity_when_satisfied(
-        g_loss in proptest::collection::vec(-10.0f32..10.0, 4..32),
-        g_const in proptest::collection::vec(-10.0f32..10.0, 4..32),
-    ) {
-        let n = g_loss.len().min(g_const.len());
-        let m = manipulate(&g_loss[..n], &g_const[..n], false, 0.5);
-        prop_assert_eq!(m.gradient, g_loss[..n].to_vec());
+/// The manipulation is the identity when the constraint is met.
+#[test]
+fn manipulation_identity_when_satisfied() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range_inclusive(4, 32);
+        let g_loss = random_vec(&mut rng, n, -10.0, 10.0);
+        let g_const = random_vec(&mut rng, n, -10.0, 10.0);
+        let m = manipulate(&g_loss, &g_const, false, 0.5);
+        assert_eq!(m.gradient, g_loss, "seed {seed}: identity violated");
     }
+}
 
-    /// δ grows strictly while violated and resets exactly on success.
-    #[test]
-    fn delta_policy_invariants(p in 1e-4f32..0.5, violations in proptest::collection::vec(any::<bool>(), 1..64)) {
+/// δ grows strictly while violated and resets exactly on success.
+#[test]
+fn delta_policy_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let p = rng.uniform_in(1e-4, 0.5);
+        let steps = rng.range_inclusive(1, 64);
         let mut dp = DeltaPolicy::new(1e-3, p);
         let mut prev = dp.delta();
-        for v in violations {
-            dp.update(v);
-            if v {
-                prop_assert!(dp.delta() > prev);
+        for step in 0..steps {
+            let violated = rng.uniform() < 0.5;
+            dp.update(violated);
+            if violated {
+                assert!(
+                    dp.delta() > prev,
+                    "seed {seed} step {step}: delta did not grow"
+                );
             } else {
-                prop_assert_eq!(dp.delta(), 1e-3);
+                assert_eq!(
+                    dp.delta(),
+                    1e-3,
+                    "seed {seed} step {step}: delta did not reset"
+                );
             }
             prev = dp.delta();
         }
     }
+}
 
-    /// The accelerator model yields valid, positive metrics everywhere
-    /// in the cross-product of architecture × configuration space.
-    #[test]
-    fn accel_metrics_always_valid(arch in arb_arch(), cfg in arb_config()) {
-        let plan = NetworkPlan::cifar18();
+/// The accelerator model yields valid, positive metrics everywhere in
+/// the cross-product of architecture × configuration space.
+#[test]
+fn accel_metrics_always_valid() {
+    let plan = NetworkPlan::cifar18();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let arch = random_arch(&mut rng);
+        let cfg = random_config(&mut rng);
         let m = evaluate_network(&plan.layers_for(&arch), &cfg);
-        prop_assert!(m.is_valid());
-        prop_assert!(m.latency_ms > 0.0 && m.energy_mj > 0.0 && m.area_mm2 > 0.0);
+        assert!(m.is_valid(), "seed {seed}: invalid metrics for {cfg}");
+        assert!(
+            m.latency_ms > 0.0 && m.energy_mj > 0.0 && m.area_mm2 > 0.0,
+            "seed {seed}: non-positive metrics for {cfg}"
+        );
     }
+}
 
-    /// Encode→decode is the identity on the discrete space.
-    #[test]
-    fn config_encode_decode_roundtrip(cfg in arb_config()) {
-        prop_assert_eq!(AccelConfig::decode(&cfg.encode()), cfg);
+/// Encode→decode is the identity on the discrete space.
+#[test]
+fn config_encode_decode_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let cfg = random_config(&mut rng);
+        assert_eq!(
+            AccelConfig::decode(&cfg.encode()),
+            cfg,
+            "seed {seed}: round-trip failed"
+        );
     }
+}
 
-    /// Strictly growing the PE array (same RF/dataflow) never increases
-    /// latency and never shrinks area.
-    #[test]
-    fn more_pes_never_hurt_latency(
-        arch in arb_arch(),
-        rf in prop_oneof![Just(16usize), Just(64), Just(256)],
-        df in arb_dataflow(),
-    ) {
-        let plan = NetworkPlan::cifar18();
+/// Strictly growing the PE array (same RF/dataflow) never increases
+/// latency and never shrinks area.
+#[test]
+fn more_pes_never_hurt_latency() {
+    let plan = NetworkPlan::cifar18();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let arch = random_arch(&mut rng);
+        let rf = [16usize, 64, 256][rng.below(3)];
+        let df = random_dataflow(&mut rng);
         let layers = plan.layers_for(&arch);
         let small = evaluate_network(&layers, &AccelConfig::new(12, 8, rf, df).expect("valid"));
         let large = evaluate_network(&layers, &AccelConfig::new(20, 24, rf, df).expect("valid"));
-        prop_assert!(large.latency_ms <= small.latency_ms * 1.0001,
-            "latency grew with PEs: {} -> {}", small.latency_ms, large.latency_ms);
-        prop_assert!(large.area_mm2 >= small.area_mm2);
+        assert!(
+            large.latency_ms <= small.latency_ms * 1.0001,
+            "seed {seed}: latency grew with PEs on {df}/{rf}B: {} -> {}",
+            small.latency_ms,
+            large.latency_ms
+        );
+        assert!(
+            large.area_mm2 >= small.area_mm2,
+            "seed {seed}: area shrank with PEs"
+        );
     }
+}
 
-    /// MBConv MACs are monotone in kernel and expand ratio.
-    #[test]
-    fn mbconv_macs_monotone(c in 8usize..64, hw in 4usize..32) {
+/// MBConv MACs are monotone in kernel and expand ratio.
+#[test]
+fn mbconv_macs_monotone() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let c = rng.range_inclusive(8, 63);
+        let hw = rng.range_inclusive(4, 31);
         let m33 = MbConv::new(c, c, hw, hw, 1, 3, 3).macs();
         let m36 = MbConv::new(c, c, hw, hw, 1, 3, 6).macs();
         let m73 = MbConv::new(c, c, hw, hw, 1, 7, 3).macs();
         let m76 = MbConv::new(c, c, hw, hw, 1, 7, 6).macs();
-        prop_assert!(m33 < m36 && m33 < m73 && m36 < m76 && m73 < m76);
+        assert!(
+            m33 < m36 && m33 < m73 && m36 < m76 && m73 < m76,
+            "seed {seed}: MACs not monotone at c={c} hw={hw}"
+        );
     }
+}
 
-    /// Every sampled configuration is a member of the enumerated space.
-    #[test]
-    fn sampled_configs_are_enumerable(seed in any::<u64>()) {
-        let mut rng = hdx_tensor::Rng::new(seed);
+/// Every sampled configuration is a member of the enumerated space.
+#[test]
+fn sampled_configs_are_enumerable() {
+    let enumerated = SearchSpace::paper().enumerate();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let cfg = SearchSpace::paper().sample(&mut rng);
-        prop_assert!(SearchSpace::paper().enumerate().contains(&cfg));
+        assert!(
+            enumerated.contains(&cfg),
+            "seed {seed}: sampled {cfg} not enumerable"
+        );
     }
 }
