@@ -1,17 +1,25 @@
 //! Micro-benchmarks: throughput of the substrate kernels the
 //! co-exploration loop leans on (accelerator model, estimator
-//! inference, gradient manipulation, supernet step), timed with a
-//! plain `std::time` harness (the container has no criterion).
+//! inference, gradient manipulation, supernet step) and of the
+//! compile-once/replay-many training engine vs. the fresh-record
+//! reference, timed with a plain `std::time` harness (the container
+//! has no criterion).
 //!
 //! Set `HDX_BENCH_SECS` to change the per-benchmark measurement budget
-//! (default 2 s after a 0.3 s warm-up).
+//! (default 2 s after a 0.3 s warm-up). Results — op timings plus
+//! steps/sec before/after for the replay engine — are written as
+//! machine-readable JSON to `BENCH_micro.json` (override the path with
+//! `HDX_BENCH_JSON`); CI runs this in release mode as a smoke job.
 
 use hdx_accel::{evaluate_network, AccelConfig, Dataflow, SearchSpace};
 use hdx_core::manipulate;
+use hdx_nas::supernet::FinalNet;
 use hdx_nas::{Architecture, Dataset, NetworkPlan, Supernet, SupernetConfig, TaskSpec};
 use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
-use hdx_tensor::{Rng, Tape};
+use hdx_tensor::{ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn measure_secs() -> f64 {
@@ -21,9 +29,49 @@ fn measure_secs() -> f64 {
         .unwrap_or(2.0)
 }
 
+/// Collected results, serialized by hand (std-only container).
+#[derive(Default)]
+struct Report {
+    ops: Vec<(String, f64)>,         // name -> seconds/iter
+    replay: Vec<(String, f64, f64)>, // name -> (fresh, compiled) steps/sec
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench_secs\": ");
+        let _ = write!(s, "{}", measure_secs());
+        s.push_str(",\n  \"ops\": {\n");
+        for (i, (name, per_iter)) in self.ops.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    \"{name}\": {{\"us_per_iter\": {:.3}, \"iters_per_sec\": {:.1}}}",
+                per_iter * 1e6,
+                1.0 / per_iter
+            );
+            s.push_str(if i + 1 < self.ops.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  },\n  \"replay\": {\n");
+        for (i, (name, fresh, compiled)) in self.replay.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    \"{name}\": {{\"fresh_steps_per_sec\": {fresh:.1}, \
+                 \"compiled_steps_per_sec\": {compiled:.1}, \"speedup\": {:.2}}}",
+                compiled / fresh
+            );
+            s.push_str(if i + 1 < self.replay.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+}
+
 /// Runs `f` repeatedly for the measurement budget and prints mean
 /// time/iter and iterations/second.
-fn bench(name: &str, mut f: impl FnMut()) -> f64 {
+fn bench(report: &mut Report, name: &str, mut f: impl FnMut()) -> f64 {
     let warmup = Duration::from_millis(300);
     let start = Instant::now();
     let mut warm_iters = 0u64;
@@ -46,19 +94,20 @@ fn bench(name: &str, mut f: impl FnMut()) -> f64 {
         per_iter * 1e6,
         1.0 / per_iter
     );
+    report.ops.push((name.to_string(), per_iter));
     per_iter
 }
 
-fn bench_accel_model() {
+fn bench_accel_model(report: &mut Report) {
     let plan = NetworkPlan::cifar18();
     let layers = plan.layers_for(&Architecture::uniform(18, 3));
     let cfg = AccelConfig::new(16, 16, 64, Dataflow::RowStationary).expect("valid");
-    bench("accel/evaluate_network_cifar18", || {
+    bench(report, "accel/evaluate_network_cifar18", || {
         black_box(evaluate_network(black_box(&layers), black_box(&cfg)));
     });
 }
 
-fn bench_exhaustive_search() {
+fn bench_exhaustive_search(report: &mut Report) {
     let plan = NetworkPlan::cifar18();
     let layers = plan.layers_for(&Architecture::uniform(18, 1));
     let weights = hdx_accel::CostWeights::paper();
@@ -67,12 +116,16 @@ fn bench_exhaustive_search() {
     // Cold path: the per-(layer, config) model evaluations that fill
     // the LUT. This is the expensive, parallelizable work — fresh
     // every iteration (build_layer_lut_jobs bypasses the cache).
-    let seq = bench("accel/layer_lut_build_2295 (jobs=1)", || {
+    let seq = bench(report, "accel/layer_lut_build_2295 (jobs=1)", || {
         black_box(hdx_accel::build_layer_lut_jobs(black_box(&layers), 1));
     });
-    let par = bench(&format!("accel/layer_lut_build_2295 (jobs={jobs})"), || {
-        black_box(hdx_accel::build_layer_lut_jobs(black_box(&layers), 0));
-    });
+    let par = bench(
+        report,
+        &format!("accel/layer_lut_build_2295 (jobs=auto:{jobs})"),
+        || {
+            black_box(hdx_accel::build_layer_lut_jobs(black_box(&layers), 0));
+        },
+    );
     println!(
         "    -> parallel LUT-build speedup: {:.2}x on {jobs} workers",
         seq / par
@@ -81,7 +134,7 @@ fn bench_exhaustive_search() {
     // Warm path: exhaustive_search_jobs hits the process-global cached
     // LUT after its first call, so this measures the post-build scan —
     // the cost of every *repeated* search over the same layers.
-    bench("accel/exhaustive_search_2295 (cached LUT)", || {
+    bench(report, "accel/exhaustive_search_2295 (cached LUT)", || {
         black_box(hdx_accel::exhaustive_search_jobs(
             black_box(&layers),
             &weights,
@@ -91,7 +144,7 @@ fn bench_exhaustive_search() {
     });
 }
 
-fn bench_estimator_inference() {
+fn bench_estimator_inference(report: &mut Report) {
     let plan = NetworkPlan::cifar18();
     let mut rng = Rng::new(1);
     let pairs = PairSet::sample(&plan, 400, &mut rng);
@@ -105,16 +158,16 @@ fn bench_estimator_inference() {
     );
     est.train(&pairs, &mut rng);
     let input = pairs.input_row(0).to_vec();
-    bench("surrogate/estimator_predict", || {
+    bench(report, "surrogate/estimator_predict", || {
         black_box(est.predict_raw(black_box(&input)));
     });
 }
 
-fn bench_gradient_manipulation() {
+fn bench_gradient_manipulation(report: &mut Report) {
     let mut rng = Rng::new(2);
     let g_loss: Vec<f32> = (0..108).map(|_| rng.normal()).collect();
     let g_const: Vec<f32> = (0..108).map(|_| rng.normal()).collect();
-    bench("core/manipulate_108d", || {
+    bench(report, "core/manipulate_108d", || {
         black_box(manipulate(
             black_box(&g_loss),
             black_box(&g_const),
@@ -124,7 +177,7 @@ fn bench_gradient_manipulation() {
     });
 }
 
-fn bench_supernet_step() {
+fn bench_supernet_step(report: &mut Report) {
     let spec = TaskSpec::cifar_like(1);
     let ds = Dataset::generate(&spec);
     let mut rng = Rng::new(3);
@@ -135,7 +188,7 @@ fn bench_supernet_step() {
         SupernetConfig::default(),
         &mut rng,
     );
-    bench("nas/supernet_forward_backward", || {
+    bench(report, "nas/supernet_forward_backward", || {
         let batch = ds.train_batch(32, &mut rng);
         let mut tape = Tape::new();
         let (w, a) = net.bind(&mut tape);
@@ -144,10 +197,232 @@ fn bench_supernet_step() {
     });
 }
 
-fn bench_space_enumeration() {
-    bench("accel/enumerate_space", || {
+fn bench_space_enumeration(report: &mut Report) {
+    bench(report, "accel/enumerate_space", || {
         black_box(SearchSpace::paper().enumerate().len());
     });
+}
+
+/// One estimator-shaped MLP training step (forward + backward on a
+/// `[32, 114] → 3` residual MLP), fresh-record vs. compiled replay.
+fn bench_mlp_step_replay(report: &mut Report) {
+    let mut rng = Rng::new(4);
+    let mut params = ParamStore::new();
+    let mlp = ResidualMlp::new(&mut params, 114, 64, 3, 5, &mut rng);
+    let x = Tensor::randn(&[32, 114], 1.0, &mut rng);
+    let t = Tensor::randn(&[32, 3], 1.0, &mut rng);
+
+    let fresh = bench(report, "tensor/mlp_step (fresh-record)", || {
+        let mut tape = Tape::new();
+        let b = params.bind(&mut tape);
+        let xv = tape.leaf(x.clone());
+        let tv = tape.leaf(t.clone());
+        let pred = mlp.forward(&mut tape, &b, xv);
+        let loss = tape.mse(pred, tv);
+        black_box(tape.backward(loss));
+    });
+
+    let mut tape = Tape::new();
+    let b = params.bind(&mut tape);
+    let xv = tape.leaf(x.clone());
+    let tv = tape.leaf(t.clone());
+    let pred = mlp.forward(&mut tape, &b, xv);
+    let loss = tape.mse(pred, tv);
+    let prog = Arc::new(Program::compile(&tape, &[loss], &[]));
+    let mut sess = Session::new(prog);
+    let compiled = bench(report, "tensor/mlp_step (session replay)", || {
+        for (id, tensor) in params.iter() {
+            sess.bind(b.var(id), tensor.data());
+        }
+        sess.bind_tensor(xv, &x);
+        sess.bind_tensor(tv, &t);
+        sess.forward();
+        sess.backward(loss);
+        black_box(sess.scalar(loss));
+    });
+    println!("    -> session replay speedup: {:.2}x", fresh / compiled);
+    report
+        .replay
+        .push(("mlp_step".to_string(), 1.0 / fresh, 1.0 / compiled));
+}
+
+/// The engine α/v-step hardware head: 18 α rows → softmax encoding →
+/// generator MLP → decoded hardware → estimator MLP → cost + hinge,
+/// with three backward passes (objective, cost, constraint) per step —
+/// the exact shape `hdx_core::engine::run_search` replays every step.
+#[allow(clippy::too_many_lines)]
+fn bench_hw_head_step_replay(report: &mut Report) {
+    use hdx_tensor::Var;
+    let mut rng = Rng::new(9);
+    let mut alpha = ParamStore::new();
+    for _ in 0..18 {
+        alpha.alloc(Tensor::randn(&[1, 6], 1e-3, &mut rng));
+    }
+    let mut gen_params = ParamStore::new();
+    let gen = ResidualMlp::new(&mut gen_params, 108, 48, 6, 5, &mut rng);
+    let mut est_params = ParamStore::new();
+    let est = ResidualMlp::new(&mut est_params, 114, 64, 3, 5, &mut rng);
+
+    struct Head {
+        alpha_vars: Vec<Var>,
+        gen_vars: Vec<Var>,
+        objective: Var,
+        cost: Var,
+        constraint: Var,
+    }
+    let record = |tape: &mut Tape,
+                  alpha: &ParamStore,
+                  gen_params: &ParamStore,
+                  est_params: &ParamStore|
+     -> Head {
+        let ab = alpha.bind(tape);
+        let alpha_vars: Vec<Var> = (0..18).map(|l| ab.var(alpha.id(l))).collect();
+        let parts: Vec<Var> = alpha_vars
+            .iter()
+            .map(|&a| {
+                let s = tape.scale(a, 1.0);
+                tape.softmax_rows(s)
+            })
+            .collect();
+        let enc = tape.concat_cols(&parts);
+        let gb = gen_params.bind(tape);
+        let gen_vars: Vec<Var> = (0..gen_params.len())
+            .map(|i| gb.var(gen_params.id(i)))
+            .collect();
+        let raw = gen.forward(tape, &gb, enc);
+        let dims_raw = tape.slice_cols(raw, 0, 3);
+        let dims = tape.sigmoid(dims_raw);
+        let df_raw = tape.slice_cols(raw, 3, 6);
+        let df = tape.softmax_rows(df_raw);
+        let hw = tape.concat_cols(&[dims, df]);
+        let eb = est_params.bind(tape);
+        let est_in = tape.concat_cols(&[enc, hw]);
+        let norm = est.forward(tape, &eb, est_in);
+        let mut metric = Vec::new();
+        for m in 0..3 {
+            let z = tape.slice_cols(norm, m, m + 1);
+            let logv = tape.scale(z, 0.8);
+            let sh = tape.add_scalar(logv, 1.5);
+            metric.push(tape.exp(sh));
+        }
+        let p = tape.add(metric[0], metric[1]);
+        let cost = tape.add(p, metric[2]);
+        let objective = tape.scale(cost, 0.003);
+        let constraint = tape.hinge_above(metric[0], 25.0);
+        Head {
+            alpha_vars,
+            gen_vars,
+            objective,
+            cost,
+            constraint,
+        }
+    };
+
+    let fresh = bench(report, "core/hw_head_step (fresh-record)", || {
+        let mut tape = Tape::new();
+        let head = record(&mut tape, &alpha, &gen_params, &est_params);
+        black_box(tape.backward(head.objective));
+        black_box(tape.backward(head.cost));
+        black_box(tape.backward(head.constraint));
+    });
+
+    let mut tape = Tape::new();
+    let head = record(&mut tape, &alpha, &gen_params, &est_params);
+    let sinks: Vec<Var> = head
+        .alpha_vars
+        .iter()
+        .chain(&head.gen_vars)
+        .copied()
+        .collect();
+    let prog = Arc::new(Program::compile_with_sinks(
+        &tape,
+        &[head.objective, head.cost, head.constraint],
+        &[],
+        &sinks,
+    ));
+    let mut sess = Session::new(prog);
+    let compiled = bench(report, "core/hw_head_step (session replay)", || {
+        for (l, &v) in head.alpha_vars.iter().enumerate() {
+            sess.bind(v, alpha.get(alpha.id(l)).data());
+        }
+        for (i, &v) in head.gen_vars.iter().enumerate() {
+            sess.bind(v, gen_params.get(gen_params.id(i)).data());
+        }
+        sess.forward();
+        sess.backward(head.objective);
+        sess.backward(head.cost);
+        sess.backward(head.constraint);
+        black_box(sess.scalar(head.objective));
+    });
+    println!("    -> session replay speedup: {:.2}x", fresh / compiled);
+    report
+        .replay
+        .push(("hw_head_step".to_string(), 1.0 / fresh, 1.0 / compiled));
+}
+
+/// Full `Estimator::train` optimizer steps/sec, fresh vs. compiled
+/// (single worker, so the engine — not thread count — is what varies).
+fn bench_estimator_train_replay(report: &mut Report) {
+    let plan = NetworkPlan::cifar18();
+    let mut rng = Rng::new(5);
+    let pairs = PairSet::sample(&plan, 512, &mut rng);
+    let epochs = (measure_secs() * 4.0).ceil().max(2.0) as usize;
+    let run = |exec: ExecMode| {
+        let cfg = EstimatorConfig {
+            epochs,
+            batch: 128,
+            jobs: 1,
+            exec,
+            ..Default::default()
+        };
+        let mut est = Estimator::new(&plan, cfg, &mut Rng::new(6));
+        let start = Instant::now();
+        black_box(est.train(&pairs, &mut Rng::new(7)));
+        let secs = start.elapsed().as_secs_f64();
+        let steps = (epochs * pairs.len().div_ceil(128)) as f64;
+        steps / secs
+    };
+    let fresh = run(ExecMode::FreshRecord);
+    let compiled = run(ExecMode::Compiled);
+    println!(
+        "surrogate/estimator_train (jobs=1)           fresh {fresh:>8.1} steps/s   \
+         compiled {compiled:>8.1} steps/s   speedup {:.2}x",
+        compiled / fresh
+    );
+    report
+        .replay
+        .push(("estimator_train".to_string(), fresh, compiled));
+}
+
+/// `FinalNet::train` steps/sec, fresh vs. compiled.
+fn bench_final_net_replay(report: &mut Report) {
+    let spec = TaskSpec::cifar_like(2);
+    let ds = Dataset::generate(&spec);
+    let arch = Architecture::uniform(18, 3);
+    let steps = (measure_secs() * 400.0).ceil().max(100.0) as usize;
+    let run = |exec: ExecMode| {
+        let mut rng = Rng::new(8);
+        let mut net = FinalNet::new(
+            &arch,
+            spec.feature_dim,
+            spec.num_classes,
+            &SupernetConfig::default(),
+            &mut rng,
+        );
+        let start = Instant::now();
+        black_box(net.train_exec(&ds, steps, 32, &mut rng, exec));
+        steps as f64 / start.elapsed().as_secs_f64()
+    };
+    let fresh = run(ExecMode::FreshRecord);
+    let compiled = run(ExecMode::Compiled);
+    println!(
+        "nas/final_net_train                          fresh {fresh:>8.1} steps/s   \
+         compiled {compiled:>8.1} steps/s   speedup {:.2}x",
+        compiled / fresh
+    );
+    report
+        .replay
+        .push(("final_net_train".to_string(), fresh, compiled));
 }
 
 fn main() {
@@ -155,10 +430,23 @@ fn main() {
         "HDX micro-benchmarks ({}s budget per case)\n",
         measure_secs()
     );
-    bench_accel_model();
-    bench_exhaustive_search();
-    bench_estimator_inference();
-    bench_gradient_manipulation();
-    bench_supernet_step();
-    bench_space_enumeration();
+    let mut report = Report::default();
+    bench_accel_model(&mut report);
+    bench_exhaustive_search(&mut report);
+    bench_estimator_inference(&mut report);
+    bench_gradient_manipulation(&mut report);
+    bench_supernet_step(&mut report);
+    bench_space_enumeration(&mut report);
+    bench_mlp_step_replay(&mut report);
+    bench_hw_head_step_replay(&mut report);
+    bench_estimator_train_replay(&mut report);
+    bench_final_net_replay(&mut report);
+
+    // `cargo bench` sets the package dir as CWD; anchor the default to
+    // the workspace root so the artifact lands next to ROADMAP.md.
+    let path = std::env::var("HDX_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json").to_string()
+    });
+    std::fs::write(&path, report.to_json()).expect("write bench JSON");
+    println!("\nwrote {path}");
 }

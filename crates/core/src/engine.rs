@@ -25,7 +25,10 @@ use hdx_nas::supernet::{FinalNet, Supernet};
 use hdx_nas::{Architecture, Dataset, NetworkPlan, SupernetConfig};
 use hdx_surrogate::dataset::expected_metrics;
 use hdx_surrogate::{Estimator, Generator};
-use hdx_tensor::{Adam, Binding, ParamStore, Rng, Tape, Tensor, Var};
+use hdx_tensor::{
+    Adam, Binding, ExecMode, Gradients, ParamStore, Program, Rng, Session, Tape, Tensor, Var,
+};
+use std::sync::Arc;
 
 /// Which co-exploration method to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,6 +112,12 @@ pub struct SearchOptions {
     /// drives (the exhaustive hardware searches; `0` = auto, `1` =
     /// sequential). Results are bit-identical at every worker count.
     pub jobs: usize,
+    /// Execution engine for the static step graphs (the hardware head
+    /// and final-network retraining): compiled replay (default) or the
+    /// fresh-record reference path. Both are bit-identical; the
+    /// path-sampled supernet branch always fresh-records because its
+    /// topology changes per step.
+    pub exec: ExecMode,
 }
 
 impl Default for SearchOptions {
@@ -132,6 +141,7 @@ impl Default for SearchOptions {
             supernet: SupernetConfig::default(),
             safety_margin: 0.10,
             jobs: 0,
+            exec: ExecMode::auto(),
         }
     }
 }
@@ -253,6 +263,50 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
 
     let mut trajectory = Vec::with_capacity(opts.epochs);
 
+    // The hardware head — arch encoding → generator/θ → estimator →
+    // cost / soft penalties / constraint loss — has a static topology,
+    // so by default it is compiled once and replayed with rebound α and
+    // hardware parameters every step (zero per-step graph allocations).
+    // The task branch keeps fresh-recording because its sampled-path
+    // mixture changes topology per step. `ExecMode::FreshRecord`
+    // re-records the head instead: same split step structure,
+    // bit-identical results.
+    let mut head = match opts.exec {
+        ExecMode::Compiled => {
+            let mut tape = Tape::new();
+            let vars = record_head(
+                &mut tape, ctx, opts, &supernet, &generator, &hw_params, hw_theta, &steering,
+                &macs_norm,
+            );
+            let mut outputs = vec![vars.objective];
+            outputs.extend(vars.cost);
+            outputs.extend(vars.constraint);
+            let keep: Vec<Var> = vars
+                .metrics
+                .map(|(l, e, a)| vec![l, e, a])
+                .unwrap_or_default();
+            // Only α and the trainable hardware parameters feed the
+            // optimizers; the frozen estimator weights are pruned
+            // gradient sinks, which skips their per-layer weight-grad
+            // matmuls on every replay.
+            let sinks: Vec<Var> = vars
+                .alpha_vars
+                .iter()
+                .chain(&vars.hw_vars)
+                .copied()
+                .collect();
+            let prog = Arc::new(Program::compile_with_sinks(&tape, &outputs, &keep, &sinks));
+            HeadExec::Compiled {
+                session: Box::new(Session::new(prog)),
+                vars,
+            }
+        }
+        ExecMode::FreshRecord => HeadExec::Fresh { tape: Tape::new() },
+    };
+    let mut head_eval = HeadEval::default();
+    let mut w_tape = Tape::new();
+    let mut task_tape = Tape::new();
+
     for epoch in 0..opts.epochs {
         let mut manipulated_steps = 0usize;
         let mut last_task = 0.0f64;
@@ -264,133 +318,66 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             // --- w-step on a training batch -------------------------
             {
                 let batch = ctx.dataset.train_batch(opts.batch, &mut rng);
-                let mut tape = Tape::new();
-                let (wb, ab) = supernet.bind(&mut tape);
-                let loss = supernet.task_loss(&mut tape, &wb, &ab, &batch, &mut rng);
-                let grads = tape.backward(loss);
+                w_tape.clear();
+                let (wb, ab) = supernet.bind(&mut w_tape);
+                let loss = supernet.task_loss(&mut w_tape, &wb, &ab, &batch, &mut rng);
+                let grads = w_tape.backward(loss);
                 let mut collected = wb.gradients(&grads);
                 Binding::clip_grad_norm(&mut collected, 5.0);
                 w_opt.step(supernet.w_store_mut(), &collected);
             }
 
-            // --- α / v-step on a validation batch --------------------
+            // --- α / v-step: fresh-recorded task branch on a
+            // validation batch + replayed hardware head ---------------
             let batch = ctx.dataset.val_batch(opts.batch, &mut rng);
-            let mut tape = Tape::new();
-            let (wb, ab) = supernet.bind(&mut tape);
-            let task = supernet.task_loss(&mut tape, &wb, &ab, &batch, &mut rng);
-            let enc = supernet.arch_encoding(&mut tape, &ab);
+            task_tape.clear();
+            let (wb, ab) = supernet.bind(&mut task_tape);
+            let task = supernet.task_loss(&mut task_tape, &wb, &ab, &batch, &mut rng);
+            let task_grads = task_tape.backward(task);
 
-            // Hardware path.
-            let (hw_binding, hw_var): (Option<Binding>, Option<Var>) = match opts.method {
-                Method::NasThenHw { .. } => (None, None),
-                Method::AutoNba => {
-                    let hb = hw_params.bind(&mut tape);
-                    let raw = hb.var(hw_theta);
-                    let dims_raw = tape.slice_cols(raw, 0, 3);
-                    let dims = tape.sigmoid(dims_raw);
-                    let df_raw = tape.slice_cols(raw, 3, 6);
-                    let df = tape.softmax_rows(df_raw);
-                    let hw = tape.concat_cols(&[dims, df]);
-                    (Some(hb), Some(hw))
-                }
-                Method::Dance | Method::Hdx { .. } => {
-                    let vb = generator.bind(&mut tape);
-                    let hw = generator.forward(&mut tape, &vb, enc);
-                    (Some(vb), Some(hw))
-                }
-            };
+            head.eval(
+                ctx,
+                opts,
+                &supernet,
+                &generator,
+                &hw_params,
+                hw_theta,
+                &steering,
+                &macs_norm,
+                &mut head_eval,
+            );
 
-            let mut global = task;
-            let mut cost_var: Option<Var> = None;
-            let mut metric_vars: Option<(Var, Var, Var)> = None;
-            match opts.method {
-                Method::NasThenHw { lambda_macs } => {
-                    let macs_leaf =
-                        tape.leaf(Tensor::from_vec(macs_norm.clone(), &[1, macs_norm.len()]));
-                    let expected = tape.dot(enc, macs_leaf);
-                    let penalty = tape.scale(expected, lambda_macs as f32);
-                    global = tape.add(global, penalty);
-                }
-                _ => {
-                    let eb = ctx.estimator.bind(&mut tape);
-                    let est_in = tape.concat_cols(&[enc, hw_var.expect("hw path present")]);
-                    let (lat, en, ar) = ctx.estimator.predict_metrics(&mut tape, &eb, est_in);
-                    let w = ctx.weights;
-                    let lat_c = tape.scale(lat, (w.c_l / w.l_ref) as f32);
-                    let en_c = tape.scale(en, (w.c_e / w.e_ref) as f32);
-                    let ar_c = tape.scale(ar, (w.c_a / w.a_ref) as f32);
-                    let partial = tape.add(lat_c, en_c);
-                    let cost = tape.add(partial, ar_c);
-                    let weighted = tape.scale(cost, opts.lambda_cost as f32);
-                    global = tape.add(global, weighted);
-                    cost_var = Some(cost);
-                    metric_vars = Some((lat, en, ar));
-
-                    // Soft-constraint penalty (DANCE+Soft / Auto-NBA+Soft).
-                    if let Some(lambda_soft) = opts.lambda_soft {
-                        for c in &steering {
-                            let metric = pick_metric(metric_vars.expect("set above"), c);
-                            let ratio = tape.scale(metric, (1.0 / c.target) as f32);
-                            let hinge = tape.hinge_above(ratio, 1.0);
-                            let pen = tape.scale(hinge, lambda_soft as f32);
-                            global = tape.add(global, pen);
-                        }
-                    }
-                }
-            }
-
-            // Constraint loss Σ max(t_i − T_i, 0) (Eq. 5/9) and the
-            // violation test, both from the estimator's metrics.
-            let mut const_var: Option<Var> = None;
-            let mut violated = false;
-            if let Some(mv) = metric_vars {
-                let est_now = HwMetrics::new(
-                    tape.value(mv.0).item() as f64,
-                    tape.value(mv.1).item() as f64,
-                    tape.value(mv.2).item() as f64,
-                );
-                last_est = est_now;
-                violated = !all_satisfied(&steering, &est_now);
-                if matches!(opts.method, Method::Hdx { .. }) && !steering.is_empty() {
-                    let mut acc: Option<Var> = None;
-                    for c in &steering {
-                        let metric = pick_metric(mv, c);
-                        let hinge = tape.hinge_above(metric, c.target as f32);
-                        acc = Some(match acc {
-                            Some(a) => tape.add(a, hinge),
-                            None => hinge,
-                        });
-                    }
-                    const_var = acc;
-                }
+            // Violation test from the estimator's metrics (Eq. 5/9).
+            let violated = head_eval.est.is_some_and(|m| !all_satisfied(&steering, &m));
+            if let Some(m) = head_eval.est {
+                last_est = m;
             }
             last_violated = violated;
-            last_task = tape.value(task).item() as f64;
-            last_global = tape.value(global).item() as f64;
+            last_task = task_tape.value(task).item() as f64;
+            last_global = last_task + head_eval.objective;
 
-            let loss_grads = tape.backward(global);
-            let const_grads = const_var.map(|cv| tape.backward(cv));
-            let cost_grads = cost_var.map(|cv| tape.backward(cv));
-
-            // --- α update (Eq. 4) ------------------------------------
+            // --- α update (Eq. 4): task gradient + head gradient ----
             {
-                let g_loss = flatten(&ab.gradients(&loss_grads), supernet.alpha_store());
-                let g = if let (Some(cg), Some(dp)) = (&const_grads, delta_policy.as_mut()) {
-                    let g_const = flatten(&ab.gradients(cg), supernet.alpha_store());
-                    let m = manipulate(&g_loss, &g_const, violated, dp.delta());
-                    if m.kind == ManipulationKind::Manipulated {
-                        manipulated_steps += 1;
-                    }
-                    m.gradient
-                } else {
-                    g_loss
-                };
+                let mut g_loss = flatten(&ab.gradients(&task_grads), supernet.alpha_store());
+                for (g, h) in g_loss.iter_mut().zip(&head_eval.alpha_obj) {
+                    *g += *h;
+                }
+                let g =
+                    if let (Some(gc), Some(dp)) = (&head_eval.alpha_const, delta_policy.as_mut()) {
+                        let m = manipulate(&g_loss, gc, violated, dp.delta());
+                        if m.kind == ManipulationKind::Manipulated {
+                            manipulated_steps += 1;
+                        }
+                        m.gradient
+                    } else {
+                        g_loss
+                    };
                 let per_param = unflatten(&g, supernet.alpha_store());
                 a_opt.step(supernet.alpha_store_mut(), &per_param);
             }
 
             // --- v / θ update ---------------------------------------
-            if let Some(hb) = &hw_binding {
+            if let Some(g_cost) = head_eval.hw_cost.as_ref() {
                 // The generator minimizes Cost_HW (Eq. 3's inner
                 // objective); HDX manipulates with g_CostHW in place of
                 // g_Loss (§4.3).
@@ -398,15 +385,15 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
                     Method::AutoNba => &mut hw_params,
                     _ => generator.params_mut(),
                 };
-                let base = cost_grads.as_ref().unwrap_or(&loss_grads);
-                let g_cost = flatten(&hb.gradients(base), store);
-                let g = if let (Some(cg), Some(dp)) = (&const_grads, delta_policy.as_ref()) {
-                    let g_const = flatten(&hb.gradients(cg), store);
-                    manipulate(&g_cost, &g_const, violated, dp.delta()).gradient
-                } else {
-                    g_cost
-                };
-                let per_param = unflatten(&g, store);
+                let manipulated;
+                let g: &[f32] =
+                    if let (Some(gc), Some(dp)) = (&head_eval.hw_const, delta_policy.as_ref()) {
+                        manipulated = manipulate(g_cost, gc, violated, dp.delta()).gradient;
+                        &manipulated
+                    } else {
+                        g_cost
+                    };
+                let per_param = unflatten(g, store);
                 v_opt.step(store, &per_param);
             }
 
@@ -488,7 +475,13 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             &opts.supernet,
             &mut rng,
         );
-        final_net.train(ctx.dataset, opts.final_train_steps, opts.batch, &mut rng);
+        final_net.train_exec(
+            ctx.dataset,
+            opts.final_train_steps,
+            opts.batch,
+            &mut rng,
+            opts.exec,
+        );
         let err = final_net.error_rate(&ctx.dataset.test_all());
         let val = ctx.dataset.val_all();
         let mut tape = Tape::new();
@@ -517,6 +510,294 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
 
 fn final_net_binding(tape: &mut Tape, net: &FinalNet) -> Binding {
     net.bind(tape)
+}
+
+/// Tape handles of one recorded hardware head.
+struct HeadVars {
+    /// Per-layer α leaves, in layer order.
+    alpha_vars: Vec<Var>,
+    /// Trainable hardware leaves: the generator weights `v`
+    /// (Dance/HDX), `[θ]` (Auto-NBA), or empty (NAS→HW).
+    hw_vars: Vec<Var>,
+    /// The head's contribution to the global loss: `λ·Cost_HW` plus
+    /// soft penalties, or the MAC penalty for NAS→HW.
+    objective: Var,
+    /// Unweighted `Cost_HW` (the v/θ descent objective).
+    cost: Option<Var>,
+    /// Constraint loss Σ max(t_i − T_i, 0) (HDX only).
+    constraint: Option<Var>,
+    /// Estimator metric heads (latency, energy, area).
+    metrics: Option<(Var, Var, Var)>,
+}
+
+/// Records the hardware head onto `tape`: α leaves → arch encoding →
+/// hardware path → estimator cost / penalties / constraint loss. Used
+/// both to compile the replayed head and as the per-step fresh-record
+/// reference.
+#[allow(clippy::too_many_arguments)]
+fn record_head(
+    tape: &mut Tape,
+    ctx: &SearchContext<'_>,
+    opts: &SearchOptions,
+    supernet: &Supernet,
+    generator: &Generator,
+    hw_params: &ParamStore,
+    hw_theta: hdx_tensor::ParamId,
+    steering: &[Constraint],
+    macs_norm: &[f32],
+) -> HeadVars {
+    let alpha_store = supernet.alpha_store();
+    let ab = alpha_store.bind(tape);
+    let alpha_vars: Vec<Var> = (0..supernet.num_layers())
+        .map(|l| ab.var(alpha_store.id(l)))
+        .collect();
+    let enc = supernet.arch_encoding(tape, &ab);
+
+    let (hw_vars, hw_var): (Vec<Var>, Option<Var>) = match opts.method {
+        Method::NasThenHw { .. } => (Vec::new(), None),
+        Method::AutoNba => {
+            let hb = hw_params.bind(tape);
+            let raw = hb.var(hw_theta);
+            let dims_raw = tape.slice_cols(raw, 0, 3);
+            let dims = tape.sigmoid(dims_raw);
+            let df_raw = tape.slice_cols(raw, 3, 6);
+            let df = tape.softmax_rows(df_raw);
+            let hw = tape.concat_cols(&[dims, df]);
+            (vec![raw], Some(hw))
+        }
+        Method::Dance | Method::Hdx { .. } => {
+            let vb = generator.bind(tape);
+            let hw = generator.forward(tape, &vb, enc);
+            let vars = (0..generator.params().len())
+                .map(|i| vb.var(generator.params().id(i)))
+                .collect();
+            (vars, Some(hw))
+        }
+    };
+
+    let mut cost = None;
+    let mut metrics = None;
+    let objective = match opts.method {
+        Method::NasThenHw { lambda_macs } => {
+            let macs_leaf = tape.leaf(Tensor::from_vec(macs_norm.to_vec(), &[1, macs_norm.len()]));
+            let expected = tape.dot(enc, macs_leaf);
+            tape.scale(expected, lambda_macs as f32)
+        }
+        _ => {
+            let eb = ctx.estimator.bind(tape);
+            let est_in = tape.concat_cols(&[enc, hw_var.expect("hw path present")]);
+            let (lat, en, ar) = ctx.estimator.predict_metrics(tape, &eb, est_in);
+            let w = ctx.weights;
+            let lat_c = tape.scale(lat, (w.c_l / w.l_ref) as f32);
+            let en_c = tape.scale(en, (w.c_e / w.e_ref) as f32);
+            let ar_c = tape.scale(ar, (w.c_a / w.a_ref) as f32);
+            let partial = tape.add(lat_c, en_c);
+            let cost_var = tape.add(partial, ar_c);
+            let mut objective = tape.scale(cost_var, opts.lambda_cost as f32);
+
+            // Soft-constraint penalty (DANCE+Soft / Auto-NBA+Soft).
+            if let Some(lambda_soft) = opts.lambda_soft {
+                for c in steering {
+                    let metric = pick_metric((lat, en, ar), c);
+                    let ratio = tape.scale(metric, (1.0 / c.target) as f32);
+                    let hinge = tape.hinge_above(ratio, 1.0);
+                    let pen = tape.scale(hinge, lambda_soft as f32);
+                    objective = tape.add(objective, pen);
+                }
+            }
+            cost = Some(cost_var);
+            metrics = Some((lat, en, ar));
+            objective
+        }
+    };
+
+    // Constraint loss Σ max(t_i − T_i, 0) (Eq. 5/9).
+    let mut constraint = None;
+    if matches!(opts.method, Method::Hdx { .. }) && !steering.is_empty() {
+        if let Some(mv) = metrics {
+            let mut acc: Option<Var> = None;
+            for c in steering {
+                let metric = pick_metric(mv, c);
+                let hinge = tape.hinge_above(metric, c.target as f32);
+                acc = Some(match acc {
+                    Some(a) => tape.add(a, hinge),
+                    None => hinge,
+                });
+            }
+            constraint = acc;
+        }
+    }
+
+    HeadVars {
+        alpha_vars,
+        hw_vars,
+        objective,
+        cost,
+        constraint,
+        metrics,
+    }
+}
+
+/// Per-step outputs of the hardware head, written into reusable
+/// buffers (the replayed head allocates nothing per step once warm).
+#[derive(Default)]
+struct HeadEval {
+    /// Value of [`HeadVars::objective`].
+    objective: f64,
+    /// Estimator-predicted metrics (None for NAS→HW).
+    est: Option<HwMetrics>,
+    /// ∂objective/∂α, flattened in layer order.
+    alpha_obj: Vec<f32>,
+    /// ∂constraint/∂α (HDX only).
+    alpha_const: Option<Vec<f32>>,
+    /// ∂Cost_HW/∂(v or θ).
+    hw_cost: Option<Vec<f32>>,
+    /// ∂constraint/∂(v or θ) (HDX only).
+    hw_const: Option<Vec<f32>>,
+}
+
+/// The hardware-head executor: a compiled [`Session`] replayed with
+/// rebound parameters, or the fresh-record reference.
+enum HeadExec {
+    Compiled {
+        session: Box<Session>,
+        vars: HeadVars,
+    },
+    Fresh {
+        tape: Tape,
+    },
+}
+
+impl HeadExec {
+    #[allow(clippy::too_many_arguments)]
+    fn eval(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        opts: &SearchOptions,
+        supernet: &Supernet,
+        generator: &Generator,
+        hw_params: &ParamStore,
+        hw_theta: hdx_tensor::ParamId,
+        steering: &[Constraint],
+        macs_norm: &[f32],
+        out: &mut HeadEval,
+    ) {
+        let hw_store: &ParamStore = match opts.method {
+            Method::AutoNba => hw_params,
+            _ => generator.params(),
+        };
+        match self {
+            HeadExec::Compiled { session, vars } => {
+                let alpha_store = supernet.alpha_store();
+                for (l, &v) in vars.alpha_vars.iter().enumerate() {
+                    session.bind(v, alpha_store.get(alpha_store.id(l)).data());
+                }
+                for (i, &v) in vars.hw_vars.iter().enumerate() {
+                    session.bind(v, hw_store.get(hw_store.id(i)).data());
+                }
+                session.forward();
+                out.objective = f64::from(session.scalar(vars.objective));
+                out.est = vars.metrics.map(|(l, e, a)| {
+                    HwMetrics::new(
+                        f64::from(session.scalar(l)),
+                        f64::from(session.scalar(e)),
+                        f64::from(session.scalar(a)),
+                    )
+                });
+
+                session.backward(vars.objective);
+                collect_replay_grads(session, &vars.alpha_vars, alpha_store, &mut out.alpha_obj);
+                match vars.cost {
+                    Some(cv) => {
+                        session.backward(cv);
+                        let buf = out.hw_cost.get_or_insert_with(Vec::new);
+                        collect_replay_grads(session, &vars.hw_vars, hw_store, buf);
+                    }
+                    None => out.hw_cost = None,
+                }
+                match vars.constraint {
+                    Some(cv) => {
+                        session.backward(cv);
+                        let ac = out.alpha_const.get_or_insert_with(Vec::new);
+                        collect_replay_grads(session, &vars.alpha_vars, alpha_store, ac);
+                        let hc = out.hw_const.get_or_insert_with(Vec::new);
+                        collect_replay_grads(session, &vars.hw_vars, hw_store, hc);
+                    }
+                    None => {
+                        out.alpha_const = None;
+                        out.hw_const = None;
+                    }
+                }
+            }
+            HeadExec::Fresh { tape } => {
+                tape.clear();
+                let vars = record_head(
+                    tape, ctx, opts, supernet, generator, hw_params, hw_theta, steering, macs_norm,
+                );
+                out.objective = f64::from(tape.value(vars.objective).item());
+                out.est = vars.metrics.map(|(l, e, a)| {
+                    HwMetrics::new(
+                        f64::from(tape.value(l).item()),
+                        f64::from(tape.value(e).item()),
+                        f64::from(tape.value(a).item()),
+                    )
+                });
+
+                let g_obj = tape.backward(vars.objective);
+                collect_fresh_grads(
+                    &g_obj,
+                    &vars.alpha_vars,
+                    supernet.alpha_store(),
+                    &mut out.alpha_obj,
+                );
+                match vars.cost {
+                    Some(cv) => {
+                        let g = tape.backward(cv);
+                        let buf = out.hw_cost.get_or_insert_with(Vec::new);
+                        collect_fresh_grads(&g, &vars.hw_vars, hw_store, buf);
+                    }
+                    None => out.hw_cost = None,
+                }
+                match vars.constraint {
+                    Some(cv) => {
+                        let g = tape.backward(cv);
+                        let ac = out.alpha_const.get_or_insert_with(Vec::new);
+                        collect_fresh_grads(&g, &vars.alpha_vars, supernet.alpha_store(), ac);
+                        let hc = out.hw_const.get_or_insert_with(Vec::new);
+                        collect_fresh_grads(&g, &vars.hw_vars, hw_store, hc);
+                    }
+                    None => {
+                        out.alpha_const = None;
+                        out.hw_const = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flattens the session gradients of `vars` into `out` in parameter
+/// order, zero-filling vars the output does not depend on (mirroring
+/// [`flatten`]).
+fn collect_replay_grads(session: &Session, vars: &[Var], store: &ParamStore, out: &mut Vec<f32>) {
+    out.clear();
+    for (i, &v) in vars.iter().enumerate() {
+        match session.grad(v) {
+            Some(g) => out.extend_from_slice(g),
+            None => out.extend(std::iter::repeat_n(0.0, store.get(store.id(i)).len())),
+        }
+    }
+}
+
+/// [`collect_replay_grads`] for the fresh-record reference path.
+fn collect_fresh_grads(grads: &Gradients, vars: &[Var], store: &ParamStore, out: &mut Vec<f32>) {
+    out.clear();
+    for (i, &v) in vars.iter().enumerate() {
+        match grads.wrt(v) {
+            Some(g) => out.extend_from_slice(g.data()),
+            None => out.extend(std::iter::repeat_n(0.0, store.get(store.id(i)).len())),
+        }
+    }
 }
 
 fn pick_metric(vars: (Var, Var, Var), c: &Constraint) -> Var {
@@ -717,6 +998,124 @@ mod tests {
             r_soft.metrics.latency_ms,
             r_base.metrics.latency_ms
         );
+    }
+
+    #[test]
+    fn hardware_head_replay_matches_fresh_record() {
+        // Direct head-level pin of the compiled/fresh equivalence: the
+        // replayed session must reproduce every head output and every
+        // gradient bit for bit.
+        let prepared = ctx();
+        let ctx = prepared.context();
+        let opts = SearchOptions {
+            method: Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
+            constraints: vec![Constraint::fps(30.0)],
+            ..SearchOptions::default()
+        };
+        let mut rng = Rng::new(5);
+        let spec = ctx.dataset.spec();
+        let supernet = Supernet::new(
+            ctx.plan.num_layers(),
+            spec.feature_dim,
+            spec.num_classes,
+            opts.supernet,
+            &mut rng,
+        );
+        let generator = Generator::new(ctx.plan, &mut rng);
+        let mut hw_params = ParamStore::new();
+        let hw_theta = hw_params.alloc(Tensor::randn(&[1, 6], 0.5, &mut rng));
+        let steering: Vec<Constraint> = opts
+            .constraints
+            .iter()
+            .map(|c| Constraint::new(c.metric, c.target * (1.0 - opts.safety_margin)))
+            .collect();
+        let macs_norm = vec![1.0f32; 108];
+
+        let mut tape = Tape::new();
+        let vars = record_head(
+            &mut tape, &ctx, &opts, &supernet, &generator, &hw_params, hw_theta, &steering,
+            &macs_norm,
+        );
+        let mut outputs = vec![vars.objective];
+        outputs.extend(vars.cost);
+        outputs.extend(vars.constraint);
+        let keep: Vec<Var> = vars
+            .metrics
+            .map(|(l, e, a)| vec![l, e, a])
+            .unwrap_or_default();
+        let sinks: Vec<Var> = vars
+            .alpha_vars
+            .iter()
+            .chain(&vars.hw_vars)
+            .copied()
+            .collect();
+        let prog = Arc::new(Program::compile_with_sinks(&tape, &outputs, &keep, &sinks));
+        let mut compiled = HeadExec::Compiled {
+            session: Box::new(Session::new(prog)),
+            vars,
+        };
+        let mut fresh = HeadExec::Fresh { tape: Tape::new() };
+        let mut ec = HeadEval::default();
+        let mut ef = HeadEval::default();
+        for step in 0..3 {
+            compiled.eval(
+                &ctx, &opts, &supernet, &generator, &hw_params, hw_theta, &steering, &macs_norm,
+                &mut ec,
+            );
+            fresh.eval(
+                &ctx, &opts, &supernet, &generator, &hw_params, hw_theta, &steering, &macs_norm,
+                &mut ef,
+            );
+            assert_eq!(ec.objective, ef.objective, "step {step} objective");
+            assert_eq!(ec.est, ef.est, "step {step} est");
+            assert_eq!(ec.alpha_obj, ef.alpha_obj, "step {step} alpha_obj");
+            assert_eq!(ec.alpha_const, ef.alpha_const, "step {step} alpha_const");
+            assert_eq!(ec.hw_cost, ef.hw_cost, "step {step} hw_cost");
+            assert_eq!(ec.hw_const, ef.hw_const, "step {step} hw_const");
+        }
+    }
+
+    #[test]
+    fn search_is_exec_mode_invariant() {
+        // The compiled hardware head + final-net replay must reproduce
+        // the fresh-record reference bit for bit: same trajectory, same
+        // solution, same retrained error.
+        let prepared = ctx();
+        for method in [
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 1e-2,
+            },
+            Method::AutoNba,
+        ] {
+            let run = |exec: ExecMode| {
+                let opts = SearchOptions {
+                    constraints: vec![Constraint::fps(30.0)],
+                    epochs: 3,
+                    steps_per_epoch: 5,
+                    final_train_steps: 60,
+                    seed: 5,
+                    exec,
+                    ..SearchOptions::default()
+                };
+                run_search(&prepared.context(), &SearchOptions { method, ..opts })
+            };
+            let compiled = run(ExecMode::Compiled);
+            let fresh = run(ExecMode::FreshRecord);
+            assert_eq!(compiled.architecture, fresh.architecture, "{method:?}");
+            assert_eq!(compiled.accel, fresh.accel, "{method:?}");
+            assert_eq!(compiled.error, fresh.error, "{method:?}");
+            assert_eq!(compiled.cost_hw, fresh.cost_hw, "{method:?}");
+            for (c, f) in compiled.trajectory.iter().zip(&fresh.trajectory) {
+                assert_eq!(c.task_loss, f.task_loss, "{method:?} epoch {}", c.epoch);
+                assert_eq!(c.global_loss, f.global_loss, "{method:?} epoch {}", c.epoch);
+                assert_eq!(c.est, f.est, "{method:?} epoch {}", c.epoch);
+                assert_eq!(c.violated, f.violated, "{method:?} epoch {}", c.epoch);
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@
 use crate::arch::Architecture;
 use crate::data::Batch;
 use crate::ops::OP_SET;
-use hdx_tensor::{Binding, CosineLr, Linear, ParamStore, Rng, Sgd, Tape, Tensor, Var};
+use hdx_tensor::{
+    Binding, CosineLr, ExecMode, Linear, ParamStore, Program, Rng, Session, Sgd, Tape, Tensor, Var,
+};
+use std::sync::Arc;
 
 /// Hyper-parameters of the supernet proxy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -433,6 +436,11 @@ impl FinalNet {
     /// Forward pass producing logits for a batch.
     pub fn forward_logits(&self, tape: &mut Tape, w: &Binding, batch: &Batch) -> Var {
         let x0 = tape.leaf(batch.x.clone());
+        self.forward_from(tape, w, x0)
+    }
+
+    /// Forward pass from an already-placed input leaf.
+    fn forward_from(&self, tape: &mut Tape, w: &Binding, x0: Var) -> Var {
         let features = self.input.forward(tape, w, x0);
         let features = tape.relu(features);
         let mut acc = features;
@@ -443,8 +451,24 @@ impl FinalNet {
         self.classifier.forward(tape, w, acc)
     }
 
+    /// Records one training-step graph: parameter binding, input leaf,
+    /// logits, cross-entropy loss.
+    fn record_step(&self, tape: &mut Tape, batch: &Batch) -> (Binding, Var, Var) {
+        let w = self.w.bind(tape);
+        let x0 = tape.leaf(batch.x.clone());
+        let logits = self.forward_from(tape, &w, x0);
+        let loss = tape.cross_entropy_logits(logits, &batch.y);
+        (w, x0, loss)
+    }
+
     /// Trains from scratch with SGD + Nesterov momentum and a cosine
     /// schedule (§5.1), returning the final training loss.
+    ///
+    /// Runs on the compiled replay engine by default (the graph
+    /// topology is static, so the step compiles once and replays with
+    /// zero per-step graph allocations); `HDX_EXEC=fresh` or
+    /// [`FinalNet::train_exec`] select the fresh-record reference path,
+    /// which is bit-identical.
     pub fn train(
         &mut self,
         dataset: &crate::data::Dataset,
@@ -452,23 +476,75 @@ impl FinalNet {
         batch_size: usize,
         rng: &mut Rng,
     ) -> f32 {
+        self.train_exec(dataset, steps, batch_size, rng, ExecMode::auto())
+    }
+
+    /// [`FinalNet::train`] with an explicit execution engine.
+    pub fn train_exec(
+        &mut self,
+        dataset: &crate::data::Dataset,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut Rng,
+        exec: ExecMode,
+    ) -> f32 {
         // Paper settings scaled to the proxy: momentum 0.9 (Nesterov),
         // weight decay 1e-3, cosine LR. The base LR is raised from the
         // paper's 0.008 because the proxy network is far smaller.
         let mut opt = Sgd::new(0.9, true, 1e-3);
         let sched = CosineLr::new(0.02, steps.max(1));
         let mut last = f32::NAN;
-        for step in 0..steps {
-            let batch = dataset.train_batch(batch_size, rng);
-            let mut tape = Tape::new();
-            let w = self.w.bind(&mut tape);
-            let logits = self.forward_logits(&mut tape, &w, &batch);
-            let loss = tape.cross_entropy_logits(logits, &batch.y);
-            last = tape.value(loss).item();
-            let grads = tape.backward(loss);
-            let mut collected = w.gradients(&grads);
-            Binding::clip_grad_norm(&mut collected, 5.0);
-            opt.step(&mut self.w, &collected, sched.lr(step));
+        match exec {
+            ExecMode::FreshRecord => {
+                let mut tape = Tape::new();
+                for step in 0..steps {
+                    let batch = dataset.train_batch(batch_size, rng);
+                    tape.clear();
+                    let (w, _, loss) = self.record_step(&mut tape, &batch);
+                    last = tape.value(loss).item();
+                    let grads = tape.backward(loss);
+                    let mut collected = w.gradients(&grads);
+                    Binding::clip_grad_norm(&mut collected, 5.0);
+                    opt.step(&mut self.w, &collected, sched.lr(step));
+                }
+            }
+            ExecMode::Compiled => {
+                let mut compiled: Option<(Session, Binding, Var, Var)> = None;
+                let mut collected: Vec<Option<Tensor>> = self
+                    .w
+                    .iter()
+                    .map(|(_, t)| Some(Tensor::zeros(t.shape())))
+                    .collect();
+                for step in 0..steps {
+                    let batch = dataset.train_batch(batch_size, rng);
+                    if compiled.is_none() {
+                        let mut tape = Tape::new();
+                        let (w, x0, loss) = self.record_step(&mut tape, &batch);
+                        let sinks: Vec<Var> = self.w.iter().map(|(id, _)| w.var(id)).collect();
+                        let prog =
+                            Arc::new(Program::compile_with_sinks(&tape, &[loss], &[], &sinks));
+                        compiled = Some((Session::new(prog), w, x0, loss));
+                    }
+                    let (sess, w, x0, loss) = compiled.as_mut().expect("compiled above");
+                    for (id, tensor) in self.w.iter() {
+                        sess.bind_tensor(w.var(id), tensor);
+                    }
+                    sess.bind_tensor(*x0, &batch.x);
+                    sess.set_targets(*loss, &batch.y);
+                    sess.forward();
+                    sess.backward(*loss);
+                    last = sess.scalar(*loss);
+                    for (slot, (id, _)) in collected.iter_mut().zip(self.w.iter()) {
+                        let g = slot.as_mut().expect("slots stay Some");
+                        g.data_mut().copy_from_slice(
+                            sess.grad(w.var(id))
+                                .expect("every final-net parameter receives a gradient"),
+                        );
+                    }
+                    Binding::clip_grad_norm(&mut collected, 5.0);
+                    opt.step(&mut self.w, &collected, sched.lr(step));
+                }
+            }
         }
         last
     }
@@ -606,6 +682,41 @@ mod tests {
         let mut rng = Rng::new(3);
         let paths = sample_paths(&[0.5, 0.5], 2, &mut rng);
         assert_eq!(paths, vec![0, 1]);
+    }
+
+    #[test]
+    fn final_net_compiled_training_matches_fresh_record() {
+        let spec = TaskSpec {
+            train: 256,
+            val: 64,
+            test: 128,
+            ..TaskSpec::cifar_like(4)
+        };
+        let ds = Dataset::generate(&spec);
+        let arch = Architecture::uniform(4, 3);
+        let run = |exec: ExecMode| {
+            let mut rng = Rng::new(21);
+            let mut net = FinalNet::new(
+                &arch,
+                spec.feature_dim,
+                spec.num_classes,
+                &SupernetConfig::default(),
+                &mut rng,
+            );
+            let loss = net.train_exec(&ds, 40, 16, &mut rng, exec);
+            (net, loss)
+        };
+        let (net_c, loss_c) = run(ExecMode::Compiled);
+        let (net_f, loss_f) = run(ExecMode::FreshRecord);
+        assert_eq!(loss_c, loss_f, "final losses diverged");
+        for (id, t) in net_f.w.iter() {
+            assert_eq!(
+                net_c.w.get(id).data(),
+                t.data(),
+                "weights diverged for parameter {}",
+                id.index()
+            );
+        }
     }
 
     #[test]

@@ -167,16 +167,41 @@ impl PairSet {
     /// Assembles a training batch `(inputs [b, dim], z-scored targets
     /// [b, 3])` from pair indices.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
-        let mut x = Vec::with_capacity(indices.len() * self.dim);
-        let mut t = Vec::with_capacity(indices.len() * 3);
-        for &i in indices {
-            x.extend_from_slice(self.input_row(i));
-            t.extend_from_slice(&self.stats.normalize(&self.targets_raw[i]));
-        }
+        let mut x = vec![0.0; indices.len() * self.dim];
+        let mut t = vec![0.0; indices.len() * 3];
+        self.fill_inputs(indices, &mut x);
+        self.fill_targets(indices, &mut t);
         (
             Tensor::from_vec(x, &[indices.len(), self.dim]),
             Tensor::from_vec(t, &[indices.len(), 3]),
         )
+    }
+
+    /// Writes the batch input rows for `indices` into `x` (a
+    /// `[len, dim]` buffer), allocation-free. Used by the compiled
+    /// replay path to fill a [`hdx_tensor::Session`] leaf in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn fill_inputs(&self, indices: &[usize], x: &mut [f32]) {
+        assert_eq!(x.len(), indices.len() * self.dim, "fill_inputs: bad length");
+        for (row, &i) in indices.iter().enumerate() {
+            x[row * self.dim..(row + 1) * self.dim].copy_from_slice(self.input_row(i));
+        }
+    }
+
+    /// Writes the z-scored batch targets for `indices` into `t` (a
+    /// `[len, 3]` buffer), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has the wrong length.
+    pub fn fill_targets(&self, indices: &[usize], t: &mut [f32]) {
+        assert_eq!(t.len(), indices.len() * 3, "fill_targets: bad length");
+        for (row, &i) in indices.iter().enumerate() {
+            t[row * 3..(row + 1) * 3].copy_from_slice(&self.stats.normalize(&self.targets_raw[i]));
+        }
     }
 }
 

@@ -4,7 +4,11 @@
 use crate::dataset::PairSet;
 use crate::encode::{joint_dim, TargetStats};
 use hdx_nas::NetworkPlan;
-use hdx_tensor::{Adam, Binding, ParamStore, ResidualMlp, Rng, Tape, Tensor, Var};
+use hdx_tensor::{
+    Adam, Binding, ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor, Var,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Estimator hyper-parameters.
 ///
@@ -27,6 +31,10 @@ pub struct EstimatorConfig {
     /// (`0` = auto, `1` = sequential). Results are bit-identical at
     /// every worker count; see [`Estimator::train`].
     pub jobs: usize,
+    /// Execution engine for the training step: compiled replay
+    /// (default) or the fresh-record reference path. Both produce
+    /// bit-identical results (`tests/determinism.rs`).
+    pub exec: ExecMode,
 }
 
 impl Default for EstimatorConfig {
@@ -38,6 +46,7 @@ impl Default for EstimatorConfig {
             batch: 256,
             lr: 1e-3,
             jobs: 0,
+            exec: ExecMode::auto(),
         }
     }
 }
@@ -105,6 +114,10 @@ impl Estimator {
         // Resolve the worker-count policy (env read, CPU probe) once per
         // training run, not once per minibatch.
         let jobs = hdx_tensor::num_jobs(self.cfg.jobs);
+        let mut bank = match self.cfg.exec {
+            ExecMode::Compiled => Some(ReplayBank::new(jobs)),
+            ExecMode::FreshRecord => None,
+        };
         let mut opt = Adam::new(self.cfg.lr);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut last_epoch_loss = f32::NAN;
@@ -113,7 +126,10 @@ impl Estimator {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(self.cfg.batch) {
-                let (loss, grads) = self.batch_gradients(pairs, chunk, jobs);
+                let (loss, grads) = match bank.as_mut() {
+                    Some(bank) => self.batch_gradients_replay(pairs, chunk, jobs, bank),
+                    None => self.batch_gradients(pairs, chunk, jobs),
+                };
                 epoch_loss += loss;
                 batches += 1;
                 opt.step(&mut self.params, &grads);
@@ -176,6 +192,130 @@ impl Estimator {
                         }
                     }
                     None => *slot = Some(g),
+                }
+            }
+        }
+        (total_loss, merged)
+    }
+
+    /// Records the shard training graph (bind parameters, forward,
+    /// MSE) for a fixed row count and compiles it for replay.
+    fn compile_shard(&self, rows: usize) -> ShardProgram {
+        let mut tape = Tape::new();
+        let binding = self.params.bind(&mut tape);
+        let x = tape.leaf(Tensor::zeros(&[rows, self.input_dim]));
+        let t = tape.leaf(Tensor::zeros(&[rows, 3]));
+        let pred = self.mlp.forward(&mut tape, &binding, x);
+        let loss = tape.mse(pred, t);
+        let param_vars: Vec<Var> = (0..self.params.len())
+            .map(|i| binding.var(self.params.id(i)))
+            .collect();
+        ShardProgram {
+            // Parameter gradients are the only ones the optimizer
+            // consumes; pruning the batch leaves skips the (large)
+            // input-gradient matmul of the first layer.
+            prog: Arc::new(Program::compile_with_sinks(
+                &tape,
+                &[loss],
+                &[],
+                &param_vars,
+            )),
+            param_vars,
+            x,
+            t,
+            loss,
+        }
+    }
+
+    /// [`Estimator::batch_gradients`] on the compiled replay engine:
+    /// identical shard decomposition and merge order (so the result is
+    /// bit-identical to the fresh-record path at every worker count),
+    /// but each shard rebinds and replays a cached [`Session`] instead
+    /// of re-recording the graph — zero per-step graph allocations once
+    /// every shard size has been seen.
+    fn batch_gradients_replay(
+        &self,
+        pairs: &PairSet,
+        chunk: &[usize],
+        jobs: usize,
+        bank: &mut ReplayBank,
+    ) -> (f32, Vec<Option<Tensor>>) {
+        let shards: Vec<&[usize]> = chunk.chunks(Self::SHARD_ROWS).collect();
+        // Compile any unseen shard size on the main thread (deterministic
+        // and worker-count independent).
+        for shard in &shards {
+            if let std::collections::hash_map::Entry::Vacant(e) = bank.programs.entry(shard.len()) {
+                e.insert(Arc::new(self.compile_shard(shard.len())));
+            }
+        }
+
+        // Immutable from here on: workers only read programs and their
+        // own (mutex-guarded) session pool.
+        let bank: &ReplayBank = bank;
+
+        // Explicit contiguous worker ranges: which worker replays which
+        // shard affects only session reuse, never the results.
+        let workers = jobs.min(shards.len()).max(1);
+        let per = shards.len().div_ceil(workers);
+        let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| w * per..((w + 1) * per).min(shards.len()))
+            .collect();
+        let worker_results = hdx_tensor::parallel_map(&ranges, workers, |w, range| {
+            let mut pool = bank.pools[w].lock().expect("session pool poisoned");
+            range
+                .clone()
+                .map(|s| {
+                    let shard = shards[s];
+                    let sp = &bank.programs[&shard.len()];
+                    let sess = pool
+                        .entry(shard.len())
+                        .or_insert_with(|| Session::new(Arc::clone(&sp.prog)));
+                    for (i, (_, tensor)) in self.params.iter().enumerate() {
+                        sess.bind(sp.param_vars[i], tensor.data());
+                    }
+                    pairs.fill_inputs(shard, sess.leaf_mut(sp.x));
+                    pairs.fill_targets(shard, sess.leaf_mut(sp.t));
+                    sess.forward();
+                    sess.backward(sp.loss);
+                    let value = sess.scalar(sp.loss);
+                    let mut flat = vec![0.0f32; self.params.num_scalars()];
+                    let mut off = 0;
+                    for (i, (_, tensor)) in self.params.iter().enumerate() {
+                        let g = sess
+                            .grad(sp.param_vars[i])
+                            .expect("every estimator parameter receives a gradient");
+                        flat[off..off + tensor.len()].copy_from_slice(g);
+                        off += tensor.len();
+                    }
+                    (value, flat, shard.len())
+                })
+                .collect::<Vec<_>>()
+        });
+
+        // Merge in shard order with the same weighted arithmetic as the
+        // fresh path.
+        let n = chunk.len() as f32;
+        let mut total_loss = 0.0f32;
+        let mut merged: Vec<Option<Tensor>> = vec![None; self.params.len()];
+        for (value, flat, rows) in worker_results.into_iter().flatten() {
+            let w = rows as f32 / n;
+            total_loss += w * value;
+            let mut off = 0;
+            for (slot, (_, tensor)) in merged.iter_mut().zip(self.params.iter()) {
+                let g = &flat[off..off + tensor.len()];
+                off += tensor.len();
+                match slot {
+                    Some(acc) => {
+                        for (a, &b) in acc.data_mut().iter_mut().zip(g) {
+                            *a += b * w;
+                        }
+                    }
+                    None => {
+                        *slot = Some(Tensor::from_vec(
+                            g.iter().map(|&v| v * w).collect(),
+                            tensor.shape(),
+                        ));
+                    }
                 }
             }
         }
@@ -247,6 +387,37 @@ impl Estimator {
         });
         let ok = hits.into_iter().filter(|h| *h).count();
         ok as f64 / pairs.len().max(1) as f64
+    }
+}
+
+/// One compiled shard graph: the program plus the vars a replay must
+/// rebind (parameters in allocation order, batch input, batch target).
+#[derive(Debug)]
+struct ShardProgram {
+    prog: Arc<Program>,
+    param_vars: Vec<Var>,
+    x: Var,
+    t: Var,
+    loss: Var,
+}
+
+/// Session cache for [`Estimator::train`]'s replay path: one program
+/// per shard row count, one session pool per worker thread (sessions
+/// hold mutable arenas, so they are never shared across workers).
+#[derive(Debug)]
+struct ReplayBank {
+    programs: HashMap<usize, Arc<ShardProgram>>,
+    pools: Vec<Mutex<HashMap<usize, Session>>>,
+}
+
+impl ReplayBank {
+    fn new(workers: usize) -> Self {
+        Self {
+            programs: HashMap::new(),
+            pools: (0..workers.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
     }
 }
 

@@ -63,6 +63,10 @@ enum Prep {
     /// Push input 0 at least 0.5 away from zero — keeps finite
     /// differences valid across the kink of relu/hinge/clamp ops.
     AwayFromKink,
+    /// Map input 0 to a coordinate strictly inside a LUT interpolation
+    /// cell (fraction in [0.3, 0.7] of cell 1) — keeps finite
+    /// differences away from the piecewise-linear row boundaries.
+    InsideLutCell,
 }
 
 impl Prep {
@@ -82,6 +86,11 @@ impl Prep {
             Prep::AwayFromKink => {
                 for x in inputs[0].data_mut() {
                     *x = if *x > 0.0 { *x + 0.5 } else { *x - 0.5 };
+                }
+            }
+            Prep::InsideLutCell => {
+                for x in inputs[0].data_mut() {
+                    *x = 1.3 + 0.4 * (x.abs() - x.abs().floor());
                 }
             }
         }
@@ -407,6 +416,20 @@ fn op_registry() -> Vec<OpCase> {
                 let y = t.mul_scalar_var(v[0], v[1]);
                 let s = t.square(y);
                 t.sum(s)
+            },
+        },
+        OpCase {
+            name: "lut_row_interp",
+            shapes: &[&[1, 1]],
+            prep: Prep::InsideLutCell,
+            tol: 2e-2,
+            build: |t, v| {
+                // A fixed nonlinear-in-rows table: the interpolated row
+                // is piecewise linear in the coordinate.
+                let table = Tensor::from_vec(vec![0.0, 1.0, 0.5, 2.5, 2.0, 4.0, 4.5, 8.0], &[4, 2]);
+                let row = t.lut_row_interp(v[0], &table);
+                let sq = t.square(row);
+                t.sum(sq)
             },
         },
     ]

@@ -1,0 +1,64 @@
+//! Raw slice kernels shared by the eager [`crate::tensor`] ops and the
+//! compiled executor in [`crate::program`].
+//!
+//! Bit-identical replay is the whole point of this module: the compiled
+//! graph engine promises results exactly equal to a fresh-record run,
+//! which is only possible if both paths execute the *same* floating
+//! point operations in the *same* order. Any kernel with an internal
+//! reduction (matrix product, softmax denominator) therefore lives
+//! here, once, and both execution paths call it.
+
+/// `out = a · b` for row-major `a [m,k]`, `b [k,n]`, `out [m,n]`.
+///
+/// `out` is fully overwritten. The ikj loop order (streaming through
+/// `b` rows) and the zero-skip are part of the numeric contract: the
+/// per-element sums fold in `p` order starting from 0.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out = srcᵀ` for row-major `src [m,n]`, `out [n,m]`.
+pub(crate) fn transpose_into(src: &[f32], out: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
+        }
+    }
+}
+
+/// Row-wise numerically-stabilized softmax of `src [m,n]` into `out`.
+pub(crate) fn softmax_rows_into(src: &[f32], out: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let row = &src[i * n..(i + 1) * n];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for j in 0..n {
+            let e = (row[j] - max).exp();
+            out[i * n + j] = e;
+            denom += e;
+        }
+        for j in 0..n {
+            out[i * n + j] /= denom;
+        }
+    }
+}

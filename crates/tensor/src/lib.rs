@@ -26,9 +26,11 @@
 //! assert_eq!(grads.wrt(x).expect("leaf gradient").data(), &[2.0, 2.0, 2.0]);
 //! ```
 
+mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod par;
+pub mod program;
 pub mod rng;
 pub mod tape;
 pub mod tensor;
@@ -36,6 +38,7 @@ pub mod tensor;
 pub use nn::{Binding, Linear, ParamId, ParamStore, ResidualMlp};
 pub use optim::{Adam, CosineLr, Sgd};
 pub use par::{num_jobs, parallel_map};
+pub use program::{ExecMode, Program, Session};
 pub use rng::Rng;
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -116,8 +116,15 @@ impl ParamStore {
     }
 
     /// Binds every parameter as a leaf on `tape`, returning the [`Binding`].
+    ///
+    /// Leaf storage is drawn from the tape's recycled buffer pool, so a
+    /// [cleared](Tape::clear) tape re-binds without reallocating.
     pub fn bind(&self, tape: &mut Tape) -> Binding {
-        let vars = self.tensors.iter().map(|t| tape.leaf(t.clone())).collect();
+        let vars = self
+            .tensors
+            .iter()
+            .map(|t| tape.leaf_from_slice(t.data(), t.shape()))
+            .collect();
         Binding { vars }
     }
 }
@@ -168,7 +175,9 @@ impl Binding {
         if norm > max_norm && norm > 0.0 {
             let factor = max_norm / norm;
             for g in grads.iter_mut().flatten() {
-                *g = g.scale(factor);
+                for v in g.data_mut() {
+                    *v *= factor;
+                }
             }
         }
     }

@@ -1,0 +1,1997 @@
+//! Compile-once / replay-many graph execution.
+//!
+//! The fresh-record execution model ([`Tape`]) re-allocates every node
+//! value and every backward contribution on every training step, even
+//! though the training hot loops replay the *same* graph topology for
+//! thousands of steps. This module lowers a recorded tape into a
+//! [`Program`] — a static execution plan with
+//!
+//! * a **liveness-analyzed arena**: node values live at fixed offsets
+//!   of one flat buffer, and buffers of dead intermediates are reused
+//!   by later nodes of the same size (zero allocation on replay);
+//! * **fused kernels** for the dominant patterns: `matmul → add_bias
+//!   (→ relu)` collapses into a single linear-layer kernel whose
+//!   intermediates never materialize, and `log_softmax` /
+//!   `cross_entropy_logits` cache their forward softmax so the
+//!   backward pass never recomputes it;
+//! * **multi-output backward plans**: the engine differentiates one
+//!   forward graph from several scalar heads (global loss, `Cost_HW`,
+//!   constraint loss) without re-running forward.
+//!
+//! A [`Session`] owns the mutable buffers for one replay stream:
+//! [`Session::bind`] overwrites leaf values (minibatch inputs,
+//! parameter values), [`Session::forward`] / [`Session::backward`]
+//! replay the plan in place, and [`Session::grad`] exposes gradients.
+//!
+//! # Bit-identical contract
+//!
+//! Replaying a `Session` produces **bit-identical** values and
+//! gradients to re-recording the same graph on a fresh [`Tape`] every
+//! step (`tests/determinism.rs` pins this workspace-wide). Every
+//! kernel with an internal reduction is shared with the eager path
+//! through [`crate::kernels`], contributions with internal sums are
+//! staged through scratch buffers so gradient accumulation folds in
+//! the same order, and fused kernels are chosen only where the
+//! collapsed arithmetic is element-for-element identical (the relu
+//! gate tests the post-activation output, which is positive exactly
+//! when the pre-activation is).
+//!
+//! # When fresh-record is still used
+//!
+//! Compilation requires a static topology and static shapes. Graphs
+//! whose structure changes per step — the path-sampled supernet
+//! mixture, one-off evaluations — keep recording onto a `Tape`; it is
+//! also the reference implementation the equivalence tests replay
+//! against.
+//!
+//! # Example
+//!
+//! ```
+//! use hdx_tensor::{Program, Session, Tape, Tensor};
+//! use std::sync::Arc;
+//!
+//! // Record the graph shape once.
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::row(&[1.0, 2.0]));
+//! let y = tape.square(x);
+//! let loss = tape.sum(y);
+//! let prog = Arc::new(Program::compile(&tape, &[loss], &[]));
+//!
+//! // Replay many times with rebound inputs.
+//! let mut sess = Session::new(prog);
+//! sess.bind(x, &[3.0, -1.0]);
+//! sess.forward();
+//! assert_eq!(sess.scalar(loss), 10.0);
+//! sess.backward(loss);
+//! assert_eq!(sess.grad(x).unwrap(), &[6.0, -2.0]);
+//! ```
+
+use crate::kernels::{matmul_into, softmax_rows_into, transpose_into};
+use crate::tape::{lut_cell, Op, Tape, Var};
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which execution engine a training loop should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Compile the step graph once and replay it (the default).
+    Compiled,
+    /// Re-record the graph on a fresh tape every step — the reference
+    /// path, and the only option for dynamic topologies.
+    FreshRecord,
+}
+
+impl ExecMode {
+    /// The default policy: compiled, unless the `HDX_EXEC` environment
+    /// variable is set to `fresh`.
+    pub fn auto() -> Self {
+        match std::env::var("HDX_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("fresh") => ExecMode::FreshRecord,
+            _ => ExecMode::Compiled,
+        }
+    }
+}
+
+/// A fixed-size range inside an arena buffer.
+#[derive(Debug, Clone, Copy)]
+struct Buf {
+    off: usize,
+    len: usize,
+}
+
+impl Buf {
+    fn range(self) -> std::ops::Range<usize> {
+        self.off..self.off + self.len
+    }
+}
+
+/// One executable step of the plan. Indices are tape node ids; the
+/// step at position `i` produces the value of node `i` (unless it is
+/// `Skip`, in which case node `i` was folded into a later fused step).
+#[derive(Debug, Clone)]
+enum Step {
+    Skip,
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Neg(usize),
+    Scale(usize, f32),
+    AddScalar(usize, f32),
+    Relu(usize),
+    LeakyRelu(usize, f32),
+    Sigmoid(usize),
+    Tanh(usize),
+    Exp(usize),
+    Ln(usize),
+    Square(usize),
+    ClampMin(usize, f32),
+    MatMul(usize, usize),
+    Transpose(usize),
+    AddBias(usize, usize),
+    Sum(usize),
+    Mean(usize),
+    SoftmaxRows(usize),
+    LogSoftmaxRows(usize),
+    CrossEntropy {
+        logits: usize,
+        targets: usize, // index into Program::targets
+    },
+    Mse(usize, usize),
+    ConcatCols(Vec<usize>),
+    SliceCols {
+        input: usize,
+        start: usize,
+        end: usize,
+    },
+    Dot(usize, usize),
+    NormSq(usize),
+    MulScalarVar {
+        x: usize,
+        s: usize,
+    },
+    LutRowInterp {
+        coord: usize,
+        table: usize, // index into Program::tables
+    },
+    /// `matmul → add_bias (→ relu)` collapsed into one kernel; this
+    /// step produces the value of the *last* node of the pattern.
+    FusedLinear {
+        x: usize,
+        w: usize,
+        bias: usize,
+        relu: bool,
+    },
+}
+
+/// A compiled, immutable execution plan for one recorded graph.
+///
+/// Produced by [`Program::compile`]; executed by [`Session`]s (many
+/// sessions may share one program through an [`Arc`], e.g. one per
+/// worker thread).
+#[derive(Debug)]
+pub struct Program {
+    steps: Vec<Step>,
+    /// `(rows, cols)` of each node value (0,0 for folded nodes).
+    shape: Vec<(usize, usize)>,
+    /// Value arena slot per node (`None` for folded nodes).
+    val: Vec<Option<Buf>>,
+    /// Whether a node's value slot survives to the end of the plan
+    /// (leaves, outputs, kept vars, backward-saved values). Only these
+    /// may be read through [`Session::value`].
+    persist: Vec<bool>,
+    /// Initial arena contents (the values recorded on the tape).
+    init: Vec<f32>,
+    /// Gradient arena slot per node (`None` if unreachable from every
+    /// output).
+    grad: Vec<Option<Buf>>,
+    grad_len: usize,
+    /// Forward-cached auxiliary buffers (softmax of CE / log-softmax).
+    aux: Vec<Option<Buf>>,
+    aux_len: usize,
+    /// Registered scalar outputs and, per output, which nodes its
+    /// backward pass reaches.
+    outputs: Vec<usize>,
+    reach: Vec<Vec<bool>>,
+    /// Leaf node ids (rebindable inputs).
+    leaves: Vec<bool>,
+    /// Scratch sizes: gated-gradient / contribution, transpose temp,
+    /// matmul-result temp.
+    s0_len: usize,
+    s1_len: usize,
+    s2_len: usize,
+    /// Default targets of each cross-entropy step (rebindable per
+    /// session via [`Session::set_targets`]).
+    targets: Vec<Vec<usize>>,
+    /// Constant interpolation tables.
+    tables: Vec<Tensor>,
+    /// Nodes that receive exactly one backward contribution (across the
+    /// union of all outputs). Their gradients are written by direct
+    /// assignment — the fresh path's "first contribution assigns" —
+    /// skipping both the scratch staging and the arena pre-zeroing.
+    single_contrib: Vec<bool>,
+    /// Gradient slots that must be zeroed before each backward pass:
+    /// multi-contribution nodes plus slice-gradient targets (whose
+    /// single contribution does not cover the whole buffer).
+    multi_slots: Vec<Buf>,
+}
+
+impl Program {
+    /// Lowers a recorded tape into a static execution plan.
+    ///
+    /// `outputs` are the scalar heads backward passes may start from;
+    /// `keep` are additional vars whose values must stay readable after
+    /// [`Session::forward`] (everything else may have its buffer reused
+    /// by the arena planner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty, an output is not scalar, or the
+    /// tape contains non-2-D values.
+    pub fn compile(tape: &Tape, outputs: &[Var], keep: &[Var]) -> Program {
+        Self::compile_impl(tape, outputs, keep, None)
+    }
+
+    /// [`Program::compile`] with an explicit gradient-sink list: only
+    /// the leaves in `grad_sinks` get gradient slots. Leaf gradients
+    /// are pure sinks — no other gradient depends on them — so pruning
+    /// the rest skips their (sometimes large) backward contributions
+    /// without changing any other result bit. Training loops pass their
+    /// parameter leaves here, leaving minibatch input leaves pruned.
+    pub fn compile_with_sinks(
+        tape: &Tape,
+        outputs: &[Var],
+        keep: &[Var],
+        grad_sinks: &[Var],
+    ) -> Program {
+        Self::compile_impl(tape, outputs, keep, Some(grad_sinks))
+    }
+
+    fn compile_impl(
+        tape: &Tape,
+        outputs: &[Var],
+        keep: &[Var],
+        grad_sinks: Option<&[Var]>,
+    ) -> Program {
+        assert!(!outputs.is_empty(), "compile: need at least one output");
+        let nodes = tape.nodes();
+        let n = nodes.len();
+        for out in outputs {
+            assert_eq!(
+                tape.value(*out).len(),
+                1,
+                "compile: output {} must be scalar",
+                out.index()
+            );
+        }
+
+        let mut targets: Vec<Vec<usize>> = Vec::new();
+        let mut tables: Vec<Tensor> = Vec::new();
+        let mut steps: Vec<Step> = nodes
+            .iter()
+            .map(|node| match &node.op {
+                Op::Leaf => Step::Leaf,
+                Op::Add(a, b) => Step::Add(a.index(), b.index()),
+                Op::Sub(a, b) => Step::Sub(a.index(), b.index()),
+                Op::Mul(a, b) => Step::Mul(a.index(), b.index()),
+                Op::Div(a, b) => Step::Div(a.index(), b.index()),
+                Op::Neg(a) => Step::Neg(a.index()),
+                Op::Scale(a, c) => Step::Scale(a.index(), *c),
+                Op::AddScalar(a, c) => Step::AddScalar(a.index(), *c),
+                Op::Relu(a) => Step::Relu(a.index()),
+                Op::LeakyRelu(a, s) => Step::LeakyRelu(a.index(), *s),
+                Op::Sigmoid(a) => Step::Sigmoid(a.index()),
+                Op::Tanh(a) => Step::Tanh(a.index()),
+                Op::Exp(a) => Step::Exp(a.index()),
+                Op::Ln(a) => Step::Ln(a.index()),
+                Op::Square(a) => Step::Square(a.index()),
+                Op::ClampMin(a, c) => Step::ClampMin(a.index(), *c),
+                Op::MatMul(a, b) => Step::MatMul(a.index(), b.index()),
+                Op::Transpose(a) => Step::Transpose(a.index()),
+                Op::AddBias(x, b) => Step::AddBias(x.index(), b.index()),
+                Op::Sum(a) => Step::Sum(a.index()),
+                Op::Mean(a) => Step::Mean(a.index()),
+                Op::SoftmaxRows(a) => Step::SoftmaxRows(a.index()),
+                Op::LogSoftmaxRows(a) => Step::LogSoftmaxRows(a.index()),
+                Op::CrossEntropyLogits { logits, targets: t } => {
+                    targets.push(t.clone());
+                    Step::CrossEntropy {
+                        logits: logits.index(),
+                        targets: targets.len() - 1,
+                    }
+                }
+                Op::Mse(a, b) => Step::Mse(a.index(), b.index()),
+                Op::ConcatCols(parts) => {
+                    Step::ConcatCols(parts.iter().map(|v| v.index()).collect())
+                }
+                Op::SliceCols { input, start, end } => Step::SliceCols {
+                    input: input.index(),
+                    start: *start,
+                    end: *end,
+                },
+                Op::Dot(a, b) => Step::Dot(a.index(), b.index()),
+                Op::NormSq(a) => Step::NormSq(a.index()),
+                Op::MulScalarVar { x, s } => Step::MulScalarVar {
+                    x: x.index(),
+                    s: s.index(),
+                },
+                Op::LutRowInterp { coord, table } => {
+                    tables.push(table.clone());
+                    Step::LutRowInterp {
+                        coord: coord.index(),
+                        table: tables.len() - 1,
+                    }
+                }
+            })
+            .collect();
+
+        let shape: Vec<(usize, usize)> = nodes
+            .iter()
+            .map(|node| {
+                let s = node.value.shape();
+                assert_eq!(s.len(), 2, "compile: only 2-D values are supported");
+                (s[0], s[1])
+            })
+            .collect();
+
+        // ---- kernel fusion --------------------------------------------
+        // A node may be folded only if it feeds exactly one consumer and
+        // nobody else can observe it.
+        let mut use_count = vec![0usize; n];
+        for step in &steps {
+            for p in step_inputs(step) {
+                use_count[p] += 1;
+            }
+        }
+        let mut protected = vec![false; n];
+        for v in outputs.iter().chain(keep) {
+            protected[v.index()] = true;
+        }
+        let mut i = 0;
+        while i + 1 < n {
+            let fused = match (&steps[i], &steps[i + 1]) {
+                (&Step::MatMul(x, w), &Step::AddBias(mm, bias))
+                    if mm == i && use_count[i] == 1 && !protected[i] =>
+                {
+                    let relu = matches!(steps.get(i + 2), Some(&Step::Relu(r))
+                        if r == i + 1 && use_count[i + 1] == 1 && !protected[i + 1]);
+                    Some((x, w, bias, relu))
+                }
+                _ => None,
+            };
+            if let Some((x, w, bias, relu)) = fused {
+                let last = if relu { i + 2 } else { i + 1 };
+                for step in &mut steps[i..last] {
+                    *step = Step::Skip;
+                }
+                steps[last] = Step::FusedLinear { x, w, bias, relu };
+                i = last + 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        // ---- backward reachability (per output, over fused steps) -----
+        let reach: Vec<Vec<bool>> = outputs
+            .iter()
+            .map(|out| {
+                let mut r = vec![false; n];
+                r[out.index()] = true;
+                for idx in (0..n).rev() {
+                    if !r[idx] {
+                        continue;
+                    }
+                    for p in step_inputs(&steps[idx]) {
+                        r[p] = true;
+                    }
+                }
+                r
+            })
+            .collect();
+        let union: Vec<bool> = (0..n).map(|i| reach.iter().any(|r| r[i])).collect();
+
+        // ---- liveness: which values must survive into backward --------
+        let mut saved = vec![false; n];
+        for (idx, step) in steps.iter().enumerate() {
+            if !union[idx] {
+                continue;
+            }
+            match step {
+                Step::Mul(a, b)
+                | Step::Div(a, b)
+                | Step::MatMul(a, b)
+                | Step::Mse(a, b)
+                | Step::Dot(a, b)
+                | Step::MulScalarVar { x: a, s: b } => {
+                    saved[*a] = true;
+                    saved[*b] = true;
+                }
+                Step::Relu(a)
+                | Step::LeakyRelu(a, _)
+                | Step::Ln(a)
+                | Step::Square(a)
+                | Step::ClampMin(a, _)
+                | Step::NormSq(a)
+                | Step::LutRowInterp { coord: a, .. } => saved[*a] = true,
+                Step::Sigmoid(_) | Step::Tanh(_) | Step::Exp(_) | Step::SoftmaxRows(_) => {
+                    saved[idx] = true; // backward reads own output
+                }
+                Step::FusedLinear { x, w, relu, .. } => {
+                    saved[*x] = true;
+                    saved[*w] = true;
+                    if *relu {
+                        saved[idx] = true; // relu gate tests the output
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // ---- arena planning with buffer reuse -------------------------
+        let mut last_use = (0..n).collect::<Vec<usize>>();
+        for (idx, step) in steps.iter().enumerate() {
+            for p in step_inputs(step) {
+                last_use[p] = idx;
+            }
+        }
+        let persist: Vec<bool> = (0..n)
+            .map(|i| matches!(steps[i], Step::Leaf) || protected[i] || saved[i])
+            .collect();
+
+        let mut arena_len = 0usize;
+        let mut free: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut val: Vec<Option<Buf>> = vec![None; n];
+        let mut released = vec![false; n];
+        for idx in 0..n {
+            if matches!(steps[idx], Step::Skip) {
+                continue;
+            }
+            let len = shape[idx].0 * shape[idx].1;
+            // Leaves are written at *bind* time, before the replay
+            // starts, so their slots must never alias a computed node's
+            // buffer (whose forward step would clobber the bound value).
+            // Everything else may draw from the free list.
+            let recycled = if matches!(steps[idx], Step::Leaf) {
+                None
+            } else {
+                free.get_mut(&len).and_then(Vec::pop)
+            };
+            let off = match recycled {
+                Some(off) => off,
+                None => {
+                    let off = arena_len;
+                    arena_len += len;
+                    off
+                }
+            };
+            val[idx] = Some(Buf { off, len });
+            // Release inputs whose final forward read was this step —
+            // at most once each: a step may list the same node twice
+            // (`add(s, s)`), and a double release would hand one buffer
+            // to two later live nodes.
+            for p in step_inputs(&steps[idx]) {
+                if last_use[p] == idx && !persist[p] && !released[p] {
+                    released[p] = true;
+                    if let Some(buf) = val[p] {
+                        free.entry(buf.len).or_default().push(buf.off);
+                    }
+                }
+            }
+        }
+
+        let mut init = vec![0.0f32; arena_len];
+        for idx in 0..n {
+            if let Some(buf) = val[idx] {
+                init[buf.range()].copy_from_slice(nodes[idx].value.data());
+            }
+        }
+
+        // ---- gradient + auxiliary arenas ------------------------------
+        let sink_set: Option<std::collections::HashSet<usize>> =
+            grad_sinks.map(|s| s.iter().map(|v| v.index()).collect());
+        let mut grad: Vec<Option<Buf>> = vec![None; n];
+        let mut grad_len = 0usize;
+        for idx in 0..n {
+            // A leaf's gradient feeds nothing downstream; when a sink
+            // list is given, leaves outside it get no slot, and every
+            // contribution into them (including whole matmuls) is
+            // skipped by the executor's slot guards.
+            let pruned = matches!(steps[idx], Step::Leaf)
+                && !protected[idx]
+                && sink_set.as_ref().is_some_and(|s| !s.contains(&idx));
+            if union[idx] && !matches!(steps[idx], Step::Skip) && !pruned {
+                let len = shape[idx].0 * shape[idx].1;
+                grad[idx] = Some(Buf { off: grad_len, len });
+                grad_len += len;
+            }
+        }
+        let mut aux: Vec<Option<Buf>> = vec![None; n];
+        let mut aux_len = 0usize;
+        for idx in 0..n {
+            if matches!(
+                steps[idx],
+                Step::CrossEntropy { .. } | Step::LogSoftmaxRows(_)
+            ) {
+                let (m, cols) = match steps[idx] {
+                    Step::CrossEntropy { logits, .. } => shape[logits],
+                    Step::LogSoftmaxRows(a) => shape[a],
+                    _ => unreachable!(),
+                };
+                let len = m * cols;
+                aux[idx] = Some(Buf { off: aux_len, len });
+                aux_len += len;
+            }
+        }
+
+        // ---- scratch sizing -------------------------------------------
+        let (mut s0_len, mut s1_len, mut s2_len) = (0usize, 0usize, 0usize);
+        for (idx, step) in steps.iter().enumerate() {
+            if !union[idx] {
+                continue;
+            }
+            let len_of = |i: usize| shape[i].0 * shape[i].1;
+            match step {
+                Step::MatMul(a, b) => {
+                    s1_len = s1_len.max(len_of(*a)).max(len_of(*b));
+                    s2_len = s2_len.max(len_of(*a)).max(len_of(*b));
+                }
+                Step::AddBias(_, bias) => s1_len = s1_len.max(len_of(*bias)),
+                Step::FusedLinear { x, w, bias, .. } => {
+                    s0_len = s0_len.max(len_of(idx));
+                    s1_len = s1_len.max(len_of(*w)).max(len_of(*x)).max(len_of(*bias));
+                    s2_len = s2_len.max(len_of(*x)).max(len_of(*w));
+                }
+                _ => {}
+            }
+        }
+
+        let mut contrib_count = vec![0usize; n];
+        for (idx, step) in steps.iter().enumerate() {
+            if !union[idx] {
+                continue;
+            }
+            for p in step_inputs(step) {
+                contrib_count[p] += 1;
+            }
+        }
+        let single_contrib: Vec<bool> = contrib_count.iter().map(|&c| c == 1).collect();
+        // A slice's backward only writes its column window, so its
+        // input must be pre-zeroed even with a single contribution.
+        let mut needs_zero: Vec<bool> = contrib_count.iter().map(|&c| c != 1).collect();
+        for (idx, step) in steps.iter().enumerate() {
+            if union[idx] {
+                if let Step::SliceCols { input, .. } = step {
+                    needs_zero[*input] = true;
+                }
+            }
+        }
+        let multi_slots: Vec<Buf> = (0..n)
+            .filter(|&i| needs_zero[i])
+            .filter_map(|i| grad[i])
+            .collect();
+
+        let leaves = steps.iter().map(|s| matches!(s, Step::Leaf)).collect();
+        Program {
+            steps,
+            shape,
+            val,
+            persist,
+            init,
+            grad,
+            grad_len,
+            aux,
+            aux_len,
+            outputs: outputs.iter().map(|v| v.index()).collect(),
+            reach,
+            leaves,
+            s0_len,
+            s1_len,
+            s2_len,
+            targets,
+            tables,
+            single_contrib,
+            multi_slots,
+        }
+    }
+
+    /// Number of (unfused) executable steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| !matches!(s, Step::Skip))
+            .count()
+    }
+
+    /// Size of the value arena in scalars (after buffer reuse).
+    pub fn arena_len(&self) -> usize {
+        self.init.len()
+    }
+
+    fn output_slot(&self, output: Var) -> usize {
+        self.outputs
+            .iter()
+            .position(|&o| o == output.index())
+            .unwrap_or_else(|| panic!("var {} is not a registered output", output.index()))
+    }
+}
+
+fn step_inputs(step: &Step) -> Vec<usize> {
+    match step {
+        Step::Skip | Step::Leaf => Vec::new(),
+        Step::Add(a, b)
+        | Step::Sub(a, b)
+        | Step::Mul(a, b)
+        | Step::Div(a, b)
+        | Step::MatMul(a, b)
+        | Step::AddBias(a, b)
+        | Step::Mse(a, b)
+        | Step::Dot(a, b)
+        | Step::MulScalarVar { x: a, s: b } => vec![*a, *b],
+        Step::Neg(a)
+        | Step::Scale(a, _)
+        | Step::AddScalar(a, _)
+        | Step::Relu(a)
+        | Step::LeakyRelu(a, _)
+        | Step::Sigmoid(a)
+        | Step::Tanh(a)
+        | Step::Exp(a)
+        | Step::Ln(a)
+        | Step::Square(a)
+        | Step::ClampMin(a, _)
+        | Step::Transpose(a)
+        | Step::Sum(a)
+        | Step::Mean(a)
+        | Step::SoftmaxRows(a)
+        | Step::LogSoftmaxRows(a)
+        | Step::CrossEntropy { logits: a, .. }
+        | Step::SliceCols { input: a, .. }
+        | Step::NormSq(a)
+        | Step::LutRowInterp { coord: a, .. } => vec![*a],
+        Step::ConcatCols(parts) => parts.clone(),
+        Step::FusedLinear { x, w, bias, .. } => vec![*x, *w, *bias],
+    }
+}
+
+/// Mutable replay state for one [`Program`].
+///
+/// All buffers are allocated once at construction; [`Session::bind`],
+/// [`Session::forward`] and [`Session::backward`] never allocate.
+#[derive(Debug)]
+pub struct Session {
+    prog: Arc<Program>,
+    vals: Vec<f32>,
+    grads: Vec<f32>,
+    aux: Vec<f32>,
+    s0: Vec<f32>,
+    s1: Vec<f32>,
+    s2: Vec<f32>,
+    targets: Vec<Vec<usize>>,
+    /// Which output the gradient arena currently reflects.
+    last_backward: Option<usize>,
+}
+
+impl Session {
+    /// Allocates replay buffers for `prog`, initialized to the values
+    /// recorded at compile time.
+    pub fn new(prog: Arc<Program>) -> Session {
+        Session {
+            vals: prog.init.clone(),
+            grads: vec![0.0; prog.grad_len],
+            aux: vec![0.0; prog.aux_len],
+            s0: vec![0.0; prog.s0_len],
+            s1: vec![0.0; prog.s1_len],
+            s2: vec![0.0; prog.s2_len],
+            targets: prog.targets.clone(),
+            last_backward: None,
+            prog,
+        }
+    }
+
+    /// The program this session replays.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.prog
+    }
+
+    /// Overwrites a leaf value before the next [`Session::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a leaf or `data` has the wrong length.
+    pub fn bind(&mut self, var: Var, data: &[f32]) {
+        self.leaf_mut(var).copy_from_slice(data);
+    }
+
+    /// [`Session::bind`] from a tensor (shape is not re-checked beyond
+    /// the element count).
+    pub fn bind_tensor(&mut self, var: Var, tensor: &Tensor) {
+        self.bind(var, tensor.data());
+    }
+
+    /// Mutable view of a leaf's value slot, for writing inputs in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a leaf of the compiled graph.
+    pub fn leaf_mut(&mut self, var: Var) -> &mut [f32] {
+        let idx = var.index();
+        assert!(
+            self.prog.leaves[idx],
+            "bind: var {idx} is not a leaf of the compiled graph"
+        );
+        let buf = self.prog.val[idx].expect("leaves always have slots");
+        &mut self.vals[buf.range()]
+    }
+
+    /// Rebinds the integer targets of a cross-entropy node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a cross-entropy node or the length differs
+    /// from the recorded batch size.
+    pub fn set_targets(&mut self, var: Var, targets: &[usize]) {
+        let Step::CrossEntropy { targets: t, .. } = self.prog.steps[var.index()] else {
+            panic!("set_targets: var {} is not cross_entropy", var.index());
+        };
+        assert_eq!(
+            targets.len(),
+            self.targets[t].len(),
+            "set_targets: batch size changed"
+        );
+        self.targets[t].copy_from_slice(targets);
+    }
+
+    /// The current value of a persistent node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's buffer was reused by the arena planner (add
+    /// it to `keep` at compile time to read it).
+    pub fn value(&self, var: Var) -> &[f32] {
+        let idx = var.index();
+        assert!(
+            self.prog.persist[idx],
+            "value: node {idx} is not persistent; pass it in `keep` to Program::compile"
+        );
+        let buf = self.prog.val[idx].expect("persistent nodes have slots");
+        &self.vals[buf.range()]
+    }
+
+    /// The value of a persistent scalar node.
+    pub fn scalar(&self, var: Var) -> f32 {
+        let v = self.value(var);
+        assert_eq!(v.len(), 1, "scalar: node has {} elements", v.len());
+        v[0]
+    }
+
+    /// Gradient of the last [`Session::backward`] output w.r.t. `var`,
+    /// or `None` if that output does not depend on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backward pass has run yet.
+    pub fn grad(&self, var: Var) -> Option<&[f32]> {
+        let k = self.last_backward.expect("grad: no backward pass has run");
+        if !self.prog.reach[k][var.index()] {
+            return None;
+        }
+        let buf = self.prog.grad[var.index()]?;
+        Some(&self.grads[buf.range()])
+    }
+    /// Replays the forward plan in place.
+    pub fn forward(&mut self) {
+        let prog = Arc::clone(&self.prog);
+        for (idx, step) in prog.steps.iter().enumerate() {
+            exec_forward(
+                idx,
+                step,
+                &prog,
+                &mut self.vals,
+                &mut self.aux,
+                &self.targets,
+            );
+        }
+    }
+
+    /// Replays the backward plan of one registered output.
+    ///
+    /// The gradient arena is repopulated in place; gradients of a
+    /// previous backward pass are overwritten. Only multi-contribution
+    /// slots need pre-zeroing — single-contribution slots (every
+    /// once-used parameter) are written by assignment, mirroring the
+    /// fresh path's first-contribution semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` was not registered at compile time.
+    pub fn backward(&mut self, output: Var) {
+        let prog = Arc::clone(&self.prog);
+        let k = prog.output_slot(output);
+        for buf in &prog.multi_slots {
+            self.grads[buf.range()].fill(0.0);
+        }
+        let out_buf = prog.grad[output.index()].expect("outputs are reachable");
+        self.grads[out_buf.off] = 1.0;
+        for idx in (0..prog.steps.len()).rev() {
+            if !prog.reach[k][idx] {
+                continue;
+            }
+            exec_backward(
+                idx,
+                &prog.steps[idx],
+                &prog,
+                &self.vals,
+                &mut self.grads,
+                &self.aux,
+                &mut self.s0,
+                &mut self.s1,
+                &mut self.s2,
+                &self.targets,
+            );
+        }
+        self.last_backward = Some(k);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_forward(
+    idx: usize,
+    step: &Step,
+    prog: &Program,
+    vals: &mut [f32],
+    aux: &mut [f32],
+    targets: &[Vec<usize>],
+) {
+    let out = match prog.val[idx] {
+        Some(b) => b,
+        None => return, // Skip
+    };
+    let (m, n) = prog.shape[idx];
+    let slot = |p: usize| prog.val[p].expect("input slot");
+    macro_rules! unary {
+        ($a:expr, $f:expr) => {{
+            let a = slot($a);
+            let f = $f;
+            for j in 0..out.len {
+                vals[out.off + j] = f(vals[a.off + j]);
+            }
+        }};
+    }
+    macro_rules! binary {
+        ($a:expr, $b:expr, $f:expr) => {{
+            let a = slot($a);
+            let b = slot($b);
+            let f = $f;
+            for j in 0..out.len {
+                vals[out.off + j] = f(vals[a.off + j], vals[b.off + j]);
+            }
+        }};
+    }
+    match step {
+        Step::Skip | Step::Leaf => {}
+        Step::Add(a, b) => binary!(*a, *b, |x: f32, y: f32| x + y),
+        Step::Sub(a, b) => binary!(*a, *b, |x: f32, y: f32| x - y),
+        Step::Mul(a, b) => binary!(*a, *b, |x: f32, y: f32| x * y),
+        Step::Div(a, b) => binary!(*a, *b, |x: f32, y: f32| x / y),
+        Step::Neg(a) => unary!(*a, |x: f32| -x),
+        Step::Scale(a, c) => {
+            let c = *c;
+            unary!(*a, move |x: f32| x * c);
+        }
+        Step::AddScalar(a, c) => {
+            let c = *c;
+            unary!(*a, move |x: f32| x + c);
+        }
+        Step::Relu(a) => unary!(*a, |x: f32| x.max(0.0)),
+        Step::LeakyRelu(a, s) => {
+            let s = *s;
+            unary!(*a, move |x: f32| if x > 0.0 { x } else { s * x });
+        }
+        Step::Sigmoid(a) => unary!(*a, |x: f32| 1.0 / (1.0 + (-x).exp())),
+        Step::Tanh(a) => unary!(*a, f32::tanh),
+        Step::Exp(a) => unary!(*a, f32::exp),
+        Step::Ln(a) => unary!(*a, f32::ln),
+        Step::Square(a) => unary!(*a, |x: f32| x * x),
+        Step::ClampMin(a, c) => {
+            let c = *c;
+            unary!(*a, move |x: f32| x.max(c));
+        }
+        Step::MatMul(a, b) => {
+            let (am, ak) = prog.shape[*a];
+            let (a_slice, b_slice, out_slice) = split_three(vals, slot(*a), slot(*b), out);
+            matmul_into(a_slice, b_slice, out_slice, am, ak, n);
+        }
+        Step::Transpose(a) => {
+            let (am, an) = prog.shape[*a];
+            let (a_slice, out_slice) = split_two(vals, slot(*a), out);
+            transpose_into(a_slice, out_slice, am, an);
+        }
+        Step::AddBias(x, bias) => {
+            let (xb, bb) = (slot(*x), slot(*bias));
+            for i in 0..m {
+                for j in 0..n {
+                    vals[out.off + i * n + j] = vals[xb.off + i * n + j] + vals[bb.off + j];
+                }
+            }
+        }
+        Step::Sum(a) => {
+            let ab = slot(*a);
+            vals[out.off] = vals[ab.range()].iter().sum();
+        }
+        Step::Mean(a) => {
+            let ab = slot(*a);
+            let s: f32 = vals[ab.range()].iter().sum();
+            vals[out.off] = s / ab.len as f32;
+        }
+        Step::SoftmaxRows(a) => {
+            let (a_slice, out_slice) = split_two(vals, slot(*a), out);
+            softmax_rows_into(a_slice, out_slice, m, n);
+        }
+        Step::LogSoftmaxRows(a) => {
+            let ab = slot(*a);
+            let (am, an) = prog.shape[*a];
+            let axb = prog.aux[idx].expect("log-softmax caches its softmax");
+            softmax_rows_into(&vals[ab.range()], &mut aux[axb.range()], am, an);
+            for j in 0..out.len {
+                vals[out.off + j] = aux[axb.off + j].max(1e-30).ln();
+            }
+        }
+        Step::CrossEntropy { logits, targets: t } => {
+            let lb = slot(*logits);
+            let (lm, ln_) = prog.shape[*logits];
+            let axb = prog.aux[idx].expect("cross-entropy caches its softmax");
+            softmax_rows_into(&vals[lb.range()], &mut aux[axb.range()], lm, ln_);
+            let probs = &aux[axb.range()];
+            let mut loss = 0.0;
+            for (i, &ti) in targets[*t].iter().enumerate() {
+                loss -= probs[i * ln_ + ti].max(1e-30).ln();
+            }
+            vals[out.off] = loss / lm as f32;
+        }
+        Step::Mse(a, b) => {
+            let (ab, bb) = (slot(*a), slot(*b));
+            let mut acc = 0.0f32;
+            for j in 0..ab.len {
+                let d = vals[ab.off + j] - vals[bb.off + j];
+                acc += d * d;
+            }
+            vals[out.off] = acc / ab.len as f32;
+        }
+        Step::ConcatCols(parts) => {
+            let mut col = 0usize;
+            for &p in parts {
+                let pb = slot(p);
+                let (_, w) = prog.shape[p];
+                for i in 0..m {
+                    for j in 0..w {
+                        vals[out.off + i * n + col + j] = vals[pb.off + i * w + j];
+                    }
+                }
+                col += w;
+            }
+        }
+        Step::SliceCols { input, start, end } => {
+            let ib = slot(*input);
+            let (_, in_n) = prog.shape[*input];
+            let w = end - start;
+            for i in 0..m {
+                for j in 0..w {
+                    vals[out.off + i * w + j] = vals[ib.off + i * in_n + start + j];
+                }
+            }
+        }
+        Step::Dot(a, b) => {
+            let (ab, bb) = (slot(*a), slot(*b));
+            let mut acc = 0.0f32;
+            for j in 0..ab.len {
+                acc += vals[ab.off + j] * vals[bb.off + j];
+            }
+            vals[out.off] = acc;
+        }
+        Step::NormSq(a) => {
+            let ab = slot(*a);
+            let mut acc = 0.0f32;
+            for j in 0..ab.len {
+                let x = vals[ab.off + j];
+                acc += x * x;
+            }
+            vals[out.off] = acc;
+        }
+        Step::MulScalarVar { x, s } => {
+            let sv = vals[slot(*s).off];
+            unary!(*x, move |v: f32| v * sv);
+        }
+        Step::LutRowInterp { coord, table } => {
+            let t = &prog.tables[*table];
+            let (cell, frac) = lut_cell(vals[slot(*coord).off], t.rows());
+            for j in 0..t.cols() {
+                vals[out.off + j] = (1.0 - frac) * t.at(cell, j) + frac * t.at(cell + 1, j);
+            }
+        }
+        Step::FusedLinear { x, w, bias, relu } => {
+            let (xm, xk) = prog.shape[*x];
+            {
+                let (x_slice, w_slice, out_slice) = split_three(vals, slot(*x), slot(*w), out);
+                matmul_into(x_slice, w_slice, out_slice, xm, xk, n);
+            }
+            let bb = slot(*bias);
+            for i in 0..m {
+                for j in 0..n {
+                    vals[out.off + i * n + j] += vals[bb.off + j];
+                }
+            }
+            if *relu {
+                for j in 0..out.len {
+                    vals[out.off + j] = vals[out.off + j].max(0.0);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn exec_backward(
+    idx: usize,
+    step: &Step,
+    prog: &Program,
+    vals: &[f32],
+    grads: &mut [f32],
+    aux: &[f32],
+    s0: &mut [f32],
+    s1: &mut [f32],
+    s2: &mut [f32],
+    targets: &[Vec<usize>],
+) {
+    let g_buf = match prog.grad[idx] {
+        Some(b) => b,
+        None => return,
+    };
+    let (m, n) = prog.shape[idx];
+    let slot = |p: usize| prog.val[p].expect("saved input slot");
+    /// Accumulates `contrib(g, j)` into the gradient slot of `$p` —
+    /// by assignment for single-contribution slots (the fresh path's
+    /// first-assign; their slots are never pre-zeroed). `g` is the
+    /// current node's (relative-indexed) gradient slice.
+    macro_rules! acc {
+        ($p:expr, $len:expr, |$g:ident, $j:ident| $contrib:expr) => {{
+            if let Some(pb) = prog.grad[$p] {
+                let ($g, dst) = split_two(grads, g_buf, pb);
+                if prog.single_contrib[$p] {
+                    for $j in 0..$len {
+                        dst[$j] = $contrib;
+                    }
+                } else {
+                    for $j in 0..$len {
+                        dst[$j] += $contrib;
+                    }
+                }
+            }
+        }};
+    }
+    match step {
+        Step::Skip | Step::Leaf => {}
+        Step::Add(a, b) => {
+            acc!(*a, g_buf.len, |g, j| g[j]);
+            acc!(*b, g_buf.len, |g, j| g[j]);
+        }
+        Step::Sub(a, b) => {
+            acc!(*a, g_buf.len, |g, j| g[j]);
+            acc!(*b, g_buf.len, |g, j| -g[j]);
+        }
+        Step::Mul(a, b) => {
+            let (av, bv) = (slot(*a), slot(*b));
+            acc!(*a, g_buf.len, |g, j| g[j] * vals[bv.off + j]);
+            acc!(*b, g_buf.len, |g, j| g[j] * vals[av.off + j]);
+        }
+        Step::Div(a, b) => {
+            let (av, bv) = (slot(*a), slot(*b));
+            acc!(*a, g_buf.len, |g, j| g[j] / vals[bv.off + j]);
+            acc!(*b, g_buf.len, |g, j| {
+                let num = g[j] * vals[av.off + j];
+                let bi = vals[bv.off + j];
+                -num / (bi * bi)
+            });
+        }
+        Step::Neg(a) => acc!(*a, g_buf.len, |g, j| -g[j]),
+        Step::Scale(a, c) => {
+            let c = *c;
+            acc!(*a, g_buf.len, |g, j| g[j] * c);
+        }
+        Step::AddScalar(a, _) => acc!(*a, g_buf.len, |g, j| g[j]),
+        Step::Relu(a) => {
+            let av = slot(*a);
+            acc!(*a, g_buf.len, |g, j| if vals[av.off + j] > 0.0 {
+                g[j]
+            } else {
+                0.0
+            });
+        }
+        Step::LeakyRelu(a, s) => {
+            let av = slot(*a);
+            let s = *s;
+            acc!(*a, g_buf.len, |g, j| if vals[av.off + j] > 0.0 {
+                g[j]
+            } else {
+                s * g[j]
+            });
+        }
+        Step::Sigmoid(a) => {
+            let yv = prog.val[idx].expect("saved output");
+            acc!(*a, g_buf.len, |g, j| {
+                let yi = vals[yv.off + j];
+                g[j] * yi * (1.0 - yi)
+            });
+        }
+        Step::Tanh(a) => {
+            let yv = prog.val[idx].expect("saved output");
+            acc!(*a, g_buf.len, |g, j| {
+                let yi = vals[yv.off + j];
+                g[j] * (1.0 - yi * yi)
+            });
+        }
+        Step::Exp(a) => {
+            let yv = prog.val[idx].expect("saved output");
+            acc!(*a, g_buf.len, |g, j| g[j] * vals[yv.off + j]);
+        }
+        Step::Ln(a) => {
+            let av = slot(*a);
+            acc!(*a, g_buf.len, |g, j| g[j] / vals[av.off + j]);
+        }
+        Step::Square(a) => {
+            let av = slot(*a);
+            acc!(*a, g_buf.len, |g, j| 2.0 * vals[av.off + j] * g[j]);
+        }
+        Step::ClampMin(a, c) => {
+            let av = slot(*a);
+            let c = *c;
+            acc!(*a, g_buf.len, |g, j| if vals[av.off + j] > c {
+                g[j]
+            } else {
+                0.0
+            });
+        }
+        Step::MatMul(a, b) => {
+            let (am, ak) = prog.shape[*a];
+            let (bk, bn) = prog.shape[*b];
+            let (av, bv) = (slot(*a), slot(*b));
+            // ga = g · bᵀ, staged through scratch exactly like the
+            // fresh path (temp folded from zero, then accumulated) —
+            // or straight into the slot when this is the node's only
+            // contribution (the fresh path's first-assign). Row-vector
+            // products (m = 1) use the transpose-free forms, which are
+            // bit-identical: same per-element fold order, same
+            // zero-skip.
+            if let Some(pb) = prog.grad[*a] {
+                if am == 1 {
+                    let (g, dst) = split_two(grads, g_buf, pb);
+                    row_grad_wrt_a(g, &vals[bv.range()], dst, ak, bn, prog.single_contrib[*a]);
+                } else {
+                    transpose_into(&vals[bv.range()], &mut s1[..bk * bn], bk, bn);
+                    if prog.single_contrib[*a] {
+                        let (g, dst) = split_two(grads, g_buf, pb);
+                        matmul_into(g, &s1[..bk * bn], dst, am, bn, bk);
+                    } else {
+                        matmul_into(
+                            &grads[g_buf.range()],
+                            &s1[..bk * bn],
+                            &mut s2[..am * ak],
+                            am,
+                            bn,
+                            bk,
+                        );
+                        for j in 0..pb.len {
+                            grads[pb.off + j] += s2[j];
+                        }
+                    }
+                }
+            }
+            // gb = aᵀ · g.
+            if let Some(pb) = prog.grad[*b] {
+                if am == 1 {
+                    let (g, dst) = split_two(grads, g_buf, pb);
+                    row_grad_wrt_b(&vals[av.range()], g, dst, ak, bn, prog.single_contrib[*b]);
+                } else {
+                    transpose_into(&vals[av.range()], &mut s1[..am * ak], am, ak);
+                    if prog.single_contrib[*b] {
+                        let (g, dst) = split_two(grads, g_buf, pb);
+                        matmul_into(&s1[..am * ak], g, dst, ak, am, bn);
+                    } else {
+                        matmul_into(
+                            &s1[..am * ak],
+                            &grads[g_buf.range()],
+                            &mut s2[..bk * bn],
+                            ak,
+                            am,
+                            bn,
+                        );
+                        for j in 0..pb.len {
+                            grads[pb.off + j] += s2[j];
+                        }
+                    }
+                }
+            }
+        }
+        Step::Transpose(a) => {
+            // Output is [n_a, m_a]; the contribution to `a` is gᵀ.
+            let (_, an) = prog.shape[*a];
+            acc!(*a, g_buf.len, |g, j| {
+                let (i, jj) = (j / an, j % an);
+                g[jj * n + i]
+            });
+        }
+        Step::AddBias(x, bias) => {
+            acc!(*x, g_buf.len, |g, j| g[j]);
+            if let Some(pb) = prog.grad[*bias] {
+                if prog.single_contrib[*bias] {
+                    let (g, dst) = split_two(grads, g_buf, pb);
+                    dst.fill(0.0);
+                    for i in 0..m {
+                        for j in 0..n {
+                            dst[j] += g[i * n + j];
+                        }
+                    }
+                } else {
+                    let s1 = &mut s1[..n];
+                    s1.fill(0.0);
+                    for i in 0..m {
+                        for j in 0..n {
+                            s1[j] += grads[g_buf.off + i * n + j];
+                        }
+                    }
+                    for j in 0..n {
+                        grads[pb.off + j] += s1[j];
+                    }
+                }
+            }
+        }
+        Step::Sum(a) => {
+            let alen = prog.shape[*a].0 * prog.shape[*a].1;
+            acc!(*a, alen, |g, _j| g[0]);
+        }
+        Step::Mean(a) => {
+            let alen = prog.shape[*a].0 * prog.shape[*a].1;
+            let gi = grads[g_buf.off] / alen as f32;
+            acc!(*a, alen, |_g, _j| gi);
+        }
+        Step::SoftmaxRows(a) => {
+            let sv = prog.val[idx].expect("saved output");
+            if let Some(pb) = prog.grad[*a] {
+                let single = prog.single_contrib[*a];
+                let (g, dst) = split_two(grads, g_buf, pb);
+                for i in 0..m {
+                    let mut dot = 0.0f32;
+                    for j in 0..n {
+                        dot += g[i * n + j] * vals[sv.off + i * n + j];
+                    }
+                    for j in 0..n {
+                        let s = vals[sv.off + i * n + j];
+                        let c = s * (g[i * n + j] - dot);
+                        if single {
+                            dst[i * n + j] = c;
+                        } else {
+                            dst[i * n + j] += c;
+                        }
+                    }
+                }
+            }
+        }
+        Step::LogSoftmaxRows(a) => {
+            let (am, an) = prog.shape[*a];
+            let axb = prog.aux[idx].expect("cached softmax");
+            if let Some(pb) = prog.grad[*a] {
+                let single = prog.single_contrib[*a];
+                let (g, dst) = split_two(grads, g_buf, pb);
+                for i in 0..am {
+                    let mut rowsum = 0.0f32;
+                    for j in 0..an {
+                        rowsum += g[i * an + j];
+                    }
+                    for j in 0..an {
+                        let c = g[i * an + j] - aux[axb.off + i * an + j] * rowsum;
+                        if single {
+                            dst[i * an + j] = c;
+                        } else {
+                            dst[i * an + j] += c;
+                        }
+                    }
+                }
+            }
+        }
+        Step::CrossEntropy { logits, targets: t } => {
+            let (lm, ln_) = prog.shape[*logits];
+            let axb = prog.aux[idx].expect("cached softmax");
+            if let Some(pb) = prog.grad[*logits] {
+                let single = prog.single_contrib[*logits];
+                let gscale = grads[g_buf.off] / lm as f32;
+                for (i, &ti) in targets[*t].iter().enumerate() {
+                    for j in 0..ln_ {
+                        let onehot = if j == ti { 1.0 } else { 0.0 };
+                        let c = gscale * (aux[axb.off + i * ln_ + j] - onehot);
+                        if single {
+                            grads[pb.off + i * ln_ + j] = c;
+                        } else {
+                            grads[pb.off + i * ln_ + j] += c;
+                        }
+                    }
+                }
+            }
+        }
+        Step::Mse(a, b) => {
+            let (av, bv) = (slot(*a), slot(*b));
+            let scale = 2.0 * grads[g_buf.off] / av.len as f32;
+            acc!(*a, av.len, |_g, j| (vals[av.off + j] - vals[bv.off + j])
+                * scale);
+            acc!(*b, av.len, |_g, j| -((vals[av.off + j] - vals[bv.off + j])
+                * scale));
+        }
+        Step::ConcatCols(parts) => {
+            let mut col = 0usize;
+            for &p in parts {
+                let (_, w) = prog.shape[p];
+                acc!(p, m * w, |g, j| {
+                    let (i, jj) = (j / w, j % w);
+                    g[i * n + col + jj]
+                });
+                col += w;
+            }
+        }
+        Step::SliceCols { input, start, end } => {
+            if let Some(pb) = prog.grad[*input] {
+                let (_, in_n) = prog.shape[*input];
+                let w = end - start;
+                let (g, dst) = split_two(grads, g_buf, pb);
+                for i in 0..m {
+                    for j in 0..w {
+                        dst[i * in_n + start + j] += g[i * w + j];
+                    }
+                }
+            }
+        }
+        Step::Dot(a, b) => {
+            let (av, bv) = (slot(*a), slot(*b));
+            let gi = grads[g_buf.off];
+            acc!(*a, av.len, |_g, j| vals[bv.off + j] * gi);
+            acc!(*b, bv.len, |_g, j| vals[av.off + j] * gi);
+        }
+        Step::NormSq(a) => {
+            let av = slot(*a);
+            let factor = 2.0 * grads[g_buf.off];
+            acc!(*a, av.len, |_g, j| vals[av.off + j] * factor);
+        }
+        Step::MulScalarVar { x, s } => {
+            let (xv, sv) = (slot(*x), slot(*s));
+            let s_val = vals[sv.off];
+            acc!(*x, xv.len, |g, j| g[j] * s_val);
+            if let Some(pb) = prog.grad[*s] {
+                let (g, dst) = split_two(grads, g_buf, pb);
+                let mut dot = 0.0f32;
+                for j in 0..xv.len {
+                    dot += g[j] * vals[xv.off + j];
+                }
+                if prog.single_contrib[*s] {
+                    dst[0] = dot;
+                } else {
+                    dst[0] += dot;
+                }
+            }
+        }
+        Step::LutRowInterp { coord, table } => {
+            let cv = slot(*coord);
+            let t = &prog.tables[*table];
+            let (cell, _) = lut_cell(vals[cv.off], t.rows());
+            if let Some(pb) = prog.grad[*coord] {
+                let (g, dst) = split_two(grads, g_buf, pb);
+                let mut slope = 0.0f32;
+                for (j, &gj) in g[..t.cols()].iter().enumerate() {
+                    slope += gj * (t.at(cell + 1, j) - t.at(cell, j));
+                }
+                if prog.single_contrib[*coord] {
+                    dst[0] = slope;
+                } else {
+                    dst[0] += slope;
+                }
+            }
+        }
+        Step::FusedLinear { x, w, bias, relu } => {
+            let (xm, xk) = prog.shape[*x];
+            let (xv, wv) = (slot(*x), slot(*w));
+            // Gated upstream gradient ĝ (the relu gate tests the
+            // post-activation output, positive exactly when the
+            // pre-activation is).
+            let glen = g_buf.len;
+            if *relu {
+                let yv = prog.val[idx].expect("saved output");
+                for j in 0..glen {
+                    s0[j] = if vals[yv.off + j] > 0.0 {
+                        grads[g_buf.off + j]
+                    } else {
+                        0.0
+                    };
+                }
+            } else {
+                s0[..glen].copy_from_slice(&grads[g_buf.range()]);
+            }
+            // Contribution order mirrors the fresh path: bias, then x,
+            // then w. Single-contribution slots are written directly
+            // (the fresh path's first-assign), others staged.
+            if let Some(pb) = prog.grad[*bias] {
+                if prog.single_contrib[*bias] {
+                    let dst = &mut grads[pb.range()];
+                    dst.fill(0.0);
+                    for i in 0..m {
+                        for j in 0..n {
+                            dst[j] += s0[i * n + j];
+                        }
+                    }
+                } else {
+                    let s1 = &mut s1[..n];
+                    s1.fill(0.0);
+                    for i in 0..m {
+                        for j in 0..n {
+                            s1[j] += s0[i * n + j];
+                        }
+                    }
+                    for j in 0..n {
+                        grads[pb.off + j] += s1[j];
+                    }
+                }
+            }
+            // gx = ĝ · Wᵀ.
+            if let Some(pb) = prog.grad[*x] {
+                if xm == 1 {
+                    row_grad_wrt_a(
+                        &s0[..glen],
+                        &vals[wv.range()],
+                        &mut grads[pb.range()],
+                        xk,
+                        n,
+                        prog.single_contrib[*x],
+                    );
+                } else {
+                    transpose_into(&vals[wv.range()], &mut s1[..xk * n], xk, n);
+                    if prog.single_contrib[*x] {
+                        matmul_into(
+                            &s0[..glen],
+                            &s1[..xk * n],
+                            &mut grads[pb.range()],
+                            xm,
+                            n,
+                            xk,
+                        );
+                    } else {
+                        matmul_into(&s0[..glen], &s1[..xk * n], &mut s2[..xm * xk], xm, n, xk);
+                        for j in 0..pb.len {
+                            grads[pb.off + j] += s2[j];
+                        }
+                    }
+                }
+            }
+            // gW = Xᵀ · ĝ.
+            if let Some(pb) = prog.grad[*w] {
+                if xm == 1 {
+                    row_grad_wrt_b(
+                        &vals[xv.range()],
+                        &s0[..glen],
+                        &mut grads[pb.range()],
+                        xk,
+                        n,
+                        prog.single_contrib[*w],
+                    );
+                } else {
+                    transpose_into(&vals[xv.range()], &mut s1[..xm * xk], xm, xk);
+                    if prog.single_contrib[*w] {
+                        matmul_into(
+                            &s1[..xm * xk],
+                            &s0[..glen],
+                            &mut grads[pb.range()],
+                            xk,
+                            xm,
+                            n,
+                        );
+                    } else {
+                        matmul_into(&s1[..xm * xk], &s0[..glen], &mut s2[..xk * n], xk, xm, n);
+                        for j in 0..pb.len {
+                            grads[pb.off + j] += s2[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+/// Transpose-free `ga = g · bᵀ` for a row-vector product (`a` is
+/// `[1, k]`, `b` is `[k, n]`, `g` is `[1, n]`): each output element
+/// folds `g[p] · b[c][p]` over `p` in the staged
+/// `transpose_into` + [`matmul_into`] path's order while streaming
+/// `b`'s rows contiguously. The only divergence from that reference is
+/// that zero `g[p]` terms are added (as `±0.0`) instead of branched
+/// over — which can differ solely in the sign of an IEEE zero, a bit
+/// no comparison (`==`), argmax, or downstream arithmetic in this
+/// workspace can distinguish; keeping the inner loop branch-free is
+/// what lets it vectorize.
+fn row_grad_wrt_a(g: &[f32], b: &[f32], dst: &mut [f32], k: usize, n: usize, single: bool) {
+    for c in 0..k {
+        let brow = &b[c * n..(c + 1) * n];
+        let mut acc = 0.0f32;
+        for (&gv, &bv) in g[..n].iter().zip(brow) {
+            acc += gv * bv;
+        }
+        if single {
+            dst[c] = acc;
+        } else {
+            dst[c] += acc;
+        }
+    }
+}
+
+/// Transpose-free `gb = aᵀ · g` for a row-vector product: an outer
+/// product `gb[c][j] = a[c] · g[j]`, with the shared kernel's zero-skip
+/// on `a[c]`.
+fn row_grad_wrt_b(a: &[f32], g: &[f32], dst: &mut [f32], k: usize, n: usize, single: bool) {
+    for c in 0..k {
+        let av = a[c];
+        let drow = &mut dst[c * n..(c + 1) * n];
+        if single {
+            if av == 0.0 {
+                drow.fill(0.0);
+            } else {
+                for (d, &gv) in drow.iter_mut().zip(g) {
+                    *d = av * gv;
+                }
+            }
+        } else if av != 0.0 {
+            for (d, &gv) in drow.iter_mut().zip(g) {
+                *d += av * gv;
+            }
+        }
+    }
+}
+
+/// Disjoint mutable/immutable views of two arena ranges.
+///
+/// # Panics
+///
+/// Panics (debug) if the ranges overlap — the arena planner guarantees
+/// a step's output never aliases its inputs.
+fn split_two(vals: &mut [f32], a: Buf, out: Buf) -> (&[f32], &mut [f32]) {
+    debug_assert!(a.off + a.len <= out.off || out.off + out.len <= a.off);
+    if a.off < out.off {
+        let (lo, hi) = vals.split_at_mut(out.off);
+        (&lo[a.range()], &mut hi[..out.len])
+    } else {
+        let (lo, hi) = vals.split_at_mut(a.off);
+        (&hi[..a.len], &mut lo[out.range()])
+    }
+}
+
+/// Disjoint views of three arena ranges (two inputs, one output).
+fn split_three(vals: &mut [f32], a: Buf, b: Buf, out: Buf) -> (&[f32], &[f32], &mut [f32]) {
+    debug_assert!(a.off + a.len <= out.off || out.off + out.len <= a.off);
+    debug_assert!(b.off + b.len <= out.off || out.off + out.len <= b.off);
+    // SAFETY: the arena planner never hands a step an output buffer
+    // overlapping any of its inputs (outputs are allocated before the
+    // inputs' slots can be recycled), so the immutable views of `a`/`b`
+    // and the mutable view of `out` are disjoint.
+    unsafe {
+        let base = vals.as_mut_ptr();
+        let a_slice = std::slice::from_raw_parts(base.add(a.off), a.len);
+        let b_slice = std::slice::from_raw_parts(base.add(b.off), b.len);
+        let out_slice = std::slice::from_raw_parts_mut(base.add(out.off), out.len);
+        (a_slice, b_slice, out_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{ParamStore, ResidualMlp};
+    use crate::rng::Rng;
+
+    /// Fresh-record reference: rebuild the graph per step and return
+    /// (loss, leaf gradients).
+    fn fresh_step(
+        build: impl Fn(&mut Tape, &[Var]) -> Var,
+        inputs: &[Tensor],
+    ) -> (f32, Vec<Option<Tensor>>) {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+        let out = build(&mut tape, &vars);
+        let loss = tape.value(out).item();
+        let grads = tape.backward(out);
+        (loss, vars.iter().map(|&v| grads.wrt(v).cloned()).collect())
+    }
+
+    /// Replay reference: compile once from the first input set, then
+    /// rebind and replay for every input set, asserting bit-identical
+    /// losses and gradients against the fresh path.
+    fn assert_replay_matches(build: impl Fn(&mut Tape, &[Var]) -> Var, input_sets: &[Vec<Tensor>]) {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = input_sets[0].iter().map(|t| tape.leaf(t.clone())).collect();
+        let out = build(&mut tape, &vars);
+        let prog = Arc::new(Program::compile(&tape, &[out], &[]));
+        let mut sess = Session::new(prog);
+
+        for (step, inputs) in input_sets.iter().enumerate() {
+            for (var, t) in vars.iter().zip(inputs) {
+                sess.bind_tensor(*var, t);
+            }
+            sess.forward();
+            sess.backward(out);
+            let (fresh_loss, fresh_grads) = fresh_step(&build, inputs);
+            assert_eq!(sess.scalar(out), fresh_loss, "loss diverged at step {step}");
+            for (i, (var, fg)) in vars.iter().zip(&fresh_grads).enumerate() {
+                match (sess.grad(*var), fg) {
+                    (Some(cg), Some(fg)) => {
+                        assert_eq!(cg, fg.data(), "grad {i} diverged at step {step}")
+                    }
+                    (None, None) => {}
+                    (c, f) => panic!(
+                        "grad {i} presence diverged at step {step}: {:?} vs {:?}",
+                        c.is_some(),
+                        f.is_some()
+                    ),
+                }
+            }
+        }
+    }
+
+    fn rand_sets(shapes: &[&[usize]], steps: usize, seed: u64) -> Vec<Vec<Tensor>> {
+        let mut rng = Rng::new(seed);
+        (0..steps)
+            .map(|_| {
+                shapes
+                    .iter()
+                    .map(|s| Tensor::randn(s, 1.0, &mut rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn elementwise_chain_replays_bit_identically() {
+        assert_replay_matches(
+            |t, v| {
+                let a = t.mul(v[0], v[1]);
+                let b = t.sigmoid(a);
+                let c = t.tanh(b);
+                let d = t.div(c, v[2]);
+                let e = t.leaky_relu(d, 0.1);
+                let f = t.square(e);
+                let g = t.add_scalar(f, 0.3);
+                let h = t.clamp_min(g, 0.4);
+                t.mean(h)
+            },
+            &rand_sets(&[&[3, 4], &[3, 4], &[3, 4]], 5, 1)
+                .into_iter()
+                .map(|mut set| {
+                    for x in set[2].data_mut() {
+                        *x = x.abs() + 1.0; // keep the divisor away from 0
+                    }
+                    set
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn linear_relu_fusion_replays_bit_identically() {
+        // matmul → add_bias → relu triggers the fused kernel; a second
+        // unfused consumer of the weights keeps the graph interesting.
+        assert_replay_matches(
+            |t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                let act = t.relu(lin);
+                let s = t.sum(act);
+                let n = t.norm_sq(v[1]);
+                t.add(s, n)
+            },
+            &rand_sets(&[&[4, 3], &[3, 5], &[1, 5]], 4, 2),
+        );
+    }
+
+    #[test]
+    fn fusion_is_rejected_when_intermediate_is_shared() {
+        // The matmul output feeds both add_bias and an extra sum, so it
+        // must stay materialized and the replay must still match.
+        assert_replay_matches(
+            |t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                let act = t.relu(lin);
+                let s1 = t.sum(act);
+                let s2 = t.sum(mm);
+                t.add(s1, s2)
+            },
+            &rand_sets(&[&[2, 3], &[3, 4], &[1, 4]], 3, 3),
+        );
+    }
+
+    #[test]
+    fn softmax_logsoftmax_and_reductions_replay_bit_identically() {
+        assert_replay_matches(
+            |t, v| {
+                let s = t.softmax_rows(v[0]);
+                let ls = t.log_softmax_rows(v[1]);
+                let w = t.mul(s, ls);
+                let cat = t.concat_cols(&[w, v[2]]);
+                let mid = t.slice_cols(cat, 1, 4);
+                let tr = t.transpose(mid);
+                let d = t.dot(tr, tr);
+                let m = t.mse(v[0], v[1]);
+                t.add(d, m)
+            },
+            &rand_sets(&[&[2, 4], &[2, 4], &[2, 2]], 4, 4),
+        );
+    }
+
+    #[test]
+    fn cross_entropy_replays_and_rebinds_targets() {
+        let mut tape = Tape::new();
+        let mut rng = Rng::new(7);
+        let logits0 = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let x = tape.leaf(logits0.clone());
+        let ce = tape.cross_entropy_logits(x, &[0, 1, 2]);
+        let prog = Arc::new(Program::compile(&tape, &[ce], &[]));
+        let mut sess = Session::new(Arc::clone(&prog));
+
+        for step in 0..4 {
+            let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+            let targets = [step % 4, (step + 1) % 4, (step + 2) % 4];
+            sess.bind_tensor(x, &logits);
+            sess.set_targets(ce, &targets);
+            sess.forward();
+            sess.backward(ce);
+
+            let mut fresh = Tape::new();
+            let fx = fresh.leaf(logits.clone());
+            let fce = fresh.cross_entropy_logits(fx, &targets);
+            let fg = fresh.backward(fce);
+            assert_eq!(sess.scalar(ce), fresh.value(fce).item());
+            assert_eq!(sess.grad(x).unwrap(), fg.wrt(fx).unwrap().data());
+        }
+    }
+
+    #[test]
+    fn multi_output_backward_matches_fresh() {
+        let mut rng = Rng::new(9);
+        let inputs = [
+            Tensor::randn(&[2, 3], 1.0, &mut rng),
+            Tensor::randn(&[2, 3], 1.0, &mut rng),
+        ];
+        let mut tape = Tape::new();
+        let a = tape.leaf(inputs[0].clone());
+        let b = tape.leaf(inputs[1].clone());
+        let prod = tape.mul(a, b);
+        let o1 = tape.sum(prod);
+        let o2 = tape.norm_sq(a);
+        let prog = Arc::new(Program::compile(&tape, &[o1, o2], &[]));
+        let mut sess = Session::new(prog);
+        sess.forward();
+
+        sess.backward(o1);
+        let g1 = tape.backward(o1);
+        assert_eq!(sess.grad(a).unwrap(), g1.wrt(a).unwrap().data());
+        assert_eq!(sess.grad(b).unwrap(), g1.wrt(b).unwrap().data());
+
+        sess.backward(o2);
+        let g2 = tape.backward(o2);
+        assert_eq!(sess.grad(a).unwrap(), g2.wrt(a).unwrap().data());
+        // o2 does not depend on b.
+        assert!(sess.grad(b).is_none());
+    }
+
+    #[test]
+    fn arena_reuses_buffers_of_dead_intermediates() {
+        // A deep elementwise chain: none of the intermediates are needed
+        // by backward of the final sum except the squares' inputs, so
+        // the arena must be smaller than one-buffer-per-node.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[8, 8]));
+        let mut h = x;
+        for _ in 0..6 {
+            let a = tape.add_scalar(h, 1.0);
+            let b = tape.neg(a);
+            h = tape.neg(b);
+        }
+        let out = tape.sum(h);
+        let prog = Program::compile(&tape, &[out], &[]);
+        let per_node: usize = 64 * (tape.len() - 1) + 1;
+        assert!(
+            prog.arena_len() < per_node,
+            "arena {} should be < naive {}",
+            prog.arena_len(),
+            per_node
+        );
+        // And reuse must not corrupt the result.
+        let mut sess = Session::new(Arc::new(prog));
+        sess.forward();
+        assert_eq!(sess.scalar(out), tape.value(out).item());
+    }
+
+    #[test]
+    fn lut_row_interp_replays_bit_identically() {
+        let table = Tensor::from_vec(vec![0.0, 1.0, 1.0, 3.0, 2.0, 9.0, 3.0, 27.0], &[4, 2]);
+        let build = move |t: &mut Tape, v: &[Var]| {
+            let row = t.lut_row_interp(v[0], &table);
+            let sq = t.square(row);
+            t.sum(sq)
+        };
+        let sets: Vec<Vec<Tensor>> = [0.4f32, 1.5, 2.75, 0.0, 5.0]
+            .iter()
+            .map(|&c| vec![Tensor::scalar(c)])
+            .collect();
+        assert_replay_matches(build, &sets);
+    }
+
+    #[test]
+    fn residual_mlp_training_graph_replays_bit_identically() {
+        // The exact graph shape Estimator::train replays: bind params as
+        // leaves, forward the residual MLP, MSE against targets.
+        let mut rng = Rng::new(11);
+        let mut params = ParamStore::new();
+        let mlp = ResidualMlp::new(&mut params, 6, 8, 3, 5, &mut rng);
+        let record = |tape: &mut Tape, x: &Tensor, t: &Tensor| {
+            let binding = params.bind(tape);
+            let xv = tape.leaf(x.clone());
+            let tv = tape.leaf(t.clone());
+            let pred = mlp.forward(tape, &binding, xv);
+            (binding, xv, tv, tape.mse(pred, tv))
+        };
+
+        let x0 = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let t0 = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let (binding, xv, tv, loss) = record(&mut tape, &x0, &t0);
+        let prog = Arc::new(Program::compile(&tape, &[loss], &[]));
+        let mut sess = Session::new(prog);
+
+        for step in 0..5 {
+            let x = Tensor::randn(&[4, 6], 1.0, &mut rng);
+            let t = Tensor::randn(&[4, 3], 1.0, &mut rng);
+            for (id, tensor) in params.iter() {
+                sess.bind_tensor(binding.var(id), tensor);
+            }
+            sess.bind_tensor(xv, &x);
+            sess.bind_tensor(tv, &t);
+            sess.forward();
+            sess.backward(loss);
+
+            let mut fresh = Tape::new();
+            let (fb, _, _, floss) = record(&mut fresh, &x, &t);
+            let fg = fresh.backward(floss);
+            assert_eq!(
+                sess.scalar(loss),
+                fresh.value(floss).item(),
+                "loss diverged at step {step}"
+            );
+            for (id, _) in params.iter() {
+                assert_eq!(
+                    sess.grad(binding.var(id)).unwrap(),
+                    fg.wrt(fb.var(id)).unwrap().data(),
+                    "param {} grad diverged at step {step}",
+                    id.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_bound_mid_graph_never_alias_computed_buffers() {
+        // Regression: a leaf recorded *after* dead intermediates have
+        // been freed must not be handed a recycled buffer — its bound
+        // value would be clobbered by the earlier node's forward step.
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::row(&[1.0, 2.0, 3.0]));
+        let s = tape.scale(a, 2.0); // dead after the softmax below
+        let p = tape.softmax_rows(s);
+        let w = tape.leaf(Tensor::row(&[5.0, 7.0, 11.0])); // mid-graph leaf
+        let mix = tape.mul(p, w);
+        let out = tape.sum(mix);
+        let prog = Arc::new(Program::compile(&tape, &[out], &[]));
+        let mut sess = Session::new(prog);
+        for step in 0..3 {
+            sess.forward();
+            assert_eq!(
+                sess.scalar(out),
+                tape.value(out).item(),
+                "clobbered at replay {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn sink_pruning_skips_input_grads_without_changing_param_grads() {
+        let mut rng = Rng::new(13);
+        let mut params = ParamStore::new();
+        let mlp = ResidualMlp::new(&mut params, 5, 6, 2, 4, &mut rng);
+        let x0 = Tensor::randn(&[3, 5], 1.0, &mut rng);
+
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let xv = tape.leaf(x0.clone());
+        let y = mlp.forward(&mut tape, &binding, xv);
+        let sq = tape.square(y);
+        let loss = tape.sum(sq);
+
+        let sinks: Vec<Var> = params.iter().map(|(id, _)| binding.var(id)).collect();
+        let full = Arc::new(Program::compile(&tape, &[loss], &[]));
+        let pruned = Arc::new(Program::compile_with_sinks(&tape, &[loss], &[], &sinks));
+
+        let mut s_full = Session::new(full);
+        let mut s_pruned = Session::new(pruned);
+        for sess in [&mut s_full, &mut s_pruned] {
+            sess.forward();
+            sess.backward(loss);
+        }
+        // The pruned program drops the input-leaf gradient…
+        assert!(s_full.grad(xv).is_some());
+        assert!(s_pruned.grad(xv).is_none());
+        // …and changes no parameter gradient bit.
+        for (id, _) in params.iter() {
+            assert_eq!(
+                s_full.grad(binding.var(id)).unwrap(),
+                s_pruned.grad(binding.var(id)).unwrap(),
+                "param {} grads diverged under sink pruning",
+                id.index()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_operands_never_double_release_a_buffer() {
+        // Regression: `add(s, s)` lists the dead intermediate `s`
+        // twice; releasing its buffer twice would alias two later live
+        // nodes onto one slot.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[1.0, 2.0, 3.0]));
+        let s = tape.scale(x, 2.0); // dead after the add below
+        let z = tape.add(s, s);
+        let a = tape.add_scalar(z, 1.0); // two same-size allocations
+        let b = tape.add_scalar(z, 2.0); // that must not share a slot
+        let d = tape.sub(a, b);
+        let sq = tape.square(d);
+        let out = tape.sum(sq);
+        let prog = Arc::new(Program::compile(&tape, &[out], &[]));
+        let mut sess = Session::new(prog);
+        sess.forward();
+        assert_eq!(sess.scalar(out), tape.value(out).item());
+        sess.backward(out);
+        let fresh = tape.backward(out);
+        assert_eq!(sess.grad(x).unwrap(), fresh.wrt(x).unwrap().data());
+    }
+
+    #[test]
+    fn kept_values_stay_readable() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[1.0, 2.0]));
+        let e = tape.exp(x);
+        let inter = tape.scale(e, 2.0);
+        let out = tape.sum(inter);
+        let prog = Program::compile(&tape, &[out], &[inter]);
+        let mut sess = Session::new(Arc::new(prog));
+        sess.forward();
+        assert_eq!(sess.value(inter), tape.value(inter).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn binding_non_leaf_panics() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(1.0));
+        let y = tape.square(x);
+        let out = tape.sum(y);
+        let prog = Program::compile(&tape, &[out], &[]);
+        let mut sess = Session::new(Arc::new(prog));
+        sess.bind(y, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn compile_rejects_non_scalar_output() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[1.0, 2.0]));
+        let _ = Program::compile(&tape, &[x], &[]);
+    }
+}

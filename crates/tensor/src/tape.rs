@@ -31,7 +31,7 @@ impl Var {
 }
 
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     Leaf,
     Add(Var, Var),
     Sub(Var, Var),
@@ -39,7 +39,7 @@ enum Op {
     Div(Var, Var),
     Neg(Var),
     Scale(Var, f32),
-    AddScalar(Var),
+    AddScalar(Var, f32),
     Relu(Var),
     LeakyRelu(Var, f32),
     Sigmoid(Var),
@@ -72,12 +72,16 @@ enum Op {
         x: Var,
         s: Var,
     },
+    LutRowInterp {
+        coord: Var,
+        table: Tensor,
+    },
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    op: Op,
-    value: Tensor,
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) value: Tensor,
 }
 
 /// Gradients of a scalar with respect to every tape node.
@@ -119,12 +123,34 @@ impl Gradients {
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Value buffers harvested by [`Tape::clear`], reused by
+    /// [`Tape::leaf_from_slice`] so a cleared-and-rerecorded tape stops
+    /// reallocating its leaf storage every step.
+    pool: Vec<Vec<f32>>,
 }
+
+/// Cap on the number of value buffers a tape retains across `clear()`.
+/// Enough for every leaf of the workspace's largest graphs while
+/// bounding worst-case retained memory.
+const POOL_MAX: usize = 256;
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Creates an empty tape with node storage pre-reserved for
+    /// `nodes` operations, so hot loops that re-record a known graph
+    /// shape never grow the op vector.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(nodes),
+            pool: Vec::new(),
+        }
     }
 
     /// Number of recorded nodes.
@@ -137,9 +163,39 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    /// Removes all nodes, keeping allocated capacity for reuse.
+    /// Node storage currently reserved (survives [`Tape::clear`]).
+    pub fn capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
+    /// Removes all nodes, keeping allocated capacity for reuse: the op
+    /// vector retains its storage, and the node value buffers are
+    /// harvested into an internal pool that [`Tape::leaf_from_slice`]
+    /// (and through it [`crate::nn::ParamStore::bind`]) draws from on
+    /// the next recording.
     pub fn clear(&mut self) {
-        self.nodes.clear();
+        for node in self.nodes.drain(..) {
+            if self.pool.len() < POOL_MAX {
+                self.pool.push(node.value.into_vec());
+            }
+        }
+    }
+
+    /// Inserts a leaf by copying `data`, reusing a pooled buffer from a
+    /// previous [`Tape::clear`] when one is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `shape`.
+    pub fn leaf_from_slice(&mut self, data: &[f32], shape: &[usize]) -> Var {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(data);
+        self.push(Op::Leaf, Tensor::from_vec(buf, shape))
+    }
+
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// The forward value of a node.
@@ -216,7 +272,7 @@ impl Tape {
     /// Adds the constant `c` to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let v = self.value(a).map(|x| x + c);
-        self.push(Op::AddScalar(a), v)
+        self.push(Op::AddScalar(a, c), v)
     }
 
     /// Rectified linear unit `max(x, 0)`.
@@ -473,6 +529,52 @@ impl Tape {
         self.push(Op::MulScalarVar { x, s }, v)
     }
 
+    /// Differentiable linear interpolation between adjacent rows of a
+    /// constant lookup table.
+    ///
+    /// `coord` is a scalar continuous row index; with `c` clamped to
+    /// `[0, R−1]`, cell `i = min(⌊c⌋, R−2)` and fraction `f = c − i`,
+    /// the output row is `(1−f)·T[i] + f·T[i+1]` and the gradient with
+    /// respect to `coord` is the cell slope `T[i+1] − T[i]` (kept as a
+    /// straight-through subgradient at the clamp boundaries, so an
+    /// out-of-range coordinate is still pulled back toward the table).
+    ///
+    /// This is the literal Auto-NBA cost mechanism DESIGN.md names:
+    /// gradients of a hardware metric flow through a piecewise-linear
+    /// interpolation over pre-materialized table rows (e.g. the rows of
+    /// `hdx_accel::LayerLut`) instead of through a learned estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is not scalar or `table` has fewer than 2 rows.
+    pub fn lut_row_interp(&mut self, coord: Var, table: &Tensor) -> Var {
+        assert_eq!(
+            self.value(coord).len(),
+            1,
+            "lut_row_interp: coord must be a scalar"
+        );
+        assert!(
+            table.rows() >= 2,
+            "lut_row_interp: table needs >= 2 rows, got {}",
+            table.rows()
+        );
+        let (cell, frac) = lut_cell(self.value(coord).item(), table.rows());
+        let n = table.cols();
+        let mut out = Tensor::zeros(&[1, n]);
+        for j in 0..n {
+            let lo = table.at(cell, j);
+            let hi = table.at(cell + 1, j);
+            out.set(0, j, (1.0 - frac) * lo + frac * hi);
+        }
+        self.push(
+            Op::LutRowInterp {
+                coord,
+                table: table.clone(),
+            },
+            out,
+        )
+    }
+
     /// Names of every differentiable [`Op`] variant, for the gradcheck
     /// coverage test.
     ///
@@ -519,6 +621,7 @@ impl Tape {
                 Op::Dot(..) => "dot",
                 Op::NormSq(..) => "norm_sq",
                 Op::MulScalarVar { .. } => "mul_scalar_var",
+                Op::LutRowInterp { .. } => "lut_row_interp",
             })
         }
         let v = Var(0);
@@ -530,7 +633,7 @@ impl Tape {
             Op::Div(v, v),
             Op::Neg(v),
             Op::Scale(v, 1.0),
-            Op::AddScalar(v),
+            Op::AddScalar(v, 0.0),
             Op::Relu(v),
             Op::LeakyRelu(v, 0.1),
             Op::Sigmoid(v),
@@ -560,6 +663,10 @@ impl Tape {
             Op::Dot(v, v),
             Op::NormSq(v),
             Op::MulScalarVar { x: v, s: v },
+            Op::LutRowInterp {
+                coord: v,
+                table: Tensor::default(),
+            },
         ];
         let names: Vec<&'static str> = samples.iter().filter_map(name_of).collect();
         let unique: std::collections::BTreeSet<_> = names.iter().copied().collect();
@@ -625,7 +732,7 @@ impl Tape {
             }
             Op::Neg(a) => acc(*a, g.scale(-1.0)),
             Op::Scale(a, c) => acc(*a, g.scale(*c)),
-            Op::AddScalar(a) => acc(*a, g.clone()),
+            Op::AddScalar(a, _) => acc(*a, g.clone()),
             Op::Relu(a) => {
                 let av = self.value(*a);
                 acc(*a, g.zip(av, |gi, ai| if ai > 0.0 { gi } else { 0.0 }));
@@ -782,8 +889,25 @@ impl Tape {
                 acc(*x, g.scale(sv));
                 acc(*s, Tensor::scalar(g.dot(self.value(*x))));
             }
+            Op::LutRowInterp { coord, table } => {
+                let (cell, _) = lut_cell(self.value(*coord).item(), table.rows());
+                let mut slope = 0.0;
+                for j in 0..table.cols() {
+                    slope += g.data()[j] * (table.at(cell + 1, j) - table.at(cell, j));
+                }
+                acc(*coord, Tensor::scalar(slope));
+            }
         }
     }
+}
+
+/// Shared cell selection for [`Tape::lut_row_interp`]: clamps the
+/// coordinate to `[0, rows−1]` and returns `(cell, fraction)` with
+/// `cell ≤ rows − 2`.
+pub(crate) fn lut_cell(coord: f32, rows: usize) -> (usize, f32) {
+    let x = coord.clamp(0.0, (rows - 1) as f32);
+    let cell = (x.floor() as usize).min(rows - 2);
+    (cell, x - cell as f32)
 }
 
 #[cfg(test)]
@@ -953,6 +1077,57 @@ mod tests {
         assert_eq!(tape.len(), 1);
         tape.clear();
         assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn clear_retains_node_capacity_and_recycles_buffers() {
+        let mut tape = Tape::with_capacity(8);
+        assert!(tape.capacity() >= 8);
+        for _ in 0..4 {
+            let _ = tape.leaf_from_slice(&[1.0, 2.0, 3.0], &[1, 3]);
+        }
+        let cap = tape.capacity();
+        tape.clear();
+        assert!(tape.is_empty());
+        assert_eq!(tape.capacity(), cap, "clear must keep op storage");
+        // Re-recording the same shape draws from the pool and produces
+        // identical values.
+        let v = tape.leaf_from_slice(&[4.0, 5.0, 6.0], &[1, 3]);
+        assert_eq!(tape.value(v).data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn lut_row_interp_interpolates_and_differentiates() {
+        // Table rows: [0, 10], [1, 20], [2, 40] — coord 1.25 blends rows
+        // 1 and 2 at 75/25.
+        let table = Tensor::from_vec(vec![0.0, 10.0, 1.0, 20.0, 2.0, 40.0], &[3, 2]);
+        let mut tape = Tape::new();
+        let c = tape.leaf(Tensor::scalar(1.25));
+        let row = tape.lut_row_interp(c, &table);
+        assert_eq!(tape.value(row).shape(), &[1, 2]);
+        assert!((tape.value(row).at(0, 0) - 1.25).abs() < 1e-6);
+        assert!((tape.value(row).at(0, 1) - 25.0).abs() < 1e-5);
+        let loss = tape.sum(row);
+        let g = tape.backward(loss);
+        // Cell slope: (2−1) + (40−20) = 21.
+        assert!((g.wrt(c).unwrap().item() - 21.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lut_row_interp_clamps_out_of_range_coords() {
+        let table = Tensor::from_vec(vec![1.0, 2.0, 4.0], &[3, 1]);
+        let mut tape = Tape::new();
+        let lo = tape.leaf(Tensor::scalar(-3.0));
+        let hi = tape.leaf(Tensor::scalar(9.0));
+        let row_lo = tape.lut_row_interp(lo, &table);
+        let row_hi = tape.lut_row_interp(hi, &table);
+        assert_eq!(tape.value(row_lo).item(), 1.0);
+        assert_eq!(tape.value(row_hi).item(), 4.0);
+        // Straight-through subgradient at the clamp: the boundary cell's
+        // slope, pulling the coordinate back toward the table.
+        let loss = tape.sum(row_hi);
+        let g = tape.backward(loss);
+        assert_eq!(g.wrt(hi).unwrap().item(), 2.0); // 4 − 2
     }
 
     #[test]

@@ -331,20 +331,7 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2} do not match");
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: stream through `other` rows for cache friendliness.
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_into(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -356,11 +343,7 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         let (m, n) = (self.rows(), self.cols());
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        crate::kernels::transpose_into(&self.data, &mut out, m, n);
         Tensor::from_vec(out, &[n, m])
     }
 
@@ -389,19 +372,7 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Tensor {
         let (m, n) = (self.rows(), self.cols());
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for j in 0..n {
-                let e = (row[j] - max).exp();
-                out[i * n + j] = e;
-                denom += e;
-            }
-            for j in 0..n {
-                out[i * n + j] /= denom;
-            }
-        }
+        crate::kernels::softmax_rows_into(&self.data, &mut out, m, n);
         Tensor::from_vec(out, &[m, n])
     }
 

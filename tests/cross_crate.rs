@@ -105,3 +105,50 @@ fn cost_weights_give_paper_scale_costs_across_space() {
         );
     }
 }
+
+#[test]
+fn lut_row_interp_differentiates_the_literal_accelerator_table() {
+    // The missing piece DESIGN.md named for literal Auto-NBA table
+    // gradients: a differentiable interpolation over the rows of the
+    // pre-materialized per-(layer, configuration) metric table, wired
+    // into the tape like every other op. Rows of the interpolation
+    // table are network metrics of the enumerated configurations; a
+    // continuous configuration coordinate then gets piecewise-linear
+    // cost gradients straight from the table.
+    let plan = NetworkPlan::cifar18();
+    let layers = plan.layers_for(&Architecture::uniform(18, 2));
+    let lut = hdx_accel::LayerLut::cached(&layers);
+    let n_cfg = lut.configs().len();
+    assert!(n_cfg >= 2);
+
+    // Table: one row per configuration (enumeration order), columns =
+    // (latency_ms, energy_mj, area_mm2).
+    let mut rows = Vec::with_capacity(n_cfg * 3);
+    for c in 0..n_cfg {
+        let m = lut.network_metrics(c);
+        rows.extend_from_slice(&[m.latency_ms as f32, m.energy_mj as f32, m.area_mm2 as f32]);
+    }
+    let table = Tensor::from_vec(rows, &[n_cfg, 3]);
+
+    // Mid-cell coordinate: the interpolated row must be the exact blend
+    // of the two neighbouring configurations…
+    let mut tape = Tape::new();
+    let coord = tape.leaf(Tensor::scalar(10.25));
+    let row = tape.lut_row_interp(coord, &table);
+    let lo = lut.network_metrics(10);
+    let hi = lut.network_metrics(11);
+    let expect_lat = 0.75 * lo.latency_ms as f32 + 0.25 * hi.latency_ms as f32;
+    assert!((tape.value(row).at(0, 0) - expect_lat).abs() / expect_lat < 1e-5);
+
+    // …and the latency gradient w.r.t. the coordinate must be the cell
+    // slope of the table (the piecewise-linear Auto-NBA texture).
+    let lat = tape.slice_cols(row, 0, 1);
+    let loss = tape.sum(lat);
+    let g = tape.backward(loss);
+    let slope = hi.latency_ms as f32 - lo.latency_ms as f32;
+    let got = g.wrt(coord).expect("coordinate gradient").item();
+    assert!(
+        (got - slope).abs() <= slope.abs().max(1.0) * 1e-5,
+        "gradient {got} vs table slope {slope}"
+    );
+}

@@ -1,18 +1,22 @@
-//! Parallel == sequential, bit for bit.
+//! Parallel == sequential, and compiled == fresh-record — bit for bit.
 //!
 //! The workspace's parallel evaluation paths (exhaustive accelerator
 //! search, estimator pair labelling, sharded estimator pre-training)
 //! promise results identical to a single-threaded run at any worker
-//! count. These tests pin that promise for seeds 0–2 — and verify the
-//! parallel path genuinely runs on more than one thread, so the
-//! equality is not vacuous.
+//! count, and the compiled replay engine ([`hdx_tensor::Session`])
+//! promises results identical to re-recording the graph on a fresh
+//! tape every step. These tests pin both promises for seeds 0–2 — and
+//! verify the parallel path genuinely runs on more than one thread, so
+//! the equality is not vacuous.
 
 use hdx_accel::{exhaustive_search_jobs, CostWeights, Metric};
 use hdx_nas::{Architecture, NetworkPlan};
 use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
-use hdx_tensor::{parallel_map, Rng};
+use hdx_tensor::{
+    parallel_map, Adam, ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor,
+};
 use std::collections::HashSet;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const SEEDS: [u64; 3] = [0, 1, 2];
 const PAR_JOBS: usize = 4;
@@ -66,6 +70,126 @@ fn pair_sampling_is_thread_count_invariant() {
                 par.target_raw(i),
                 "seed {seed} pair {i} targets"
             );
+        }
+    }
+}
+
+/// A compiled [`Session`] replayed N training steps must be
+/// bit-identical to N fresh-record steps: same losses, same gradients,
+/// same trained parameters. Pinned at the tensor level for an
+/// Adam-trained residual MLP, single- and multi-threaded shapes being
+/// irrelevant here (the session is single-threaded by construction).
+#[test]
+fn session_replay_matches_fresh_record_over_steps() {
+    for seed in SEEDS {
+        let mut setup_rng = Rng::new(seed);
+        let mut params_c = ParamStore::new();
+        let mlp = ResidualMlp::new(&mut params_c, 10, 12, 3, 5, &mut setup_rng);
+        let mut params_f = params_c.clone();
+        let steps: Vec<(Tensor, Tensor)> = (0..12)
+            .map(|_| {
+                (
+                    Tensor::randn(&[8, 10], 1.0, &mut setup_rng),
+                    Tensor::randn(&[8, 3], 1.0, &mut setup_rng),
+                )
+            })
+            .collect();
+
+        // Compiled: record once, replay every step.
+        let mut tape = Tape::new();
+        let binding = params_c.bind(&mut tape);
+        let xv = tape.leaf(Tensor::zeros(&[8, 10]));
+        let tv = tape.leaf(Tensor::zeros(&[8, 3]));
+        let pred = mlp.forward(&mut tape, &binding, xv);
+        let loss = tape.mse(pred, tv);
+        let prog = Arc::new(Program::compile(&tape, &[loss], &[]));
+        let mut sess = Session::new(prog);
+        let mut opt_c = Adam::new(2e-3);
+        let mut losses_c = Vec::new();
+        for (x, t) in &steps {
+            for (id, tensor) in params_c.iter() {
+                sess.bind(binding.var(id), tensor.data());
+            }
+            sess.bind_tensor(xv, x);
+            sess.bind_tensor(tv, t);
+            sess.forward();
+            sess.backward(loss);
+            losses_c.push(sess.scalar(loss));
+            let grads: Vec<Option<Tensor>> = params_c
+                .iter()
+                .map(|(id, tensor)| {
+                    Some(Tensor::from_vec(
+                        sess.grad(binding.var(id)).expect("grad").to_vec(),
+                        tensor.shape(),
+                    ))
+                })
+                .collect();
+            opt_c.step(&mut params_c, &grads);
+        }
+
+        // Fresh-record reference: rebuild the graph every step.
+        let mut opt_f = Adam::new(2e-3);
+        let mut losses_f = Vec::new();
+        for (x, t) in &steps {
+            let mut tape = Tape::new();
+            let b = params_f.bind(&mut tape);
+            let xv = tape.leaf(x.clone());
+            let tv = tape.leaf(t.clone());
+            let pred = mlp.forward(&mut tape, &b, xv);
+            let loss = tape.mse(pred, tv);
+            losses_f.push(tape.value(loss).item());
+            let grads = tape.backward(loss);
+            let collected = b.gradients(&grads);
+            opt_f.step(&mut params_f, &collected);
+        }
+
+        assert_eq!(losses_c, losses_f, "seed {seed}: per-step losses diverged");
+        for (id, t) in params_f.iter() {
+            assert_eq!(
+                params_c.get(id).data(),
+                t.data(),
+                "seed {seed}: parameter {} diverged after training",
+                id.index()
+            );
+        }
+    }
+}
+
+/// `Estimator::train` on the compiled engine must be bit-identical to
+/// the fresh-record path for every seed, single- and multi-threaded
+/// (the parallel path replays one session per worker).
+#[test]
+fn compiled_estimator_training_matches_fresh_record() {
+    let plan = NetworkPlan::cifar18();
+    for seed in SEEDS {
+        for jobs in [1, PAR_JOBS] {
+            let train = |exec: ExecMode| {
+                let mut rng = Rng::new(seed);
+                let pairs = PairSet::sample_jobs(&plan, 400, &mut rng, jobs);
+                let cfg = EstimatorConfig {
+                    epochs: 5,
+                    batch: 96,
+                    jobs,
+                    exec,
+                    ..Default::default()
+                };
+                let mut est = Estimator::new(&plan, cfg, &mut rng);
+                let loss = est.train(&pairs, &mut rng);
+                (est, pairs, loss)
+            };
+            let (est_c, pairs, loss_c) = train(ExecMode::Compiled);
+            let (est_f, _, loss_f) = train(ExecMode::FreshRecord);
+            assert_eq!(
+                loss_c, loss_f,
+                "seed {seed} jobs {jobs}: final losses diverged"
+            );
+            for i in (0..pairs.len()).step_by(29) {
+                assert_eq!(
+                    est_c.predict_raw(pairs.input_row(i)),
+                    est_f.predict_raw(pairs.input_row(i)),
+                    "seed {seed} jobs {jobs}: predictions diverged on pair {i}"
+                );
+            }
         }
     }
 }
