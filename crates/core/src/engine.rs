@@ -20,13 +20,14 @@
 
 use crate::constraint::{all_satisfied, Constraint};
 use crate::gradmanip::{manipulate, DeltaPolicy, ManipulationKind};
-use hdx_accel::{evaluate_network, AccelConfig, CostWeights, HwMetrics};
-use hdx_nas::supernet::{FinalNet, Supernet};
-use hdx_nas::{Architecture, Dataset, NetworkPlan, SupernetConfig};
+use hdx_accel::{evaluate_network, AccelConfig, CostWeights, HwMetrics, Metric};
+use hdx_nas::supernet::{FinalNet, Supernet, TaskStepVars};
+use hdx_nas::{Architecture, Batch, Dataset, NetworkPlan, SupernetConfig, OP_SET};
 use hdx_surrogate::dataset::expected_metrics;
 use hdx_surrogate::{Estimator, Generator};
 use hdx_tensor::{
-    Adam, Binding, ExecMode, Gradients, ParamStore, Program, Rng, Session, Tape, Tensor, Var,
+    bank_key, Adam, Binding, ExecMode, Gradients, ParamStore, Program, Rng, Session, SessionBank,
+    SessionLease, Tape, Tensor, Var,
 };
 use std::sync::Arc;
 
@@ -265,43 +266,28 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
 
     // The hardware head — arch encoding → generator/θ → estimator →
     // cost / soft penalties / constraint loss — has a static topology,
-    // so by default it is compiled once and replayed with rebound α and
-    // hardware parameters every step (zero per-step graph allocations).
-    // The task branch keeps fresh-recording because its sampled-path
-    // mixture changes topology per step. `ExecMode::FreshRecord`
-    // re-records the head instead: same split step structure,
-    // bit-identical results.
+    // so by default its program comes from the process-wide
+    // [`SessionBank`] (compiled at most once per head fingerprint
+    // within a meta-search) and is replayed with rebound α and hardware
+    // parameters every step (zero per-step graph allocations).
+    // `ExecMode::FreshRecord` re-records the head instead: same split
+    // step structure, bit-identical results.
     let mut head = match opts.exec {
-        ExecMode::Compiled => {
-            let mut tape = Tape::new();
-            let vars = record_head(
-                &mut tape, ctx, opts, &supernet, &generator, &hw_params, hw_theta, &steering,
-                &macs_norm,
-            );
-            let mut outputs = vec![vars.objective];
-            outputs.extend(vars.cost);
-            outputs.extend(vars.constraint);
-            let keep: Vec<Var> = vars
-                .metrics
-                .map(|(l, e, a)| vec![l, e, a])
-                .unwrap_or_default();
-            // Only α and the trainable hardware parameters feed the
-            // optimizers; the frozen estimator weights are pruned
-            // gradient sinks, which skips their per-layer weight-grad
-            // matmuls on every replay.
-            let sinks: Vec<Var> = vars
-                .alpha_vars
-                .iter()
-                .chain(&vars.hw_vars)
-                .copied()
-                .collect();
-            let prog = Arc::new(Program::compile_with_sinks(&tape, &outputs, &keep, &sinks));
-            HeadExec::Compiled {
-                session: Box::new(Session::new(prog)),
-                vars,
-            }
-        }
+        ExecMode::Compiled => HeadExec::checkout(
+            ctx, opts, &supernet, &generator, &hw_params, hw_theta, &steering, &macs_norm,
+        ),
         ExecMode::FreshRecord => HeadExec::Fresh { tape: Tape::new() },
+    };
+    // The task branch fresh-records while path sampling keeps changing
+    // the topology per step; with sampling disabled
+    // (num_paths == OP_SET.len()) the full mixture is static and the
+    // w-step / α-step graphs replay from the bank too — the whole
+    // search then runs compiled end to end.
+    let mut task_replay = match opts.exec {
+        ExecMode::Compiled if opts.supernet.num_paths == OP_SET.len() => {
+            Some(TaskReplay::checkout(&supernet, opts))
+        }
+        _ => None,
     };
     let mut head_eval = HeadEval::default();
     let mut w_tape = Tape::new();
@@ -318,22 +304,37 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             // --- w-step on a training batch -------------------------
             {
                 let batch = ctx.dataset.train_batch(opts.batch, &mut rng);
-                w_tape.clear();
-                let (wb, ab) = supernet.bind(&mut w_tape);
-                let loss = supernet.task_loss(&mut w_tape, &wb, &ab, &batch, &mut rng);
-                let grads = w_tape.backward(loss);
-                let mut collected = wb.gradients(&grads);
+                let mut collected = match task_replay.as_mut() {
+                    Some(tr) => tr.w_step(&supernet, &batch),
+                    None => {
+                        w_tape.clear();
+                        let (wb, ab) = supernet.bind(&mut w_tape);
+                        let loss = supernet.task_loss(&mut w_tape, &wb, &ab, &batch, &mut rng);
+                        let grads = w_tape.backward(loss);
+                        wb.gradients(&grads)
+                    }
+                };
                 Binding::clip_grad_norm(&mut collected, 5.0);
                 w_opt.step(supernet.w_store_mut(), &collected);
             }
 
-            // --- α / v-step: fresh-recorded task branch on a
-            // validation batch + replayed hardware head ---------------
+            // --- α / v-step: task branch on a validation batch
+            // (replayed when the full mixture is compiled, fresh-
+            // recorded otherwise) + replayed hardware head ------------
             let batch = ctx.dataset.val_batch(opts.batch, &mut rng);
-            task_tape.clear();
-            let (wb, ab) = supernet.bind(&mut task_tape);
-            let task = supernet.task_loss(&mut task_tape, &wb, &ab, &batch, &mut rng);
-            let task_grads = task_tape.backward(task);
+            let (task_value, task_alpha_grads) = match task_replay.as_mut() {
+                Some(tr) => tr.alpha_step(&supernet, &batch),
+                None => {
+                    task_tape.clear();
+                    let (wb, ab) = supernet.bind(&mut task_tape);
+                    let task = supernet.task_loss(&mut task_tape, &wb, &ab, &batch, &mut rng);
+                    let task_grads = task_tape.backward(task);
+                    (
+                        f64::from(task_tape.value(task).item()),
+                        flatten(&ab.gradients(&task_grads), supernet.alpha_store()),
+                    )
+                }
+            };
 
             head.eval(
                 ctx,
@@ -353,12 +354,12 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
                 last_est = m;
             }
             last_violated = violated;
-            last_task = task_tape.value(task).item() as f64;
+            last_task = task_value;
             last_global = last_task + head_eval.objective;
 
             // --- α update (Eq. 4): task gradient + head gradient ----
             {
-                let mut g_loss = flatten(&ab.gradients(&task_grads), supernet.alpha_store());
+                let mut g_loss = task_alpha_grads;
                 for (g, h) in g_loss.iter_mut().zip(&head_eval.alpha_obj) {
                     *g += *h;
                 }
@@ -475,12 +476,13 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             &opts.supernet,
             &mut rng,
         );
-        final_net.train_exec(
+        final_net.train_exec_jobs(
             ctx.dataset,
             opts.final_train_steps,
             opts.batch,
             &mut rng,
             opts.exec,
+            opts.jobs,
         );
         let err = final_net.error_rate(&ctx.dataset.test_all());
         let val = ctx.dataset.val_all();
@@ -519,6 +521,11 @@ struct HeadVars {
     /// Trainable hardware leaves: the generator weights `v`
     /// (Dance/HDX), `[θ]` (Auto-NBA), or empty (NAS→HW).
     hw_vars: Vec<Var>,
+    /// Frozen estimator weight leaves (empty for NAS→HW). Not rebound
+    /// per step; rebound once at bank checkout, because a cached head
+    /// program may have been compiled by a different (same-shaped)
+    /// estimator instance.
+    est_vars: Vec<Var>,
     /// The head's contribution to the global loss: `λ·Cost_HW` plus
     /// soft penalties, or the MAC penalty for NAS→HW.
     objective: Var,
@@ -577,6 +584,7 @@ fn record_head(
 
     let mut cost = None;
     let mut metrics = None;
+    let mut est_vars = Vec::new();
     let objective = match opts.method {
         Method::NasThenHw { lambda_macs } => {
             let macs_leaf = tape.leaf(Tensor::from_vec(macs_norm.to_vec(), &[1, macs_norm.len()]));
@@ -585,6 +593,10 @@ fn record_head(
         }
         _ => {
             let eb = ctx.estimator.bind(tape);
+            let est_params = ctx.estimator.params();
+            est_vars = (0..est_params.len())
+                .map(|i| eb.var(est_params.id(i)))
+                .collect();
             let est_in = tape.concat_cols(&[enc, hw_var.expect("hw path present")]);
             let (lat, en, ar) = ctx.estimator.predict_metrics(tape, &eb, est_in);
             let w = ctx.weights;
@@ -631,11 +643,78 @@ fn record_head(
     HeadVars {
         alpha_vars,
         hw_vars,
+        est_vars,
         objective,
         cost,
         constraint,
         metrics,
     }
+}
+
+/// The [`SessionBank`] fingerprint of the hardware head: everything
+/// the compiled plan bakes in — method/graph shape, scalar constants
+/// (λ values, steering targets, cost-weight scales, estimator
+/// normalization stats, softmax temperature), the MAC-proxy leaf, and
+/// the estimator/generator topologies. Estimator *weights* are baked
+/// but deliberately excluded: they are leaves, and
+/// [`HeadExec::checkout`] rebinds them from the current estimator.
+#[allow(clippy::cast_possible_truncation)]
+fn head_bank_key(
+    ctx: &SearchContext<'_>,
+    opts: &SearchOptions,
+    supernet: &Supernet,
+    generator: &Generator,
+    steering: &[Constraint],
+    macs_norm: &[f32],
+) -> u64 {
+    let mut parts: Vec<u64> = Vec::new();
+    match opts.method {
+        Method::NasThenHw { lambda_macs } => {
+            parts.push(0);
+            parts.push(lambda_macs.to_bits());
+            parts.extend(macs_norm.iter().map(|m| u64::from(m.to_bits())));
+        }
+        Method::AutoNba => parts.push(1),
+        Method::Dance => parts.push(2),
+        // δ₀/p shape the optimizer schedule, not the graph.
+        Method::Hdx { .. } => parts.push(3),
+    }
+    parts.push(supernet.num_layers() as u64);
+    parts.push(u64::from(supernet.config().temperature.to_bits()));
+    parts.push(opts.lambda_cost.to_bits());
+    match opts.lambda_soft {
+        Some(l) => {
+            parts.push(1);
+            parts.push(l.to_bits());
+        }
+        None => parts.push(0),
+    }
+    for c in steering {
+        parts.push(match c.metric {
+            Metric::Latency => 0,
+            Metric::Energy => 1,
+            Metric::Area => 2,
+        });
+        parts.push(c.target.to_bits());
+    }
+    let w = ctx.weights;
+    for v in [w.c_l, w.c_e, w.c_a, w.l_ref, w.e_ref, w.a_ref] {
+        parts.push(v.to_bits());
+    }
+    let stats = ctx.estimator.stats();
+    for m in 0..3 {
+        parts.push(u64::from(stats.mean[m].to_bits()));
+        parts.push(u64::from(stats.std[m].to_bits()));
+    }
+    for store in [ctx.estimator.params(), generator.params()] {
+        parts.push(store.len() as u64);
+        for (_, t) in store.iter() {
+            for &d in t.shape() {
+                parts.push(d as u64);
+            }
+        }
+    }
+    bank_key("hw-head", &parts)
 }
 
 /// Per-step outputs of the hardware head, written into reusable
@@ -656,12 +735,12 @@ struct HeadEval {
     hw_const: Option<Vec<f32>>,
 }
 
-/// The hardware-head executor: a compiled [`Session`] replayed with
+/// The hardware-head executor: a bank-leased [`Session`] replayed with
 /// rebound parameters, or the fresh-record reference.
 enum HeadExec {
     Compiled {
-        session: Box<Session>,
-        vars: HeadVars,
+        lease: Box<SessionLease<'static>>,
+        vars: Arc<HeadVars>,
     },
     Fresh {
         tape: Tape,
@@ -669,6 +748,63 @@ enum HeadExec {
 }
 
 impl HeadExec {
+    /// Leases the compiled head from the process-wide [`SessionBank`]
+    /// (compiling on the first checkout of this fingerprint), then
+    /// rebinds the frozen estimator weight leaves — the cached program
+    /// may have been compiled by a different same-shaped estimator.
+    #[allow(clippy::too_many_arguments)]
+    fn checkout(
+        ctx: &SearchContext<'_>,
+        opts: &SearchOptions,
+        supernet: &Supernet,
+        generator: &Generator,
+        hw_params: &ParamStore,
+        hw_theta: hdx_tensor::ParamId,
+        steering: &[Constraint],
+        macs_norm: &[f32],
+    ) -> HeadExec {
+        let key = head_bank_key(ctx, opts, supernet, generator, steering, macs_norm);
+        // The head is a batch-1 (row-vector) graph: every kernel is far
+        // under the pool dispatch threshold, so one worker is right.
+        let mut lease = SessionBank::global().checkout(key, 1, || {
+            let mut tape = Tape::new();
+            let vars = record_head(
+                &mut tape, ctx, opts, supernet, generator, hw_params, hw_theta, steering, macs_norm,
+            );
+            let mut outputs = vec![vars.objective];
+            outputs.extend(vars.cost);
+            outputs.extend(vars.constraint);
+            let keep: Vec<Var> = vars
+                .metrics
+                .map(|(l, e, a)| vec![l, e, a])
+                .unwrap_or_default();
+            // Only α and the trainable hardware parameters feed the
+            // optimizers; the frozen estimator weights are pruned
+            // gradient sinks, which skips their per-layer weight-grad
+            // matmuls on every replay.
+            let sinks: Vec<Var> = vars
+                .alpha_vars
+                .iter()
+                .chain(&vars.hw_vars)
+                .copied()
+                .collect();
+            (
+                Program::compile_with_sinks(&tape, &outputs, &keep, &sinks),
+                vars,
+            )
+        });
+        let vars: Arc<HeadVars> = lease.meta();
+        let est_params = ctx.estimator.params();
+        let session = lease.session();
+        for (i, &v) in vars.est_vars.iter().enumerate() {
+            session.bind(v, est_params.get(est_params.id(i)).data());
+        }
+        HeadExec::Compiled {
+            lease: Box::new(lease),
+            vars,
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn eval(
         &mut self,
@@ -687,7 +823,9 @@ impl HeadExec {
             _ => generator.params(),
         };
         match self {
-            HeadExec::Compiled { session, vars } => {
+            HeadExec::Compiled { lease, vars } => {
+                let vars = Arc::clone(vars);
+                let session = lease.session();
                 let alpha_store = supernet.alpha_store();
                 for (l, &v) in vars.alpha_vars.iter().enumerate() {
                     session.bind(v, alpha_store.get(alpha_store.id(l)).data());
@@ -773,6 +911,121 @@ impl HeadExec {
                 }
             }
         }
+    }
+}
+
+/// Bank-leased compiled replay of the full-mixture supernet step
+/// (`num_paths == OP_SET.len()`, so the topology is static and
+/// `sample_paths` consumes no RNG). The w-step and α-step replay the
+/// same graph with different gradient sinks, hence two programs.
+struct TaskReplay {
+    w_lease: SessionLease<'static>,
+    w_vars: Arc<TaskStepVars>,
+    a_lease: SessionLease<'static>,
+    a_vars: Arc<TaskStepVars>,
+}
+
+impl TaskReplay {
+    /// The step-program fingerprint: the parameter shapes encode the
+    /// whole topology (layers, per-op block widths, feature/class
+    /// dims); the temperature is baked as a scale constant; the batch
+    /// row count fixes the leaf and target shapes. Weights, logits,
+    /// inputs, and targets are all rebound every step.
+    fn key(tag: &str, supernet: &Supernet, batch_rows: usize) -> u64 {
+        let shapes: Vec<&[usize]> = supernet.w_store().iter().map(|(_, t)| t.shape()).collect();
+        bank_key(
+            tag,
+            &(
+                shapes,
+                supernet.alpha_store().len(),
+                supernet.config().temperature.to_bits(),
+                batch_rows,
+            ),
+        )
+    }
+
+    fn checkout(supernet: &Supernet, opts: &SearchOptions) -> TaskReplay {
+        let compile = |w_sinks: bool| {
+            move || {
+                let mut tape = Tape::new();
+                let vars = supernet.record_task_step(&mut tape, opts.batch);
+                let sinks = if w_sinks {
+                    vars.w_vars.clone()
+                } else {
+                    vars.alpha_vars.clone()
+                };
+                (
+                    Program::compile_with_sinks(&tape, &[vars.loss], &[], &sinks),
+                    vars,
+                )
+            }
+        };
+        let jobs = hdx_tensor::num_jobs(opts.jobs);
+        let w_lease = SessionBank::global().checkout(
+            Self::key("supernet-task-w", supernet, opts.batch),
+            jobs,
+            compile(true),
+        );
+        let w_vars = w_lease.meta::<TaskStepVars>();
+        let a_lease = SessionBank::global().checkout(
+            Self::key("supernet-task-alpha", supernet, opts.batch),
+            jobs,
+            compile(false),
+        );
+        let a_vars = a_lease.meta::<TaskStepVars>();
+        TaskReplay {
+            w_lease,
+            w_vars,
+            a_lease,
+            a_vars,
+        }
+    }
+
+    /// Rebinds everything a step depends on: backbone weights, α
+    /// logits, batch inputs, batch labels.
+    fn bind(sess: &mut Session, sv: &TaskStepVars, supernet: &Supernet, batch: &Batch) {
+        for (i, (_, t)) in supernet.w_store().iter().enumerate() {
+            sess.bind(sv.w_vars[i], t.data());
+        }
+        for (l, (_, t)) in supernet.alpha_store().iter().enumerate() {
+            sess.bind(sv.alpha_vars[l], t.data());
+        }
+        sess.bind_tensor(sv.x0, &batch.x);
+        sess.try_set_targets(sv.loss, &batch.y)
+            .unwrap_or_else(|e| panic!("supernet task step: {e}"));
+    }
+
+    /// One replayed w-step: returns per-parameter backbone gradients
+    /// aligned with the `w` store (mirroring `Binding::gradients`).
+    fn w_step(&mut self, supernet: &Supernet, batch: &Batch) -> Vec<Option<Tensor>> {
+        let sv = Arc::clone(&self.w_vars);
+        let sess = self.w_lease.session();
+        Self::bind(sess, &sv, supernet, batch);
+        sess.forward();
+        sess.try_backward(sv.loss)
+            .unwrap_or_else(|e| panic!("supernet w-step: {e}"));
+        sv.w_vars
+            .iter()
+            .zip(supernet.w_store().iter())
+            .map(|(&v, (_, t))| {
+                sess.grad(v)
+                    .map(|g| Tensor::from_vec(g.to_vec(), t.shape()))
+            })
+            .collect()
+    }
+
+    /// One replayed α-step task branch: returns the task-loss value and
+    /// ∂task/∂α flattened in layer order (mirroring [`flatten`]).
+    fn alpha_step(&mut self, supernet: &Supernet, batch: &Batch) -> (f64, Vec<f32>) {
+        let sv = Arc::clone(&self.a_vars);
+        let sess = self.a_lease.session();
+        Self::bind(sess, &sv, supernet, batch);
+        sess.forward();
+        sess.try_backward(sv.loss)
+            .unwrap_or_else(|e| panic!("supernet α-step: {e}"));
+        let mut grads = Vec::new();
+        collect_replay_grads(sess, &sv.alpha_vars, supernet.alpha_store(), &mut grads);
+        (f64::from(sess.scalar(sv.loss)), grads)
     }
 }
 
@@ -1034,29 +1287,9 @@ mod tests {
             .collect();
         let macs_norm = vec![1.0f32; 108];
 
-        let mut tape = Tape::new();
-        let vars = record_head(
-            &mut tape, &ctx, &opts, &supernet, &generator, &hw_params, hw_theta, &steering,
-            &macs_norm,
+        let mut compiled = HeadExec::checkout(
+            &ctx, &opts, &supernet, &generator, &hw_params, hw_theta, &steering, &macs_norm,
         );
-        let mut outputs = vec![vars.objective];
-        outputs.extend(vars.cost);
-        outputs.extend(vars.constraint);
-        let keep: Vec<Var> = vars
-            .metrics
-            .map(|(l, e, a)| vec![l, e, a])
-            .unwrap_or_default();
-        let sinks: Vec<Var> = vars
-            .alpha_vars
-            .iter()
-            .chain(&vars.hw_vars)
-            .copied()
-            .collect();
-        let prog = Arc::new(Program::compile_with_sinks(&tape, &outputs, &keep, &sinks));
-        let mut compiled = HeadExec::Compiled {
-            session: Box::new(Session::new(prog)),
-            vars,
-        };
         let mut fresh = HeadExec::Fresh { tape: Tape::new() };
         let mut ec = HeadEval::default();
         let mut ef = HeadEval::default();
@@ -1115,6 +1348,48 @@ mod tests {
                 assert_eq!(c.est, f.est, "{method:?} epoch {}", c.epoch);
                 assert_eq!(c.violated, f.violated, "{method:?} epoch {}", c.epoch);
             }
+        }
+    }
+
+    #[test]
+    fn full_mixture_search_is_exec_mode_invariant() {
+        // With num_paths == OP_SET.len() the sampled mixture degenerates
+        // to the static full mixture, so the supernet w-step and α-step
+        // compile too and the whole search replays end to end. The
+        // compiled run must reproduce the fresh-record reference bit
+        // for bit.
+        let prepared = ctx();
+        let run = |exec: ExecMode| {
+            let opts = SearchOptions {
+                method: Method::Hdx {
+                    delta0: 1e-3,
+                    p: 1e-2,
+                },
+                constraints: vec![Constraint::fps(30.0)],
+                epochs: 2,
+                steps_per_epoch: 4,
+                final_train_steps: 40,
+                seed: 11,
+                supernet: SupernetConfig {
+                    num_paths: hdx_nas::OP_SET.len(),
+                    ..SupernetConfig::default()
+                },
+                exec,
+                ..SearchOptions::default()
+            };
+            run_search(&prepared.context(), &opts)
+        };
+        let compiled = run(ExecMode::Compiled);
+        let fresh = run(ExecMode::FreshRecord);
+        assert_eq!(compiled.architecture, fresh.architecture);
+        assert_eq!(compiled.accel, fresh.accel);
+        assert_eq!(compiled.error, fresh.error);
+        assert_eq!(compiled.cost_hw, fresh.cost_hw);
+        for (c, f) in compiled.trajectory.iter().zip(&fresh.trajectory) {
+            assert_eq!(c.task_loss, f.task_loss, "epoch {}", c.epoch);
+            assert_eq!(c.global_loss, f.global_loss, "epoch {}", c.epoch);
+            assert_eq!(c.est, f.est, "epoch {}", c.epoch);
+            assert_eq!(c.violated, f.violated, "epoch {}", c.epoch);
         }
     }
 

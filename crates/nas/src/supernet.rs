@@ -25,7 +25,8 @@ use crate::arch::Architecture;
 use crate::data::Batch;
 use crate::ops::OP_SET;
 use hdx_tensor::{
-    Binding, CosineLr, ExecMode, Linear, ParamStore, Program, Rng, Session, Sgd, Tape, Tensor, Var,
+    bank_key, Binding, CosineLr, ExecMode, Linear, ParamStore, Program, Rng, SessionBank, Sgd,
+    Tape, Tensor, Var,
 };
 use std::sync::Arc;
 
@@ -128,7 +129,8 @@ impl Supernet {
     ) -> Self {
         assert!(
             (1..=OP_SET.len()).contains(&cfg.num_paths),
-            "num_paths must be in 1..=6, got {}",
+            "num_paths must be in 1..={}, got {}",
+            OP_SET.len(),
             cfg.num_paths
         );
         let mut w = ParamStore::new();
@@ -265,6 +267,20 @@ impl Supernet {
         rng: &mut Rng,
     ) -> Var {
         let x0 = tape.leaf(batch.x.clone());
+        self.forward_logits_from(tape, w, alpha, x0, rng)
+    }
+
+    /// [`Supernet::forward_logits`] from an already-placed input leaf
+    /// (so a compiled replay can rebind the batch through the returned
+    /// var).
+    pub fn forward_logits_from(
+        &self,
+        tape: &mut Tape,
+        w: &Binding,
+        alpha: &Binding,
+        x0: Var,
+        rng: &mut Rng,
+    ) -> Var {
         let features = self.input.forward(tape, w, x0);
         let features = tape.relu(features);
         let mut acc = features;
@@ -315,6 +331,44 @@ impl Supernet {
         self.classifier.forward(tape, w, acc)
     }
 
+    /// Records the full-mixture training-step graph — bind `(w, α)`,
+    /// batch-input leaf, [`Supernet::forward_logits_from`],
+    /// cross-entropy — for a fixed batch size, returning the handles a
+    /// compiled replay rebinds each step.
+    ///
+    /// Only valid when path sampling is disabled
+    /// (`num_paths == OP_SET.len()`): the topology is then static and
+    /// [`sample_paths`] consumes no RNG, so a compiled replay of this
+    /// graph is bit-identical to fresh-recording every step, with the
+    /// same RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_paths != OP_SET.len()` (a sampled mixture
+    /// changes topology per step and cannot compile).
+    pub fn record_task_step(&self, tape: &mut Tape, batch_rows: usize) -> TaskStepVars {
+        assert_eq!(
+            self.cfg.num_paths,
+            OP_SET.len(),
+            "record_task_step requires the full mixture (num_paths == {})",
+            OP_SET.len()
+        );
+        let (w, a) = self.bind(tape);
+        let x0 = tape.leaf(Tensor::zeros(&[batch_rows, self.input.in_features()]));
+        // The full mixture consumes no randomness; any RNG works.
+        let mut rng = Rng::new(0);
+        let logits = self.forward_logits_from(tape, &w, &a, x0, &mut rng);
+        let loss = tape.cross_entropy_logits(logits, &vec![0; batch_rows]);
+        TaskStepVars {
+            w_vars: (0..self.w.len()).map(|i| w.var(self.w.id(i))).collect(),
+            alpha_vars: (0..self.alpha.len())
+                .map(|l| a.var(self.alpha.id(l)))
+                .collect(),
+            x0,
+            loss,
+        }
+    }
+
     /// Classification error rate (fraction wrong) on a batch, using the
     /// full (non-sampled) mixture weighted by softmax(α).
     pub fn error_rate(&self, batch: &Batch, rng: &mut Rng) -> f64 {
@@ -331,6 +385,22 @@ impl Supernet {
         let logits = full.forward_logits(&mut tape, &w, &a, batch, rng);
         error_from_logits(tape.value(logits), &batch.y)
     }
+}
+
+/// Handles of one recorded full-mixture training-step graph
+/// ([`Supernet::record_task_step`]): bind vars for `w` and `α` in
+/// allocation order, the batch-input leaf, and the cross-entropy loss
+/// (its integer targets rebind via `Session::set_targets`).
+#[derive(Debug, Clone)]
+pub struct TaskStepVars {
+    /// Backbone weight leaves, in `w`-store allocation order.
+    pub w_vars: Vec<Var>,
+    /// Architecture logit leaves, one per layer.
+    pub alpha_vars: Vec<Var>,
+    /// The `[batch, in_dim]` input leaf.
+    pub x0: Var,
+    /// The scalar cross-entropy loss.
+    pub loss: Var,
 }
 
 /// Shallow structural clone for read-only forward passes (weights are
@@ -382,6 +452,15 @@ fn sample_paths(probs: &[f32], n: usize, rng: &mut Rng) -> Vec<usize> {
     chosen
 }
 
+/// The [`SessionBank`] metadata of one compiled final-net step: weight
+/// leaves in allocation order, the batch-input leaf, and the loss.
+#[derive(Debug)]
+struct FinalStepVars {
+    w_vars: Vec<Var>,
+    x0: Var,
+    loss: Var,
+}
+
 /// A discretized final network: the chosen block per layer, trained
 /// from scratch (paper §5.1: final architectures are retrained before
 /// error is reported).
@@ -428,6 +507,11 @@ impl FinalNet {
         self.num_classes
     }
 
+    /// The trained network weights (read-only).
+    pub fn w_store(&self) -> &ParamStore {
+        &self.w
+    }
+
     /// Binds the network weights onto a tape.
     pub fn bind(&self, tape: &mut Tape) -> Binding {
         self.w.bind(tape)
@@ -461,14 +545,39 @@ impl FinalNet {
         (w, x0, loss)
     }
 
+    /// Compiles the training-step graph for the [`SessionBank`]: the
+    /// weight leaves are the only gradient sinks (batch inputs are
+    /// pruned), and every leaf — weights, batch, targets — is rebound
+    /// each step.
+    fn compile_step(&self, batch: &Batch) -> (Program, FinalStepVars) {
+        let mut tape = Tape::new();
+        let (w, x0, loss) = self.record_step(&mut tape, batch);
+        let w_vars: Vec<Var> = self.w.iter().map(|(id, _)| w.var(id)).collect();
+        let prog = Program::compile_with_sinks(&tape, &[loss], &[], &w_vars);
+        (prog, FinalStepVars { w_vars, x0, loss })
+    }
+
+    /// The [`SessionBank`] fingerprint of the step program: everything
+    /// baked into the plan is a pure function of the parameter shapes
+    /// (which encode in/feature/class dims and the chosen block widths)
+    /// and the batch row count.
+    fn step_key(&self, batch_rows: usize) -> u64 {
+        let shapes: Vec<&[usize]> = self.w.iter().map(|(_, t)| t.shape()).collect();
+        bank_key("final-net-step", &(shapes, batch_rows))
+    }
+
     /// Trains from scratch with SGD + Nesterov momentum and a cosine
     /// schedule (§5.1), returning the final training loss.
     ///
     /// Runs on the compiled replay engine by default (the graph
-    /// topology is static, so the step compiles once and replays with
-    /// zero per-step graph allocations); `HDX_EXEC=fresh` or
+    /// topology is static, so the step program comes from the
+    /// process-wide [`SessionBank`] — compiled at most once per
+    /// (architecture shape, batch size) — and replays with zero
+    /// per-step graph allocations); `HDX_EXEC=fresh` or
     /// [`FinalNet::train_exec`] select the fresh-record reference path,
-    /// which is bit-identical.
+    /// which is bit-identical. The worker count for the replay kernels
+    /// resolves automatically (`HDX_JOBS`); results are bit-identical
+    /// at every worker count.
     pub fn train(
         &mut self,
         dataset: &crate::data::Dataset,
@@ -476,10 +585,11 @@ impl FinalNet {
         batch_size: usize,
         rng: &mut Rng,
     ) -> f32 {
-        self.train_exec(dataset, steps, batch_size, rng, ExecMode::auto())
+        self.train_exec_jobs(dataset, steps, batch_size, rng, ExecMode::auto(), 0)
     }
 
-    /// [`FinalNet::train`] with an explicit execution engine.
+    /// [`FinalNet::train`] with an explicit execution engine (single-
+    /// threaded replay).
     pub fn train_exec(
         &mut self,
         dataset: &crate::data::Dataset,
@@ -487,6 +597,22 @@ impl FinalNet {
         batch_size: usize,
         rng: &mut Rng,
         exec: ExecMode,
+    ) -> f32 {
+        self.train_exec_jobs(dataset, steps, batch_size, rng, exec, 1)
+    }
+
+    /// [`FinalNet::train`] with an explicit execution engine and worker
+    /// count for the compiled executor's row-parallel kernels (`0` =
+    /// auto via `HDX_JOBS`). The trained weights are **bit-identical**
+    /// for every `(exec, jobs)` combination (`tests/determinism.rs`).
+    pub fn train_exec_jobs(
+        &mut self,
+        dataset: &crate::data::Dataset,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut Rng,
+        exec: ExecMode,
+        jobs: usize,
     ) -> f32 {
         // Paper settings scaled to the proxy: momentum 0.9 (Nesterov),
         // weight decay 1e-3, cosine LR. The base LR is raised from the
@@ -509,7 +635,9 @@ impl FinalNet {
                 }
             }
             ExecMode::Compiled => {
-                let mut compiled: Option<(Session, Binding, Var, Var)> = None;
+                let jobs = hdx_tensor::num_jobs(jobs);
+                let mut lease: Option<hdx_tensor::SessionLease<'static>> = None;
+                let mut vars: Option<Arc<FinalStepVars>> = None;
                 let mut collected: Vec<Option<Tensor>> = self
                     .w
                     .iter()
@@ -517,27 +645,31 @@ impl FinalNet {
                     .collect();
                 for step in 0..steps {
                     let batch = dataset.train_batch(batch_size, rng);
-                    if compiled.is_none() {
-                        let mut tape = Tape::new();
-                        let (w, x0, loss) = self.record_step(&mut tape, &batch);
-                        let sinks: Vec<Var> = self.w.iter().map(|(id, _)| w.var(id)).collect();
-                        let prog =
-                            Arc::new(Program::compile_with_sinks(&tape, &[loss], &[], &sinks));
-                        compiled = Some((Session::new(prog), w, x0, loss));
+                    if lease.is_none() {
+                        let l = SessionBank::global().checkout(
+                            self.step_key(batch.len()),
+                            jobs,
+                            || self.compile_step(&batch),
+                        );
+                        vars = Some(l.meta::<FinalStepVars>());
+                        lease = Some(l);
                     }
-                    let (sess, w, x0, loss) = compiled.as_mut().expect("compiled above");
-                    for (id, tensor) in self.w.iter() {
-                        sess.bind_tensor(w.var(id), tensor);
+                    let sv = vars.as_ref().expect("set alongside lease");
+                    let sess = lease.as_mut().expect("checked out above").session();
+                    for (i, (_, tensor)) in self.w.iter().enumerate() {
+                        sess.bind_tensor(sv.w_vars[i], tensor);
                     }
-                    sess.bind_tensor(*x0, &batch.x);
-                    sess.set_targets(*loss, &batch.y);
+                    sess.bind_tensor(sv.x0, &batch.x);
+                    sess.try_set_targets(sv.loss, &batch.y)
+                        .unwrap_or_else(|e| panic!("final-net step {step}: {e}"));
                     sess.forward();
-                    sess.backward(*loss);
-                    last = sess.scalar(*loss);
-                    for (slot, (id, _)) in collected.iter_mut().zip(self.w.iter()) {
+                    sess.try_backward(sv.loss)
+                        .unwrap_or_else(|e| panic!("final-net step {step}: {e}"));
+                    last = sess.scalar(sv.loss);
+                    for (slot, (i, _)) in collected.iter_mut().zip(self.w.iter().enumerate()) {
                         let g = slot.as_mut().expect("slots stay Some");
                         g.data_mut().copy_from_slice(
-                            sess.grad(w.var(id))
+                            sess.grad(sv.w_vars[i])
                                 .expect("every final-net parameter receives a gradient"),
                         );
                     }

@@ -5,10 +5,11 @@ use crate::dataset::PairSet;
 use crate::encode::{joint_dim, TargetStats};
 use hdx_nas::NetworkPlan;
 use hdx_tensor::{
-    Adam, Binding, ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor, Var,
+    bank_key, Adam, Binding, ExecMode, ParamStore, Program, ResidualMlp, Rng, SessionBank, Tape,
+    Tensor, Var,
 };
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Estimator hyper-parameters.
 ///
@@ -114,10 +115,7 @@ impl Estimator {
         // Resolve the worker-count policy (env read, CPU probe) once per
         // training run, not once per minibatch.
         let jobs = hdx_tensor::num_jobs(self.cfg.jobs);
-        let mut bank = match self.cfg.exec {
-            ExecMode::Compiled => Some(ReplayBank::new(jobs)),
-            ExecMode::FreshRecord => None,
-        };
+        let compiled = matches!(self.cfg.exec, ExecMode::Compiled);
         let mut opt = Adam::new(self.cfg.lr);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut last_epoch_loss = f32::NAN;
@@ -126,9 +124,10 @@ impl Estimator {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(self.cfg.batch) {
-                let (loss, grads) = match bank.as_mut() {
-                    Some(bank) => self.batch_gradients_replay(pairs, chunk, jobs, bank),
-                    None => self.batch_gradients(pairs, chunk, jobs),
+                let (loss, grads) = if compiled {
+                    self.batch_gradients_replay(pairs, chunk, jobs)
+                } else {
+                    self.batch_gradients(pairs, chunk, jobs)
                 };
                 epoch_loss += loss;
                 batches += 1;
@@ -200,7 +199,7 @@ impl Estimator {
 
     /// Records the shard training graph (bind parameters, forward,
     /// MSE) for a fixed row count and compiles it for replay.
-    fn compile_shard(&self, rows: usize) -> ShardProgram {
+    fn compile_shard(&self, rows: usize) -> (Program, ShardVars) {
         let mut tape = Tape::new();
         let binding = self.params.bind(&mut tape);
         let x = tape.leaf(Tensor::zeros(&[rows, self.input_dim]));
@@ -210,79 +209,89 @@ impl Estimator {
         let param_vars: Vec<Var> = (0..self.params.len())
             .map(|i| binding.var(self.params.id(i)))
             .collect();
-        ShardProgram {
-            // Parameter gradients are the only ones the optimizer
-            // consumes; pruning the batch leaves skips the (large)
-            // input-gradient matmul of the first layer.
-            prog: Arc::new(Program::compile_with_sinks(
-                &tape,
-                &[loss],
-                &[],
-                &param_vars,
-            )),
-            param_vars,
-            x,
-            t,
-            loss,
-        }
+        // Parameter gradients are the only ones the optimizer
+        // consumes; pruning the batch leaves skips the (large)
+        // input-gradient matmul of the first layer.
+        let prog = Program::compile_with_sinks(&tape, &[loss], &[], &param_vars);
+        (
+            prog,
+            ShardVars {
+                param_vars,
+                x,
+                t,
+                loss,
+            },
+        )
+    }
+
+    /// The [`SessionBank`] fingerprint of one shard program. The graph
+    /// topology and every baked value are pure functions of the MLP
+    /// dimensions and the shard row count — parameters, inputs, and
+    /// targets are all rebound before each replay — so estimators with
+    /// the same architecture share compiled programs and sessions
+    /// across [`Estimator::train`] calls (a meta-search retrains
+    /// several).
+    fn shard_key(&self, rows: usize) -> u64 {
+        bank_key(
+            "estimator-shard",
+            &(self.input_dim, self.cfg.hidden, self.cfg.depth, rows),
+        )
     }
 
     /// [`Estimator::batch_gradients`] on the compiled replay engine:
     /// identical shard decomposition and merge order (so the result is
     /// bit-identical to the fresh-record path at every worker count),
-    /// but each shard rebinds and replays a cached [`Session`] instead
-    /// of re-recording the graph — zero per-step graph allocations once
-    /// every shard size has been seen.
+    /// but each shard rebinds and replays a session leased from the
+    /// process-wide [`SessionBank`] instead of re-recording the graph —
+    /// zero per-step graph allocations, and zero per-call compilations
+    /// once a (config, shard size) pair has been seen by any estimator.
     fn batch_gradients_replay(
         &self,
         pairs: &PairSet,
         chunk: &[usize],
         jobs: usize,
-        bank: &mut ReplayBank,
     ) -> (f32, Vec<Option<Tensor>>) {
         let shards: Vec<&[usize]> = chunk.chunks(Self::SHARD_ROWS).collect();
-        // Compile any unseen shard size on the main thread (deterministic
-        // and worker-count independent).
-        for shard in &shards {
-            if let std::collections::hash_map::Entry::Vacant(e) = bank.programs.entry(shard.len()) {
-                e.insert(Arc::new(self.compile_shard(shard.len())));
-            }
-        }
-
-        // Immutable from here on: workers only read programs and their
-        // own (mutex-guarded) session pool.
-        let bank: &ReplayBank = bank;
-
         // Explicit contiguous worker ranges: which worker replays which
-        // shard affects only session reuse, never the results.
+        // shard affects only session reuse, never the results. Workers
+        // left over after the shard fan-out go to each session's own
+        // row-parallel kernels (a single large shard still uses every
+        // core).
         let workers = jobs.min(shards.len()).max(1);
+        let session_jobs = (jobs / workers).max(1);
         let per = shards.len().div_ceil(workers);
         let ranges: Vec<std::ops::Range<usize>> = (0..workers)
             .map(|w| w * per..((w + 1) * per).min(shards.len()))
             .collect();
-        let worker_results = hdx_tensor::parallel_map(&ranges, workers, |w, range| {
-            let mut pool = bank.pools[w].lock().expect("session pool poisoned");
+        let worker_results = hdx_tensor::parallel_map(&ranges, workers, |_, range| {
+            // One lease per shard size, held for the whole range.
+            let mut leases = HashMap::new();
             range
                 .clone()
                 .map(|s| {
                     let shard = shards[s];
-                    let sp = &bank.programs[&shard.len()];
-                    let sess = pool
-                        .entry(shard.len())
-                        .or_insert_with(|| Session::new(Arc::clone(&sp.prog)));
+                    let lease = leases.entry(shard.len()).or_insert_with(|| {
+                        SessionBank::global().checkout(
+                            self.shard_key(shard.len()),
+                            session_jobs,
+                            || self.compile_shard(shard.len()),
+                        )
+                    });
+                    let sv: Arc<ShardVars> = lease.meta();
+                    let sess = lease.session();
                     for (i, (_, tensor)) in self.params.iter().enumerate() {
-                        sess.bind(sp.param_vars[i], tensor.data());
+                        sess.bind(sv.param_vars[i], tensor.data());
                     }
-                    pairs.fill_inputs(shard, sess.leaf_mut(sp.x));
-                    pairs.fill_targets(shard, sess.leaf_mut(sp.t));
+                    pairs.fill_inputs(shard, sess.leaf_mut(sv.x));
+                    pairs.fill_targets(shard, sess.leaf_mut(sv.t));
                     sess.forward();
-                    sess.backward(sp.loss);
-                    let value = sess.scalar(sp.loss);
+                    sess.backward(sv.loss);
+                    let value = sess.scalar(sv.loss);
                     let mut flat = vec![0.0f32; self.params.num_scalars()];
                     let mut off = 0;
                     for (i, (_, tensor)) in self.params.iter().enumerate() {
                         let g = sess
-                            .grad(sp.param_vars[i])
+                            .grad(sv.param_vars[i])
                             .expect("every estimator parameter receives a gradient");
                         flat[off..off + tensor.len()].copy_from_slice(g);
                         off += tensor.len();
@@ -320,6 +329,11 @@ impl Estimator {
             }
         }
         (total_loss, merged)
+    }
+
+    /// The (frozen) estimator weight store.
+    pub fn params(&self) -> &ParamStore {
+        &self.params
     }
 
     /// Binds the (frozen) estimator weights onto a tape.
@@ -390,35 +404,15 @@ impl Estimator {
     }
 }
 
-/// One compiled shard graph: the program plus the vars a replay must
-/// rebind (parameters in allocation order, batch input, batch target).
+/// The vars a shard replay must rebind (parameters in allocation
+/// order, batch input, batch target) — the [`SessionBank`] metadata of
+/// one compiled shard program.
 #[derive(Debug)]
-struct ShardProgram {
-    prog: Arc<Program>,
+struct ShardVars {
     param_vars: Vec<Var>,
     x: Var,
     t: Var,
     loss: Var,
-}
-
-/// Session cache for [`Estimator::train`]'s replay path: one program
-/// per shard row count, one session pool per worker thread (sessions
-/// hold mutable arenas, so they are never shared across workers).
-#[derive(Debug)]
-struct ReplayBank {
-    programs: HashMap<usize, Arc<ShardProgram>>,
-    pools: Vec<Mutex<HashMap<usize, Session>>>,
-}
-
-impl ReplayBank {
-    fn new(workers: usize) -> Self {
-        Self {
-            programs: HashMap::new(),
-            pools: (0..workers.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,332 @@
+//! A persistent, process-wide cache of compiled [`Program`]s and their
+//! replay [`Session`]s.
+//!
+//! The training hot loops (`Estimator::train`, `FinalNet::train`, the
+//! engine's hardware head, the full-mixture supernet step) each replay
+//! a graph whose *topology* is a pure function of a handful of
+//! configuration values — MLP dimensions, shard row count, batch size,
+//! baked scalar constants. A meta-search runs those loops many times
+//! (several estimators and final networks per Table-1 row), and before
+//! this module each call re-lowered the same tape and re-allocated the
+//! same arenas. The bank keys a compiled program by a caller-computed
+//! fingerprint ([`bank_key`]) of **everything baked into the plan**
+//! (shapes plus any constants that are not rebindable leaves) and hands
+//! out cached sessions, so the second and every later call skips
+//! straight to bind-and-replay.
+//!
+//! # Correctness contract
+//!
+//! * The key must cover every value that is *baked* into the program:
+//!   node shapes/topology, scalar constants (`scale`, `add_scalar`,
+//!   hinge thresholds), and leaf values that are **not** rebound before
+//!   every replay. Values rebound each step (parameters, minibatches,
+//!   cross-entropy targets) may differ between calls sharing a key.
+//! * A checked-out session may be dirty (arbitrary arena contents from
+//!   a previous lease). Replay overwrites every observable value: the
+//!   caller rebinds its leaves, `forward` recomputes every non-leaf,
+//!   and `backward` reassigns (or pre-zeroes) every gradient slot — so
+//!   a dirty session is bit-identical to a fresh one. Pinned by this
+//!   module's tests and `tests/determinism.rs`.
+//! * Sessions are checked out exclusively ([`SessionLease`]); parallel
+//!   workers on the same key each get their own session.
+//!
+//! # Example
+//!
+//! ```
+//! use hdx_tensor::{bank_key, Program, SessionBank, Tape, Tensor, Var};
+//! use std::sync::Arc;
+//!
+//! struct Meta { x: Var, out: Var }
+//!
+//! let compile = || {
+//!     let mut tape = Tape::new();
+//!     let x = tape.leaf(Tensor::row(&[0.0, 0.0]));
+//!     let sq = tape.square(x);
+//!     let out = tape.sum(sq);
+//!     (Program::compile(&tape, &[out], &[]), Meta { x, out })
+//! };
+//! let key = bank_key("example-square", &2usize);
+//! for step in 0..3 {
+//!     // The first checkout compiles; later ones reuse the program
+//!     // and the session (same arena, zero allocations).
+//!     let mut lease = SessionBank::global().checkout(key, 1, compile);
+//!     let meta = lease.meta::<Meta>();
+//!     let (x, out) = (meta.x, meta.out);
+//!     let sess = lease.session();
+//!     sess.bind(x, &[step as f32, 1.0]);
+//!     sess.forward();
+//!     assert_eq!(sess.scalar(out), (step * step) as f32 + 1.0);
+//! }
+//! assert!(SessionBank::global().num_programs() >= 1);
+//! ```
+
+use crate::program::{Program, Session};
+use std::any::Any;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Fingerprints a program identity for [`SessionBank::checkout`]: a
+/// distinguishing tag (one per call site) plus everything baked into
+/// the compiled plan, hashed with a deterministic hasher. Hash floating
+/// point constants via `to_bits()`.
+pub fn bank_key<H: Hash + ?Sized>(tag: &str, parts: &H) -> u64 {
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    parts.hash(&mut h);
+    h.finish()
+}
+
+struct Entry {
+    prog: Arc<Program>,
+    meta: Arc<dyn Any + Send + Sync>,
+    /// Idle sessions, returned by dropped leases.
+    free: Vec<Session>,
+}
+
+/// The cache: compiled programs with caller metadata plus pooled
+/// sessions, keyed by [`bank_key`] fingerprints. See the module docs
+/// for the keying contract.
+#[derive(Default)]
+pub struct SessionBank {
+    entries: Mutex<HashMap<u64, Entry>>,
+}
+
+impl SessionBank {
+    /// An empty bank (tests; production code uses
+    /// [`SessionBank::global`]).
+    pub fn new() -> SessionBank {
+        SessionBank::default()
+    }
+
+    /// The process-wide bank every training loop shares.
+    pub fn global() -> &'static SessionBank {
+        static BANK: OnceLock<SessionBank> = OnceLock::new();
+        BANK.get_or_init(SessionBank::new)
+    }
+
+    /// Checks out a session for `key`, compiling the program with
+    /// `compile` on the first checkout. `meta` carries the caller's
+    /// var handles (leaf/output [`crate::Var`]s) alongside the program;
+    /// read it back with [`SessionLease::meta`]. The session's worker
+    /// pool is resized to `jobs` (see [`Session::with_jobs`]).
+    ///
+    /// The lease returns the session to the bank on drop.
+    pub fn checkout<M, F>(&self, key: u64, jobs: usize, compile: F) -> SessionLease<'_>
+    where
+        M: Any + Send + Sync,
+        F: FnOnce() -> (Program, M),
+    {
+        let mut entries = self.entries.lock().expect("session bank poisoned");
+        let entry = entries.entry(key).or_insert_with(|| {
+            let (prog, meta) = compile();
+            Entry {
+                prog: Arc::new(prog),
+                meta: Arc::new(meta),
+                free: Vec::new(),
+            }
+        });
+        let mut session = entry
+            .free
+            .pop()
+            .unwrap_or_else(|| Session::new(Arc::clone(&entry.prog)));
+        session.set_jobs(jobs.max(1));
+        SessionLease {
+            bank: self,
+            key,
+            session: Some(session),
+            meta: Arc::clone(&entry.meta),
+        }
+    }
+
+    /// Number of distinct compiled programs currently cached.
+    pub fn num_programs(&self) -> usize {
+        self.entries.lock().expect("session bank poisoned").len()
+    }
+
+    /// Number of idle (checked-in) sessions across all programs.
+    pub fn num_idle_sessions(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("session bank poisoned")
+            .values()
+            .map(|e| e.free.len())
+            .sum()
+    }
+
+    /// Drops every cached program and idle session. Outstanding leases
+    /// stay valid; their sessions are discarded on return instead of
+    /// re-pooled (the lease compares programs by identity).
+    pub fn clear(&self) {
+        self.entries.lock().expect("session bank poisoned").clear();
+    }
+
+    fn check_in(&self, key: u64, mut session: Session) {
+        // Idle sessions must not pin parked OS threads for the process
+        // lifetime: drop the kernel pool here (checkout's `set_jobs`
+        // rebuilds one when the next lessee wants workers).
+        session.set_jobs(1);
+        let mut entries = self.entries.lock().expect("session bank poisoned");
+        if let Some(entry) = entries.get_mut(&key) {
+            // Only re-pool if the entry still refers to the program this
+            // session was built for (clear() + recompile changes it).
+            if Arc::ptr_eq(&entry.prog, session.program()) {
+                entry.free.push(session);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBank")
+            .field("programs", &self.num_programs())
+            .field("idle_sessions", &self.num_idle_sessions())
+            .finish()
+    }
+}
+
+/// An exclusively checked-out [`Session`] plus the caller metadata of
+/// its program. Returns the session to the bank when dropped.
+pub struct SessionLease<'a> {
+    bank: &'a SessionBank,
+    key: u64,
+    session: Option<Session>,
+    meta: Arc<dyn Any + Send + Sync>,
+}
+
+impl SessionLease<'_> {
+    /// The leased session.
+    pub fn session(&mut self) -> &mut Session {
+        self.session.as_mut().expect("session present until drop")
+    }
+
+    /// The metadata stored by the compiling checkout, as an `Arc` so it
+    /// can be held alongside a mutable [`SessionLease::session`]
+    /// borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `M` is not the type the compile closure returned —
+    /// that means two call sites collided on one key with different
+    /// metadata, which the tags in [`bank_key`] exist to prevent.
+    pub fn meta<M: Any + Send + Sync>(&self) -> Arc<M> {
+        Arc::clone(&self.meta)
+            .downcast::<M>()
+            .unwrap_or_else(|_| panic!("bank key collision: metadata type mismatch"))
+    }
+}
+
+impl Drop for SessionLease<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.bank.check_in(self.key, session);
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionLease<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionLease")
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+    use crate::Var;
+
+    struct Meta {
+        x: Var,
+        out: Var,
+    }
+
+    fn compile_square() -> (Program, Meta) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[0.0, 0.0, 0.0]));
+        let sq = tape.square(x);
+        let out = tape.sum(sq);
+        (Program::compile(&tape, &[out], &[]), Meta { x, out })
+    }
+
+    #[test]
+    fn checkout_compiles_once_and_pools_sessions() {
+        let bank = SessionBank::new();
+        let key = bank_key("test-square", &3usize);
+        {
+            let mut lease = bank.checkout(key, 1, compile_square);
+            let meta = lease.meta::<Meta>();
+            let sess = lease.session();
+            sess.bind(meta.x, &[1.0, 2.0, 3.0]);
+            sess.forward();
+            assert_eq!(sess.scalar(meta.out), 14.0);
+        }
+        assert_eq!(bank.num_programs(), 1);
+        assert_eq!(bank.num_idle_sessions(), 1);
+        {
+            // Reuses the pooled (dirty) session; the rebind + replay
+            // must fully overwrite the previous state.
+            let mut lease = bank.checkout(key, 1, || -> (Program, Meta) {
+                panic!("must not recompile")
+            });
+            let meta = lease.meta::<Meta>();
+            let sess = lease.session();
+            sess.bind(meta.x, &[2.0, 0.0, 0.0]);
+            sess.forward();
+            assert_eq!(sess.scalar(meta.out), 4.0);
+        }
+        assert_eq!(bank.num_idle_sessions(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_sessions() {
+        let bank = SessionBank::new();
+        let key = bank_key("test-square-concurrent", &3usize);
+        let mut a = bank.checkout(key, 1, compile_square);
+        let mut b = bank.checkout(key, 1, || -> (Program, Meta) {
+            panic!("must not recompile")
+        });
+        assert_eq!(bank.num_idle_sessions(), 0);
+        let meta = a.meta::<Meta>();
+        a.session().bind(meta.x, &[1.0, 0.0, 0.0]);
+        b.session().bind(meta.x, &[0.0, 2.0, 0.0]);
+        a.session().forward();
+        b.session().forward();
+        assert_eq!(a.session().scalar(meta.out), 1.0);
+        assert_eq!(b.session().scalar(meta.out), 4.0);
+        drop(a);
+        drop(b);
+        assert_eq!(bank.num_idle_sessions(), 2);
+    }
+
+    #[test]
+    fn clear_discards_programs_and_outstanding_leases_stay_valid() {
+        let bank = SessionBank::new();
+        let key = bank_key("test-square-clear", &3usize);
+        let mut lease = bank.checkout(key, 1, compile_square);
+        bank.clear();
+        assert_eq!(bank.num_programs(), 0);
+        let meta = lease.meta::<Meta>();
+        let sess = lease.session();
+        sess.bind(meta.x, &[3.0, 0.0, 0.0]);
+        sess.forward();
+        assert_eq!(sess.scalar(meta.out), 9.0);
+        drop(lease); // stale program: discarded, not re-pooled
+        assert_eq!(bank.num_idle_sessions(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_programs() {
+        let bank = SessionBank::new();
+        let k1 = bank_key("test-a", &1usize);
+        let k2 = bank_key("test-b", &1usize);
+        assert_ne!(k1, k2);
+        let _a = bank.checkout(k1, 1, compile_square);
+        let _b = bank.checkout(k2, 1, compile_square);
+        assert_eq!(bank.num_programs(), 2);
+    }
+}

@@ -26,6 +26,7 @@
 //! assert_eq!(grads.wrt(x).expect("leaf gradient").data(), &[2.0, 2.0, 2.0]);
 //! ```
 
+pub mod bank;
 mod kernels;
 pub mod nn;
 pub mod optim;
@@ -35,10 +36,11 @@ pub mod rng;
 pub mod tape;
 pub mod tensor;
 
+pub use bank::{bank_key, SessionBank, SessionLease};
 pub use nn::{Binding, Linear, ParamId, ParamStore, ResidualMlp};
 pub use optim::{Adam, CosineLr, Sgd};
-pub use par::{num_jobs, parallel_map};
-pub use program::{ExecMode, Program, Session};
+pub use par::{num_jobs, parallel_map, parse_jobs_env, WorkerPool};
+pub use program::{ExecMode, Program, ProgramError, Session};
 pub use rng::Rng;
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -24,22 +24,42 @@
 
 /// Resolves a `jobs` knob to a concrete worker count.
 ///
-/// `0` means "auto": the `HDX_JOBS` environment variable if set and
-/// positive, otherwise [`std::thread::available_parallelism`]. Any
-/// positive value is taken as-is.
+/// `0` means "auto": the `HDX_JOBS` environment variable if set,
+/// otherwise [`std::thread::available_parallelism`]. Any positive
+/// value is taken as-is.
+///
+/// # Panics
+///
+/// Panics if `HDX_JOBS` is set but is not a positive integer (see
+/// [`parse_jobs_env`]) — a mistyped knob must not silently masquerade
+/// as "auto".
 pub fn num_jobs(jobs: usize) -> usize {
     if jobs > 0 {
         return jobs;
     }
-    if let Some(env) = std::env::var("HDX_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        if env > 0 {
-            return env;
-        }
+    let env = std::env::var("HDX_JOBS").ok();
+    match parse_jobs_env(env.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        Err(msg) => panic!("{msg}"),
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses the `HDX_JOBS` environment value: `None` when the variable is
+/// unset (auto), `Some(n)` for a positive integer, and an error message
+/// for anything else (including `0` — use an unset variable for auto,
+/// so a broken shell expansion can't pass silently).
+pub fn parse_jobs_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "HDX_JOBS must be a positive worker count, got \"{raw}\" (unset it for auto)"
+        )),
+        Err(_) => Err(format!(
+            "HDX_JOBS must be a positive integer, got \"{raw}\" (unset it for auto)"
+        )),
+    }
 }
 
 /// Maps `f(index, &item)` over `items` on up to `jobs` worker threads
@@ -89,6 +109,159 @@ where
     out.into_iter()
         .map(|slot| slot.expect("worker filled every slot"))
         .collect()
+}
+
+/// A persistent pool of worker threads for the compiled executor's
+/// row-partitioned kernels ([`crate::Session`] replay).
+///
+/// [`parallel_map`] spawns scoped threads per call, which is fine for
+/// coarse work (whole accelerator evaluations, estimator shards) but
+/// too slow for the inner kernels of a replayed training step, which
+/// run tens of thousands of times per search. A `WorkerPool` keeps its
+/// threads parked on channels between calls, so dispatch costs two
+/// channel round-trips per worker instead of a thread spawn.
+///
+/// [`WorkerPool::run`] executes `f(t)` for every worker index
+/// `t ∈ 0..workers` — the calling thread participates as worker 0 —
+/// and returns when all have finished. Determinism is the caller's
+/// contract exactly as with [`parallel_map`]: each worker must write
+/// only to its own disjoint output partition, with per-element
+/// arithmetic independent of the partitioning.
+pub struct WorkerPool {
+    size: usize,
+    txs: Vec<std::sync::mpsc::Sender<Job>>,
+    done_rx: std::sync::mpsc::Receiver<bool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A borrowed job closure, lifetime-erased for the channel hop. Sound
+/// because [`WorkerPool::run`] blocks until every worker has reported
+/// completion (via its drain guard, even while unwinding), so the
+/// borrow outlives all uses.
+struct Job(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared by every worker) and `run`
+// keeps it alive for the whole dispatch, so sending the pointer to
+// another thread is safe.
+unsafe impl Send for Job {}
+
+impl WorkerPool {
+    /// Spawns a pool of `size.max(1)` workers (`size - 1` threads; the
+    /// caller of [`WorkerPool::run`] is worker 0).
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let mut txs = Vec::with_capacity(size - 1);
+        let mut handles = Vec::with_capacity(size - 1);
+        for t in 1..size {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for job in rx.iter() {
+                    // SAFETY: `run` keeps the closure alive until every
+                    // worker has sent its completion message.
+                    let f = unsafe { &*job.0 };
+                    // A panicking job must still report completion, or
+                    // run() would wait forever for this worker (and its
+                    // borrow of the closure). The payload is dropped —
+                    // the default panic hook has already printed it —
+                    // and run() re-raises on the caller.
+                    let ok =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t))).is_ok();
+                    if done.send(ok).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        WorkerPool {
+            size,
+            txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Total worker count (including the calling thread).
+    pub fn workers(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f(t)` for every worker index `t ∈ 0..workers()` and blocks
+    /// until all are done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panicked on any worker (the caller's own panic
+    /// unwinds as usual; worker panics are re-raised here after every
+    /// worker has finished) or if a worker thread died.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        /// Blocks until every dispatched worker has reported in. Runs
+        /// on the normal path *and* from Drop while `f(0)`'s panic
+        /// unwinds — the borrow of `f` must not die before the workers
+        /// are done with it.
+        struct Drain<'a> {
+            rx: &'a std::sync::mpsc::Receiver<bool>,
+            pending: usize,
+            worker_panicked: bool,
+        }
+        impl Drain<'_> {
+            fn drain(&mut self) {
+                while self.pending > 0 {
+                    self.pending -= 1;
+                    match self.rx.recv() {
+                        Ok(ok) => self.worker_panicked |= !ok,
+                        // A disconnected channel means the worker
+                        // thread exited entirely — borrow released.
+                        Err(_) => self.worker_panicked = true,
+                    }
+                }
+            }
+        }
+        impl Drop for Drain<'_> {
+            fn drop(&mut self) {
+                self.drain();
+            }
+        }
+
+        // SAFETY: only the lifetime is erased; the drain guard keeps
+        // this frame — and thus the borrow — alive until every worker
+        // has finished with it, even if `f(0)` panics.
+        let ptr: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &_>(f) };
+        let mut drain = Drain {
+            rx: &self.done_rx,
+            pending: 0,
+            worker_panicked: false,
+        };
+        for tx in &self.txs {
+            tx.send(Job(ptr)).expect("worker thread alive");
+            drain.pending += 1;
+        }
+        f(0);
+        drain.drain();
+        assert!(
+            !drain.worker_panicked,
+            "WorkerPool job panicked on a worker thread"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.txs.clear(); // closing the channels ends each worker loop
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +325,73 @@ mod tests {
     fn num_jobs_policy() {
         assert_eq!(num_jobs(3), 3);
         assert!(num_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn jobs_env_parsing_rejects_bad_values() {
+        assert_eq!(parse_jobs_env(None), Ok(None));
+        assert_eq!(parse_jobs_env(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_jobs_env(Some(" 2 ")), Ok(Some(2)));
+        assert!(parse_jobs_env(Some("0")).is_err());
+        assert!(parse_jobs_env(Some("frsh")).is_err());
+        assert!(parse_jobs_env(Some("-1")).is_err());
+        assert!(parse_jobs_env(Some("")).is_err());
+    }
+
+    #[test]
+    fn worker_pool_runs_every_index_and_uses_threads() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let hits = Mutex::new(Vec::new());
+        let threads = Mutex::new(HashSet::new());
+        for _ in 0..3 {
+            hits.lock().expect("no poison").clear();
+            pool.run(&|t| {
+                hits.lock().expect("no poison").push(t);
+                threads
+                    .lock()
+                    .expect("no poison")
+                    .insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+            let mut seen = hits.lock().expect("no poison").clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3]);
+        }
+        assert!(
+            threads.lock().expect("no poison").len() > 1,
+            "expected >1 distinct worker thread"
+        );
+    }
+
+    #[test]
+    fn worker_pool_propagates_job_panics_and_survives() {
+        let pool = WorkerPool::new(3);
+        for panicking_worker in [1, 0] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(&|t| {
+                    if t == panicking_worker {
+                        panic!("boom on worker {t}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "panic on worker {panicking_worker} lost");
+            // The pool must stay fully usable after a job panic.
+            let hits = Mutex::new(0usize);
+            pool.run(&|_| {
+                *hits.lock().expect("no poison") += 1;
+            });
+            assert_eq!(*hits.lock().expect("no poison"), 3);
+        }
+    }
+
+    #[test]
+    fn worker_pool_of_one_runs_on_caller() {
+        let pool = WorkerPool::new(1);
+        let caller = std::thread::current().id();
+        pool.run(&|t| {
+            assert_eq!(t, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
     }
 }

@@ -67,6 +67,7 @@
 //! ```
 
 use crate::kernels::{matmul_into, softmax_rows_into, transpose_into};
+use crate::par::WorkerPool;
 use crate::tape::{lut_cell, Op, Tape, Var};
 use crate::tensor::Tensor;
 use std::collections::BTreeMap;
@@ -84,14 +85,93 @@ pub enum ExecMode {
 
 impl ExecMode {
     /// The default policy: compiled, unless the `HDX_EXEC` environment
-    /// variable is set to `fresh`.
+    /// variable selects `fresh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `HDX_EXEC` is set to anything other than `fresh` or
+    /// `compiled` (case-insensitive) — a mistyped mode (`frsh`) must
+    /// not silently run the other engine.
     pub fn auto() -> Self {
-        match std::env::var("HDX_EXEC") {
-            Ok(v) if v.eq_ignore_ascii_case("fresh") => ExecMode::FreshRecord,
-            _ => ExecMode::Compiled,
+        let env = std::env::var("HDX_EXEC").ok();
+        match Self::parse_env(env.as_deref()) {
+            Ok(mode) => mode,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Parses the `HDX_EXEC` environment value: unset defaults to
+    /// [`ExecMode::Compiled`]; `fresh`/`compiled` (case-insensitive)
+    /// select a mode; anything else is an error.
+    pub fn parse_env(value: Option<&str>) -> Result<Self, String> {
+        let Some(raw) = value else {
+            return Ok(ExecMode::Compiled);
+        };
+        let v = raw.trim();
+        if v.eq_ignore_ascii_case("fresh") {
+            Ok(ExecMode::FreshRecord)
+        } else if v.eq_ignore_ascii_case("compiled") {
+            Ok(ExecMode::Compiled)
+        } else {
+            Err(format!(
+                "HDX_EXEC must be \"fresh\" or \"compiled\" (case-insensitive), got \"{raw}\""
+            ))
         }
     }
 }
+
+/// A misuse of a compiled [`Program`] / [`Session`] that the engine
+/// layer can report with context (which program, which var) instead of
+/// dying on a raw panic deep inside the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The var passed to [`Session::set_targets`] is not a
+    /// cross-entropy node of the compiled graph.
+    NotCrossEntropy {
+        /// Tape index of the offending var.
+        var: usize,
+    },
+    /// The target slice length differs from the recorded batch size.
+    TargetLenMismatch {
+        /// Tape index of the cross-entropy node.
+        var: usize,
+        /// Batch size recorded at compile time.
+        expected: usize,
+        /// Length the caller passed.
+        got: usize,
+    },
+    /// The var passed to [`Session::backward`] was not registered as an
+    /// output at compile time.
+    NotAnOutput {
+        /// Tape index of the offending var.
+        var: usize,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::NotCrossEntropy { var } => {
+                write!(
+                    f,
+                    "var {var} is not a cross_entropy node of the compiled graph"
+                )
+            }
+            ProgramError::TargetLenMismatch { var, expected, got } => write!(
+                f,
+                "cross_entropy var {var} was compiled for {expected} targets, got {got}"
+            ),
+            ProgramError::NotAnOutput { var } => {
+                write!(
+                    f,
+                    "var {var} is not a registered output of the compiled program"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
 
 /// A fixed-size range inside an arena buffer.
 #[derive(Debug, Clone, Copy)]
@@ -609,11 +689,13 @@ impl Program {
         self.init.len()
     }
 
-    fn output_slot(&self, output: Var) -> usize {
+    fn output_slot(&self, output: Var) -> Result<usize, ProgramError> {
         self.outputs
             .iter()
             .position(|&o| o == output.index())
-            .unwrap_or_else(|| panic!("var {} is not a registered output", output.index()))
+            .ok_or(ProgramError::NotAnOutput {
+                var: output.index(),
+            })
     }
 }
 
@@ -670,11 +752,14 @@ pub struct Session {
     targets: Vec<Vec<usize>>,
     /// Which output the gradient arena currently reflects.
     last_backward: Option<usize>,
+    /// Worker pool for row-partitioned kernels (`None` = sequential).
+    pool: Option<WorkerPool>,
 }
 
 impl Session {
     /// Allocates replay buffers for `prog`, initialized to the values
-    /// recorded at compile time.
+    /// recorded at compile time. Replay is single-threaded; see
+    /// [`Session::with_jobs`] for the parallel executor.
     pub fn new(prog: Arc<Program>) -> Session {
         Session {
             vals: prog.init.clone(),
@@ -685,8 +770,39 @@ impl Session {
             s2: vec![0.0; prog.s2_len],
             targets: prog.targets.clone(),
             last_backward: None,
+            pool: None,
             prog,
         }
+    }
+
+    /// [`Session::new`] with a worker pool: the fused linear forward
+    /// kernels and the backward matmuls are row-partitioned over up to
+    /// `jobs` workers (resolved through [`crate::par::num_jobs`];
+    /// `0` = auto, honoring `HDX_JOBS`). Each output element's fold
+    /// order is independent of the row partitioning, so replay is
+    /// **bit-identical at every worker count** (pinned by
+    /// `tests/determinism.rs`). Kernels below a fixed work threshold
+    /// run on the calling thread regardless.
+    pub fn with_jobs(prog: Arc<Program>, jobs: usize) -> Session {
+        let mut sess = Session::new(prog);
+        sess.set_jobs(jobs);
+        sess
+    }
+
+    /// The resolved worker count of this session's replay kernels.
+    pub fn jobs(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::workers)
+    }
+
+    /// Re-sizes the replay worker pool (`0` = auto via `HDX_JOBS`).
+    /// Results are unaffected — only how many threads execute the
+    /// row-partitioned kernels.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        let resolved = crate::par::num_jobs(jobs);
+        if resolved == self.jobs() {
+            return;
+        }
+        self.pool = (resolved > 1).then(|| WorkerPool::new(resolved));
     }
 
     /// The program this session replays.
@@ -729,17 +845,34 @@ impl Session {
     /// # Panics
     ///
     /// Panics if `var` is not a cross-entropy node or the length differs
-    /// from the recorded batch size.
+    /// from the recorded batch size; see [`Session::try_set_targets`]
+    /// for the error-returning form.
     pub fn set_targets(&mut self, var: Var, targets: &[usize]) {
+        self.try_set_targets(var, targets)
+            .unwrap_or_else(|e| panic!("set_targets: {e}"));
+    }
+
+    /// [`Session::set_targets`] returning an error instead of
+    /// panicking, so callers can report which program/var was misbound.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::NotCrossEntropy`] if `var` is not a
+    /// cross-entropy node; [`ProgramError::TargetLenMismatch`] if the
+    /// length differs from the recorded batch size.
+    pub fn try_set_targets(&mut self, var: Var, targets: &[usize]) -> Result<(), ProgramError> {
         let Step::CrossEntropy { targets: t, .. } = self.prog.steps[var.index()] else {
-            panic!("set_targets: var {} is not cross_entropy", var.index());
+            return Err(ProgramError::NotCrossEntropy { var: var.index() });
         };
-        assert_eq!(
-            targets.len(),
-            self.targets[t].len(),
-            "set_targets: batch size changed"
-        );
+        if targets.len() != self.targets[t].len() {
+            return Err(ProgramError::TargetLenMismatch {
+                var: var.index(),
+                expected: self.targets[t].len(),
+                got: targets.len(),
+            });
+        }
         self.targets[t].copy_from_slice(targets);
+        Ok(())
     }
 
     /// The current value of a persistent node.
@@ -790,6 +923,7 @@ impl Session {
                 &mut self.vals,
                 &mut self.aux,
                 &self.targets,
+                self.pool.as_ref(),
             );
         }
     }
@@ -804,10 +938,23 @@ impl Session {
     ///
     /// # Panics
     ///
-    /// Panics if `output` was not registered at compile time.
+    /// Panics if `output` was not registered at compile time; see
+    /// [`Session::try_backward`] for the error-returning form.
     pub fn backward(&mut self, output: Var) {
+        self.try_backward(output)
+            .unwrap_or_else(|e| panic!("backward: {e}"));
+    }
+
+    /// [`Session::backward`] returning an error instead of panicking,
+    /// so callers can report which program/var was misbound.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::NotAnOutput`] if `output` was not registered at
+    /// compile time.
+    pub fn try_backward(&mut self, output: Var) -> Result<(), ProgramError> {
         let prog = Arc::clone(&self.prog);
-        let k = prog.output_slot(output);
+        let k = prog.output_slot(output)?;
         for buf in &prog.multi_slots {
             self.grads[buf.range()].fill(0.0);
         }
@@ -828,13 +975,15 @@ impl Session {
                 &mut self.s1,
                 &mut self.s2,
                 &self.targets,
+                self.pool.as_ref(),
             );
         }
         self.last_backward = Some(k);
+        Ok(())
     }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn exec_forward(
     idx: usize,
     step: &Step,
@@ -842,6 +991,7 @@ fn exec_forward(
     vals: &mut [f32],
     aux: &mut [f32],
     targets: &[Vec<usize>],
+    pool: Option<&WorkerPool>,
 ) {
     let out = match prog.val[idx] {
         Some(b) => b,
@@ -900,7 +1050,7 @@ fn exec_forward(
         Step::MatMul(a, b) => {
             let (am, ak) = prog.shape[*a];
             let (a_slice, b_slice, out_slice) = split_three(vals, slot(*a), slot(*b), out);
-            matmul_into(a_slice, b_slice, out_slice, am, ak, n);
+            matmul_par(a_slice, b_slice, out_slice, am, ak, n, pool);
         }
         Step::Transpose(a) => {
             let (am, an) = prog.shape[*a];
@@ -1011,21 +1161,32 @@ fn exec_forward(
         }
         Step::FusedLinear { x, w, bias, relu } => {
             let (xm, xk) = prog.shape[*x];
-            {
-                let (x_slice, w_slice, out_slice) = split_three(vals, slot(*x), slot(*w), out);
-                matmul_into(x_slice, w_slice, out_slice, xm, xk, n);
-            }
             let bb = slot(*bias);
-            for i in 0..m {
-                for j in 0..n {
-                    vals[out.off + i * n + j] += vals[bb.off + j];
-                }
-            }
-            if *relu {
-                for j in 0..out.len {
-                    vals[out.off + j] = vals[out.off + j].max(0.0);
-                }
-            }
+            // SAFETY: the arena planner never hands a step an output
+            // buffer overlapping any input, so the immutable views of
+            // x/w/bias and the mutable view of out are disjoint (inputs
+            // may alias each other; all are reads). Checked in every
+            // build profile — three integer comparisons guarding
+            // aliased-mutation UB against future planner changes.
+            let (x_slice, w_slice, bias_slice, out_slice) = unsafe {
+                let base = vals.as_mut_ptr();
+                let xb = slot(*x);
+                let wb = slot(*w);
+                let disjoint = |b: Buf| b.off + b.len <= out.off || out.off + out.len <= b.off;
+                assert!(
+                    disjoint(xb) && disjoint(wb) && disjoint(bb),
+                    "fused-linear output aliases an input buffer"
+                );
+                (
+                    std::slice::from_raw_parts(base.add(xb.off), xb.len),
+                    std::slice::from_raw_parts(base.add(wb.off), wb.len),
+                    std::slice::from_raw_parts(base.add(bb.off), bb.len),
+                    std::slice::from_raw_parts_mut(base.add(out.off), out.len),
+                )
+            };
+            fused_linear_forward(
+                x_slice, w_slice, bias_slice, out_slice, xm, xk, n, *relu, pool,
+            );
         }
     }
 }
@@ -1042,6 +1203,7 @@ fn exec_backward(
     s1: &mut [f32],
     s2: &mut [f32],
     targets: &[Vec<usize>],
+    pool: Option<&WorkerPool>,
 ) {
     let g_buf = match prog.grad[idx] {
         Some(b) => b,
@@ -1165,20 +1327,29 @@ fn exec_backward(
             if let Some(pb) = prog.grad[*a] {
                 if am == 1 {
                     let (g, dst) = split_two(grads, g_buf, pb);
-                    row_grad_wrt_a(g, &vals[bv.range()], dst, ak, bn, prog.single_contrib[*a]);
+                    row_grad_wrt_a(
+                        g,
+                        &vals[bv.range()],
+                        dst,
+                        ak,
+                        bn,
+                        prog.single_contrib[*a],
+                        pool,
+                    );
                 } else {
                     transpose_into(&vals[bv.range()], &mut s1[..bk * bn], bk, bn);
                     if prog.single_contrib[*a] {
                         let (g, dst) = split_two(grads, g_buf, pb);
-                        matmul_into(g, &s1[..bk * bn], dst, am, bn, bk);
+                        matmul_par(g, &s1[..bk * bn], dst, am, bn, bk, pool);
                     } else {
-                        matmul_into(
+                        matmul_par(
                             &grads[g_buf.range()],
                             &s1[..bk * bn],
                             &mut s2[..am * ak],
                             am,
                             bn,
                             bk,
+                            pool,
                         );
                         for j in 0..pb.len {
                             grads[pb.off + j] += s2[j];
@@ -1190,20 +1361,29 @@ fn exec_backward(
             if let Some(pb) = prog.grad[*b] {
                 if am == 1 {
                     let (g, dst) = split_two(grads, g_buf, pb);
-                    row_grad_wrt_b(&vals[av.range()], g, dst, ak, bn, prog.single_contrib[*b]);
+                    row_grad_wrt_b(
+                        &vals[av.range()],
+                        g,
+                        dst,
+                        ak,
+                        bn,
+                        prog.single_contrib[*b],
+                        pool,
+                    );
                 } else {
                     transpose_into(&vals[av.range()], &mut s1[..am * ak], am, ak);
                     if prog.single_contrib[*b] {
                         let (g, dst) = split_two(grads, g_buf, pb);
-                        matmul_into(&s1[..am * ak], g, dst, ak, am, bn);
+                        matmul_par(&s1[..am * ak], g, dst, ak, am, bn, pool);
                     } else {
-                        matmul_into(
+                        matmul_par(
                             &s1[..am * ak],
                             &grads[g_buf.range()],
                             &mut s2[..bk * bn],
                             ak,
                             am,
                             bn,
+                            pool,
                         );
                         for j in 0..pb.len {
                             grads[pb.off + j] += s2[j];
@@ -1447,20 +1627,30 @@ fn exec_backward(
                         xk,
                         n,
                         prog.single_contrib[*x],
+                        pool,
                     );
                 } else {
                     transpose_into(&vals[wv.range()], &mut s1[..xk * n], xk, n);
                     if prog.single_contrib[*x] {
-                        matmul_into(
+                        matmul_par(
                             &s0[..glen],
                             &s1[..xk * n],
                             &mut grads[pb.range()],
                             xm,
                             n,
                             xk,
+                            pool,
                         );
                     } else {
-                        matmul_into(&s0[..glen], &s1[..xk * n], &mut s2[..xm * xk], xm, n, xk);
+                        matmul_par(
+                            &s0[..glen],
+                            &s1[..xk * n],
+                            &mut s2[..xm * xk],
+                            xm,
+                            n,
+                            xk,
+                            pool,
+                        );
                         for j in 0..pb.len {
                             grads[pb.off + j] += s2[j];
                         }
@@ -1477,20 +1667,30 @@ fn exec_backward(
                         xk,
                         n,
                         prog.single_contrib[*w],
+                        pool,
                     );
                 } else {
                     transpose_into(&vals[xv.range()], &mut s1[..xm * xk], xm, xk);
                     if prog.single_contrib[*w] {
-                        matmul_into(
+                        matmul_par(
                             &s1[..xm * xk],
                             &s0[..glen],
                             &mut grads[pb.range()],
                             xk,
                             xm,
                             n,
+                            pool,
                         );
                     } else {
-                        matmul_into(&s1[..xm * xk], &s0[..glen], &mut s2[..xk * n], xk, xm, n);
+                        matmul_par(
+                            &s1[..xm * xk],
+                            &s0[..glen],
+                            &mut s2[..xk * n],
+                            xk,
+                            xm,
+                            n,
+                            pool,
+                        );
                         for j in 0..pb.len {
                             grads[pb.off + j] += s2[j];
                         }
@@ -1510,42 +1710,177 @@ fn exec_backward(
 /// no comparison (`==`), argmax, or downstream arithmetic in this
 /// workspace can distinguish; keeping the inner loop branch-free is
 /// what lets it vectorize.
-fn row_grad_wrt_a(g: &[f32], b: &[f32], dst: &mut [f32], k: usize, n: usize, single: bool) {
-    for c in 0..k {
-        let brow = &b[c * n..(c + 1) * n];
-        let mut acc = 0.0f32;
-        for (&gv, &bv) in g[..n].iter().zip(brow) {
-            acc += gv * bv;
+fn row_grad_wrt_a(
+    g: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    k: usize,
+    n: usize,
+    single: bool,
+    pool: Option<&WorkerPool>,
+) {
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    par_rows(pool, k, k * n, &|lo, hi| {
+        // SAFETY: [lo, hi) is this worker's exclusive output range.
+        let d = unsafe { std::slice::from_raw_parts_mut(dst_ptr.ptr().add(lo), hi - lo) };
+        for (slot, c) in d.iter_mut().zip(lo..hi) {
+            let brow = &b[c * n..(c + 1) * n];
+            let mut acc = 0.0f32;
+            for (&gv, &bv) in g[..n].iter().zip(brow) {
+                acc += gv * bv;
+            }
+            if single {
+                *slot = acc;
+            } else {
+                *slot += acc;
+            }
         }
-        if single {
-            dst[c] = acc;
-        } else {
-            dst[c] += acc;
-        }
-    }
+    });
 }
 
 /// Transpose-free `gb = aᵀ · g` for a row-vector product: an outer
 /// product `gb[c][j] = a[c] · g[j]`, with the shared kernel's zero-skip
 /// on `a[c]`.
-fn row_grad_wrt_b(a: &[f32], g: &[f32], dst: &mut [f32], k: usize, n: usize, single: bool) {
-    for c in 0..k {
-        let av = a[c];
-        let drow = &mut dst[c * n..(c + 1) * n];
-        if single {
-            if av == 0.0 {
-                drow.fill(0.0);
-            } else {
-                for (d, &gv) in drow.iter_mut().zip(g) {
-                    *d = av * gv;
+fn row_grad_wrt_b(
+    a: &[f32],
+    g: &[f32],
+    dst: &mut [f32],
+    k: usize,
+    n: usize,
+    single: bool,
+    pool: Option<&WorkerPool>,
+) {
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    par_rows(pool, k, k * n, &|lo, hi| {
+        // SAFETY: rows [lo, hi) are this worker's exclusive slice.
+        let d = unsafe { std::slice::from_raw_parts_mut(dst_ptr.ptr().add(lo * n), (hi - lo) * n) };
+        for (i, c) in (lo..hi).enumerate() {
+            let av = a[c];
+            let drow = &mut d[i * n..(i + 1) * n];
+            if single {
+                if av == 0.0 {
+                    drow.fill(0.0);
+                } else {
+                    for (dv, &gv) in drow.iter_mut().zip(g) {
+                        *dv = av * gv;
+                    }
+                }
+            } else if av != 0.0 {
+                for (dv, &gv) in drow.iter_mut().zip(g) {
+                    *dv += av * gv;
                 }
             }
-        } else if av != 0.0 {
-            for (d, &gv) in drow.iter_mut().zip(g) {
-                *d += av * gv;
+        }
+    });
+}
+
+/// Minimum multiply–accumulate count before a kernel is dispatched to
+/// the worker pool. Below this the two channel round-trips per worker
+/// cost more than the arithmetic; the threshold depends only on the
+/// kernel's shape (never on the worker count), and partitioned and
+/// sequential execution are bit-identical anyway, so it is purely a
+/// latency knob.
+const MIN_PAR_MACS: usize = 32 * 1024;
+
+/// A mutable arena pointer that may cross to pool workers. Each worker
+/// touches only its own disjoint row range. (The method accessor makes
+/// closures capture the `Sync` wrapper, not the raw-pointer field.)
+struct SendPtr(*mut f32);
+// SAFETY: the pointer addresses one session's arena, which outlives
+// every pool dispatch (the pool joins before the kernel returns), and
+// workers write only to disjoint row ranges of it.
+unsafe impl Send for SendPtr {}
+// SAFETY: shared access is read-only address arithmetic; all writes go
+// through per-worker disjoint ranges.
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    fn ptr(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Row-partitions `total_rows` over the pool, calling `f(lo, hi)` once
+/// per contiguous chunk — or once with the full range on the calling
+/// thread when no pool is present, the pool has one worker, or `macs`
+/// is under [`MIN_PAR_MACS`]. `f` must write only to its own rows;
+/// per-element arithmetic must not depend on the chunking (every
+/// caller here computes each output element from a fixed fold over
+/// inputs, so any row partition is bit-identical).
+fn par_rows(
+    pool: Option<&WorkerPool>,
+    total_rows: usize,
+    macs: usize,
+    f: &(dyn Fn(usize, usize) + Sync),
+) {
+    match pool {
+        Some(pool) if pool.workers() > 1 && total_rows >= 2 && macs >= MIN_PAR_MACS => {
+            let workers = pool.workers().min(total_rows);
+            let per = total_rows.div_ceil(workers);
+            pool.run(&|t| {
+                let lo = (t * per).min(total_rows);
+                let hi = ((t + 1) * per).min(total_rows);
+                if lo < hi {
+                    f(lo, hi);
+                }
+            });
+        }
+        _ => f(0, total_rows),
+    }
+}
+
+/// [`matmul_into`] with the output rows partitioned over the pool.
+/// Each output row folds over `p` exactly as in the sequential kernel,
+/// so the result is bit-identical at any worker count.
+fn matmul_par(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: Option<&WorkerPool>,
+) {
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    par_rows(pool, m, m * k * n, &|lo, hi| {
+        let rows = hi - lo;
+        // SAFETY: chunk [lo*n, hi*n) is this worker's exclusive slice.
+        let dst = unsafe { std::slice::from_raw_parts_mut(out_ptr.ptr().add(lo * n), rows * n) };
+        matmul_into(&a[lo * k..hi * k], b, dst, rows, k, n);
+    });
+}
+
+/// The fused `matmul → add_bias (→ relu)` forward kernel, row-
+/// partitioned over the pool: each worker multiplies, biases, and
+/// gates its own output rows in one dispatch.
+#[allow(clippy::too_many_arguments)]
+fn fused_linear_forward(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+    pool: Option<&WorkerPool>,
+) {
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    par_rows(pool, m, m * k * n, &|lo, hi| {
+        let rows = hi - lo;
+        // SAFETY: chunk [lo*n, hi*n) is this worker's exclusive slice.
+        let dst = unsafe { std::slice::from_raw_parts_mut(out_ptr.ptr().add(lo * n), rows * n) };
+        matmul_into(&x[lo * k..hi * k], w, dst, rows, k, n);
+        for i in 0..rows {
+            for j in 0..n {
+                dst[i * n + j] += bias[j];
             }
         }
-    }
+        if relu {
+            for v in dst.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    });
 }
 
 /// Disjoint mutable/immutable views of two arena ranges.
@@ -1993,5 +2328,98 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::row(&[1.0, 2.0]));
         let _ = Program::compile(&tape, &[x], &[]);
+    }
+
+    #[test]
+    fn exec_mode_env_parsing_rejects_unknown_values() {
+        assert_eq!(ExecMode::parse_env(None), Ok(ExecMode::Compiled));
+        assert_eq!(
+            ExecMode::parse_env(Some("fresh")),
+            Ok(ExecMode::FreshRecord)
+        );
+        assert_eq!(
+            ExecMode::parse_env(Some("FRESH")),
+            Ok(ExecMode::FreshRecord)
+        );
+        assert_eq!(
+            ExecMode::parse_env(Some("Compiled")),
+            Ok(ExecMode::Compiled)
+        );
+        assert_eq!(
+            ExecMode::parse_env(Some(" compiled ")),
+            Ok(ExecMode::Compiled)
+        );
+        // The bug this pins: a typo used to silently select Compiled.
+        assert!(ExecMode::parse_env(Some("frsh")).is_err());
+        assert!(ExecMode::parse_env(Some("")).is_err());
+    }
+
+    #[test]
+    fn misuse_errors_name_the_offending_var() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[1.0, 2.0, 3.0]));
+        let ce = tape.cross_entropy_logits(x, &[0]);
+        let other = tape.square(x);
+        let out = tape.sum(other);
+        let prog = Arc::new(Program::compile(&tape, &[out], &[]));
+        let mut sess = Session::new(prog);
+        assert_eq!(
+            sess.try_set_targets(out, &[1]),
+            Err(ProgramError::NotCrossEntropy { var: out.index() })
+        );
+        assert_eq!(
+            sess.try_set_targets(ce, &[1, 2]),
+            Err(ProgramError::TargetLenMismatch {
+                var: ce.index(),
+                expected: 1,
+                got: 2
+            })
+        );
+        sess.forward();
+        assert_eq!(
+            sess.try_backward(ce),
+            Err(ProgramError::NotAnOutput { var: ce.index() })
+        );
+        assert!(sess.try_backward(out).is_ok());
+    }
+
+    #[test]
+    fn parallel_session_replay_is_bit_identical_to_sequential() {
+        // A fused-linear training graph large enough to cross the pool
+        // dispatch threshold, replayed at several worker counts.
+        let mut rng = Rng::new(17);
+        let mut params = ParamStore::new();
+        let mlp = ResidualMlp::new(&mut params, 64, 96, 8, 4, &mut rng);
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let x = tape.leaf(Tensor::zeros(&[48, 64]));
+        let t = tape.leaf(Tensor::zeros(&[48, 8]));
+        let pred = mlp.forward(&mut tape, &binding, x);
+        let loss = tape.mse(pred, t);
+        let prog = Arc::new(Program::compile(&tape, &[loss], &[]));
+
+        let run = |jobs: usize| {
+            let mut sess = Session::with_jobs(Arc::clone(&prog), jobs);
+            assert_eq!(sess.jobs(), jobs);
+            let mut rng = Rng::new(18);
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                let xv = Tensor::randn(&[48, 64], 1.0, &mut rng);
+                let tv = Tensor::randn(&[48, 8], 1.0, &mut rng);
+                sess.bind_tensor(x, &xv);
+                sess.bind_tensor(t, &tv);
+                sess.forward();
+                sess.backward(loss);
+                out.push(sess.scalar(loss));
+                for (id, _) in params.iter() {
+                    out.extend_from_slice(sess.grad(binding.var(id)).expect("param grad"));
+                }
+            }
+            out
+        };
+        let seq = run(1);
+        for jobs in [2, 3, 4, 7] {
+            assert_eq!(seq, run(jobs), "jobs={jobs} diverged from sequential");
+        }
     }
 }

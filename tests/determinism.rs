@@ -10,16 +10,19 @@
 //! the equality is not vacuous.
 
 use hdx_accel::{exhaustive_search_jobs, CostWeights, Metric};
-use hdx_nas::{Architecture, NetworkPlan};
+use hdx_nas::supernet::FinalNet;
+use hdx_nas::{Architecture, Dataset, NetworkPlan, Supernet, SupernetConfig, TaskSpec, OP_SET};
 use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
 use hdx_tensor::{
-    parallel_map, Adam, ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor,
+    parallel_map, Adam, ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor, Var,
 };
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 const SEEDS: [u64; 3] = [0, 1, 2];
 const PAR_JOBS: usize = 4;
+/// Worker counts the parallel replay executor is pinned at.
+const JOB_GRID: [usize; 3] = [1, 2, 4];
 
 #[test]
 fn parallel_map_actually_uses_multiple_threads() {
@@ -156,13 +159,14 @@ fn session_replay_matches_fresh_record_over_steps() {
 }
 
 /// `Estimator::train` on the compiled engine must be bit-identical to
-/// the fresh-record path for every seed, single- and multi-threaded
-/// (the parallel path replays one session per worker).
+/// the fresh-record path for every seed at every worker count (the
+/// parallel path replays bank-leased sessions across workers, each
+/// with its own row-parallel kernel pool).
 #[test]
 fn compiled_estimator_training_matches_fresh_record() {
     let plan = NetworkPlan::cifar18();
     for seed in SEEDS {
-        for jobs in [1, PAR_JOBS] {
+        for jobs in JOB_GRID {
             let train = |exec: ExecMode| {
                 let mut rng = Rng::new(seed);
                 let pairs = PairSet::sample_jobs(&plan, 400, &mut rng, jobs);
@@ -188,6 +192,49 @@ fn compiled_estimator_training_matches_fresh_record() {
                     est_c.predict_raw(pairs.input_row(i)),
                     est_f.predict_raw(pairs.input_row(i)),
                     "seed {seed} jobs {jobs}: predictions diverged on pair {i}"
+                );
+            }
+        }
+    }
+}
+
+/// `FinalNet::train` must produce bit-identical weights for every
+/// (engine, worker count) combination: the compiled step leases its
+/// program from the session bank and row-partitions its kernels, and
+/// neither may change a single bit.
+#[test]
+fn final_net_training_is_exec_and_thread_invariant() {
+    let spec = TaskSpec {
+        train: 256,
+        val: 64,
+        test: 128,
+        ..TaskSpec::cifar_like(6)
+    };
+    let ds = Dataset::generate(&spec);
+    let arch = Architecture::uniform(6, 4);
+    for seed in SEEDS {
+        let run = |exec: ExecMode, jobs: usize| {
+            let mut rng = Rng::new(seed);
+            let mut net = FinalNet::new(
+                &arch,
+                spec.feature_dim,
+                spec.num_classes,
+                &SupernetConfig::default(),
+                &mut rng,
+            );
+            let loss = net.train_exec_jobs(&ds, 30, 48, &mut rng, exec, jobs);
+            (net, loss)
+        };
+        let (net_ref, loss_ref) = run(ExecMode::FreshRecord, 1);
+        for jobs in JOB_GRID {
+            let (net_c, loss_c) = run(ExecMode::Compiled, jobs);
+            assert_eq!(loss_c, loss_ref, "seed {seed} jobs {jobs}: losses diverged");
+            for (id, t) in net_ref.w_store().iter() {
+                assert_eq!(
+                    net_c.w_store().get(id).data(),
+                    t.data(),
+                    "seed {seed} jobs {jobs}: weights diverged for parameter {}",
+                    id.index()
                 );
             }
         }
@@ -228,5 +275,97 @@ fn estimator_pretraining_is_thread_count_invariant() {
             est_par.within_tolerance(&pairs, 0.10),
             "seed {seed}: accuracies diverged"
         );
+    }
+}
+
+/// The full-mixture supernet step (`num_paths == OP_SET.len()`:
+/// sampling disabled, static topology, no RNG consumed) must replay
+/// bit-identically to fresh-recording — every loss value, every `w`
+/// gradient, and every `α` gradient, at every worker count.
+#[test]
+fn full_mixture_supernet_step_replay_matches_fresh_record() {
+    let spec = TaskSpec {
+        train: 256,
+        val: 64,
+        test: 128,
+        ..TaskSpec::cifar_like(9)
+    };
+    let ds = Dataset::generate(&spec);
+    let cfg = SupernetConfig {
+        num_paths: OP_SET.len(),
+        ..SupernetConfig::default()
+    };
+    const BATCH: usize = 24;
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let net = Supernet::new(5, spec.feature_dim, spec.num_classes, cfg, &mut rng);
+        let batches: Vec<_> = (0..3).map(|_| ds.train_batch(BATCH, &mut rng)).collect();
+
+        // Compile once; both parameter groups are gradient sinks so one
+        // program pins the α and w gradients together.
+        let mut tape = Tape::new();
+        let sv = net.record_task_step(&mut tape, BATCH);
+        let sinks: Vec<Var> = sv.w_vars.iter().chain(&sv.alpha_vars).copied().collect();
+        let prog = Arc::new(Program::compile_with_sinks(&tape, &[sv.loss], &[], &sinks));
+
+        let replay = |jobs: usize| {
+            let mut sess = Session::with_jobs(Arc::clone(&prog), jobs);
+            let mut out: Vec<Vec<f32>> = Vec::new();
+            for batch in &batches {
+                for (i, (_, t)) in net.w_store().iter().enumerate() {
+                    sess.bind(sv.w_vars[i], t.data());
+                }
+                for (l, (_, t)) in net.alpha_store().iter().enumerate() {
+                    sess.bind(sv.alpha_vars[l], t.data());
+                }
+                sess.bind_tensor(sv.x0, &batch.x);
+                sess.set_targets(sv.loss, &batch.y);
+                sess.forward();
+                sess.backward(sv.loss);
+                let mut step = vec![sess.scalar(sv.loss)];
+                for &v in sv.w_vars.iter().chain(&sv.alpha_vars) {
+                    step.extend_from_slice(sess.grad(v).expect("sink gradient"));
+                }
+                out.push(step);
+            }
+            out
+        };
+
+        // Fresh-record reference: re-record the mixture every step. The
+        // RNG handed to task_loss must come back untouched (sampling is
+        // disabled), which `rng_probe` double-checks.
+        let fresh: Vec<Vec<f32>> = batches
+            .iter()
+            .map(|batch| {
+                let mut tape = Tape::new();
+                let (wb, ab) = net.bind(&mut tape);
+                let mut rng_probe = Rng::new(123);
+                let before = rng_probe.normal();
+                let mut rng_task = Rng::new(123);
+                let loss = net.task_loss(&mut tape, &wb, &ab, batch, &mut rng_task);
+                assert_eq!(
+                    rng_task.normal(),
+                    before,
+                    "full mixture must not consume RNG"
+                );
+                let grads = tape.backward(loss);
+                let mut step = vec![tape.value(loss).item()];
+                for (id, t) in net.w_store().iter() {
+                    step.extend_from_slice(grads.wrt_or_zeros(wb.var(id), t.shape()).data());
+                }
+                for (id, t) in net.alpha_store().iter() {
+                    step.extend_from_slice(grads.wrt_or_zeros(ab.var(id), t.shape()).data());
+                }
+                step
+            })
+            .collect();
+
+        for jobs in JOB_GRID {
+            assert_eq!(
+                replay(jobs),
+                fresh,
+                "seed {seed} jobs {jobs}: full-mixture step diverged"
+            );
+        }
     }
 }
