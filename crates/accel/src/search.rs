@@ -20,6 +20,7 @@ use crate::config::{AccelConfig, SearchSpace};
 use crate::layer::ConvLayer;
 use crate::metrics::{CostWeights, HwMetrics, Metric};
 use crate::model::evaluate_layer;
+use hdx_tensor::ckpt::{Checkpoint, CkptError};
 use hdx_tensor::par::parallel_map;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -169,17 +170,184 @@ impl LayerLut {
     /// [`LayerLut::cached`] with an explicit worker count for a cache
     /// miss's build (`0` = auto).
     pub fn cached_jobs(layers: &[ConvLayer], jobs: usize) -> Arc<LayerLut> {
-        static CACHE: OnceLock<Mutex<HashMap<Vec<ConvLayer>, Arc<LayerLut>>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(hit) = cache.lock().expect("LayerLut cache poisoned").get(layers) {
+        if let Some(hit) = Self::cache()
+            .lock()
+            .expect("LayerLut cache poisoned")
+            .get(layers)
+        {
             return Arc::clone(hit);
         }
         let built = Arc::new(build_layer_lut_jobs(layers, jobs));
-        let mut map = cache.lock().expect("LayerLut cache poisoned");
+        Self::insert_cached(layers, built)
+    }
+
+    fn cache() -> &'static Mutex<HashMap<Vec<ConvLayer>, Arc<LayerLut>>> {
+        static CACHE: OnceLock<Mutex<HashMap<Vec<ConvLayer>, Arc<LayerLut>>>> = OnceLock::new();
+        CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn insert_cached(layers: &[ConvLayer], built: Arc<LayerLut>) -> Arc<LayerLut> {
+        let mut map = Self::cache().lock().expect("LayerLut cache poisoned");
         if map.len() >= Self::MAX_CACHED {
             map.clear();
         }
         Arc::clone(map.entry(layers.to_vec()).or_insert(built))
+    }
+
+    /// Seeds the process-wide cache with an already-built (e.g.
+    /// checkpoint-loaded) table for `layers`, so later
+    /// [`LayerLut::cached`] lookups — including the ones inside
+    /// [`exhaustive_search_jobs`] — hit without rebuilding. If the
+    /// sequence is already cached the existing table wins (builds are
+    /// deterministic, so both are identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut.num_layers() != layers.len()` — a table seeded
+    /// under the wrong key would silently corrupt every search on that
+    /// layer sequence.
+    pub fn seed_cache(layers: &[ConvLayer], lut: LayerLut) -> Arc<LayerLut> {
+        assert_eq!(
+            lut.num_layers(),
+            layers.len(),
+            "seed_cache: table has {} layer rows for {} layers",
+            lut.num_layers(),
+            layers.len()
+        );
+        Self::insert_cached(layers, Arc::new(lut))
+    }
+
+    /// Serializes the table (plus the layer sequence it was built for)
+    /// as checkpoint sections under `prefix`. Metrics are stored as
+    /// `f64` bit patterns, so a load reproduces every entry exactly and
+    /// a search over the loaded table is bit-identical to one over the
+    /// in-process table.
+    pub fn save_sections(&self, layers: &[ConvLayer], ckpt: &mut Checkpoint, prefix: &str) {
+        assert_eq!(
+            self.num_layers(),
+            layers.len(),
+            "save_sections: table has {} layer rows for {} layers",
+            self.num_layers(),
+            layers.len()
+        );
+        let layer_words: Vec<u64> = layers
+            .iter()
+            .flat_map(|l| {
+                [
+                    l.c_in as u64,
+                    l.c_out as u64,
+                    l.h_in as u64,
+                    l.w_in as u64,
+                    l.kernel as u64,
+                    l.stride as u64,
+                    l.groups as u64,
+                ]
+            })
+            .collect();
+        ckpt.put_u64(
+            &format!("{prefix}.layers"),
+            &[layers.len(), 7],
+            &layer_words,
+        );
+        ckpt.put_u64(
+            &format!("{prefix}.configs"),
+            &[1],
+            &[self.configs.len() as u64],
+        );
+        let metrics: Vec<f64> = self
+            .entries
+            .iter()
+            .flat_map(|row| {
+                row.iter()
+                    .flat_map(|m| [m.latency_ms, m.energy_mj, m.area_mm2])
+            })
+            .collect();
+        ckpt.put_f64(
+            &format!("{prefix}.metrics"),
+            &[self.entries.len(), self.configs.len(), 3],
+            &metrics,
+        );
+    }
+
+    /// Restores a `(layers, table)` pair written by
+    /// [`LayerLut::save_sections`]. The configuration axis is
+    /// re-enumerated from [`SearchSpace::paper`] and validated against
+    /// the stored count, so a checkpoint from a different search-space
+    /// build is rejected instead of silently misindexed.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CkptError`]s for missing/misshapen sections, an
+    /// unexpected configuration count, or invalid layer descriptors.
+    pub fn load_sections(
+        ckpt: &Checkpoint,
+        prefix: &str,
+    ) -> Result<(Vec<ConvLayer>, LayerLut), CkptError> {
+        let (shape, words) = ckpt.get_u64(&format!("{prefix}.layers"))?;
+        if shape.len() != 2 || shape[1] != 7 {
+            return Err(CkptError::ShapeMismatch {
+                name: format!("{prefix}.layers"),
+                expected: vec![shape.first().copied().unwrap_or(0), 7],
+                found: shape.to_vec(),
+            });
+        }
+        let mut layers = Vec::with_capacity(shape[0]);
+        for row in words.chunks_exact(7) {
+            let dims: Vec<usize> = row
+                .iter()
+                .map(|&w| {
+                    usize::try_from(w).map_err(|_| {
+                        CkptError::Malformed(format!("{prefix}: layer dimension {w} exceeds usize"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let [c_in, c_out, h_in, w_in, kernel, stride, groups] = dims[..] else {
+                unreachable!("chunks_exact(7)")
+            };
+            if c_in == 0
+                || c_out == 0
+                || h_in == 0
+                || w_in == 0
+                || kernel == 0
+                || stride == 0
+                || groups == 0
+                || c_in % groups != 0
+                || c_out % groups != 0
+            {
+                return Err(CkptError::Malformed(format!(
+                    "{prefix}: invalid layer descriptor {row:?}"
+                )));
+            }
+            layers.push(ConvLayer::new(
+                c_in, c_out, h_in, w_in, kernel, stride, groups,
+            ));
+        }
+        let configs = SearchSpace::paper().enumerate();
+        let stored_count = ckpt.get_scalar_u64(&format!("{prefix}.configs"))?;
+        if stored_count != configs.len() as u64 {
+            return Err(CkptError::Malformed(format!(
+                "{prefix}: checkpoint enumerates {stored_count} configurations, this build \
+                 enumerates {}",
+                configs.len()
+            )));
+        }
+        let (shape, metrics) = ckpt.get_f64(&format!("{prefix}.metrics"))?;
+        if shape != [layers.len(), configs.len(), 3] {
+            return Err(CkptError::ShapeMismatch {
+                name: format!("{prefix}.metrics"),
+                expected: vec![layers.len(), configs.len(), 3],
+                found: shape.to_vec(),
+            });
+        }
+        let entries: Vec<Vec<HwMetrics>> = metrics
+            .chunks_exact(configs.len() * 3)
+            .map(|row| {
+                row.chunks_exact(3)
+                    .map(|m| HwMetrics::new(m[0], m[1], m[2]))
+                    .collect()
+            })
+            .collect();
+        Ok((layers, LayerLut { configs, entries }))
     }
 }
 
@@ -320,6 +488,62 @@ mod tests {
         let c = LayerLut::cached(&other);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.num_layers(), other.len());
+    }
+
+    #[test]
+    fn lut_checkpoint_round_trip_is_bit_identical() {
+        let net = small_net();
+        let lut = build_layer_lut(&net);
+        let mut ckpt = Checkpoint::new();
+        lut.save_sections(&net, &mut ckpt, "lut");
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("parse");
+        let (layers, loaded) = LayerLut::load_sections(&back, "lut").expect("load");
+        assert_eq!(layers, net);
+        assert_eq!(loaded.configs(), lut.configs());
+        for layer in 0..net.len() {
+            for idx in 0..lut.configs().len() {
+                let a = lut.metrics(layer, idx);
+                let b = loaded.metrics(layer, idx);
+                assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
+                assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
+                assert_eq!(a.area_mm2.to_bits(), b.area_mm2.to_bits());
+            }
+        }
+
+        // Seeding the cache makes later cached lookups (and thus
+        // exhaustive searches) use the loaded table.
+        let seeded = LayerLut::seed_cache(&layers, loaded);
+        let hit = LayerLut::cached(&net);
+        assert_eq!(hit.network_metrics(123), seeded.network_metrics(123));
+    }
+
+    #[test]
+    fn lut_checkpoint_rejects_corrupt_sections() {
+        let net = small_net();
+        let lut = build_layer_lut(&net);
+        let mut ckpt = Checkpoint::new();
+        lut.save_sections(&net, &mut ckpt, "lut");
+
+        // Zero-dimension layer descriptor.
+        let mut bad = Checkpoint::new();
+        bad.put_u64("lut.layers", &[1, 7], &[0, 8, 8, 8, 1, 1, 1]);
+        bad.put_u64("lut.configs", &[1], &[2295]);
+        bad.put_f64("lut.metrics", &[1, 2295, 3], &vec![1.0; 2295 * 3]);
+        assert!(LayerLut::load_sections(&bad, "lut").is_err());
+
+        // Wrong configuration count.
+        let mut bad = Checkpoint::new();
+        bad.put_u64("lut.layers", &[1, 7], &[8, 8, 8, 8, 1, 1, 1]);
+        bad.put_u64("lut.configs", &[1], &[100]);
+        bad.put_f64("lut.metrics", &[1, 100, 3], &vec![1.0; 300]);
+        assert!(LayerLut::load_sections(&bad, "lut").is_err());
+
+        // Missing metrics section.
+        let mut bad = Checkpoint::new();
+        bad.put_u64("lut.layers", &[1, 7], &[8, 8, 8, 8, 1, 1, 1]);
+        bad.put_u64("lut.configs", &[1], &[2295]);
+        assert!(LayerLut::load_sections(&bad, "lut").is_err());
     }
 
     #[test]

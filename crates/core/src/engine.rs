@@ -278,16 +278,24 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
         ),
         ExecMode::FreshRecord => HeadExec::Fresh { tape: Tape::new() },
     };
-    // The task branch fresh-records while path sampling keeps changing
-    // the topology per step; with sampling disabled
+    // The task branch: with sampling disabled
     // (num_paths == OP_SET.len()) the full mixture is static and the
-    // w-step / α-step graphs replay from the bank too — the whole
-    // search then runs compiled end to end.
-    let mut task_replay = match opts.exec {
+    // w-step / α-step graphs replay from the bank. With sampling on
+    // (2 ≤ num_paths < 6) the topology changes per step, but it is a
+    // pure function of the sampled path sets — so each step samples
+    // *outside* the graph (consuming the RNG exactly as fresh
+    // recording would) and leases a program compiled for that choice
+    // from the bank; as softmax(α) sharpens the same sets recur and
+    // most steps replay. Single-path mixtures bake per-step constants
+    // and always fresh-record.
+    let mut task_exec = match opts.exec {
         ExecMode::Compiled if opts.supernet.num_paths == OP_SET.len() => {
-            Some(TaskReplay::checkout(&supernet, opts))
+            TaskExec::Full(Box::new(TaskReplay::checkout(&supernet, opts)))
         }
-        _ => None,
+        ExecMode::Compiled if opts.supernet.num_paths >= 2 => TaskExec::Sampled(SampledReplay {
+            jobs: hdx_tensor::num_jobs(opts.jobs),
+        }),
+        _ => TaskExec::Fresh,
     };
     let mut head_eval = HeadEval::default();
     let mut w_tape = Tape::new();
@@ -304,9 +312,10 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             // --- w-step on a training batch -------------------------
             {
                 let batch = ctx.dataset.train_batch(opts.batch, &mut rng);
-                let mut collected = match task_replay.as_mut() {
-                    Some(tr) => tr.w_step(&supernet, &batch),
-                    None => {
+                let mut collected = match &mut task_exec {
+                    TaskExec::Full(tr) => tr.w_step(&supernet, &batch),
+                    TaskExec::Sampled(sr) => sr.w_step(&supernet, &batch, &mut rng),
+                    TaskExec::Fresh => {
                         w_tape.clear();
                         let (wb, ab) = supernet.bind(&mut w_tape);
                         let loss = supernet.task_loss(&mut w_tape, &wb, &ab, &batch, &mut rng);
@@ -319,12 +328,14 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             }
 
             // --- α / v-step: task branch on a validation batch
-            // (replayed when the full mixture is compiled, fresh-
-            // recorded otherwise) + replayed hardware head ------------
+            // (replayed when the mixture topology is compiled or
+            // bank-cached, fresh-recorded otherwise) + replayed
+            // hardware head ------------------------------------------
             let batch = ctx.dataset.val_batch(opts.batch, &mut rng);
-            let (task_value, task_alpha_grads) = match task_replay.as_mut() {
-                Some(tr) => tr.alpha_step(&supernet, &batch),
-                None => {
+            let (task_value, task_alpha_grads) = match &mut task_exec {
+                TaskExec::Full(tr) => tr.alpha_step(&supernet, &batch),
+                TaskExec::Sampled(sr) => sr.alpha_step(&supernet, &batch, &mut rng),
+                TaskExec::Fresh => {
                     task_tape.clear();
                     let (wb, ab) = supernet.bind(&mut task_tape);
                     let task = supernet.task_loss(&mut task_tape, &wb, &ab, &batch, &mut rng);
@@ -914,15 +925,159 @@ impl HeadExec {
     }
 }
 
+/// How the supernet task branch executes one step.
+enum TaskExec {
+    /// Full mixture: one static pair of programs, leased once.
+    Full(Box<TaskReplay>),
+    /// Sampled mixture: per-step bank leases keyed by the sampled
+    /// path sets.
+    Sampled(SampledReplay),
+    /// Fresh-record reference (and the single-path mixture, whose
+    /// graphs bake per-step constants).
+    Fresh,
+}
+
+/// Bank-cached replay of *sampled*-mixture supernet steps
+/// (`2 ≤ num_paths < OP_SET.len()`). Each step samples its path sets
+/// outside the graph ([`Supernet::sample_step_paths`] consumes the RNG
+/// exactly as fresh recording would), then leases a program compiled
+/// for that topology from the [`SessionBank`]. Early in a search the
+/// sets churn and most checkouts compile; as softmax(α) sharpens the
+/// same sets recur and steps replay — with `HDX_BANK_CAP` bounding the
+/// worst-case program count on long-lived servers.
+struct SampledReplay {
+    jobs: usize,
+}
+
+impl SampledReplay {
+    /// The step-program fingerprint: everything [`TaskReplay::key`]
+    /// covers, plus the sampled per-layer path sets that fix this
+    /// step's topology.
+    fn key(tag: &str, supernet: &Supernet, batch_rows: usize, chosen: &[Vec<usize>]) -> u64 {
+        let shapes: Vec<&[usize]> = supernet.w_store().iter().map(|(_, t)| t.shape()).collect();
+        bank_key(
+            tag,
+            &(
+                shapes,
+                supernet.alpha_store().len(),
+                supernet.config().temperature.to_bits(),
+                batch_rows,
+                chosen,
+            ),
+        )
+    }
+
+    fn checkout<'a>(
+        &self,
+        tag: &str,
+        supernet: &Supernet,
+        batch_rows: usize,
+        chosen: &[Vec<usize>],
+        w_sinks: bool,
+    ) -> SessionLease<'a> {
+        SessionBank::global().checkout(
+            Self::key(tag, supernet, batch_rows, chosen),
+            self.jobs,
+            || {
+                let mut tape = Tape::new();
+                let vars = supernet.record_sampled_task_step(&mut tape, batch_rows, chosen);
+                let sinks = if w_sinks {
+                    vars.w_vars.clone()
+                } else {
+                    vars.alpha_vars.clone()
+                };
+                (
+                    Program::compile_with_sinks(&tape, &[vars.loss], &[], &sinks),
+                    vars,
+                )
+            },
+        )
+    }
+
+    /// One sampled w-step: returns per-parameter backbone gradients
+    /// aligned with the `w` store (`None` for blocks outside the
+    /// sampled paths, mirroring `Binding::gradients`).
+    fn w_step(&mut self, supernet: &Supernet, batch: &Batch, rng: &mut Rng) -> Vec<Option<Tensor>> {
+        let chosen = supernet.sample_step_paths(rng);
+        let mut lease = self.checkout(
+            "supernet-task-sampled-w",
+            supernet,
+            batch.len(),
+            &chosen,
+            true,
+        );
+        replay_w_step(&mut lease, supernet, batch, "supernet sampled w-step")
+    }
+
+    /// One sampled α-step task branch: the task-loss value and
+    /// ∂task/∂α flattened in layer order.
+    fn alpha_step(&mut self, supernet: &Supernet, batch: &Batch, rng: &mut Rng) -> (f64, Vec<f32>) {
+        let chosen = supernet.sample_step_paths(rng);
+        let mut lease = self.checkout(
+            "supernet-task-sampled-alpha",
+            supernet,
+            batch.len(),
+            &chosen,
+            false,
+        );
+        replay_alpha_step(&mut lease, supernet, batch, "supernet sampled α-step")
+    }
+}
+
+/// Binds and replays one leased task-step program for a w-step,
+/// collecting per-parameter backbone gradients aligned with the `w`
+/// store (mirroring `Binding::gradients`; `None` for blocks the loss
+/// does not touch). Shared by the full-mixture and sampled replays.
+fn replay_w_step(
+    lease: &mut SessionLease<'_>,
+    supernet: &Supernet,
+    batch: &Batch,
+    label: &str,
+) -> Vec<Option<Tensor>> {
+    let sv: Arc<TaskStepVars> = lease.meta();
+    let sess = lease.session();
+    TaskReplay::bind(sess, &sv, supernet, batch);
+    sess.forward();
+    sess.try_backward(sv.loss)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    sv.w_vars
+        .iter()
+        .zip(supernet.w_store().iter())
+        .map(|(&v, (_, t))| {
+            sess.grad(v)
+                .map(|g| Tensor::from_vec(g.to_vec(), t.shape()))
+        })
+        .collect()
+}
+
+/// Binds and replays one leased task-step program for an α-step task
+/// branch: the task-loss value plus ∂task/∂α flattened in layer order
+/// (mirroring [`flatten`]). Shared by the full-mixture and sampled
+/// replays.
+fn replay_alpha_step(
+    lease: &mut SessionLease<'_>,
+    supernet: &Supernet,
+    batch: &Batch,
+    label: &str,
+) -> (f64, Vec<f32>) {
+    let sv: Arc<TaskStepVars> = lease.meta();
+    let sess = lease.session();
+    TaskReplay::bind(sess, &sv, supernet, batch);
+    sess.forward();
+    sess.try_backward(sv.loss)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let mut grads = Vec::new();
+    collect_replay_grads(sess, &sv.alpha_vars, supernet.alpha_store(), &mut grads);
+    (f64::from(sess.scalar(sv.loss)), grads)
+}
+
 /// Bank-leased compiled replay of the full-mixture supernet step
 /// (`num_paths == OP_SET.len()`, so the topology is static and
 /// `sample_paths` consumes no RNG). The w-step and α-step replay the
 /// same graph with different gradient sinks, hence two programs.
 struct TaskReplay {
     w_lease: SessionLease<'static>,
-    w_vars: Arc<TaskStepVars>,
     a_lease: SessionLease<'static>,
-    a_vars: Arc<TaskStepVars>,
 }
 
 impl TaskReplay {
@@ -966,19 +1121,12 @@ impl TaskReplay {
             jobs,
             compile(true),
         );
-        let w_vars = w_lease.meta::<TaskStepVars>();
         let a_lease = SessionBank::global().checkout(
             Self::key("supernet-task-alpha", supernet, opts.batch),
             jobs,
             compile(false),
         );
-        let a_vars = a_lease.meta::<TaskStepVars>();
-        TaskReplay {
-            w_lease,
-            w_vars,
-            a_lease,
-            a_vars,
-        }
+        TaskReplay { w_lease, a_lease }
     }
 
     /// Rebinds everything a step depends on: backbone weights, α
@@ -998,34 +1146,13 @@ impl TaskReplay {
     /// One replayed w-step: returns per-parameter backbone gradients
     /// aligned with the `w` store (mirroring `Binding::gradients`).
     fn w_step(&mut self, supernet: &Supernet, batch: &Batch) -> Vec<Option<Tensor>> {
-        let sv = Arc::clone(&self.w_vars);
-        let sess = self.w_lease.session();
-        Self::bind(sess, &sv, supernet, batch);
-        sess.forward();
-        sess.try_backward(sv.loss)
-            .unwrap_or_else(|e| panic!("supernet w-step: {e}"));
-        sv.w_vars
-            .iter()
-            .zip(supernet.w_store().iter())
-            .map(|(&v, (_, t))| {
-                sess.grad(v)
-                    .map(|g| Tensor::from_vec(g.to_vec(), t.shape()))
-            })
-            .collect()
+        replay_w_step(&mut self.w_lease, supernet, batch, "supernet w-step")
     }
 
     /// One replayed α-step task branch: returns the task-loss value and
     /// ∂task/∂α flattened in layer order (mirroring [`flatten`]).
     fn alpha_step(&mut self, supernet: &Supernet, batch: &Batch) -> (f64, Vec<f32>) {
-        let sv = Arc::clone(&self.a_vars);
-        let sess = self.a_lease.session();
-        Self::bind(sess, &sv, supernet, batch);
-        sess.forward();
-        sess.try_backward(sv.loss)
-            .unwrap_or_else(|e| panic!("supernet α-step: {e}"));
-        let mut grads = Vec::new();
-        collect_replay_grads(sess, &sv.alpha_vars, supernet.alpha_store(), &mut grads);
-        (f64::from(sess.scalar(sv.loss)), grads)
+        replay_alpha_step(&mut self.a_lease, supernet, batch, "supernet α-step")
     }
 }
 

@@ -49,6 +49,43 @@ pub struct PreparedContext {
 }
 
 impl PreparedContext {
+    /// Builds a warm context from already-trained artifacts (e.g. a
+    /// checkpoint-loaded estimator), skipping pair sampling and
+    /// estimator pre-training entirely. The plan and dataset are
+    /// regenerated deterministically from `(task, seed)`, so a search
+    /// against this context is **bit-identical** to one against the
+    /// [`prepare_context_with`] result the estimator was trained in —
+    /// the estimator is the only trained state a search reads.
+    ///
+    /// `estimator_accuracy` is carried through for reporting (pass the
+    /// value recorded at training time, or `f64::NAN` when unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimator's input dimension does not match the
+    /// task's plan — a mismatched artifact must not silently serve.
+    pub fn from_artifacts(
+        task: Task,
+        seed: u64,
+        estimator: Estimator,
+        estimator_accuracy: f64,
+    ) -> PreparedContext {
+        let plan = task.plan();
+        assert_eq!(
+            estimator.input_dim(),
+            plan.num_layers() * 6 + 6,
+            "from_artifacts: estimator input dim does not match the {task:?} plan"
+        );
+        let dataset = Dataset::generate(&task.spec(seed));
+        PreparedContext {
+            plan,
+            dataset,
+            estimator,
+            weights: CostWeights::paper(),
+            estimator_accuracy,
+        }
+    }
+
     /// Borrowed view for the engine.
     pub fn context(&self) -> SearchContext<'_> {
         SearchContext {

@@ -24,10 +24,12 @@
 use crate::arch::Architecture;
 use crate::data::Batch;
 use crate::ops::OP_SET;
+use hdx_tensor::ckpt::{Checkpoint, CkptError};
 use hdx_tensor::{
     bank_key, Binding, CosineLr, ExecMode, Linear, ParamStore, Program, Rng, SessionBank, Sgd,
     Tape, Tensor, Var,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Hyper-parameters of the supernet proxy.
@@ -281,15 +283,54 @@ impl Supernet {
         x0: Var,
         rng: &mut Rng,
     ) -> Var {
+        let chosen = self.sample_step_paths(rng);
+        self.forward_logits_chosen(tape, w, alpha, x0, &chosen)
+    }
+
+    /// Samples one step's per-layer path sets from the current
+    /// softmax(α) distribution, consuming the RNG exactly as
+    /// [`Supernet::forward_logits_from`] does (one [`sample_paths`]
+    /// call per layer, in layer order, over bit-identical
+    /// probabilities — the tape's `scale`/`softmax_rows` and the
+    /// store-side tensor ops share kernels). This is the replay hook
+    /// the engine uses to sample *outside* the graph, then lease a
+    /// compiled program for the chosen topology from the session bank.
+    ///
+    /// With `num_paths == OP_SET.len()` no randomness is consumed (the
+    /// full mixture is static).
+    pub fn sample_step_paths(&self, rng: &mut Rng) -> Vec<Vec<usize>> {
+        (0..self.num_layers)
+            .map(|l| {
+                let probs = self
+                    .alpha
+                    .get(self.alpha.id(l))
+                    .scale(1.0 / self.cfg.temperature)
+                    .softmax_rows();
+                sample_paths(probs.data(), self.cfg.num_paths, rng)
+            })
+            .collect()
+    }
+
+    /// Builds the mixture forward pass over an explicit per-layer path
+    /// choice (the topology [`Supernet::sample_step_paths`] sampled).
+    /// The α bindings are assumed to carry the store's current values,
+    /// which every caller in this workspace guarantees (`bind` copies
+    /// the store).
+    fn forward_logits_chosen(
+        &self,
+        tape: &mut Tape,
+        w: &Binding,
+        alpha: &Binding,
+        x0: Var,
+        chosen_per_layer: &[Vec<usize>],
+    ) -> Var {
         let features = self.input.forward(tape, w, x0);
         let features = tape.relu(features);
         let mut acc = features;
-        for l in 0..self.num_layers {
+        for (l, chosen) in chosen_per_layer.iter().enumerate() {
             let logits = alpha.var(self.alpha.id(l));
             let scaled = tape.scale(logits, 1.0 / self.cfg.temperature);
             let probs_var = tape.softmax_rows(scaled);
-            let probs = tape.value(probs_var).data().to_vec();
-            let chosen = sample_paths(&probs, self.cfg.num_paths, rng);
 
             // Renormalized mixture over the sampled paths.
             let slices: Vec<Var> = chosen
@@ -307,12 +348,15 @@ impl Supernet {
                 }
             };
             let mut mixed: Option<Var> = None;
-            for (slice, &op) in slices.iter().zip(&chosen) {
+            for (slice, &op) in slices.iter().zip(chosen) {
                 let weight = match denom {
                     Some(d) => tape.div(*slice, d),
                     None => {
                         // Single path: weight ≡ 1 but keep the α path alive
                         // by dividing the slice by its own constant value.
+                        // The constant depends on the α value at record
+                        // time, which is why single-path graphs are never
+                        // cached for replay (see record_sampled_task_step).
                         let c = tape.value(*slice).item().max(1e-6);
                         tape.scale(*slice, 1.0 / c)
                     }
@@ -358,6 +402,51 @@ impl Supernet {
         // The full mixture consumes no randomness; any RNG works.
         let mut rng = Rng::new(0);
         let logits = self.forward_logits_from(tape, &w, &a, x0, &mut rng);
+        let loss = tape.cross_entropy_logits(logits, &vec![0; batch_rows]);
+        TaskStepVars {
+            w_vars: (0..self.w.len()).map(|i| w.var(self.w.id(i))).collect(),
+            alpha_vars: (0..self.alpha.len())
+                .map(|l| a.var(self.alpha.id(l)))
+                .collect(),
+            x0,
+            loss,
+        }
+    }
+
+    /// Records the *sampled*-mixture training-step graph for an
+    /// explicit per-layer path choice (as sampled by
+    /// [`Supernet::sample_step_paths`]), returning the handles a
+    /// compiled replay rebinds each step. The graph topology is a pure
+    /// function of the choice set, so the session bank can cache one
+    /// program per distinct set — as the search's softmax(α) sharpens,
+    /// the same sets recur and most sampled steps replay instead of
+    /// fresh-recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choice set does not cover every layer, or if any
+    /// layer chooses fewer than two paths: a single-path mixture bakes
+    /// the path's *current probability* into the graph as a constant
+    /// (see the weight normalization in the forward pass), so its
+    /// program is not reusable across steps.
+    pub fn record_sampled_task_step(
+        &self,
+        tape: &mut Tape,
+        batch_rows: usize,
+        chosen_per_layer: &[Vec<usize>],
+    ) -> TaskStepVars {
+        assert_eq!(
+            chosen_per_layer.len(),
+            self.num_layers,
+            "record_sampled_task_step: choice set must cover every layer"
+        );
+        assert!(
+            chosen_per_layer.iter().all(|c| c.len() >= 2),
+            "record_sampled_task_step: single-path mixtures bake per-step constants and cannot replay"
+        );
+        let (w, a) = self.bind(tape);
+        let x0 = tape.leaf(Tensor::zeros(&[batch_rows, self.input.in_features()]));
+        let logits = self.forward_logits_chosen(tape, &w, &a, x0, chosen_per_layer);
         let loss = tape.cross_entropy_logits(logits, &vec![0; batch_rows]);
         TaskStepVars {
             w_vars: (0..self.w.len()).map(|i| w.var(self.w.id(i))).collect(),
@@ -467,6 +556,12 @@ struct FinalStepVars {
 #[derive(Debug)]
 pub struct FinalNet {
     num_classes: usize,
+    /// The realized architecture and block sizing — remembered so the
+    /// trained network can be checkpointed and rebuilt
+    /// ([`FinalNet::save_sections`]).
+    choices: Vec<usize>,
+    feature_dim: usize,
+    base_hidden: usize,
     w: ParamStore,
     input: Linear,
     classifier: Linear,
@@ -495,11 +590,88 @@ impl FinalNet {
         let classifier = Linear::new(&mut w, cfg.feature_dim, num_classes, rng);
         Self {
             num_classes,
+            choices: arch.choices().to_vec(),
+            feature_dim: cfg.feature_dim,
+            base_hidden: cfg.base_hidden,
             w,
             input,
             classifier,
             blocks,
         }
+    }
+
+    /// Saves the architecture, sizing, and trained weights as
+    /// checkpoint sections under `prefix`.
+    pub fn save_sections(&self, ckpt: &mut Checkpoint, prefix: &str) {
+        ckpt.put_u64(
+            &format!("{prefix}.dims"),
+            &[4],
+            &[
+                self.input.in_features() as u64,
+                self.num_classes as u64,
+                self.feature_dim as u64,
+                self.base_hidden as u64,
+            ],
+        );
+        let choices: Vec<u64> = self.choices.iter().map(|&c| c as u64).collect();
+        ckpt.put_u64(&format!("{prefix}.arch"), &[choices.len()], &choices);
+        ckpt.put_param_store(&format!("{prefix}.w"), &self.w);
+    }
+
+    /// Restores a network from sections written by
+    /// [`FinalNet::save_sections`]: the structure is rebuilt from the
+    /// stored architecture and every weight is overwritten bit-exactly,
+    /// so the loaded network's `error_rate` matches the saved one's on
+    /// any batch.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CkptError`]s for missing/misshapen sections or op
+    /// choices outside [`OP_SET`].
+    pub fn load_sections(ckpt: &Checkpoint, prefix: &str) -> Result<FinalNet, CkptError> {
+        let (shape, dims) = ckpt.get_u64(&format!("{prefix}.dims"))?;
+        if shape != [4] {
+            return Err(CkptError::ShapeMismatch {
+                name: format!("{prefix}.dims"),
+                expected: vec![4],
+                found: shape.to_vec(),
+            });
+        }
+        let to_usize = |w: u64| {
+            usize::try_from(w)
+                .map_err(|_| CkptError::Malformed(format!("{prefix}: dimension {w} exceeds usize")))
+        };
+        let (in_dim, num_classes, feature_dim, base_hidden) = (
+            to_usize(dims[0])?,
+            to_usize(dims[1])?,
+            to_usize(dims[2])?,
+            to_usize(dims[3])?,
+        );
+        let (_, arch_words) = ckpt.get_u64(&format!("{prefix}.arch"))?;
+        let choices: Vec<usize> = arch_words
+            .iter()
+            .map(|&w| to_usize(w))
+            .collect::<Result<_, _>>()?;
+        if choices.iter().any(|&c| c >= OP_SET.len()) {
+            return Err(CkptError::Malformed(format!(
+                "{prefix}: op choice outside 0..{}",
+                OP_SET.len()
+            )));
+        }
+        let cfg = SupernetConfig {
+            feature_dim,
+            base_hidden,
+            ..SupernetConfig::default()
+        };
+        let mut net = FinalNet::new(
+            &Architecture::new(choices),
+            in_dim,
+            num_classes,
+            &cfg,
+            &mut Rng::new(0),
+        );
+        ckpt.read_param_store_into(&format!("{prefix}.w"), &mut net.w)?;
+        Ok(net)
     }
 
     /// Number of task classes.
@@ -535,49 +707,180 @@ impl FinalNet {
         self.classifier.forward(tape, w, acc)
     }
 
-    /// Records one training-step graph: parameter binding, input leaf,
-    /// logits, cross-entropy loss.
-    fn record_step(&self, tape: &mut Tape, batch: &Batch) -> (Binding, Var, Var) {
-        let w = self.w.bind(tape);
-        let x0 = tape.leaf(batch.x.clone());
-        let logits = self.forward_from(tape, &w, x0);
-        let loss = tape.cross_entropy_logits(logits, &batch.y);
-        (w, x0, loss)
+    /// Rows per microbatch shard of one gradient step, mirroring
+    /// `Estimator::train`'s sharding. Fixed (not derived from the
+    /// worker count) so the shard decomposition — and with it every
+    /// floating-point sum — is the same no matter how many threads
+    /// execute the shards. A batch of at most `SHARD_ROWS` is a single
+    /// shard weighted 1.0, i.e. exactly the unsharded step.
+    const SHARD_ROWS: usize = 32;
+
+    /// The contiguous row ranges of one batch's shards.
+    fn shard_ranges(batch_rows: usize) -> Vec<std::ops::Range<usize>> {
+        (0..batch_rows)
+            .step_by(Self::SHARD_ROWS)
+            .map(|r0| r0..(r0 + Self::SHARD_ROWS).min(batch_rows))
+            .collect()
     }
 
-    /// Compiles the training-step graph for the [`SessionBank`]: the
-    /// weight leaves are the only gradient sinks (batch inputs are
-    /// pruned), and every leaf — weights, batch, targets — is rebound
-    /// each step.
-    fn compile_step(&self, batch: &Batch) -> (Program, FinalStepVars) {
+    /// Compiles the shard training graph (bind weights, shard input
+    /// leaf, logits, cross-entropy) for a fixed row count. The weight
+    /// leaves are the only gradient sinks (batch inputs are pruned),
+    /// and every leaf — weights, shard rows, targets — is rebound each
+    /// replay.
+    fn compile_shard(&self, rows: usize) -> (Program, FinalStepVars) {
         let mut tape = Tape::new();
-        let (w, x0, loss) = self.record_step(&mut tape, batch);
+        let w = self.w.bind(&mut tape);
+        let x0 = tape.leaf(Tensor::zeros(&[rows, self.input.in_features()]));
+        let logits = self.forward_from(&mut tape, &w, x0);
+        let loss = tape.cross_entropy_logits(logits, &vec![0; rows]);
         let w_vars: Vec<Var> = self.w.iter().map(|(id, _)| w.var(id)).collect();
         let prog = Program::compile_with_sinks(&tape, &[loss], &[], &w_vars);
         (prog, FinalStepVars { w_vars, x0, loss })
     }
 
-    /// The [`SessionBank`] fingerprint of the step program: everything
+    /// The [`SessionBank`] fingerprint of one shard program: everything
     /// baked into the plan is a pure function of the parameter shapes
     /// (which encode in/feature/class dims and the chosen block widths)
-    /// and the batch row count.
-    fn step_key(&self, batch_rows: usize) -> u64 {
+    /// and the shard row count.
+    fn shard_key(&self, rows: usize) -> u64 {
         let shapes: Vec<&[usize]> = self.w.iter().map(|(_, t)| t.shape()).collect();
-        bank_key("final-net-step", &(shapes, batch_rows))
+        bank_key("final-net-shard", &(shapes, rows))
+    }
+
+    /// Loss and weight gradients of one minibatch on the fresh-record
+    /// reference path: per-shard tapes fanned out over `jobs` workers,
+    /// merged in shard order weighted by row fraction (cross-entropy
+    /// averages over rows, so the weighted sum equals the full-batch
+    /// objective). `jobs` must already be resolved.
+    fn batch_gradients_fresh(&self, batch: &Batch, jobs: usize) -> (f32, Vec<Option<Tensor>>) {
+        let dim = self.input.in_features();
+        let shards = Self::shard_ranges(batch.len());
+        let results = hdx_tensor::parallel_map(&shards, jobs, |_, range| {
+            let rows = range.len();
+            let mut tape = Tape::new();
+            let w = self.w.bind(&mut tape);
+            let x0 = tape.leaf(Tensor::from_vec(
+                batch.x.data()[range.start * dim..range.end * dim].to_vec(),
+                &[rows, dim],
+            ));
+            let logits = self.forward_from(&mut tape, &w, x0);
+            let loss = tape.cross_entropy_logits(logits, &batch.y[range.clone()]);
+            let value = tape.value(loss).item();
+            let grads = tape.backward(loss);
+            (value, w.gradients(&grads), rows)
+        });
+        self.merge_shards(batch.len(), results)
+    }
+
+    /// [`FinalNet::batch_gradients_fresh`] on the compiled replay
+    /// engine: identical shard decomposition and merge order (so the
+    /// result is bit-identical to the fresh path at every worker
+    /// count), but each shard rebinds and replays a session leased
+    /// from the process-wide [`SessionBank`]. Workers left over after
+    /// the shard fan-out go to each session's row-parallel kernels.
+    fn batch_gradients_replay(&self, batch: &Batch, jobs: usize) -> (f32, Vec<Option<Tensor>>) {
+        let dim = self.input.in_features();
+        let shards = Self::shard_ranges(batch.len());
+        let workers = jobs.min(shards.len()).max(1);
+        let session_jobs = (jobs / workers).max(1);
+        let per = shards.len().div_ceil(workers);
+        let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| w * per..((w + 1) * per).min(shards.len()))
+            .collect();
+        let worker_results = hdx_tensor::parallel_map(&ranges, workers, |_, shard_range| {
+            // One lease per shard size, held for the whole range.
+            let mut leases = HashMap::new();
+            shard_range
+                .clone()
+                .map(|s| {
+                    let rows_range = &shards[s];
+                    let rows = rows_range.len();
+                    let lease = leases.entry(rows).or_insert_with(|| {
+                        SessionBank::global().checkout(self.shard_key(rows), session_jobs, || {
+                            self.compile_shard(rows)
+                        })
+                    });
+                    let sv: Arc<FinalStepVars> = lease.meta();
+                    let sess = lease.session();
+                    for (i, (_, tensor)) in self.w.iter().enumerate() {
+                        sess.bind_tensor(sv.w_vars[i], tensor);
+                    }
+                    sess.leaf_mut(sv.x0).copy_from_slice(
+                        &batch.x.data()[rows_range.start * dim..rows_range.end * dim],
+                    );
+                    sess.try_set_targets(sv.loss, &batch.y[rows_range.clone()])
+                        .unwrap_or_else(|e| panic!("final-net shard: {e}"));
+                    sess.forward();
+                    sess.try_backward(sv.loss)
+                        .unwrap_or_else(|e| panic!("final-net shard: {e}"));
+                    let value = sess.scalar(sv.loss);
+                    let grads: Vec<Option<Tensor>> = sv
+                        .w_vars
+                        .iter()
+                        .zip(self.w.iter())
+                        .map(|(&v, (_, t))| {
+                            Some(Tensor::from_vec(
+                                sess.grad(v)
+                                    .expect("every final-net parameter receives a gradient")
+                                    .to_vec(),
+                                t.shape(),
+                            ))
+                        })
+                        .collect();
+                    (value, grads, rows)
+                })
+                .collect::<Vec<_>>()
+        });
+        self.merge_shards(batch.len(), worker_results.into_iter().flatten().collect())
+    }
+
+    /// Merges per-shard `(loss, gradients, rows)` results in shard
+    /// order, each weighted by its row fraction — the same arithmetic
+    /// on both execution paths, independent of the worker count.
+    fn merge_shards(
+        &self,
+        batch_rows: usize,
+        results: Vec<(f32, Vec<Option<Tensor>>, usize)>,
+    ) -> (f32, Vec<Option<Tensor>>) {
+        let n = batch_rows as f32;
+        let mut total_loss = 0.0f32;
+        let mut merged: Vec<Option<Tensor>> = vec![None; self.w.len()];
+        for (value, grads, rows) in results {
+            let w = rows as f32 / n;
+            total_loss += w * value;
+            for (slot, g) in merged.iter_mut().zip(grads) {
+                let Some(mut g) = g else { continue };
+                for v in g.data_mut() {
+                    *v *= w;
+                }
+                match slot {
+                    Some(acc) => {
+                        for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                            *a += b;
+                        }
+                    }
+                    None => *slot = Some(g),
+                }
+            }
+        }
+        (total_loss, merged)
     }
 
     /// Trains from scratch with SGD + Nesterov momentum and a cosine
     /// schedule (§5.1), returning the final training loss.
     ///
-    /// Runs on the compiled replay engine by default (the graph
-    /// topology is static, so the step program comes from the
-    /// process-wide [`SessionBank`] — compiled at most once per
-    /// (architecture shape, batch size) — and replays with zero
-    /// per-step graph allocations); `HDX_EXEC=fresh` or
-    /// [`FinalNet::train_exec`] select the fresh-record reference path,
-    /// which is bit-identical. The worker count for the replay kernels
-    /// resolves automatically (`HDX_JOBS`); results are bit-identical
-    /// at every worker count.
+    /// Each minibatch gradient is computed as a weighted sum over
+    /// fixed-size microbatch shards (mirroring `Estimator::train`'s
+    /// decomposition), fanned out over worker threads — the proxy's
+    /// 20-wide matmuls sit under the kernel pool's dispatch threshold,
+    /// so shard fan-out is how this loop gets multi-core gains. The
+    /// shard split and merge order never depend on the worker count,
+    /// so training is **bit-identical** at every worker count and on
+    /// both execution engines. Runs on the compiled replay engine by
+    /// default (shard programs lease from the process-wide
+    /// [`SessionBank`]); `HDX_EXEC=fresh` or [`FinalNet::train_exec`]
+    /// select the fresh-record reference path.
     pub fn train(
         &mut self,
         dataset: &crate::data::Dataset,
@@ -602,9 +905,9 @@ impl FinalNet {
     }
 
     /// [`FinalNet::train`] with an explicit execution engine and worker
-    /// count for the compiled executor's row-parallel kernels (`0` =
-    /// auto via `HDX_JOBS`). The trained weights are **bit-identical**
-    /// for every `(exec, jobs)` combination (`tests/determinism.rs`).
+    /// count for the shard fan-out (`0` = auto via `HDX_JOBS`). The
+    /// trained weights are **bit-identical** for every `(exec, jobs)`
+    /// combination (`tests/determinism.rs`).
     pub fn train_exec_jobs(
         &mut self,
         dataset: &crate::data::Dataset,
@@ -619,64 +922,20 @@ impl FinalNet {
         // paper's 0.008 because the proxy network is far smaller.
         let mut opt = Sgd::new(0.9, true, 1e-3);
         let sched = CosineLr::new(0.02, steps.max(1));
+        // Resolve the worker-count policy once per training run.
+        let jobs = hdx_tensor::num_jobs(jobs);
+        let compiled = matches!(exec, ExecMode::Compiled);
         let mut last = f32::NAN;
-        match exec {
-            ExecMode::FreshRecord => {
-                let mut tape = Tape::new();
-                for step in 0..steps {
-                    let batch = dataset.train_batch(batch_size, rng);
-                    tape.clear();
-                    let (w, _, loss) = self.record_step(&mut tape, &batch);
-                    last = tape.value(loss).item();
-                    let grads = tape.backward(loss);
-                    let mut collected = w.gradients(&grads);
-                    Binding::clip_grad_norm(&mut collected, 5.0);
-                    opt.step(&mut self.w, &collected, sched.lr(step));
-                }
-            }
-            ExecMode::Compiled => {
-                let jobs = hdx_tensor::num_jobs(jobs);
-                let mut lease: Option<hdx_tensor::SessionLease<'static>> = None;
-                let mut vars: Option<Arc<FinalStepVars>> = None;
-                let mut collected: Vec<Option<Tensor>> = self
-                    .w
-                    .iter()
-                    .map(|(_, t)| Some(Tensor::zeros(t.shape())))
-                    .collect();
-                for step in 0..steps {
-                    let batch = dataset.train_batch(batch_size, rng);
-                    if lease.is_none() {
-                        let l = SessionBank::global().checkout(
-                            self.step_key(batch.len()),
-                            jobs,
-                            || self.compile_step(&batch),
-                        );
-                        vars = Some(l.meta::<FinalStepVars>());
-                        lease = Some(l);
-                    }
-                    let sv = vars.as_ref().expect("set alongside lease");
-                    let sess = lease.as_mut().expect("checked out above").session();
-                    for (i, (_, tensor)) in self.w.iter().enumerate() {
-                        sess.bind_tensor(sv.w_vars[i], tensor);
-                    }
-                    sess.bind_tensor(sv.x0, &batch.x);
-                    sess.try_set_targets(sv.loss, &batch.y)
-                        .unwrap_or_else(|e| panic!("final-net step {step}: {e}"));
-                    sess.forward();
-                    sess.try_backward(sv.loss)
-                        .unwrap_or_else(|e| panic!("final-net step {step}: {e}"));
-                    last = sess.scalar(sv.loss);
-                    for (slot, (i, _)) in collected.iter_mut().zip(self.w.iter().enumerate()) {
-                        let g = slot.as_mut().expect("slots stay Some");
-                        g.data_mut().copy_from_slice(
-                            sess.grad(sv.w_vars[i])
-                                .expect("every final-net parameter receives a gradient"),
-                        );
-                    }
-                    Binding::clip_grad_norm(&mut collected, 5.0);
-                    opt.step(&mut self.w, &collected, sched.lr(step));
-                }
-            }
+        for step in 0..steps {
+            let batch = dataset.train_batch(batch_size, rng);
+            let (loss, mut collected) = if compiled {
+                self.batch_gradients_replay(&batch, jobs)
+            } else {
+                self.batch_gradients_fresh(&batch, jobs)
+            };
+            last = loss;
+            Binding::clip_grad_norm(&mut collected, 5.0);
+            opt.step(&mut self.w, &collected, sched.lr(step));
         }
         last
     }
@@ -848,6 +1107,160 @@ mod tests {
                 "weights diverged for parameter {}",
                 id.index()
             );
+        }
+    }
+
+    #[test]
+    fn final_net_sharded_training_is_worker_invariant() {
+        // Batch 80 → three shards (32/32/16): the shard split and merge
+        // order are fixed, so every (exec, jobs) combination trains the
+        // same bits.
+        let spec = TaskSpec {
+            train: 256,
+            val: 64,
+            test: 128,
+            ..TaskSpec::cifar_like(7)
+        };
+        let ds = Dataset::generate(&spec);
+        let arch = Architecture::uniform(4, 2);
+        let run = |exec: ExecMode, jobs: usize| {
+            let mut rng = Rng::new(31);
+            let mut net = FinalNet::new(
+                &arch,
+                spec.feature_dim,
+                spec.num_classes,
+                &SupernetConfig::default(),
+                &mut rng,
+            );
+            let loss = net.train_exec_jobs(&ds, 25, 80, &mut rng, exec, jobs);
+            (net, loss)
+        };
+        let (net_ref, loss_ref) = run(ExecMode::FreshRecord, 1);
+        for (exec, jobs) in [
+            (ExecMode::FreshRecord, 3),
+            (ExecMode::Compiled, 1),
+            (ExecMode::Compiled, 4),
+        ] {
+            let (net, loss) = run(exec, jobs);
+            assert_eq!(loss, loss_ref, "{exec:?} jobs {jobs}: losses diverged");
+            for (id, t) in net_ref.w.iter() {
+                assert_eq!(
+                    net.w.get(id).data(),
+                    t.data(),
+                    "{exec:?} jobs {jobs}: weights diverged for parameter {}",
+                    id.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn final_net_checkpoint_round_trip_is_bit_identical() {
+        let spec = TaskSpec {
+            train: 256,
+            val: 64,
+            test: 256,
+            ..TaskSpec::cifar_like(3)
+        };
+        let ds = Dataset::generate(&spec);
+        let mut rng = Rng::new(17);
+        let arch = Architecture::new(vec![0, 3, 5, 2]);
+        let mut net = FinalNet::new(
+            &arch,
+            spec.feature_dim,
+            spec.num_classes,
+            &SupernetConfig::default(),
+            &mut rng,
+        );
+        net.train(&ds, 60, 32, &mut rng);
+
+        let mut ckpt = Checkpoint::new();
+        net.save_sections(&mut ckpt, "final");
+        let back = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("parse");
+        let loaded = FinalNet::load_sections(&back, "final").expect("load");
+        for (id, t) in net.w.iter() {
+            assert_eq!(loaded.w.get(id).data(), t.data());
+        }
+        let test = ds.test_all();
+        assert_eq!(loaded.error_rate(&test), net.error_rate(&test));
+
+        // A corrupted op choice is a typed error.
+        let mut bad = Checkpoint::new();
+        bad.put_u64("final.dims", &[4], &[16, 10, 20, 3]);
+        bad.put_u64("final.arch", &[2], &[0, 99]);
+        assert!(matches!(
+            FinalNet::load_sections(&bad, "final"),
+            Err(CkptError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn sampled_step_replay_matches_fresh_record() {
+        // The sampled-mixture replay contract: sampling outside the
+        // graph (sample_step_paths) consumes the RNG identically, and a
+        // program recorded for the chosen topology replays the exact
+        // bits of fresh-recording that step.
+        let (net, ds, mut rng) = tiny_setup();
+        for step in 0..4 {
+            let batch = ds.train_batch(24, &mut rng);
+            // Fresh-record reference, with its own RNG clone.
+            let mut rng_fresh = Rng::new(100 + step);
+            let mut rng_replay = Rng::new(100 + step);
+            let mut tape = Tape::new();
+            let (wb, ab) = net.bind(&mut tape);
+            let loss = net.task_loss(&mut tape, &wb, &ab, &batch, &mut rng_fresh);
+            let fresh_loss = tape.value(loss).item();
+            let grads = tape.backward(loss);
+
+            // Replay path: sample, record for the choice, replay.
+            let chosen = net.sample_step_paths(&mut rng_replay);
+            assert_eq!(
+                rng_fresh.next_u64(),
+                rng_replay.next_u64(),
+                "step {step}: RNG streams diverged after sampling"
+            );
+            let mut rtape = Tape::new();
+            let sv = net.record_sampled_task_step(&mut rtape, 24, &chosen);
+            let sinks: Vec<Var> = sv.w_vars.iter().chain(&sv.alpha_vars).copied().collect();
+            let prog = Arc::new(Program::compile_with_sinks(&rtape, &[sv.loss], &[], &sinks));
+            let mut sess = hdx_tensor::Session::new(prog);
+            for (i, (_, t)) in net.w_store().iter().enumerate() {
+                sess.bind(sv.w_vars[i], t.data());
+            }
+            for (l, (_, t)) in net.alpha_store().iter().enumerate() {
+                sess.bind(sv.alpha_vars[l], t.data());
+            }
+            sess.bind_tensor(sv.x0, &batch.x);
+            sess.set_targets(sv.loss, &batch.y);
+            sess.forward();
+            sess.backward(sv.loss);
+            assert_eq!(sess.scalar(sv.loss), fresh_loss, "step {step}: loss");
+            // Blocks outside the sampled paths receive no gradient on
+            // either engine; zero-fill both sides the way the engine's
+            // gradient collection does.
+            let zeros_of = |len: usize| vec![0.0f32; len];
+            for (id, t) in net.w_store().iter() {
+                let replayed = sess
+                    .grad(sv.w_vars[id.index()])
+                    .map_or_else(|| zeros_of(t.len()), <[f32]>::to_vec);
+                assert_eq!(
+                    replayed,
+                    grads.wrt_or_zeros(wb.var(id), t.shape()).data(),
+                    "step {step}: w grad {}",
+                    id.index()
+                );
+            }
+            for (id, t) in net.alpha_store().iter() {
+                let replayed = sess
+                    .grad(sv.alpha_vars[id.index()])
+                    .map_or_else(|| zeros_of(t.len()), <[f32]>::to_vec);
+                assert_eq!(
+                    replayed,
+                    grads.wrt_or_zeros(ab.var(id), t.shape()).data(),
+                    "step {step}: alpha grad {}",
+                    id.index()
+                );
+            }
         }
     }
 

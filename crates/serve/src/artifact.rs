@@ -1,0 +1,249 @@
+//! Checkpoint bundles: everything a warm service start needs in one
+//! file.
+//!
+//! A bundle records the task identity (task + dataset seed), the
+//! pre-trained estimator, its held-out accuracy, and any number of
+//! pre-built [`LayerLut`] tables. Loading a bundle and serving from it
+//! produces **byte-identical** reports to serving from the in-process
+//! artifacts: the estimator round-trips by bit pattern, the dataset is
+//! regenerated deterministically from `(task, seed)`, and the LUTs —
+//! which are themselves deterministic — are seeded into the process
+//! cache purely to skip rebuild cost.
+
+use hdx_accel::{ConvLayer, LayerLut};
+use hdx_core::{Architecture, PreparedContext, Task};
+use hdx_surrogate::Estimator;
+use hdx_tensor::ckpt::{Checkpoint, CkptError};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Trained artifacts loaded from (or destined for) a bundle file.
+#[derive(Debug)]
+pub struct Artifacts {
+    /// The benchmark task the artifacts serve.
+    pub task: Task,
+    /// Dataset / training seed.
+    pub seed: u64,
+    /// Estimator pre-training pair budget (provenance).
+    pub pairs: usize,
+    /// Held-out within-10 % accuracy recorded at training time.
+    pub estimator_accuracy: f64,
+    /// The pre-trained estimator.
+    pub estimator: Estimator,
+    /// Pre-built cost tables, each with the layer sequence it covers.
+    pub luts: Vec<(Vec<ConvLayer>, LayerLut)>,
+}
+
+fn task_code(task: Task) -> u64 {
+    match task {
+        Task::Cifar => 0,
+        Task::ImageNet => 1,
+    }
+}
+
+fn task_from_code(code: u64) -> Result<Task, CkptError> {
+    match code {
+        0 => Ok(Task::Cifar),
+        1 => Ok(Task::ImageNet),
+        other => Err(CkptError::Malformed(format!("unknown task code {other}"))),
+    }
+}
+
+/// Writes a bundle file from borrowed artifacts (the in-process
+/// representation stays usable — `train-and-save` keeps serving from
+/// it after the save).
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on filesystem failures.
+///
+/// # Panics
+///
+/// Panics if a LUT's layer count does not match its layer sequence
+/// (writer-side programmer error, same contract as
+/// [`LayerLut::save_sections`]).
+pub fn save_bundle(
+    path: &Path,
+    task: Task,
+    seed: u64,
+    pairs: usize,
+    estimator_accuracy: f64,
+    estimator: &Estimator,
+    luts: &[(Vec<ConvLayer>, Arc<LayerLut>)],
+) -> Result<(), CkptError> {
+    let mut ckpt = Checkpoint::new();
+    ckpt.put_u64("bundle.meta", &[3], &[task_code(task), seed, pairs as u64]);
+    ckpt.put_f64("bundle.accuracy", &[1], &[estimator_accuracy]);
+    estimator.save_sections(&mut ckpt, "est");
+    ckpt.put_u64("bundle.lut_count", &[1], &[luts.len() as u64]);
+    for (i, (layers, lut)) in luts.iter().enumerate() {
+        lut.save_sections(layers, &mut ckpt, &format!("lut{i}"));
+    }
+    ckpt.save(path)
+}
+
+/// Loads a bundle written by [`save_bundle`].
+///
+/// # Errors
+///
+/// Typed [`CkptError`]s: I/O, every container parse error (bad magic,
+/// truncation, checksum mismatch, wrong version), and per-artifact
+/// validation failures.
+pub fn load_bundle(path: &Path) -> Result<Artifacts, CkptError> {
+    let ckpt = Checkpoint::load(path)?;
+    let (shape, meta) = ckpt.get_u64("bundle.meta")?;
+    if shape != [3] {
+        return Err(CkptError::ShapeMismatch {
+            name: "bundle.meta".to_owned(),
+            expected: vec![3],
+            found: shape.to_vec(),
+        });
+    }
+    let task = task_from_code(meta[0])?;
+    let seed = meta[1];
+    let pairs = usize::try_from(meta[2])
+        .map_err(|_| CkptError::Malformed("bundle.meta pair count exceeds usize".to_owned()))?;
+    let accuracy = ckpt.get_scalar_f64("bundle.accuracy")?;
+    let estimator = Estimator::load_sections(&ckpt, "est", &task.plan())?;
+    let lut_count = ckpt.get_scalar_u64("bundle.lut_count")?;
+    let lut_count = usize::try_from(lut_count)
+        .map_err(|_| CkptError::Malformed("bundle.lut_count exceeds usize".to_owned()))?;
+    let mut luts = Vec::with_capacity(lut_count);
+    for i in 0..lut_count {
+        luts.push(LayerLut::load_sections(&ckpt, &format!("lut{i}"))?);
+    }
+    Ok(Artifacts {
+        task,
+        seed,
+        pairs,
+        estimator_accuracy: accuracy,
+        estimator,
+        luts,
+    })
+}
+
+impl Artifacts {
+    /// Installs the artifacts process-wide and builds the warm search
+    /// context: every LUT is seeded into the [`LayerLut`] cache (so
+    /// exhaustive searches over those layer sequences skip the build)
+    /// and the estimator becomes the context's frozen cost surface.
+    pub fn into_prepared(self) -> PreparedContext {
+        for (layers, lut) in self.luts {
+            LayerLut::seed_cache(&layers, lut);
+        }
+        PreparedContext::from_artifacts(
+            self.task,
+            self.seed,
+            self.estimator,
+            self.estimator_accuracy,
+        )
+    }
+}
+
+/// A warm-LUT set: layer sequences with their shared cost tables, as
+/// bundled by `train-and-save` and consumed by [`save_bundle`].
+pub type WarmLuts = Vec<(Vec<ConvLayer>, Arc<LayerLut>)>;
+
+/// The representative warm-LUT set `train-and-save` bundles: the layer
+/// sequences of the first `count` uniform architectures (one per op
+/// index). Each table is built through [`LayerLut::cached`], so the
+/// training process itself also serves warm afterwards.
+pub fn warm_uniform_luts(task: Task, count: usize, jobs: usize) -> WarmLuts {
+    let plan = task.plan();
+    (0..count.min(hdx_nas::OP_SET.len()))
+        .map(|op| {
+            let layers = plan.layers_for(&Architecture::uniform(plan.num_layers(), op));
+            let lut = LayerLut::cached_jobs(&layers, jobs);
+            (layers, lut)
+        })
+        .collect()
+}
+
+/// Trains the full artifact set for `(task, seed)` — dataset,
+/// estimator (on `pairs` analytical-model-labelled pairs), warm LUTs —
+/// and returns it alongside the ready-to-serve context.
+pub fn train_artifacts(
+    task: Task,
+    seed: u64,
+    pairs: usize,
+    est_epochs: usize,
+    warm_luts: usize,
+    jobs: usize,
+) -> (PreparedContext, WarmLuts) {
+    let cfg = hdx_surrogate::EstimatorConfig {
+        epochs: est_epochs,
+        batch: 128,
+        lr: 2e-3,
+        jobs,
+        ..Default::default()
+    };
+    let prepared = hdx_core::prepare_context_with(task, seed, pairs, cfg);
+    let luts = warm_uniform_luts(task, warm_luts, jobs);
+    (prepared, luts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_surrogate::{EstimatorConfig, PairSet};
+    use hdx_tensor::Rng;
+
+    fn tiny_estimator(task: Task, seed: u64) -> (Estimator, f64) {
+        let plan = task.plan();
+        let mut rng = Rng::new(seed ^ 0xE57A_u64.rotate_left(31));
+        let pairs = PairSet::sample(&plan, 200, &mut rng);
+        let mut est = Estimator::new(
+            &plan,
+            EstimatorConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        est.train(&pairs, &mut rng);
+        let acc = est.within_tolerance(&pairs, 0.10);
+        (est, acc)
+    }
+
+    #[test]
+    fn bundle_round_trip_preserves_artifacts() {
+        let (est, acc) = tiny_estimator(Task::Cifar, 3);
+        let luts = warm_uniform_luts(Task::Cifar, 1, 1);
+        let dir = std::env::temp_dir().join("hdx_bundle_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("artifacts.ckpt");
+        save_bundle(&path, Task::Cifar, 3, 200, acc, &est, &luts).expect("save");
+
+        let loaded = load_bundle(&path).expect("load");
+        assert_eq!(loaded.task, Task::Cifar);
+        assert_eq!(loaded.seed, 3);
+        assert_eq!(loaded.pairs, 200);
+        assert_eq!(loaded.estimator_accuracy.to_bits(), acc.to_bits());
+        for (id, t) in est.params().iter() {
+            assert_eq!(loaded.estimator.params().get(id).data(), t.data());
+        }
+        assert_eq!(loaded.luts.len(), 1);
+        assert_eq!(loaded.luts[0].0, luts[0].0);
+        assert_eq!(
+            loaded.luts[0].1.network_metrics(42),
+            luts[0].1.network_metrics(42)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_bundle_is_a_typed_error() {
+        let (est, acc) = tiny_estimator(Task::Cifar, 5);
+        let dir = std::env::temp_dir().join("hdx_bundle_test_trunc");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("artifacts.ckpt");
+        save_bundle(&path, Task::Cifar, 5, 200, acc, &est, &[]).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(matches!(
+            load_bundle(&path),
+            Err(CkptError::Truncated | CkptError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,39 @@
+//! `hdx-serve` — a persistent co-design search service.
+//!
+//! The other crates make one search fast; this crate makes *many*
+//! searches cheap. Every process used to start cold — estimator
+//! retrained from scratch, the 2295-point cost tables rebuilt, nothing
+//! reusable across runs. `hdx-serve` splits the lifecycle:
+//!
+//! * **train once** — `hdx-serve train-and-save` pre-trains the
+//!   estimator, builds a representative warm set of [`hdx_accel::LayerLut`]
+//!   tables, and writes everything to a single versioned checkpoint
+//!   bundle ([`artifact`], on `hdx_tensor::ckpt`);
+//! * **serve many** — `hdx-serve serve` / `oneshot` load the bundle
+//!   and answer [`SearchRequest`]s over a line protocol ([`proto`]) on
+//!   stdin/stdout or TCP, fanning independent jobs across a worker
+//!   pool ([`service`]).
+//!
+//! Two contracts make this safe at scale, both pinned by
+//! `tests/serve.rs`:
+//!
+//! * **warm-start bit-identity** — a search served from a loaded
+//!   bundle produces byte-identical report lines to one served from
+//!   the in-process artifacts;
+//! * **scheduler determinism** — the response byte stream is invariant
+//!   to the worker count (each job is a pure function of its request;
+//!   the shared caches only trade compute for reuse).
+//!
+//! Long-lived deployments bound memory with `HDX_BANK_CAP` (the
+//! session bank's LRU cap); the `stats` protocol verb surfaces the
+//! bank's hit/miss/eviction counters.
+
+pub mod artifact;
+pub mod proto;
+pub mod service;
+
+pub use artifact::{
+    load_bundle, save_bundle, train_artifacts, warm_uniform_luts, Artifacts, WarmLuts,
+};
+pub use proto::{parse_request, ProtoError, Request, SearchReport, SearchRequest};
+pub use service::SearchService;

@@ -1,0 +1,235 @@
+//! The `hdx-serve` binary: train-once / serve-many for co-design
+//! searches.
+//!
+//! ```sh
+//! # One-time: pre-train the estimator + warm LUTs, write the bundle.
+//! hdx-serve train-and-save --out artifacts.ckpt --task cifar --seed 0
+//!
+//! # Answer a request file (or stdin) against the saved artifacts.
+//! echo "search id=1 fps=30 epochs=5 steps=5 final_train=200 seed=0" |
+//!     hdx-serve oneshot --artifacts artifacts.ckpt
+//!
+//! # Long-lived service on stdin/stdout or TCP.
+//! hdx-serve serve --artifacts artifacts.ckpt --tcp 127.0.0.1:7878
+//! ```
+//!
+//! `--jobs` controls the scheduler's worker pool (`0` = auto via
+//! `HDX_JOBS`); `HDX_BANK_CAP` bounds the session bank for long-lived
+//! deployments.
+
+use hdx_core::Task;
+use hdx_serve::{load_bundle, save_bundle, train_artifacts, SearchService};
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train-and-save") => cmd_train_and_save(&args[1..]),
+        Some("oneshot") => cmd_oneshot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand \"{other}\"\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hdx-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hdx-serve — persistent co-design search service
+
+USAGE:
+  hdx-serve train-and-save --out FILE [--task cifar|imagenet] [--seed N]
+                           [--pairs N] [--est-epochs N] [--warm-luts 0..=6]
+                           [--jobs N]
+  hdx-serve oneshot --artifacts FILE [--requests FILE] [--jobs N]
+  hdx-serve serve   --artifacts FILE [--tcp ADDR] [--jobs N]
+
+train-and-save  pre-trains the estimator on analytical-model pairs,
+                builds warm LayerLut tables, writes one bundle file.
+oneshot         reads `search …` lines (file or stdin), runs them as a
+                batch against the bundle, prints `report …` lines.
+serve           line protocol on stdin/stdout, or TCP with --tcp.
+";
+
+/// Tiny std-only flag parser: `--key value` pairs after the
+/// subcommand.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got \"{key}\""))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            pairs.push((key.to_owned(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value \"{v}\" for --{key}")),
+        }
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_task(flags: &Flags) -> Result<Task, String> {
+    match flags.get("task").unwrap_or("cifar") {
+        "cifar" => Ok(Task::Cifar),
+        "imagenet" => Ok(Task::ImageNet),
+        other => Err(format!("invalid --task \"{other}\" (cifar|imagenet)")),
+    }
+}
+
+fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "out",
+        "task",
+        "seed",
+        "pairs",
+        "est-epochs",
+        "warm-luts",
+        "jobs",
+    ])?;
+    let out = PathBuf::from(flags.require("out")?);
+    let task = parse_task(&flags)?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let pairs: usize = flags.parse_num("pairs", 8_000)?;
+    let est_epochs: usize = flags.parse_num("est-epochs", 30)?;
+    let warm_luts: usize = flags.parse_num("warm-luts", 6)?;
+    let jobs: usize = flags.parse_num("jobs", 0)?;
+
+    eprintln!(
+        "training artifacts: task={task:?} seed={seed} pairs={pairs} est_epochs={est_epochs} \
+         warm_luts={warm_luts}"
+    );
+    let start = std::time::Instant::now();
+    let (prepared, luts) = train_artifacts(task, seed, pairs, est_epochs, warm_luts, jobs);
+    eprintln!(
+        "trained in {:.1}s: estimator within-10% accuracy {:.1}%, {} warm LUT(s)",
+        start.elapsed().as_secs_f64(),
+        prepared.estimator_accuracy * 100.0,
+        luts.len()
+    );
+    save_bundle(
+        &out,
+        task,
+        seed,
+        pairs,
+        prepared.estimator_accuracy,
+        prepared.estimator(),
+        &luts,
+    )
+    .map_err(|e| e.to_string())?;
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "wrote {} ({:.1} MiB)",
+        out.display(),
+        size as f64 / (1 << 20) as f64
+    );
+    Ok(())
+}
+
+fn load_service(flags: &Flags) -> Result<SearchService, String> {
+    let path = PathBuf::from(flags.require("artifacts")?);
+    let start = std::time::Instant::now();
+    let artifacts = load_bundle(&path).map_err(|e| e.to_string())?;
+    let task = artifacts.task;
+    let accuracy = artifacts.estimator_accuracy;
+    let luts = artifacts.luts.len();
+    let prepared = artifacts.into_prepared();
+    eprintln!(
+        "warm start in {:.2}s: task={task:?}, estimator within-10% accuracy {:.1}%, {luts} \
+         seeded LUT(s)",
+        start.elapsed().as_secs_f64(),
+        accuracy * 100.0,
+    );
+    Ok(SearchService::new(task, prepared))
+}
+
+fn cmd_oneshot(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["artifacts", "requests", "jobs"])?;
+    let jobs: usize = flags.parse_num("jobs", 0)?;
+    let service = load_service(&flags)?;
+    let stdout = std::io::stdout();
+    match flags.get("requests") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open requests file {path}: {e}"))?;
+            service
+                .serve_connection(BufReader::new(file), stdout.lock(), jobs)
+                .map_err(|e| e.to_string())
+        }
+        None => service
+            .serve_connection(std::io::stdin().lock(), stdout.lock(), jobs)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["artifacts", "tcp", "jobs"])?;
+    let jobs: usize = flags.parse_num("jobs", 0)?;
+    let service = load_service(&flags)?;
+    match flags.get("tcp") {
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("listening on {local}");
+            Arc::new(service)
+                .serve_tcp(listener, jobs)
+                .map_err(|e| e.to_string())
+        }
+        None => {
+            eprintln!("serving on stdin/stdout (send `search …` lines; EOF flushes the batch)");
+            service
+                .serve_connection(std::io::stdin().lock(), std::io::stdout().lock(), jobs)
+                .map_err(|e| e.to_string())
+        }
+    }
+}

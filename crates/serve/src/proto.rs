@@ -1,0 +1,596 @@
+//! The line-delimited request/response protocol.
+//!
+//! One request or response per line, `verb key=value …` with
+//! whitespace-separated fields — trivially scriptable over stdin/stdout
+//! or a TCP stream, no third-party serialization (the container builds
+//! offline). Requests:
+//!
+//! ```text
+//! search id=1 task=cifar method=hdx fps=30 epochs=10 steps=10 seed=0
+//! search id=2 method=dance lambda_grid=0.001,0.003,0.01 seed=1
+//! stats
+//! ping
+//! ```
+//!
+//! Responses are `report …`, `stats …`, `pong`, or `error …` lines.
+//!
+//! # Byte-identity
+//!
+//! Report encoding is **deterministic**: fields are emitted in a fixed
+//! order and floats use Rust's shortest-round-trip `Display`, which is
+//! a pure function of the bit pattern. Two searches that produce
+//! bit-identical results therefore produce byte-identical report lines
+//! — the property the service determinism tests pin (worker-count and
+//! warm-start invariance compare raw report bytes). Wall-clock timing
+//! is deliberately excluded from reports for the same reason.
+
+use hdx_core::{Constraint, Method, Metric, SearchOptions, SearchResult, Task};
+use hdx_nas::{SupernetConfig, OP_SET};
+
+/// Typed protocol failure (parse errors, unknown verbs/fields,
+/// capability mismatches). Rendered as an `error …` response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Request id the error belongs to (0 when unparsed).
+    pub id: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(id: u64, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            id,
+            message: message.into(),
+        }
+    }
+
+    /// The `error …` response line (spaces in the message become `_`
+    /// so the line stays trivially splittable).
+    pub fn encode(&self) -> String {
+        format!(
+            "error id={} msg={}",
+            self.id,
+            self.message.replace(char::is_whitespace, "_")
+        )
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request {}: {}", self.id, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One parsed input line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A (meta-)search job.
+    Search(SearchRequest),
+    /// Bank/service statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A single co-design search job (or a λ-grid / meta-search family of
+/// jobs) as carried by one `search` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// Caller-chosen id, echoed in the report.
+    pub id: u64,
+    /// λ-grid expansion index (`None` for the unexpanded request).
+    pub sub: Option<usize>,
+    /// Benchmark task the artifacts must serve.
+    pub task: Task,
+    /// Search method.
+    pub method: Method,
+    /// Hard constraints (enforced by HDX, monitored by baselines).
+    pub constraints: Vec<Constraint>,
+    /// λ_Cost (Eq. 6).
+    pub lambda_cost: f64,
+    /// Optional soft-penalty weight.
+    pub lambda_soft: Option<f64>,
+    /// Optional λ_Cost grid: the service expands one request into one
+    /// independent job per entry (Fig. 1-style sweeps as one line).
+    pub lambda_grid: Vec<f64>,
+    /// Search epochs.
+    pub epochs: usize,
+    /// Steps per epoch.
+    pub steps: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Final retraining steps (0 reports the supernet error).
+    pub final_train: usize,
+    /// RNG seed (per-job determinism: the report is a pure function of
+    /// the request).
+    pub seed: u64,
+    /// Supernet paths sampled per layer.
+    pub num_paths: usize,
+    /// Meta-search budget: `> 1` runs the §5.2 constrained meta-search
+    /// on the first constraint instead of a single search.
+    pub max_searches: usize,
+}
+
+impl Default for SearchRequest {
+    fn default() -> Self {
+        let opts = SearchOptions::default();
+        SearchRequest {
+            id: 0,
+            sub: None,
+            task: Task::Cifar,
+            method: opts.method,
+            constraints: Vec::new(),
+            lambda_cost: opts.lambda_cost,
+            lambda_soft: None,
+            lambda_grid: Vec::new(),
+            epochs: opts.epochs,
+            steps: opts.steps_per_epoch,
+            batch: opts.batch,
+            final_train: opts.final_train_steps,
+            seed: 0,
+            num_paths: opts.supernet.num_paths,
+            max_searches: 1,
+        }
+    }
+}
+
+impl SearchRequest {
+    /// The [`SearchOptions`] this request resolves to. The inner search
+    /// runs single-worker (`jobs = 1`): the service parallelizes
+    /// *across* jobs, and results are worker-count invariant anyway.
+    pub fn options(&self) -> SearchOptions {
+        SearchOptions {
+            method: self.method,
+            lambda_cost: self.lambda_cost,
+            lambda_soft: self.lambda_soft,
+            constraints: self.constraints.clone(),
+            epochs: self.epochs,
+            steps_per_epoch: self.steps,
+            batch: self.batch,
+            final_train_steps: self.final_train,
+            seed: self.seed,
+            supernet: SupernetConfig {
+                num_paths: self.num_paths,
+                ..SupernetConfig::default()
+            },
+            jobs: 1,
+            ..SearchOptions::default()
+        }
+    }
+
+    /// Expands a λ-grid request into independent single-λ jobs (a
+    /// request without a grid expands to itself). Expansion order is
+    /// the grid order, so report order is deterministic.
+    pub fn expand(&self) -> Vec<SearchRequest> {
+        if self.lambda_grid.is_empty() {
+            return vec![self.clone()];
+        }
+        self.lambda_grid
+            .iter()
+            .enumerate()
+            .map(|(k, &lambda)| SearchRequest {
+                sub: Some(k),
+                lambda_cost: lambda,
+                lambda_grid: Vec::new(),
+                ..self.clone()
+            })
+            .collect()
+    }
+
+    /// Encodes the request as a `search …` line that
+    /// [`parse_request`] round-trips.
+    pub fn encode(&self) -> String {
+        let mut s = format!(
+            "search id={} task={} method={}",
+            self.id,
+            task_label(self.task),
+            match self.method {
+                Method::NasThenHw { .. } => "nas",
+                Method::AutoNba => "autonba",
+                Method::Dance => "dance",
+                Method::Hdx { .. } => "hdx",
+            }
+        );
+        match self.method {
+            Method::NasThenHw { lambda_macs } => s.push_str(&format!(" lambda_macs={lambda_macs}")),
+            Method::Hdx { delta0, p } => s.push_str(&format!(" delta0={delta0} p={p}")),
+            _ => {}
+        }
+        for c in &self.constraints {
+            s.push_str(&format!(" {}={}", metric_key(c.metric), c.target));
+        }
+        s.push_str(&format!(" lambda_cost={}", self.lambda_cost));
+        if let Some(l) = self.lambda_soft {
+            s.push_str(&format!(" lambda_soft={l}"));
+        }
+        if !self.lambda_grid.is_empty() {
+            let grid: Vec<String> = self.lambda_grid.iter().map(f64::to_string).collect();
+            s.push_str(&format!(" lambda_grid={}", grid.join(",")));
+        }
+        s.push_str(&format!(
+            " epochs={} steps={} batch={} final_train={} seed={} num_paths={} max_searches={}",
+            self.epochs,
+            self.steps,
+            self.batch,
+            self.final_train,
+            self.seed,
+            self.num_paths,
+            self.max_searches
+        ));
+        s
+    }
+}
+
+fn task_label(task: Task) -> &'static str {
+    match task {
+        Task::Cifar => "cifar",
+        Task::ImageNet => "imagenet",
+    }
+}
+
+fn metric_key(metric: Metric) -> &'static str {
+    match metric {
+        Metric::Latency => "latency",
+        Metric::Energy => "energy",
+        Metric::Area => "area",
+    }
+}
+
+/// Parses one input line into a [`Request`].
+///
+/// # Errors
+///
+/// A typed [`ProtoError`] naming the offending field; unknown keys are
+/// rejected (a typo must not silently fall back to a default).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let mut parts = line.split_whitespace();
+    let verb = parts
+        .next()
+        .ok_or_else(|| ProtoError::new(0, "empty request line"))?;
+    match verb {
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "search" => parse_search(parts).map(Request::Search),
+        other => Err(ProtoError::new(0, format!("unknown verb \"{other}\""))),
+    }
+}
+
+fn parse_search<'a>(parts: impl Iterator<Item = &'a str>) -> Result<SearchRequest, ProtoError> {
+    let mut req = SearchRequest::default();
+    // Method parameters arrive as independent key=value pairs; collect
+    // them first, assemble the Method at the end.
+    let mut method: Option<&str> = None;
+    let mut delta0 = 1e-3f32;
+    let mut p = 1e-2f32;
+    let mut lambda_macs = 0.05f64;
+
+    let err = |key: &str, value: &str, id: u64| {
+        ProtoError::new(id, format!("invalid value \"{value}\" for {key}"))
+    };
+    // Rust's float FromStr accepts "NaN"/"inf"; a λ or δ knob set to
+    // either would silently poison the whole objective, so every float
+    // field rejects non-finite values (as the constraint fields do).
+    let finite_f64 = |key: &str, value: &str, id: u64| -> Result<f64, ProtoError> {
+        match value.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(err(key, value, id)),
+        }
+    };
+    let finite_f32 = |key: &str, value: &str, id: u64| -> Result<f32, ProtoError> {
+        match value.parse::<f32>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(err(key, value, id)),
+        }
+    };
+
+    for part in parts {
+        let (key, value) = part.split_once('=').ok_or_else(|| {
+            ProtoError::new(req.id, format!("expected key=value, got \"{part}\""))
+        })?;
+        match key {
+            "id" => req.id = value.parse().map_err(|_| err(key, value, req.id))?,
+            "task" => {
+                req.task = match value {
+                    "cifar" => Task::Cifar,
+                    "imagenet" => Task::ImageNet,
+                    _ => return Err(err(key, value, req.id)),
+                }
+            }
+            "method" => match value {
+                "hdx" | "dance" | "autonba" | "nas" => method = Some(value),
+                _ => return Err(err(key, value, req.id)),
+            },
+            "delta0" => delta0 = finite_f32(key, value, req.id)?,
+            "p" => p = finite_f32(key, value, req.id)?,
+            "lambda_macs" => lambda_macs = finite_f64(key, value, req.id)?,
+            "fps" => {
+                let fps: f64 = value.parse().map_err(|_| err(key, value, req.id))?;
+                if !(fps > 0.0 && fps.is_finite()) {
+                    return Err(err(key, value, req.id));
+                }
+                req.constraints.push(Constraint::fps(fps));
+            }
+            "latency" | "energy" | "area" => {
+                let target: f64 = value.parse().map_err(|_| err(key, value, req.id))?;
+                if !(target > 0.0 && target.is_finite()) {
+                    return Err(err(key, value, req.id));
+                }
+                let metric = match key {
+                    "latency" => Metric::Latency,
+                    "energy" => Metric::Energy,
+                    _ => Metric::Area,
+                };
+                req.constraints.push(Constraint::new(metric, target));
+            }
+            "lambda_cost" => req.lambda_cost = finite_f64(key, value, req.id)?,
+            "lambda_soft" => req.lambda_soft = Some(finite_f64(key, value, req.id)?),
+            "lambda_grid" => {
+                req.lambda_grid = value
+                    .split(',')
+                    .map(|entry| finite_f64(key, entry, req.id))
+                    .collect::<Result<_, _>>()?;
+                if req.lambda_grid.is_empty() {
+                    return Err(err(key, value, req.id));
+                }
+            }
+            "epochs" => req.epochs = parse_positive(key, value, req.id)?,
+            "steps" => req.steps = parse_positive(key, value, req.id)?,
+            "batch" => req.batch = parse_positive(key, value, req.id)?,
+            "final_train" => {
+                req.final_train = value.parse().map_err(|_| err(key, value, req.id))?
+            }
+            "seed" => req.seed = value.parse().map_err(|_| err(key, value, req.id))?,
+            "num_paths" => {
+                let n: usize = parse_positive(key, value, req.id)?;
+                if n > OP_SET.len() {
+                    return Err(err(key, value, req.id));
+                }
+                req.num_paths = n;
+            }
+            "max_searches" => req.max_searches = parse_positive(key, value, req.id)?,
+            other => {
+                return Err(ProtoError::new(
+                    req.id,
+                    format!("unknown field \"{other}\""),
+                ))
+            }
+        }
+    }
+
+    req.method = match method {
+        Some("hdx") | None => Method::Hdx { delta0, p },
+        Some("dance") => Method::Dance,
+        Some("autonba") => Method::AutoNba,
+        Some("nas") => Method::NasThenHw { lambda_macs },
+        Some(_) => unreachable!("method values validated above"),
+    };
+    if req.max_searches > 1 && req.constraints.is_empty() {
+        return Err(ProtoError::new(
+            req.id,
+            "max_searches > 1 requires at least one constraint",
+        ));
+    }
+    Ok(req)
+}
+
+fn parse_positive(key: &str, value: &str, id: u64) -> Result<usize, ProtoError> {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ProtoError::new(
+            id,
+            format!("invalid value \"{value}\" for {key} (positive integer required)"),
+        )),
+    }
+}
+
+/// A search outcome as carried by one `report` line. Everything in it
+/// is a deterministic function of the request and the warm artifacts —
+/// wall-clock timing is deliberately absent (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Echo of the request id.
+    pub id: u64,
+    /// λ-grid expansion index, if any.
+    pub sub: Option<usize>,
+    /// Method label (`HDX`, `DANCE`, …).
+    pub method: &'static str,
+    /// Task label.
+    pub task: &'static str,
+    /// Echo of the seed.
+    pub seed: u64,
+    /// λ_Cost the job ran with.
+    pub lambda_cost: f64,
+    /// Searches performed (1, or the meta-search count).
+    pub searches: usize,
+    /// Whether the accepted result satisfies the constraints.
+    pub satisfied: bool,
+    /// Per-layer op choices.
+    pub arch: Vec<usize>,
+    /// PE array rows × cols.
+    pub pe: (usize, usize),
+    /// Register-file bytes.
+    pub rf: usize,
+    /// Dataflow label.
+    pub dataflow: &'static str,
+    /// Ground-truth metrics.
+    pub latency_ms: f64,
+    /// Ground-truth energy.
+    pub energy_mj: f64,
+    /// Ground-truth area.
+    pub area_mm2: f64,
+    /// `Cost_HW` of the solution.
+    pub cost_hw: f64,
+    /// Retrained test error.
+    pub error: f64,
+    /// Global loss at the solution.
+    pub global_loss: f64,
+    /// Whether all hard constraints hold (ground truth).
+    pub in_constraint: bool,
+}
+
+impl SearchReport {
+    /// Builds a report from a request and its search result.
+    pub fn from_result(
+        req: &SearchRequest,
+        result: &SearchResult,
+        searches: usize,
+        satisfied: bool,
+    ) -> SearchReport {
+        SearchReport {
+            id: req.id,
+            sub: req.sub,
+            method: req.method.label(),
+            task: task_label(req.task),
+            seed: req.seed,
+            lambda_cost: req.lambda_cost,
+            searches,
+            satisfied,
+            arch: result.architecture.choices().to_vec(),
+            pe: (result.accel.pe_rows(), result.accel.pe_cols()),
+            rf: result.accel.rf_bytes(),
+            dataflow: result.accel.dataflow().label(),
+            latency_ms: result.metrics.latency_ms,
+            energy_mj: result.metrics.energy_mj,
+            area_mm2: result.metrics.area_mm2,
+            cost_hw: result.cost_hw,
+            error: result.error,
+            global_loss: result.global_loss,
+            in_constraint: result.in_constraint,
+        }
+    }
+
+    /// The deterministic `report …` line (fixed field order, shortest
+    /// round-trip float formatting).
+    pub fn encode(&self) -> String {
+        let id = match self.sub {
+            Some(k) => format!("{}#{k}", self.id),
+            None => self.id.to_string(),
+        };
+        let arch: Vec<String> = self.arch.iter().map(usize::to_string).collect();
+        format!(
+            "report id={id} method={} task={} seed={} lambda_cost={} searches={} satisfied={} \
+             arch={} pe={}x{} rf={} dataflow={} latency_ms={} energy_mj={} area_mm2={} \
+             cost_hw={} error={} global_loss={} in_constraint={}",
+            self.method,
+            self.task,
+            self.seed,
+            self.lambda_cost,
+            self.searches,
+            self.satisfied,
+            arch.join(","),
+            self.pe.0,
+            self.pe.1,
+            self.rf,
+            self.dataflow,
+            self.latency_ms,
+            self.energy_mj,
+            self.area_mm2,
+            self.cost_hw,
+            self.error,
+            self.global_loss,
+            self.in_constraint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = [
+            SearchRequest::default(),
+            SearchRequest {
+                id: 7,
+                task: Task::ImageNet,
+                method: Method::NasThenHw { lambda_macs: 0.25 },
+                constraints: vec![Constraint::fps(30.0), Constraint::new(Metric::Area, 2.5)],
+                lambda_soft: Some(4.0),
+                lambda_grid: vec![0.001, 0.01],
+                epochs: 3,
+                steps: 4,
+                batch: 16,
+                final_train: 50,
+                seed: 9,
+                num_paths: 6,
+                max_searches: 5,
+                ..SearchRequest::default()
+            },
+            SearchRequest {
+                method: Method::Hdx {
+                    delta0: 2e-3,
+                    p: 5e-2,
+                },
+                constraints: vec![Constraint::new(Metric::Energy, 11.0)],
+                ..SearchRequest::default()
+            },
+        ];
+        for req in reqs {
+            let line = req.encode();
+            match parse_request(&line).expect("round-trip") {
+                Request::Search(back) => assert_eq!(back, req, "line: {line}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request(" ping "), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn bad_lines_are_typed_errors() {
+        for line in [
+            "",
+            "launch id=1",
+            "search id=x",
+            "search frobnicate=1",
+            "search method=magic",
+            "search epochs=0",
+            "search num_paths=7",
+            "search fps=-3",
+            "search lambda_grid=",
+            "search id",
+            "search max_searches=4", // meta-search without a constraint
+            "search lambda_cost=NaN",
+            "search lambda_soft=inf",
+            "search lambda_grid=0.001,NaN",
+            "search delta0=-inf",
+        ] {
+            assert!(parse_request(line).is_err(), "line \"{line}\" must fail");
+        }
+    }
+
+    #[test]
+    fn error_lines_stay_single_line() {
+        let err = ProtoError::new(3, "invalid value \"x y\" for id");
+        let line = err.encode();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("error id=3 msg="));
+        assert_eq!(line.split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn grid_expansion_is_ordered() {
+        let req = SearchRequest {
+            id: 4,
+            lambda_grid: vec![0.1, 0.2, 0.3],
+            ..SearchRequest::default()
+        };
+        let jobs = req.expand();
+        assert_eq!(jobs.len(), 3);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(job.sub, Some(k));
+            assert_eq!(job.lambda_cost, req.lambda_grid[k]);
+            assert!(job.lambda_grid.is_empty());
+            assert_eq!(job.seed, req.seed);
+        }
+        assert_eq!(SearchRequest::default().expand().len(), 1);
+    }
+}

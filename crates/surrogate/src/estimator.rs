@@ -4,11 +4,13 @@
 use crate::dataset::PairSet;
 use crate::encode::{joint_dim, TargetStats};
 use hdx_nas::NetworkPlan;
+use hdx_tensor::ckpt::{Checkpoint, CkptError};
 use hdx_tensor::{
     bank_key, Adam, Binding, ExecMode, ParamStore, Program, ResidualMlp, Rng, SessionBank, Tape,
     Tensor, Var,
 };
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Estimator hyper-parameters.
@@ -331,6 +333,103 @@ impl Estimator {
         (total_loss, merged)
     }
 
+    /// Saves everything a warm start needs — MLP dimensions, trained
+    /// weights, target normalization statistics — as checkpoint
+    /// sections under `prefix`. A search run against the loaded
+    /// estimator is **bit-identical** to one against this instance:
+    /// weights and stats round-trip by bit pattern, and they are the
+    /// only estimator state the engine reads.
+    pub fn save_sections(&self, ckpt: &mut Checkpoint, prefix: &str) {
+        ckpt.put_u64(
+            &format!("{prefix}.dims"),
+            &[3],
+            &[
+                self.input_dim as u64,
+                self.cfg.hidden as u64,
+                self.cfg.depth as u64,
+            ],
+        );
+        let mut stats = [0.0f32; 6];
+        stats[..3].copy_from_slice(&self.stats.mean);
+        stats[3..].copy_from_slice(&self.stats.std);
+        ckpt.put_f32(&format!("{prefix}.stats"), &[2, 3], &stats);
+        ckpt.put_param_store(&format!("{prefix}.w"), &self.params);
+    }
+
+    /// Restores an estimator from sections written by
+    /// [`Estimator::save_sections`]. The MLP is rebuilt for `plan` with
+    /// the stored dimensions (training hyper-parameters come from
+    /// `EstimatorConfig::default()` — they do not affect inference or
+    /// the engine's replayed hardware head) and every weight is
+    /// overwritten from the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CkptError`]s for missing/misshapen sections or a stored
+    /// input dimension that does not match `plan`.
+    pub fn load_sections(
+        ckpt: &Checkpoint,
+        prefix: &str,
+        plan: &NetworkPlan,
+    ) -> Result<Estimator, CkptError> {
+        let (shape, dims) = ckpt.get_u64(&format!("{prefix}.dims"))?;
+        if shape != [3] {
+            return Err(CkptError::ShapeMismatch {
+                name: format!("{prefix}.dims"),
+                expected: vec![3],
+                found: shape.to_vec(),
+            });
+        }
+        let expected = joint_dim(plan.num_layers()) as u64;
+        if dims[0] != expected {
+            return Err(CkptError::Malformed(format!(
+                "{prefix}: estimator input dim {} does not match plan ({expected})",
+                dims[0]
+            )));
+        }
+        let cfg = EstimatorConfig {
+            hidden: usize::try_from(dims[1])
+                .map_err(|_| CkptError::Malformed(format!("{prefix}: hidden width overflow")))?,
+            depth: usize::try_from(dims[2])
+                .map_err(|_| CkptError::Malformed(format!("{prefix}: depth overflow")))?,
+            ..EstimatorConfig::default()
+        };
+        if cfg.depth < 2 {
+            return Err(CkptError::Malformed(format!(
+                "{prefix}: depth {} below the ResidualMlp minimum of 2",
+                cfg.depth
+            )));
+        }
+        let mut est = Estimator::new(plan, cfg, &mut Rng::new(0));
+        ckpt.read_param_store_into(&format!("{prefix}.w"), &mut est.params)?;
+        let stats = ckpt.get_tensor(&format!("{prefix}.stats"), &[2, 3])?;
+        est.stats = TargetStats {
+            mean: stats.data()[..3].try_into().expect("3"),
+            std: stats.data()[3..].try_into().expect("3"),
+        };
+        Ok(est)
+    }
+
+    /// Writes a single-artifact checkpoint file for this estimator.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        let mut ckpt = Checkpoint::new();
+        self.save_sections(&mut ckpt, "est");
+        ckpt.save(path)
+    }
+
+    /// Loads a checkpoint written by [`Estimator::save`].
+    ///
+    /// # Errors
+    ///
+    /// I/O plus every [`Estimator::load_sections`] error.
+    pub fn load(path: &Path, plan: &NetworkPlan) -> Result<Estimator, CkptError> {
+        Estimator::load_sections(&Checkpoint::load(path)?, "est", plan)
+    }
+
     /// The (frozen) estimator weight store.
     pub fn params(&self) -> &ParamStore {
         &self.params
@@ -477,6 +576,50 @@ mod tests {
         assert!((tape.value(l).item() as f64 - raw[0]).abs() / raw[0] < 1e-4);
         assert!((tape.value(e).item() as f64 - raw[1]).abs() / raw[1] < 1e-4);
         assert!((tape.value(a).item() as f64 - raw[2]).abs() / raw[2] < 1e-4);
+    }
+
+    #[test]
+    fn estimator_checkpoint_round_trip_is_bit_identical() {
+        let plan = NetworkPlan::cifar18();
+        let mut rng = Rng::new(5);
+        let pairs = PairSet::sample(&plan, 300, &mut rng);
+        let mut est = Estimator::new(
+            &plan,
+            EstimatorConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        est.train(&pairs, &mut rng);
+
+        let mut ckpt = Checkpoint::new();
+        est.save_sections(&mut ckpt, "est");
+        let back = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("parse");
+        let loaded = Estimator::load_sections(&back, "est", &plan).expect("load");
+
+        assert_eq!(loaded.stats(), est.stats());
+        for (id, t) in est.params().iter() {
+            assert_eq!(loaded.params().get(id).data(), t.data());
+        }
+        for i in (0..pairs.len()).step_by(17) {
+            assert_eq!(
+                loaded.predict_raw(pairs.input_row(i)),
+                est.predict_raw(pairs.input_row(i)),
+                "prediction diverged on pair {i}"
+            );
+        }
+
+        // A plan with a different layer count is rejected.
+        assert!(matches!(
+            Estimator::load_sections(&back, "est", &NetworkPlan::imagenet21()),
+            Err(CkptError::Malformed(_))
+        ));
+        // A missing prefix is a typed error.
+        assert!(matches!(
+            Estimator::load_sections(&back, "nope", &plan),
+            Err(CkptError::MissingSection(_))
+        ));
     }
 
     #[test]

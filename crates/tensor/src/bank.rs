@@ -2,17 +2,17 @@
 //! replay [`Session`]s.
 //!
 //! The training hot loops (`Estimator::train`, `FinalNet::train`, the
-//! engine's hardware head, the full-mixture supernet step) each replay
-//! a graph whose *topology* is a pure function of a handful of
-//! configuration values — MLP dimensions, shard row count, batch size,
-//! baked scalar constants. A meta-search runs those loops many times
-//! (several estimators and final networks per Table-1 row), and before
-//! this module each call re-lowered the same tape and re-allocated the
-//! same arenas. The bank keys a compiled program by a caller-computed
-//! fingerprint ([`bank_key`]) of **everything baked into the plan**
-//! (shapes plus any constants that are not rebindable leaves) and hands
-//! out cached sessions, so the second and every later call skips
-//! straight to bind-and-replay.
+//! engine's hardware head, the supernet task steps) each replay a graph
+//! whose *topology* is a pure function of a handful of configuration
+//! values — MLP dimensions, shard row count, batch size, baked scalar
+//! constants, sampled path sets. A meta-search runs those loops many
+//! times (several estimators and final networks per Table-1 row), and
+//! before this module each call re-lowered the same tape and
+//! re-allocated the same arenas. The bank keys a compiled program by a
+//! caller-computed fingerprint ([`bank_key`]) of **everything baked
+//! into the plan** (shapes plus any constants that are not rebindable
+//! leaves) and hands out cached sessions, so the second and every later
+//! call skips straight to bind-and-replay.
 //!
 //! # Correctness contract
 //!
@@ -29,6 +29,20 @@
 //!   module's tests and `tests/determinism.rs`.
 //! * Sessions are checked out exclusively ([`SessionLease`]); parallel
 //!   workers on the same key each get their own session.
+//!
+//! # Bounded capacity (LRU)
+//!
+//! A long-lived server would otherwise accumulate one program per
+//! fingerprint forever (sampled-mixture path sets alone are
+//! combinatorial). [`SessionBank::set_capacity`] — or the
+//! `HDX_BANK_CAP` environment variable for the global bank — caps the
+//! number of cached programs; inserting past the cap evicts the
+//! least-recently-checked-out entries. Eviction never changes any
+//! result: a re-used key simply recompiles (a cache miss), and
+//! outstanding leases on an evicted entry stay valid — their sessions
+//! are discarded instead of re-pooled on return, exactly as with
+//! [`SessionBank::clear`]. Hits, misses, and evictions are counted and
+//! surfaced through [`SessionBank::stats`] for the serving layer.
 //!
 //! # Example
 //!
@@ -77,32 +91,138 @@ pub fn bank_key<H: Hash + ?Sized>(tag: &str, parts: &H) -> u64 {
     h.finish()
 }
 
+/// Parses the `HDX_BANK_CAP` environment value: `None` when unset
+/// (unbounded), `Some(n)` for a positive entry count, and an error
+/// message for anything else — a mistyped cap must not silently mean
+/// "unbounded" on a long-lived server.
+pub fn parse_bank_cap_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "HDX_BANK_CAP must be a positive program count, got \"{raw}\" (unset it for unbounded)"
+        )),
+        Err(_) => Err(format!(
+            "HDX_BANK_CAP must be a positive integer, got \"{raw}\" (unset it for unbounded)"
+        )),
+    }
+}
+
 struct Entry {
     prog: Arc<Program>,
     meta: Arc<dyn Any + Send + Sync>,
     /// Idle sessions, returned by dropped leases.
     free: Vec<Session>,
+    /// Logical timestamp of the last checkout (LRU ordering).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    /// Monotonic checkout counter driving `last_used`.
+    tick: u64,
+    /// Maximum cached programs; `None` = unbounded.
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    /// Evicts least-recently-used entries until at most `cap` remain.
+    /// Entries are dropped whole (program + idle sessions); leases on
+    /// an evicted key stay valid and discard their session on return.
+    fn evict_to(&mut self, cap: usize) {
+        while self.entries.len() > cap {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Cumulative cache counters plus current occupancy, as reported by
+/// [`SessionBank::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankStats {
+    /// Distinct compiled programs currently cached.
+    pub programs: usize,
+    /// Idle (checked-in) sessions across all programs.
+    pub idle_sessions: usize,
+    /// Checkouts that found a cached program.
+    pub hits: u64,
+    /// Checkouts that had to compile.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity cap.
+    pub evictions: u64,
+    /// The capacity cap in force (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+impl BankStats {
+    /// Hit fraction over all checkouts (0 when none have happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// The cache: compiled programs with caller metadata plus pooled
 /// sessions, keyed by [`bank_key`] fingerprints. See the module docs
-/// for the keying contract.
+/// for the keying contract and the LRU capacity behavior.
 #[derive(Default)]
 pub struct SessionBank {
-    entries: Mutex<HashMap<u64, Entry>>,
+    inner: Mutex<Inner>,
 }
 
 impl SessionBank {
-    /// An empty bank (tests; production code uses
+    /// An empty, unbounded bank (tests; production code uses
     /// [`SessionBank::global`]).
     pub fn new() -> SessionBank {
         SessionBank::default()
     }
 
-    /// The process-wide bank every training loop shares.
+    /// An empty bank with an LRU capacity cap.
+    pub fn with_capacity(capacity: Option<usize>) -> SessionBank {
+        let bank = SessionBank::default();
+        bank.set_capacity(capacity);
+        bank
+    }
+
+    /// The process-wide bank every training loop shares. Its capacity
+    /// comes from `HDX_BANK_CAP` (read once, on first use; unset =
+    /// unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on first use if `HDX_BANK_CAP` is set but not a positive
+    /// integer (see [`parse_bank_cap_env`]).
     pub fn global() -> &'static SessionBank {
         static BANK: OnceLock<SessionBank> = OnceLock::new();
-        BANK.get_or_init(SessionBank::new)
+        BANK.get_or_init(|| {
+            let env = std::env::var("HDX_BANK_CAP").ok();
+            match parse_bank_cap_env(env.as_deref()) {
+                Ok(cap) => SessionBank::with_capacity(cap),
+                Err(msg) => panic!("{msg}"),
+            }
+        })
+    }
+
+    /// Sets (or removes) the LRU capacity cap, evicting immediately if
+    /// the cache is over the new cap.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let mut inner = self.inner.lock().expect("session bank poisoned");
+        inner.capacity = capacity;
+        if let Some(cap) = capacity {
+            inner.evict_to(cap);
+        }
     }
 
     /// Checks out a session for `key`, compiling the program with
@@ -117,48 +237,88 @@ impl SessionBank {
         M: Any + Send + Sync,
         F: FnOnce() -> (Program, M),
     {
-        let mut entries = self.entries.lock().expect("session bank poisoned");
-        let entry = entries.entry(key).or_insert_with(|| {
+        let mut inner = self.inner.lock().expect("session bank poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let hit = inner.entries.contains_key(&key);
+        if hit {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+        let entry = inner.entries.entry(key).or_insert_with(|| {
             let (prog, meta) = compile();
             Entry {
                 prog: Arc::new(prog),
                 meta: Arc::new(meta),
                 free: Vec::new(),
+                last_used: tick,
             }
         });
+        entry.last_used = tick;
         let mut session = entry
             .free
             .pop()
             .unwrap_or_else(|| Session::new(Arc::clone(&entry.prog)));
         session.set_jobs(jobs.max(1));
+        let meta = Arc::clone(&entry.meta);
+        // Enforce the cap after the insert so the entry just checked
+        // out is the most recent and can only be evicted by later
+        // activity, never by its own insertion.
+        if let Some(cap) = inner.capacity {
+            inner.evict_to(cap);
+        }
         SessionLease {
             bank: self,
             key,
             session: Some(session),
-            meta: Arc::clone(&entry.meta),
+            meta,
         }
     }
 
     /// Number of distinct compiled programs currently cached.
     pub fn num_programs(&self) -> usize {
-        self.entries.lock().expect("session bank poisoned").len()
+        self.inner
+            .lock()
+            .expect("session bank poisoned")
+            .entries
+            .len()
     }
 
     /// Number of idle (checked-in) sessions across all programs.
     pub fn num_idle_sessions(&self) -> usize {
-        self.entries
+        self.inner
             .lock()
             .expect("session bank poisoned")
+            .entries
             .values()
             .map(|e| e.free.len())
             .sum()
     }
 
-    /// Drops every cached program and idle session. Outstanding leases
-    /// stay valid; their sessions are discarded on return instead of
-    /// re-pooled (the lease compares programs by identity).
+    /// Occupancy plus cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> BankStats {
+        let inner = self.inner.lock().expect("session bank poisoned");
+        BankStats {
+            programs: inner.entries.len(),
+            idle_sessions: inner.entries.values().map(|e| e.free.len()).sum(),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            capacity: inner.capacity,
+        }
+    }
+
+    /// Drops every cached program and idle session (counters and the
+    /// capacity cap are kept). Outstanding leases stay valid; their
+    /// sessions are discarded on return instead of re-pooled (the lease
+    /// compares programs by identity).
     pub fn clear(&self) {
-        self.entries.lock().expect("session bank poisoned").clear();
+        self.inner
+            .lock()
+            .expect("session bank poisoned")
+            .entries
+            .clear();
     }
 
     fn check_in(&self, key: u64, mut session: Session) {
@@ -166,10 +326,11 @@ impl SessionBank {
         // lifetime: drop the kernel pool here (checkout's `set_jobs`
         // rebuilds one when the next lessee wants workers).
         session.set_jobs(1);
-        let mut entries = self.entries.lock().expect("session bank poisoned");
-        if let Some(entry) = entries.get_mut(&key) {
+        let mut inner = self.inner.lock().expect("session bank poisoned");
+        if let Some(entry) = inner.entries.get_mut(&key) {
             // Only re-pool if the entry still refers to the program this
-            // session was built for (clear() + recompile changes it).
+            // session was built for (clear()/eviction + recompile
+            // changes it).
             if Arc::ptr_eq(&entry.prog, session.program()) {
                 entry.free.push(session);
             }
@@ -179,9 +340,14 @@ impl SessionBank {
 
 impl std::fmt::Debug for SessionBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
         f.debug_struct("SessionBank")
-            .field("programs", &self.num_programs())
-            .field("idle_sessions", &self.num_idle_sessions())
+            .field("programs", &stats.programs)
+            .field("idle_sessions", &stats.idle_sessions)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .field("capacity", &stats.capacity)
             .finish()
     }
 }
@@ -280,6 +446,9 @@ mod tests {
             assert_eq!(sess.scalar(meta.out), 4.0);
         }
         assert_eq!(bank.num_idle_sessions(), 1);
+        let stats = bank.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -328,5 +497,78 @@ mod tests {
         let _a = bank.checkout(k1, 1, compile_square);
         let _b = bank.checkout(k2, 1, compile_square);
         assert_eq!(bank.num_programs(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let bank = SessionBank::with_capacity(Some(2));
+        let keys: Vec<u64> = (0..3).map(|i| bank_key("lru", &i)).collect();
+        drop(bank.checkout(keys[0], 1, compile_square));
+        drop(bank.checkout(keys[1], 1, compile_square));
+        // Touch key 0 so key 1 becomes the LRU victim.
+        drop(bank.checkout(keys[0], 1, || -> (Program, Meta) {
+            panic!("key 0 must still be cached")
+        }));
+        drop(bank.checkout(keys[2], 1, compile_square));
+        assert_eq!(bank.num_programs(), 2);
+        // Key 1 was evicted: this checkout must recompile; its
+        // reinsert then evicts key 0 (the oldest use remaining).
+        drop(bank.checkout(keys[1], 1, compile_square));
+        // Key 2 (used after key 0) must still be cached.
+        drop(bank.checkout(keys[2], 1, || -> (Program, Meta) {
+            panic!("key 2 must survive the evictions")
+        }));
+        let stats = bank.stats();
+        assert_eq!(stats.evictions, 2, "{stats:?}");
+        assert_eq!(stats.capacity, Some(2));
+        assert!(stats.programs <= 2);
+    }
+
+    #[test]
+    fn eviction_keeps_outstanding_leases_valid() {
+        let bank = SessionBank::with_capacity(Some(1));
+        let k1 = bank_key("evict-a", &1usize);
+        let k2 = bank_key("evict-b", &2usize);
+        let mut lease = bank.checkout(k1, 1, compile_square);
+        // Inserting k2 evicts k1 while its lease is out.
+        drop(bank.checkout(k2, 1, compile_square));
+        assert_eq!(bank.stats().evictions, 1);
+        let meta = lease.meta::<Meta>();
+        let sess = lease.session();
+        sess.bind(meta.x, &[2.0, 1.0, 0.0]);
+        sess.forward();
+        assert_eq!(sess.scalar(meta.out), 5.0);
+        let idle_before = bank.num_idle_sessions();
+        drop(lease); // evicted program: session discarded, not re-pooled
+        assert_eq!(bank.num_idle_sessions(), idle_before);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let bank = SessionBank::new();
+        for i in 0..4u64 {
+            drop(bank.checkout(bank_key("shrink", &i), 1, compile_square));
+        }
+        assert_eq!(bank.num_programs(), 4);
+        bank.set_capacity(Some(1));
+        assert_eq!(bank.num_programs(), 1);
+        assert_eq!(bank.stats().evictions, 3);
+        // The survivor is the most recently used key.
+        drop(
+            bank.checkout(bank_key("shrink", &3u64), 1, || -> (Program, Meta) {
+                panic!("most recent entry must survive")
+            }),
+        );
+    }
+
+    #[test]
+    fn bank_cap_env_parsing_rejects_bad_values() {
+        assert_eq!(parse_bank_cap_env(None), Ok(None));
+        assert_eq!(parse_bank_cap_env(Some("8")), Ok(Some(8)));
+        assert_eq!(parse_bank_cap_env(Some(" 2 ")), Ok(Some(2)));
+        assert!(parse_bank_cap_env(Some("0")).is_err());
+        assert!(parse_bank_cap_env(Some("lots")).is_err());
+        assert!(parse_bank_cap_env(Some("-3")).is_err());
+        assert!(parse_bank_cap_env(Some("")).is_err());
     }
 }

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod bank;
+pub mod ckpt;
 mod kernels;
 pub mod nn;
 pub mod optim;
@@ -36,7 +37,8 @@ pub mod rng;
 pub mod tape;
 pub mod tensor;
 
-pub use bank::{bank_key, SessionBank, SessionLease};
+pub use bank::{bank_key, parse_bank_cap_env, BankStats, SessionBank, SessionLease};
+pub use ckpt::{Checkpoint, CkptError};
 pub use nn::{Binding, Linear, ParamId, ParamStore, ResidualMlp};
 pub use optim::{Adam, CosineLr, Sgd};
 pub use par::{num_jobs, parallel_map, parse_jobs_env, WorkerPool};

@@ -1,0 +1,313 @@
+//! Serving-layer contracts: warm-start bit-identity, scheduler
+//! determinism, bounded-bank invariance, and checkpoint robustness.
+//!
+//! * A service answering the same request set at jobs ∈ {1, 2, 4}
+//!   must return **byte-identical** report lines (seeds 0–2).
+//! * A service started from a checkpoint bundle must return
+//!   byte-identical reports to one serving the in-process artifacts.
+//! * Capping the session bank (`HDX_BANK_CAP` semantics) must evict
+//!   without changing a single result byte.
+//! * Corrupt/truncated/wrong-version checkpoint files must surface as
+//!   typed errors, never panics.
+
+use hdx_core::{prepare_context_with, PreparedContext, Task};
+use hdx_serve::{load_bundle, save_bundle, SearchRequest, SearchService};
+use hdx_surrogate::EstimatorConfig;
+use hdx_tensor::ckpt::{Checkpoint, CkptError};
+use hdx_tensor::{Rng, SessionBank, Tensor};
+use std::io::Cursor;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+const JOB_GRID: [usize; 3] = [1, 2, 4];
+
+/// Shared warm context (estimator trained once for the whole binary).
+fn prepared() -> Arc<PreparedContext> {
+    static CTX: OnceLock<Arc<PreparedContext>> = OnceLock::new();
+    Arc::clone(CTX.get_or_init(|| {
+        Arc::new(prepare_context_with(
+            Task::Cifar,
+            7,
+            2000,
+            EstimatorConfig {
+                epochs: 15,
+                batch: 128,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        ))
+    }))
+}
+
+/// Serializes the tests that mutate process-global state (the session
+/// bank capacity) against the ones that depend on its performance.
+fn global_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A small but representative request set: three seeds of the HDX
+/// method under a hard constraint, a baseline, a λ-grid sweep, and a
+/// meta-search.
+fn request_set() -> Vec<SearchRequest> {
+    let quick = SearchRequest {
+        epochs: 2,
+        steps: 3,
+        batch: 16,
+        final_train: 40,
+        ..SearchRequest::default()
+    };
+    let mut reqs: Vec<SearchRequest> = (0..3)
+        .map(|seed| SearchRequest {
+            id: seed + 1,
+            seed,
+            constraints: vec![hdx_core::Constraint::fps(30.0)],
+            ..quick.clone()
+        })
+        .collect();
+    reqs.push(SearchRequest {
+        id: 4,
+        method: hdx_core::Method::Dance,
+        seed: 1,
+        ..quick.clone()
+    });
+    reqs.push(SearchRequest {
+        id: 5,
+        method: hdx_core::Method::Dance,
+        seed: 2,
+        lambda_grid: vec![0.001, 0.01],
+        ..quick.clone()
+    });
+    reqs.push(SearchRequest {
+        id: 6,
+        method: hdx_core::Method::Dance,
+        seed: 0,
+        constraints: vec![hdx_core::Constraint::fps(30.0)],
+        max_searches: 2,
+        ..quick.clone()
+    });
+    reqs
+}
+
+fn encode_batch(service: &SearchService, reqs: &[SearchRequest], jobs: usize) -> Vec<String> {
+    service
+        .run_batch(reqs, jobs)
+        .into_iter()
+        .map(|r| r.expect("request set is valid").encode())
+        .collect()
+}
+
+#[test]
+fn service_output_is_worker_count_invariant() {
+    let _guard = global_guard();
+    let service = SearchService::new(Task::Cifar, prepared());
+    let reqs = request_set();
+    let reference = encode_batch(&service, &reqs, 1);
+    // Grid expansion: 6 requests -> 7 jobs, reports in request order.
+    assert_eq!(reference.len(), 7);
+    for line in &reference {
+        assert!(line.starts_with("report id="), "line: {line}");
+    }
+    for jobs in JOB_GRID {
+        assert_eq!(
+            encode_batch(&service, &reqs, jobs),
+            reference,
+            "jobs={jobs}: report bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn warm_start_from_bundle_is_byte_identical() {
+    let _guard = global_guard();
+    let prepared = prepared();
+    let dir = std::env::temp_dir().join("hdx_serve_warm_start_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("artifacts.ckpt");
+    let luts = hdx_serve::warm_uniform_luts(Task::Cifar, 2, 0);
+    save_bundle(
+        &path,
+        Task::Cifar,
+        7, // the dataset seed `prepared()` used
+        2000,
+        prepared.estimator_accuracy,
+        prepared.estimator(),
+        &luts,
+    )
+    .expect("save bundle");
+
+    let artifacts = load_bundle(&path).expect("load bundle");
+    assert_eq!(artifacts.luts.len(), 2);
+    let warm = SearchService::new(artifacts.task, artifacts.into_prepared());
+    let cold = SearchService::new(Task::Cifar, prepared);
+
+    let reqs = request_set();
+    for jobs in [1, 4] {
+        assert_eq!(
+            encode_batch(&warm, &reqs, jobs),
+            encode_batch(&cold, &reqs, jobs),
+            "jobs={jobs}: warm-start reports diverged from in-process reports"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bank_cap_evicts_without_changing_results() {
+    let _guard = global_guard();
+    let bank = SessionBank::global();
+    let service = SearchService::new(Task::Cifar, prepared());
+    let req = SearchRequest {
+        id: 9,
+        seed: 1,
+        epochs: 2,
+        steps: 3,
+        batch: 16,
+        final_train: 40,
+        constraints: vec![hdx_core::Constraint::fps(30.0)],
+        ..SearchRequest::default()
+    };
+
+    bank.set_capacity(None);
+    let unbounded = service.run_one(&req).expect("unbounded run").encode();
+
+    // A tiny cap forces constant eviction/recompile churn across the
+    // sampled-mixture, estimator-shard, final-net, and head programs.
+    bank.set_capacity(Some(2));
+    let evictions_before = bank.stats().evictions;
+    let capped = service.run_one(&req).expect("capped run").encode();
+    let stats = bank.stats();
+    bank.set_capacity(None);
+
+    assert_eq!(capped, unbounded, "LRU eviction changed a search result");
+    assert!(
+        stats.evictions > evictions_before,
+        "cap 2 must actually evict (evictions stayed at {evictions_before})"
+    );
+    assert!(stats.programs <= 2, "cap 2 exceeded: {stats:?}");
+    assert!(stats.misses > 0 && stats.hits + stats.misses > 0);
+}
+
+#[test]
+fn line_protocol_batches_and_reports_in_order() {
+    let _guard = global_guard();
+    let service = SearchService::new(Task::Cifar, prepared());
+    let quick = "epochs=2 steps=3 batch=16 final_train=40 fps=30";
+    let input = format!(
+        "ping\n\
+         search id=11 seed=0 {quick}\n\
+         search id=12 seed=1 {quick}\n\
+         stats\n\
+         search id=13 seed=2 {quick}\n\
+         bogus line\n"
+    );
+    let mut out = Vec::new();
+    service
+        .serve_connection(Cursor::new(input), &mut out, 2)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6, "output:\n{text}");
+    assert_eq!(lines[0], "pong");
+    assert!(lines[1].starts_with("report id=11 "));
+    assert!(lines[2].starts_with("report id=12 "));
+    assert!(lines[3].starts_with("stats programs="));
+    assert!(lines[3].contains(" hits=") && lines[3].contains(" evictions="));
+    assert!(lines[4].starts_with("report id=13 "));
+    assert!(lines[5].starts_with("error id=0 msg="));
+
+    // The same requests one-per-connection give the same report lines:
+    // batching is a scheduling detail, not a semantic one.
+    for (line, seed) in [(lines[1], 0u64), (lines[2], 1), (lines[4], 2)] {
+        let req = SearchRequest {
+            id: match seed {
+                0 => 11,
+                1 => 12,
+                _ => 13,
+            },
+            seed,
+            epochs: 2,
+            steps: 3,
+            batch: 16,
+            final_train: 40,
+            constraints: vec![hdx_core::Constraint::fps(30.0)],
+            ..SearchRequest::default()
+        };
+        assert_eq!(service.run_one(&req).expect("direct run").encode(), line);
+    }
+}
+
+#[test]
+fn mismatched_task_is_an_in_band_error() {
+    let _guard = global_guard();
+    let service = SearchService::new(Task::Cifar, prepared());
+    let req = SearchRequest {
+        id: 21,
+        task: Task::ImageNet,
+        epochs: 1,
+        steps: 1,
+        final_train: 0,
+        ..SearchRequest::default()
+    };
+    let outcome = &service.run_batch(std::slice::from_ref(&req), 1)[0];
+    let err = outcome.as_ref().expect_err("must be rejected");
+    assert_eq!(err.id, 21);
+    assert!(err.encode().starts_with("error id=21 msg="));
+}
+
+#[test]
+fn corrupt_bundles_are_typed_errors_never_panics() {
+    // Independent of the shared context: exercises the checkpoint
+    // container against a hostile file, end to end through the bundle
+    // loader.
+    let dir = std::env::temp_dir().join("hdx_serve_corrupt_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("hostile.ckpt");
+
+    // Not a checkpoint at all.
+    std::fs::write(&path, b"definitely not a checkpoint").expect("write");
+    assert!(matches!(load_bundle(&path), Err(CkptError::BadMagic)));
+
+    // A structurally valid checkpoint missing the bundle sections.
+    let mut ckpt = Checkpoint::new();
+    ckpt.put_tensor("unrelated", &Tensor::ones(&[2, 2]));
+    ckpt.save(&path).expect("save");
+    assert!(matches!(
+        load_bundle(&path),
+        Err(CkptError::MissingSection(_))
+    ));
+
+    // Random corruptions of a real (estimator-only) bundle.
+    let plan = Task::Cifar.plan();
+    let mut rng = Rng::new(3);
+    let est = hdx_surrogate::Estimator::new(&plan, EstimatorConfig::default(), &mut rng);
+    save_bundle(&path, Task::Cifar, 0, 0, f64::NAN, &est, &[]).expect("save");
+    let bytes = std::fs::read(&path).expect("read");
+    for trial in 0..60 {
+        let mut corrupt = bytes.clone();
+        match trial % 3 {
+            0 => {
+                // Truncate at a pseudo-random point.
+                let len = rng.below(corrupt.len());
+                corrupt.truncate(len);
+            }
+            1 => {
+                // Flip a bit.
+                let pos = rng.below(corrupt.len());
+                corrupt[pos] ^= 1 << rng.below(8);
+            }
+            _ => {
+                // Declare an unsupported version.
+                corrupt[4] = 0xFE;
+            }
+        }
+        std::fs::write(&path, &corrupt).expect("write");
+        assert!(
+            load_bundle(&path).is_err(),
+            "trial {trial}: corruption went undetected"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
