@@ -527,7 +527,7 @@ fn bench_final_net_replay(report: &mut Report) {
 /// compile-once/replay-many layer actually saved.
 fn bench_serve_oneshot(report: &mut Report) {
     use hdx_core::Task;
-    use hdx_serve::SearchService;
+    use hdx_serve::{Router, RouterConfig};
     use hdx_tensor::SessionBank;
     use std::io::Cursor;
 
@@ -542,7 +542,11 @@ fn bench_serve_oneshot(report: &mut Report) {
             ..Default::default()
         },
     );
-    let service = SearchService::new(Task::Cifar, prepared);
+    let router = Router::new(RouterConfig {
+        jobs: 1,
+        ..RouterConfig::default()
+    });
+    router.insert_prepared(Task::Cifar, 1, prepared);
     let line = "search id=1 fps=30 epochs=1 steps=2 batch=16 final_train=20 seed=0\n";
     // Snapshot the global bank before the loop: the replay benches
     // above drove thousands of checkouts through the same bank, and a
@@ -550,8 +554,8 @@ fn bench_serve_oneshot(report: &mut Report) {
     let before = SessionBank::global().stats();
     bench(report, "serve_oneshot", || {
         let mut out = Vec::new();
-        service
-            .serve_connection(Cursor::new(line), &mut out, 1)
+        router
+            .serve_connection(Cursor::new(line), &mut out)
             .expect("serve");
         black_box(out);
     });

@@ -25,10 +25,12 @@ use hdx_nas::supernet::{FinalNet, Supernet, TaskStepVars};
 use hdx_nas::{Architecture, Batch, Dataset, NetworkPlan, SupernetConfig, OP_SET};
 use hdx_surrogate::dataset::expected_metrics;
 use hdx_surrogate::{Estimator, Generator};
+use hdx_tensor::ckpt::{Checkpoint, CkptError};
 use hdx_tensor::{
     bank_key, Adam, Binding, ExecMode, Gradients, ParamStore, Program, Rng, Session, SessionBank,
     SessionLease, Tape, Tensor, Var,
 };
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Which co-exploration method to run.
@@ -119,6 +121,24 @@ pub struct SearchOptions {
     /// path-sampled supernet branch always fresh-records because its
     /// topology changes per step.
     pub exec: ExecMode,
+    /// Mid-search checkpointing: when set, the engine snapshots the
+    /// full optimization state ([`SearchCheckpoint`]) to
+    /// `checkpoint.path` every `checkpoint.every_epochs` epochs, so a
+    /// killed search can be continued with [`resume_search`] instead of
+    /// restarting from scratch. Off (`None`) by default.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+/// Where and how often [`run_search`] snapshots its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Destination file (overwritten at every snapshot).
+    pub path: PathBuf,
+    /// Epoch boundaries between snapshots (1 = after every epoch).
+    pub every_epochs: usize,
+    /// Opaque caller note stored alongside the state (the serving
+    /// layer records the originating request line here).
+    pub note: Option<String>,
 }
 
 impl Default for SearchOptions {
@@ -143,6 +163,7 @@ impl Default for SearchOptions {
             safety_margin: 0.10,
             jobs: 0,
             exec: ExecMode::auto(),
+            checkpoint: None,
         }
     }
 }
@@ -210,9 +231,70 @@ pub struct SearchResult {
 ///
 /// # Panics
 ///
+/// Panics if `opts.epochs` or `opts.steps_per_epoch` is zero, if the
+/// estimator's input dimension does not match the plan, or if a
+/// checkpoint snapshot requested via [`SearchOptions::checkpoint`]
+/// cannot be written (use [`try_run_search`] to handle that in-band).
+pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult {
+    try_run_search(ctx, opts).unwrap_or_else(|e| panic!("run_search: checkpoint failure: {e}"))
+}
+
+/// [`run_search`] with checkpoint I/O failures surfaced as typed
+/// errors instead of panics (the search itself is infallible).
+///
+/// # Errors
+///
+/// [`CkptError`] when a [`SearchOptions::checkpoint`] snapshot cannot
+/// be written.
+///
+/// # Panics
+///
 /// Panics if `opts.epochs` or `opts.steps_per_epoch` is zero, or if the
 /// estimator's input dimension does not match the plan.
-pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult {
+pub fn try_run_search(
+    ctx: &SearchContext<'_>,
+    opts: &SearchOptions,
+) -> Result<SearchResult, CkptError> {
+    search_inner(ctx, opts, None)
+}
+
+/// Continues a search from a [`SearchCheckpoint`] snapshot. The resumed
+/// run is **bit-identical** to the uninterrupted one: the snapshot
+/// captures every piece of mutable optimization state (both parameter
+/// stores, generator and direct hardware parameters, all three Adam
+/// optimizers, the RNG stream, the δ schedule, and the trace so far),
+/// so epochs `ckpt.epoch()..opts.epochs` replay exactly as they would
+/// have.
+///
+/// `opts` must describe the same search the checkpoint came from —
+/// everything except `epochs` (which may extend past the snapshot),
+/// `jobs`, `exec`, and `checkpoint` itself is covered by a stored
+/// fingerprint.
+///
+/// # Errors
+///
+/// [`CkptError::Malformed`] when the fingerprint disagrees with `opts`
+/// or the snapshot is ahead of `opts.epochs`; section-level errors when
+/// the stored state does not fit the reconstructed model; I/O errors
+/// from further snapshot writes.
+///
+/// # Panics
+///
+/// Panics if `opts.epochs` or `opts.steps_per_epoch` is zero, or if the
+/// estimator's input dimension does not match the plan.
+pub fn resume_search(
+    ctx: &SearchContext<'_>,
+    opts: &SearchOptions,
+    ckpt: &SearchCheckpoint,
+) -> Result<SearchResult, CkptError> {
+    search_inner(ctx, opts, Some(ckpt))
+}
+
+fn search_inner(
+    ctx: &SearchContext<'_>,
+    opts: &SearchOptions,
+    resume: Option<&SearchCheckpoint>,
+) -> Result<SearchResult, CkptError> {
     assert!(
         opts.epochs > 0 && opts.steps_per_epoch > 0,
         "run_search: empty schedule"
@@ -264,6 +346,48 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
 
     let mut trajectory = Vec::with_capacity(opts.epochs);
 
+    // Resume: overwrite every freshly initialized piece of mutable
+    // state with the snapshot. The constructors above already consumed
+    // the RNG exactly as the original run did, and the stream position
+    // is restored below anyway, so the resumed run continues
+    // bit-identically from the snapshot's epoch boundary.
+    let start_epoch = match resume {
+        Some(ckpt) => {
+            if ckpt.fingerprint() != search_fingerprint(opts) {
+                return Err(CkptError::Malformed(
+                    "search checkpoint was written by an incompatible configuration".to_owned(),
+                ));
+            }
+            if ckpt.context_fingerprint() != context_fingerprint(ctx) {
+                return Err(CkptError::Malformed(
+                    "search checkpoint was written against different artifacts (estimator/cost \
+                     surface mismatch)"
+                        .to_owned(),
+                ));
+            }
+            if ckpt.epoch() > opts.epochs {
+                return Err(CkptError::Malformed(format!(
+                    "search checkpoint is at epoch {} but the schedule ends at {}",
+                    ckpt.epoch(),
+                    opts.epochs
+                )));
+            }
+            ckpt.restore_into(
+                &mut supernet,
+                &mut generator,
+                &mut hw_params,
+                &mut w_opt,
+                &mut a_opt,
+                &mut v_opt,
+                &mut rng,
+                delta_policy.as_mut(),
+                &mut trajectory,
+            )?;
+            ckpt.epoch()
+        }
+        None => 0,
+    };
+
     // The hardware head — arch encoding → generator/θ → estimator →
     // cost / soft penalties / constraint loss — has a static topology,
     // so by default its program comes from the process-wide
@@ -301,7 +425,7 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
     let mut w_tape = Tape::new();
     let mut task_tape = Tape::new();
 
-    for epoch in 0..opts.epochs {
+    for epoch in start_epoch..opts.epochs {
         let mut manipulated_steps = 0usize;
         let mut last_task = 0.0f64;
         let mut last_global = 0.0f64;
@@ -428,6 +552,28 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
             violated: last_violated,
             manipulated_steps,
         });
+
+        // Snapshot at the epoch boundary: everything the next epoch
+        // reads is captured *before* any post-loop work touches it.
+        if let Some(spec) = &opts.checkpoint {
+            if spec.every_epochs > 0 && (epoch + 1) % spec.every_epochs == 0 {
+                SearchCheckpoint::capture(
+                    ctx,
+                    opts,
+                    epoch + 1,
+                    &supernet,
+                    &generator,
+                    &hw_params,
+                    &w_opt,
+                    &a_opt,
+                    &v_opt,
+                    &rng,
+                    delta_policy.as_ref(),
+                    &trajectory,
+                )
+                .save(&spec.path)?;
+            }
+        }
     }
 
     let search_seconds = start.elapsed().as_secs_f64();
@@ -508,7 +654,7 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
     };
     let global_loss = final_ce + opts.lambda_cost * cost_hw;
 
-    SearchResult {
+    Ok(SearchResult {
         architecture,
         accel,
         metrics,
@@ -518,11 +664,349 @@ pub fn run_search(ctx: &SearchContext<'_>, opts: &SearchOptions) -> SearchResult
         in_constraint,
         trajectory,
         search_seconds,
-    }
+    })
 }
 
 fn final_net_binding(tape: &mut Tape, net: &FinalNet) -> Binding {
     net.bind(tape)
+}
+
+/// Schema version of the search-state sections (bumped independently of
+/// the container version).
+const SEARCH_CKPT_VERSION: u64 = 1;
+
+/// Values per serialized [`EpochTrace`] row.
+const TRACE_COLS: usize = 12;
+
+/// FNV-1a over a word sequence — **stable** across platforms and Rust
+/// versions (unlike `DefaultHasher`), because checkpoint files outlive
+/// the process that wrote them.
+fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// Fingerprint of everything in a [`SearchOptions`] that shapes the
+/// per-epoch dynamics. `epochs` is deliberately excluded (a resume may
+/// extend the schedule), as are `jobs`/`exec` (results are
+/// worker-count- and exec-mode-invariant) and `checkpoint` itself.
+fn search_fingerprint(opts: &SearchOptions) -> u64 {
+    let mut parts: Vec<u64> = Vec::new();
+    match opts.method {
+        Method::NasThenHw { lambda_macs } => {
+            parts.push(0);
+            parts.push(lambda_macs.to_bits());
+        }
+        Method::AutoNba => parts.push(1),
+        Method::Dance => parts.push(2),
+        Method::Hdx { delta0, p } => {
+            parts.push(3);
+            parts.push(u64::from(delta0.to_bits()));
+            parts.push(u64::from(p.to_bits()));
+        }
+    }
+    parts.push(opts.lambda_cost.to_bits());
+    match opts.lambda_soft {
+        Some(l) => {
+            parts.push(1);
+            parts.push(l.to_bits());
+        }
+        None => parts.push(0),
+    }
+    for c in &opts.constraints {
+        parts.push(match c.metric {
+            Metric::Latency => 0,
+            Metric::Energy => 1,
+            Metric::Area => 2,
+        });
+        parts.push(c.target.to_bits());
+    }
+    parts.push(opts.steps_per_epoch as u64);
+    parts.push(opts.batch as u64);
+    parts.push(u64::from(opts.w_lr.to_bits()));
+    parts.push(u64::from(opts.alpha_lr.to_bits()));
+    parts.push(u64::from(opts.gen_lr.to_bits()));
+    parts.push(opts.final_train_steps as u64);
+    parts.push(opts.seed);
+    parts.push(opts.supernet.feature_dim as u64);
+    parts.push(opts.supernet.base_hidden as u64);
+    parts.push(opts.supernet.num_paths as u64);
+    parts.push(u64::from(opts.supernet.temperature.to_bits()));
+    parts.push(opts.safety_margin.to_bits());
+    fnv1a_words(&parts)
+}
+
+/// Fingerprint of the frozen environment a search ran against: the
+/// estimator's full weight bit pattern (which uniquely identifies a
+/// trained bundle), its normalization stats, the cost weights, and the
+/// plan size. A checkpoint must only resume against the artifacts it
+/// was written with — a different estimator is a different cost
+/// surface, and continuing on it would produce a plausible-looking but
+/// wrong report instead of a typed error.
+fn context_fingerprint(ctx: &SearchContext<'_>) -> u64 {
+    let mut parts: Vec<u64> = Vec::new();
+    parts.push(ctx.plan.num_layers() as u64);
+    let stats = ctx.estimator.stats();
+    for m in 0..3 {
+        parts.push(u64::from(stats.mean[m].to_bits()));
+        parts.push(u64::from(stats.std[m].to_bits()));
+    }
+    let w = ctx.weights;
+    for v in [w.c_l, w.c_e, w.c_a, w.l_ref, w.e_ref, w.a_ref] {
+        parts.push(v.to_bits());
+    }
+    for (_, t) in ctx.estimator.params().iter() {
+        for &d in t.shape() {
+            parts.push(d as u64);
+        }
+        parts.extend(t.data().iter().map(|v| u64::from(v.to_bits())));
+    }
+    fnv1a_words(&parts)
+}
+
+/// A mid-search snapshot: everything `search_inner`'s epoch loop
+/// mutates, captured at an epoch boundary. Saving and resuming is
+/// exact — every parameter, Adam moment, RNG word, and δ value
+/// round-trips by bit pattern, so a resumed search reproduces the
+/// uninterrupted run's result bit for bit (pinned by
+/// `tests/serve_router.rs`).
+#[derive(Debug)]
+pub struct SearchCheckpoint {
+    ckpt: Checkpoint,
+    epoch: usize,
+    fingerprint: u64,
+    context_fingerprint: u64,
+}
+
+impl SearchCheckpoint {
+    /// Captures the live search state at `epoch` completed epochs.
+    #[allow(clippy::too_many_arguments)]
+    fn capture(
+        ctx: &SearchContext<'_>,
+        opts: &SearchOptions,
+        epoch: usize,
+        supernet: &Supernet,
+        generator: &Generator,
+        hw_params: &ParamStore,
+        w_opt: &Adam,
+        a_opt: &Adam,
+        v_opt: &Adam,
+        rng: &Rng,
+        delta_policy: Option<&DeltaPolicy>,
+        trajectory: &[EpochTrace],
+    ) -> SearchCheckpoint {
+        let fingerprint = search_fingerprint(opts);
+        let ctx_fingerprint = context_fingerprint(ctx);
+        let mut ckpt = Checkpoint::new();
+        ckpt.put_u64(
+            "search.meta",
+            &[5],
+            &[
+                SEARCH_CKPT_VERSION,
+                epoch as u64,
+                fingerprint,
+                u64::from(delta_policy.is_some()),
+                ctx_fingerprint,
+            ],
+        );
+        ckpt.put_u64("search.rng", &[3], &rng.state_words());
+        if let Some(dp) = delta_policy {
+            ckpt.put_f32("search.delta", &[1], &[dp.delta()]);
+        }
+        ckpt.put_param_store("search.w", supernet.w_store());
+        ckpt.put_param_store("search.alpha", supernet.alpha_store());
+        ckpt.put_param_store("search.gen", generator.params());
+        ckpt.put_param_store("search.hw", hw_params);
+        w_opt.save_state(&mut ckpt, "search.w_opt");
+        a_opt.save_state(&mut ckpt, "search.a_opt");
+        v_opt.save_state(&mut ckpt, "search.v_opt");
+        let mut rows = Vec::with_capacity(trajectory.len() * TRACE_COLS);
+        for t in trajectory {
+            rows.extend([
+                t.epoch as f64,
+                t.task_loss,
+                t.global_loss,
+                t.est.latency_ms,
+                t.est.energy_mj,
+                t.est.area_mm2,
+                t.truth.latency_ms,
+                t.truth.energy_mj,
+                t.truth.area_mm2,
+                f64::from(t.delta),
+                f64::from(u8::from(t.violated)),
+                t.manipulated_steps as f64,
+            ]);
+        }
+        ckpt.put_f64("search.trace", &[trajectory.len(), TRACE_COLS], &rows);
+        if let Some(note) = opts.checkpoint.as_ref().and_then(|s| s.note.as_deref()) {
+            ckpt.put_bytes("search.note", note.as_bytes());
+        }
+        SearchCheckpoint {
+            ckpt,
+            epoch,
+            fingerprint,
+            context_fingerprint: ctx_fingerprint,
+        }
+    }
+
+    /// Writes the snapshot to `path` (the standard `hdx_tensor::ckpt`
+    /// container — versioned, endian-fixed, checksummed).
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        self.ckpt.save(path)
+    }
+
+    /// Loads a snapshot written by a checkpointing search.
+    ///
+    /// # Errors
+    ///
+    /// Every container parse error, plus [`CkptError::Malformed`] /
+    /// [`CkptError::UnsupportedVersion`] when the search-state sections
+    /// are missing or from a different schema.
+    pub fn load(path: &Path) -> Result<SearchCheckpoint, CkptError> {
+        Self::from_checkpoint(Checkpoint::load(path)?)
+    }
+
+    /// [`SearchCheckpoint::load`] from an already-parsed container.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchCheckpoint::load`], minus the I/O.
+    pub fn from_checkpoint(ckpt: Checkpoint) -> Result<SearchCheckpoint, CkptError> {
+        let (shape, meta) = ckpt.get_u64("search.meta")?;
+        if shape != [5] {
+            return Err(CkptError::ShapeMismatch {
+                name: "search.meta".to_owned(),
+                expected: vec![5],
+                found: shape.to_vec(),
+            });
+        }
+        if meta[0] != SEARCH_CKPT_VERSION {
+            return Err(CkptError::UnsupportedVersion(meta[0] as u32));
+        }
+        let epoch = usize::try_from(meta[1])
+            .map_err(|_| CkptError::Malformed("search.meta epoch exceeds usize".to_owned()))?;
+        Ok(SearchCheckpoint {
+            fingerprint: meta[2],
+            context_fingerprint: meta[4],
+            epoch,
+            ckpt,
+        })
+    }
+
+    /// Completed epochs at the snapshot (the resume point).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The originating options fingerprint (see [`SearchCheckpoint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The fingerprint of the artifacts (estimator weights, cost
+    /// weights, plan) the snapshot's search ran against. Resume
+    /// rejects a context whose fingerprint differs — a different
+    /// bundle is a different cost surface.
+    pub fn context_fingerprint(&self) -> u64 {
+        self.context_fingerprint
+    }
+
+    /// Whether `opts` describes the search this snapshot came from
+    /// (everything except `epochs`, `jobs`, `exec`, and `checkpoint`).
+    pub fn matches(&self, opts: &SearchOptions) -> bool {
+        self.fingerprint == search_fingerprint(opts)
+    }
+
+    /// The caller note recorded at capture time, if any.
+    pub fn note(&self) -> Option<String> {
+        let bytes = self.ckpt.get_bytes("search.note").ok()?;
+        String::from_utf8(bytes).ok()
+    }
+
+    /// Overwrites live search state with the snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn restore_into(
+        &self,
+        supernet: &mut Supernet,
+        generator: &mut Generator,
+        hw_params: &mut ParamStore,
+        w_opt: &mut Adam,
+        a_opt: &mut Adam,
+        v_opt: &mut Adam,
+        rng: &mut Rng,
+        delta_policy: Option<&mut DeltaPolicy>,
+        trajectory: &mut Vec<EpochTrace>,
+    ) -> Result<(), CkptError> {
+        let (_, meta) = self.ckpt.get_u64("search.meta")?;
+        if (meta[3] != 0) != delta_policy.is_some() {
+            return Err(CkptError::Malformed(
+                "search checkpoint δ-schedule presence disagrees with the method".to_owned(),
+            ));
+        }
+        self.ckpt
+            .read_param_store_into("search.w", supernet.w_store_mut())?;
+        self.ckpt
+            .read_param_store_into("search.alpha", supernet.alpha_store_mut())?;
+        self.ckpt
+            .read_param_store_into("search.gen", generator.params_mut())?;
+        self.ckpt.read_param_store_into("search.hw", hw_params)?;
+        *w_opt = Adam::load_state(&self.ckpt, "search.w_opt")?;
+        *a_opt = Adam::load_state(&self.ckpt, "search.a_opt")?;
+        *v_opt = Adam::load_state(&self.ckpt, "search.v_opt")?;
+        let (shape, words) = self.ckpt.get_u64("search.rng")?;
+        if shape != [3] {
+            return Err(CkptError::ShapeMismatch {
+                name: "search.rng".to_owned(),
+                expected: vec![3],
+                found: shape.to_vec(),
+            });
+        }
+        *rng = Rng::from_state_words([words[0], words[1], words[2]]);
+        if let Some(dp) = delta_policy {
+            let (_, delta) = self.ckpt.get_f32("search.delta")?;
+            let value = *delta
+                .first()
+                .ok_or_else(|| CkptError::Malformed("search.delta is empty".to_owned()))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(CkptError::Malformed(format!(
+                    "search.delta must be positive, got {value}"
+                )));
+            }
+            dp.set_delta(value);
+        }
+        let (shape, rows) = self.ckpt.get_f64("search.trace")?;
+        if shape.len() != 2 || shape[1] != TRACE_COLS || shape[0] != self.epoch {
+            return Err(CkptError::ShapeMismatch {
+                name: "search.trace".to_owned(),
+                expected: vec![self.epoch, TRACE_COLS],
+                found: shape.to_vec(),
+            });
+        }
+        trajectory.clear();
+        for row in rows.chunks(TRACE_COLS) {
+            trajectory.push(EpochTrace {
+                epoch: row[0] as usize,
+                task_loss: row[1],
+                global_loss: row[2],
+                est: HwMetrics::new(row[3], row[4], row[5]),
+                truth: HwMetrics::new(row[6], row[7], row[8]),
+                delta: row[9] as f32,
+                violated: row[10] != 0.0,
+                manipulated_steps: row[11] as usize,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Tape handles of one recorded hardware head.
@@ -1517,6 +2001,98 @@ mod tests {
             assert_eq!(c.global_loss, f.global_loss, "epoch {}", c.epoch);
             assert_eq!(c.est, f.est, "epoch {}", c.epoch);
             assert_eq!(c.violated, f.violated, "epoch {}", c.epoch);
+        }
+    }
+
+    #[test]
+    fn resumed_search_is_bit_identical_to_uninterrupted() {
+        // Interrupting at an epoch boundary and resuming through the
+        // checkpoint file must reproduce the uninterrupted run exactly:
+        // the snapshot captures every piece of mutable state.
+        let prepared = ctx();
+        let dir = std::env::temp_dir().join("hdx_engine_resume_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for method in [
+            Method::Hdx {
+                delta0: 1e-3,
+                p: 5e-2,
+            },
+            Method::Dance,
+        ] {
+            let base = SearchOptions {
+                method,
+                constraints: vec![Constraint::fps(30.0)],
+                epochs: 4,
+                steps_per_epoch: 4,
+                final_train_steps: 40,
+                seed: 9,
+                ..SearchOptions::default()
+            };
+            let full = run_search(&prepared.context(), &base);
+
+            // "Interrupt" after 2 of the 4 epochs: a truncated schedule
+            // with checkpointing is state-identical to a killed run.
+            let path = dir.join(format!("{}.ckpt", method.label()));
+            let truncated = SearchOptions {
+                epochs: 2,
+                checkpoint: Some(CheckpointSpec {
+                    path: path.clone(),
+                    every_epochs: 1,
+                    note: Some("engine-test".to_owned()),
+                }),
+                ..base.clone()
+            };
+            run_search(&prepared.context(), &truncated);
+
+            let ckpt = SearchCheckpoint::load(&path).expect("load checkpoint");
+            assert_eq!(ckpt.epoch(), 2);
+            assert!(ckpt.matches(&base));
+            assert_eq!(ckpt.note().as_deref(), Some("engine-test"));
+            let resumed = resume_search(&prepared.context(), &base, &ckpt).expect("resume");
+
+            assert_eq!(resumed.architecture, full.architecture, "{method:?}");
+            assert_eq!(resumed.accel, full.accel, "{method:?}");
+            assert_eq!(resumed.error.to_bits(), full.error.to_bits(), "{method:?}");
+            assert_eq!(
+                resumed.cost_hw.to_bits(),
+                full.cost_hw.to_bits(),
+                "{method:?}"
+            );
+            assert_eq!(
+                resumed.global_loss.to_bits(),
+                full.global_loss.to_bits(),
+                "{method:?}"
+            );
+            assert_eq!(resumed.trajectory.len(), full.trajectory.len());
+            for (r, f) in resumed.trajectory.iter().zip(&full.trajectory) {
+                assert_eq!(r.task_loss.to_bits(), f.task_loss.to_bits());
+                assert_eq!(r.est, f.est);
+                assert_eq!(r.delta.to_bits(), f.delta.to_bits());
+                assert_eq!(r.violated, f.violated);
+                assert_eq!(r.manipulated_steps, f.manipulated_steps);
+            }
+
+            // A mismatched configuration is a typed error, not a wrong
+            // answer.
+            let wrong = SearchOptions {
+                seed: 10,
+                ..base.clone()
+            };
+            assert!(resume_search(&prepared.context(), &wrong, &ckpt).is_err());
+
+            // So is a different frozen cost surface (another bundle's
+            // estimator): resume is bound to its artifacts, same task
+            // and dataset seed notwithstanding.
+            let mut other_rng = Rng::new(99);
+            let other_est = Estimator::new(
+                &crate::setup::Task::Cifar.plan(),
+                hdx_surrogate::EstimatorConfig::default(),
+                &mut other_rng,
+            );
+            let other =
+                PreparedContext::from_artifacts(crate::setup::Task::Cifar, 7, other_est, f64::NAN);
+            assert!(resume_search(&other.context(), &base, &ckpt).is_err());
+            std::fs::remove_file(&path).ok();
         }
     }
 

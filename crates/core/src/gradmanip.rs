@@ -135,6 +135,21 @@ impl DeltaPolicy {
         self.p
     }
 
+    /// Overrides the current pull magnitude (checkpoint restore: a
+    /// resumed search continues the schedule exactly where the
+    /// interrupted one stopped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not positive.
+    pub fn set_delta(&mut self, delta: f32) {
+        assert!(
+            delta > 0.0,
+            "DeltaPolicy: delta must be positive, got {delta}"
+        );
+        self.current = delta;
+    }
+
     /// Advances the schedule after an update: grows δ while the
     /// constraint is violated, resets it once satisfied.
     pub fn update(&mut self, violated: bool) {

@@ -41,7 +41,10 @@ pub mod report;
 pub mod setup;
 
 pub use constraint::{all_satisfied, Constraint};
-pub use engine::{run_search, EpochTrace, Method, SearchContext, SearchOptions, SearchResult};
+pub use engine::{
+    resume_search, run_search, try_run_search, CheckpointSpec, EpochTrace, Method,
+    SearchCheckpoint, SearchContext, SearchOptions, SearchResult,
+};
 pub use gradmanip::{manipulate, DeltaPolicy, Manipulated, ManipulationKind};
 pub use hdx_surrogate::{Estimator, EstimatorConfig, Generator};
 pub use meta_search::{constrained_meta_search, MetaSearchOutcome};

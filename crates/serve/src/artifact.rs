@@ -182,6 +182,56 @@ pub fn train_artifacts(
     (prepared, luts)
 }
 
+/// Incremental pre-training: continues an existing bundle's estimator
+/// on `pairs` **fresh** analytical-model-labelled pairs instead of
+/// starting from random weights (`train-and-save --init-bundle`). The
+/// new pair stream is derived [`hdx_tensor::Rng::split`]-style from
+/// the bundle's dataset seed and its prior pair budget: the seed is
+/// remixed through the generator's output function, so the
+/// continuation stream lands at an effectively independent point of
+/// the SplitMix64 sequence instead of an additive offset that chained
+/// continuations could walk back onto (each continuation sees its own
+/// window, disjoint from earlier training *and* holdout draws up to
+/// the usual split-collision odds). The bundle's task/seed identity is
+/// kept — warm-start bit-identity is about the dataset, and that
+/// regenerates from `(task, seed)` as always. The init bundle's warm
+/// LUTs are seeded into the process cache; `warm_luts` more are built
+/// on top.
+///
+/// Returns the context plus the warm-LUT set and the cumulative pair
+/// budget (prior + new) for bundle provenance.
+pub fn train_artifacts_from(
+    init: Artifacts,
+    pairs: usize,
+    est_epochs: usize,
+    warm_luts: usize,
+    jobs: usize,
+) -> (PreparedContext, WarmLuts, usize) {
+    let task = init.task;
+    let seed = init.seed;
+    let total_pairs = init.pairs + pairs;
+    let plan = task.plan();
+    // Split-style derivation (see the doc comment): one tagged parent
+    // stream per (seed, prior-budget) pair, its first mixed output
+    // seeding the continuation stream.
+    let mut parent = hdx_tensor::Rng::new(
+        (seed ^ 0xC017_14E5_u64.rotate_left(17)).wrapping_add(init.pairs as u64),
+    );
+    let mut rng = parent.split();
+    let train_pairs = hdx_surrogate::PairSet::sample_jobs(&plan, pairs, &mut rng, jobs);
+    let holdout = hdx_surrogate::PairSet::sample_jobs(&plan, 500, &mut rng, jobs);
+    let mut estimator = init.estimator;
+    estimator.set_training_schedule(est_epochs, 2e-3, jobs);
+    estimator.train(&train_pairs, &mut rng);
+    let accuracy = estimator.within_tolerance(&holdout, 0.10);
+    for (layers, lut) in init.luts {
+        LayerLut::seed_cache(&layers, lut);
+    }
+    let prepared = PreparedContext::from_artifacts(task, seed, estimator, accuracy);
+    let luts = warm_uniform_luts(task, warm_luts, jobs);
+    (prepared, luts, total_pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

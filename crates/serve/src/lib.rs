@@ -1,39 +1,50 @@
-//! `hdx-serve` — a persistent co-design search service.
+//! `hdx-serve` — a persistent, multi-tenant co-design search service.
 //!
 //! The other crates make one search fast; this crate makes *many*
-//! searches cheap. Every process used to start cold — estimator
-//! retrained from scratch, the 2295-point cost tables rebuilt, nothing
-//! reusable across runs. `hdx-serve` splits the lifecycle:
+//! searches cheap, for many tasks, from one process. The lifecycle
+//! splits into:
 //!
 //! * **train once** — `hdx-serve train-and-save` pre-trains the
-//!   estimator, builds a representative warm set of [`hdx_accel::LayerLut`]
-//!   tables, and writes everything to a single versioned checkpoint
-//!   bundle ([`artifact`], on `hdx_tensor::ckpt`);
-//! * **serve many** — `hdx-serve serve` / `oneshot` load the bundle
-//!   and answer [`SearchRequest`]s over a line protocol ([`proto`]) on
-//!   stdin/stdout or TCP, fanning independent jobs across a worker
-//!   pool ([`service`]).
+//!   estimator (optionally continuing from an existing bundle via
+//!   `--init-bundle`), builds a representative warm set of
+//!   [`hdx_accel::LayerLut`] tables, and writes everything to a single
+//!   versioned checkpoint bundle ([`artifact`], on `hdx_tensor::ckpt`);
+//! * **serve many** — `hdx-serve serve` / `oneshot` load any number of
+//!   `(task, seed)` bundles into one [`Router`] and answer requests
+//!   over a versioned line protocol ([`proto`]): the typed v1 envelope
+//!   ([`proto::v1`]) with runtime `load_bundle`/`unload_bundle`,
+//!   per-task routing, resumable searches, and a v0 shim that answers
+//!   PR-4 clients byte-identically.
 //!
-//! Two contracts make this safe at scale, both pinned by
-//! `tests/serve.rs`:
+//! Three contracts make this safe at scale, pinned by `tests/serve.rs`
+//! and `tests/serve_router.rs`:
 //!
 //! * **warm-start bit-identity** — a search served from a loaded
 //!   bundle produces byte-identical report lines to one served from
 //!   the in-process artifacts;
 //! * **scheduler determinism** — the response byte stream is invariant
-//!   to the worker count (each job is a pure function of its request;
-//!   the shared caches only trade compute for reuse).
+//!   to the worker count, even when one batch spans bundles (each job
+//!   is a pure function of its request; the shared caches only trade
+//!   compute for reuse);
+//! * **resume bit-identity** — a search interrupted at any epoch
+//!   boundary and continued via the v1 `resume` verb reports byte-
+//!   identically to the uninterrupted run.
 //!
-//! Long-lived deployments bound memory with `HDX_BANK_CAP` (the
-//! session bank's LRU cap); the `stats` protocol verb surfaces the
-//! bank's hit/miss/eviction counters.
+//! Hostile clients are bounded by [`RouterConfig`]: a per-connection
+//! request quota and a per-job *deterministic* step deadline (never
+//! wall clock — reports must stay byte-reproducible). Long-lived
+//! deployments bound memory with `HDX_BANK_CAP` (the session bank's
+//! LRU cap); the `stats` verb surfaces the bank's counters plus
+//! per-bundle serving counters.
 
 pub mod artifact;
 pub mod proto;
-pub mod service;
+pub mod router;
+pub(crate) mod service;
 
 pub use artifact::{
-    load_bundle, save_bundle, train_artifacts, warm_uniform_luts, Artifacts, WarmLuts,
+    load_bundle, save_bundle, train_artifacts, train_artifacts_from, warm_uniform_luts, Artifacts,
+    WarmLuts,
 };
-pub use proto::{parse_request, ProtoError, Request, SearchReport, SearchRequest};
-pub use service::SearchService;
+pub use proto::{parse_request, v1, ErrorKind, ProtoError, Request, SearchReport, SearchRequest};
+pub use router::{Router, RouterConfig};

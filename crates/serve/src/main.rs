@@ -1,24 +1,31 @@
-//! The `hdx-serve` binary: train-once / serve-many for co-design
-//! searches.
+//! The `hdx-serve` binary: train-once / serve-many, multi-tenant.
 //!
 //! ```sh
 //! # One-time: pre-train the estimator + warm LUTs, write the bundle.
-//! hdx-serve train-and-save --out artifacts.ckpt --task cifar --seed 0
+//! hdx-serve train-and-save --out cifar.ckpt --task cifar --seed 0
 //!
-//! # Answer a request file (or stdin) against the saved artifacts.
+//! # Continue pre-training an existing bundle on more pairs.
+//! hdx-serve train-and-save --out cifar2.ckpt --init-bundle cifar.ckpt --pairs 4000
+//!
+//! # Answer a request file (or stdin) against one or more bundles.
 //! echo "search id=1 fps=30 epochs=5 steps=5 final_train=200 seed=0" |
-//!     hdx-serve oneshot --artifacts artifacts.ckpt
+//!     hdx-serve oneshot --bundle cifar.ckpt --bundle imagenet.ckpt
 //!
-//! # Long-lived service on stdin/stdout or TCP.
-//! hdx-serve serve --artifacts artifacts.ckpt --tcp 127.0.0.1:7878
+//! # Long-lived multi-task service on stdin/stdout or TCP, hardened.
+//! hdx-serve serve --bundle cifar.ckpt --bundle imagenet.ckpt \
+//!     --tcp 127.0.0.1:7878 --max-requests-per-conn 256 --deadline-steps 100000
 //! ```
 //!
 //! `--jobs` controls the scheduler's worker pool (`0` = auto via
 //! `HDX_JOBS`); `HDX_BANK_CAP` bounds the session bank for long-lived
-//! deployments.
+//! deployments. Requests route by their `task` field; v1 clients
+//! (`hdx1 …` lines) can additionally pin a `bundle_seed`, manage
+//! bundles at runtime, and resume checkpointed searches.
 
 use hdx_core::Task;
-use hdx_serve::{load_bundle, save_bundle, train_artifacts, SearchService};
+use hdx_serve::{
+    load_bundle, save_bundle, train_artifacts, train_artifacts_from, Router, RouterConfig,
+};
 use std::io::BufReader;
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -47,24 +54,35 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-hdx-serve — persistent co-design search service
+hdx-serve — persistent multi-tenant co-design search service
 
 USAGE:
   hdx-serve train-and-save --out FILE [--task cifar|imagenet] [--seed N]
                            [--pairs N] [--est-epochs N] [--warm-luts 0..=6]
-                           [--jobs N]
-  hdx-serve oneshot --artifacts FILE [--requests FILE] [--jobs N]
-  hdx-serve serve   --artifacts FILE [--tcp ADDR] [--jobs N]
+                           [--init-bundle FILE] [--jobs N]
+  hdx-serve oneshot --bundle FILE [--bundle FILE …] [--requests FILE]
+                    [--jobs N] [--max-requests-per-conn N] [--deadline-steps N]
+  hdx-serve serve   --bundle FILE [--bundle FILE …] [--tcp ADDR]
+                    [--jobs N] [--max-requests-per-conn N] [--deadline-steps N]
 
 train-and-save  pre-trains the estimator on analytical-model pairs,
                 builds warm LayerLut tables, writes one bundle file.
-oneshot         reads `search …` lines (file or stdin), runs them as a
-                batch against the bundle, prints `report …` lines.
+                --init-bundle continues an existing bundle's estimator
+                on fresh pairs instead of starting from scratch.
+oneshot         reads request lines (file or stdin), runs them as a
+                batch against the loaded bundles, prints responses.
 serve           line protocol on stdin/stdout, or TCP with --tcp.
+                Requests route by task across every --bundle.
+                (--artifacts is accepted as an alias for --bundle.)
+
+Hardening: --max-requests-per-conn caps lines per connection;
+--deadline-steps caps each job's deterministic step budget
+(epochs·steps + final_train, × max_searches). Both answer in-band
+typed errors, never silent drops.
 ";
 
 /// Tiny std-only flag parser: `--key value` pairs after the
-/// subcommand.
+/// subcommand. Repeatable keys keep every occurrence in order.
 struct Flags {
     pairs: Vec<(String, String)>,
 }
@@ -92,6 +110,15 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value given for a repeatable flag, in order.
+    fn get_all(&self, keys: &[&str]) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| keys.contains(&k.as_str()))
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     fn require(&self, key: &str) -> Result<&str, String> {
         self.get(key).ok_or_else(|| format!("--{key} is required"))
     }
@@ -101,6 +128,16 @@ impl Flags {
             None => Ok(default),
             Some(v) => v
                 .parse()
+                .map_err(|_| format!("invalid value \"{v}\" for --{key}")),
+        }
+    }
+
+    fn parse_opt_num(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
                 .map_err(|_| format!("invalid value \"{v}\" for --{key}")),
         }
     }
@@ -132,22 +169,43 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
         "pairs",
         "est-epochs",
         "warm-luts",
+        "init-bundle",
         "jobs",
     ])?;
     let out = PathBuf::from(flags.require("out")?);
-    let task = parse_task(&flags)?;
-    let seed: u64 = flags.parse_num("seed", 0)?;
     let pairs: usize = flags.parse_num("pairs", 8_000)?;
     let est_epochs: usize = flags.parse_num("est-epochs", 30)?;
     let warm_luts: usize = flags.parse_num("warm-luts", 6)?;
     let jobs: usize = flags.parse_num("jobs", 0)?;
 
-    eprintln!(
-        "training artifacts: task={task:?} seed={seed} pairs={pairs} est_epochs={est_epochs} \
-         warm_luts={warm_luts}"
-    );
     let start = std::time::Instant::now();
-    let (prepared, luts) = train_artifacts(task, seed, pairs, est_epochs, warm_luts, jobs);
+    let (task, seed, prepared, luts, total_pairs) = match flags.get("init-bundle") {
+        Some(init_path) => {
+            if flags.get("task").is_some() || flags.get("seed").is_some() {
+                return Err("--init-bundle fixes the task and seed; drop --task/--seed".to_owned());
+            }
+            let init = load_bundle(&PathBuf::from(init_path)).map_err(|e| e.to_string())?;
+            let (task, seed) = (init.task, init.seed);
+            eprintln!(
+                "continuing bundle {init_path}: task={task:?} seed={seed} prior_pairs={} \
+                 (+{pairs} fresh, est_epochs={est_epochs})",
+                init.pairs
+            );
+            let (prepared, luts, total) =
+                train_artifacts_from(init, pairs, est_epochs, warm_luts, jobs);
+            (task, seed, prepared, luts, total)
+        }
+        None => {
+            let task = parse_task(&flags)?;
+            let seed: u64 = flags.parse_num("seed", 0)?;
+            eprintln!(
+                "training artifacts: task={task:?} seed={seed} pairs={pairs} \
+                 est_epochs={est_epochs} warm_luts={warm_luts}"
+            );
+            let (prepared, luts) = train_artifacts(task, seed, pairs, est_epochs, warm_luts, jobs);
+            (task, seed, prepared, luts, pairs)
+        }
+    };
     eprintln!(
         "trained in {:.1}s: estimator within-10% accuracy {:.1}%, {} warm LUT(s)",
         start.elapsed().as_secs_f64(),
@@ -158,7 +216,7 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
         &out,
         task,
         seed,
-        pairs,
+        total_pairs,
         prepared.estimator_accuracy,
         prepared.estimator(),
         &luts,
@@ -173,62 +231,88 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_service(flags: &Flags) -> Result<SearchService, String> {
-    let path = PathBuf::from(flags.require("artifacts")?);
-    let start = std::time::Instant::now();
-    let artifacts = load_bundle(&path).map_err(|e| e.to_string())?;
-    let task = artifacts.task;
-    let accuracy = artifacts.estimator_accuracy;
-    let luts = artifacts.luts.len();
-    let prepared = artifacts.into_prepared();
-    eprintln!(
-        "warm start in {:.2}s: task={task:?}, estimator within-10% accuracy {:.1}%, {luts} \
-         seeded LUT(s)",
-        start.elapsed().as_secs_f64(),
-        accuracy * 100.0,
-    );
-    Ok(SearchService::new(task, prepared))
+/// Builds a router from every `--bundle`/`--artifacts` flag plus the
+/// hardening knobs.
+fn load_router(flags: &Flags) -> Result<Router, String> {
+    let bundles = flags.get_all(&["bundle", "artifacts"]);
+    if bundles.is_empty() {
+        return Err("at least one --bundle is required".to_owned());
+    }
+    let cfg = RouterConfig {
+        jobs: flags.parse_num("jobs", 0)?,
+        max_requests_per_conn: flags.parse_opt_num("max-requests-per-conn")?,
+        deadline_steps: flags.parse_opt_num("deadline-steps")?,
+    };
+    let router = Router::new(cfg);
+    for path in bundles {
+        let start = std::time::Instant::now();
+        let entry = router
+            .load_bundle_path(&PathBuf::from(path))
+            .map_err(|e| format!("cannot load bundle {path}: {e}"))?;
+        eprintln!(
+            "loaded {path} in {:.2}s: task={:?} bundle_seed={} estimator accuracy {:.1}%",
+            start.elapsed().as_secs_f64(),
+            entry.task,
+            entry.bundle_seed,
+            entry.estimator_accuracy * 100.0,
+        );
+    }
+    Ok(router)
 }
+
+const SERVE_FLAGS: [&str; 7] = [
+    "bundle",
+    "artifacts",
+    "requests",
+    "tcp",
+    "jobs",
+    "max-requests-per-conn",
+    "deadline-steps",
+];
 
 fn cmd_oneshot(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    flags.reject_unknown(&["artifacts", "requests", "jobs"])?;
-    let jobs: usize = flags.parse_num("jobs", 0)?;
-    let service = load_service(&flags)?;
+    flags.reject_unknown(&SERVE_FLAGS)?;
+    if flags.get("tcp").is_some() {
+        return Err("--tcp belongs to the serve subcommand".to_owned());
+    }
+    let router = load_router(&flags)?;
     let stdout = std::io::stdout();
     match flags.get("requests") {
         Some(path) => {
             let file = std::fs::File::open(path)
                 .map_err(|e| format!("cannot open requests file {path}: {e}"))?;
-            service
-                .serve_connection(BufReader::new(file), stdout.lock(), jobs)
+            router
+                .serve_connection(BufReader::new(file), stdout.lock())
                 .map_err(|e| e.to_string())
         }
-        None => service
-            .serve_connection(std::io::stdin().lock(), stdout.lock(), jobs)
+        None => router
+            .serve_connection(std::io::stdin().lock(), stdout.lock())
             .map_err(|e| e.to_string()),
     }
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    flags.reject_unknown(&["artifacts", "tcp", "jobs"])?;
-    let jobs: usize = flags.parse_num("jobs", 0)?;
-    let service = load_service(&flags)?;
+    flags.reject_unknown(&SERVE_FLAGS)?;
+    if flags.get("requests").is_some() {
+        return Err("--requests belongs to the oneshot subcommand".to_owned());
+    }
+    let router = load_router(&flags)?;
     match flags.get("tcp") {
         Some(addr) => {
             let listener =
                 TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
             let local = listener.local_addr().map_err(|e| e.to_string())?;
             eprintln!("listening on {local}");
-            Arc::new(service)
-                .serve_tcp(listener, jobs)
+            Arc::new(router)
+                .serve_tcp(listener)
                 .map_err(|e| e.to_string())
         }
         None => {
-            eprintln!("serving on stdin/stdout (send `search …` lines; EOF flushes the batch)");
-            service
-                .serve_connection(std::io::stdin().lock(), std::io::stdout().lock(), jobs)
+            eprintln!("serving on stdin/stdout (send request lines; EOF flushes the batch)");
+            router
+                .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
                 .map_err(|e| e.to_string())
         }
     }

@@ -1,0 +1,1092 @@
+//! The wire protocol: a versioned typed core ([`v1`]) plus the frozen
+//! PR-4 line grammar (v0) as a compatibility shim.
+//!
+//! Both versions are line-delimited `verb key=value …` text — trivially
+//! scriptable over stdin/stdout or a TCP stream, no third-party
+//! serialization (the container builds offline). A v1 line leads with
+//! the `hdx1` version token; anything else is parsed with the v0
+//! grammar and answered in v0 framing, so PR-4 clients keep receiving
+//! **byte-identical** responses:
+//!
+//! ```text
+//! search id=1 task=cifar method=hdx fps=30 seed=0          # v0
+//! hdx1 search id=1 task=cifar method=hdx fps=30 seed=0     # v1
+//! hdx1 resume id=2 ckpt=/tmp/s.ckpt task=cifar seed=0 …    # v1 only
+//! ```
+//!
+//! This module owns the version-independent core: the typed
+//! [`ProtoError`] (every failure names its kind, field, and byte
+//! offset), the [`SearchRequest`] / [`SearchReport`] payload types, and
+//! the v0 codec. [`v1`] layers the envelope
+//! (`version`/`request_id`/body enums) and its canonical encode/decode
+//! pair on top.
+//!
+//! # Byte-identity
+//!
+//! Report encoding is **deterministic**: fields are emitted in a fixed
+//! order and floats use Rust's shortest-round-trip `Display`, which is
+//! a pure function of the bit pattern. Two searches that produce
+//! bit-identical results therefore produce byte-identical report lines
+//! — the property the service determinism tests pin (worker-count,
+//! warm-start, and resume invariance compare raw report bytes).
+//! Wall-clock timing is deliberately excluded from reports for the
+//! same reason; the queue/step fields added by v1 are deterministic
+//! functions of the request and its dispatch position.
+
+pub mod v1;
+
+use hdx_core::{Constraint, Method, Metric, SearchOptions, SearchResult, Task};
+use hdx_nas::{SupernetConfig, OP_SET};
+use std::path::PathBuf;
+
+/// What went wrong, precisely. Every variant that originates in a
+/// parser carries the byte offset of the offending token within the
+/// request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line had no verb.
+    EmptyLine,
+    /// The verb is not part of the (version-resolved) grammar.
+    UnknownVerb {
+        /// The verb as received.
+        verb: String,
+        /// Byte offset of the verb in the line.
+        offset: usize,
+    },
+    /// The line leads with a version token this server does not speak.
+    VersionMismatch {
+        /// The version token as received.
+        token: String,
+        /// Byte offset of the token (0 in practice).
+        offset: usize,
+    },
+    /// A field token is not of the `key=value` form.
+    NotKeyValue {
+        /// The malformed token.
+        token: String,
+        /// Byte offset of the token.
+        offset: usize,
+    },
+    /// The key is not a field of the verb (typos must not silently
+    /// fall back to defaults).
+    UnknownField {
+        /// The unknown key.
+        key: String,
+        /// Byte offset of the key.
+        offset: usize,
+    },
+    /// The value does not parse (or violates the field's domain).
+    InvalidValue {
+        /// Field key.
+        key: String,
+        /// Offending value text.
+        value: String,
+        /// Byte offset of the value.
+        offset: usize,
+    },
+    /// Input after the grammatical end of the request.
+    TrailingInput {
+        /// First trailing token.
+        token: String,
+        /// Byte offset of that token.
+        offset: usize,
+    },
+    /// A field the verb requires is absent.
+    MissingField {
+        /// The required key.
+        key: &'static str,
+    },
+    /// Cross-field validation failure (e.g. a meta-search without a
+    /// constraint).
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+    /// No loaded bundle covers the requested task.
+    TaskUnavailable {
+        /// The task label the request named.
+        task: String,
+        /// The explicit bundle seed, when the request pinned one.
+        bundle_seed: Option<u64>,
+    },
+    /// The connection exhausted its request quota
+    /// (`--max-requests-per-conn`).
+    QuotaExceeded {
+        /// The configured per-connection limit.
+        limit: u64,
+    },
+    /// The job's deterministic step budget exceeds the per-job
+    /// deadline (`--deadline-steps`).
+    DeadlineExceeded {
+        /// The job's worst-case optimizer-step budget.
+        budget: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A checkpoint/resume failure (load error, fingerprint mismatch).
+    Checkpoint {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl ErrorKind {
+    /// Stable machine-readable code (the v1 `code=` field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ErrorKind::EmptyLine => "empty_line",
+            ErrorKind::UnknownVerb { .. } => "unknown_verb",
+            ErrorKind::VersionMismatch { .. } => "version_mismatch",
+            ErrorKind::NotKeyValue { .. } => "bad_token",
+            ErrorKind::UnknownField { .. } => "unknown_field",
+            ErrorKind::InvalidValue { .. } => "invalid_value",
+            ErrorKind::TrailingInput { .. } => "trailing_input",
+            ErrorKind::MissingField { .. } => "missing_field",
+            ErrorKind::Invalid { .. } => "invalid_request",
+            ErrorKind::TaskUnavailable { .. } => "task_unavailable",
+            ErrorKind::QuotaExceeded { .. } => "quota_exceeded",
+            ErrorKind::DeadlineExceeded { .. } => "deadline_exceeded",
+            ErrorKind::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// Byte offset of the offending token, for parse-level kinds.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            ErrorKind::UnknownVerb { offset, .. }
+            | ErrorKind::VersionMismatch { offset, .. }
+            | ErrorKind::NotKeyValue { offset, .. }
+            | ErrorKind::UnknownField { offset, .. }
+            | ErrorKind::InvalidValue { offset, .. }
+            | ErrorKind::TrailingInput { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+
+    /// Human-readable description (the `msg=` field).
+    pub fn message(&self) -> String {
+        match self {
+            ErrorKind::EmptyLine => "empty request line".to_owned(),
+            ErrorKind::UnknownVerb { verb, .. } => format!("unknown verb \"{verb}\""),
+            ErrorKind::VersionMismatch { token, .. } => format!(
+                "unsupported protocol version \"{token}\" (supported: {})",
+                v1::VERSION_TOKEN
+            ),
+            ErrorKind::NotKeyValue { token, .. } => format!("expected key=value, got \"{token}\""),
+            ErrorKind::UnknownField { key, .. } => format!("unknown field \"{key}\""),
+            ErrorKind::InvalidValue { key, value, .. } => {
+                format!("invalid value \"{value}\" for {key}")
+            }
+            ErrorKind::TrailingInput { token, .. } => {
+                format!("trailing input \"{token}\" after request")
+            }
+            ErrorKind::MissingField { key } => format!("required field \"{key}\" missing"),
+            ErrorKind::Invalid { message } | ErrorKind::Checkpoint { message } => message.clone(),
+            ErrorKind::TaskUnavailable { task, bundle_seed } => match bundle_seed {
+                Some(seed) => format!("no bundle loaded for task \"{task}\" seed {seed}"),
+                None => format!("no bundle loaded for task \"{task}\""),
+            },
+            ErrorKind::QuotaExceeded { limit } => {
+                format!("connection exceeded its {limit}-request quota")
+            }
+            ErrorKind::DeadlineExceeded { budget, limit } => {
+                format!("job step budget {budget} exceeds the {limit}-step deadline")
+            }
+        }
+    }
+}
+
+/// Typed protocol failure: the request id it belongs to (0 when the id
+/// was never parsed) plus the failure [`ErrorKind`]. Rendered in-band
+/// as an `error …` line in whichever framing the request used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Request id the error belongs to (0 when unparsed).
+    pub id: u64,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+impl ProtoError {
+    /// Builds an error for request `id`.
+    pub fn new(id: u64, kind: ErrorKind) -> ProtoError {
+        ProtoError { id, kind }
+    }
+
+    /// The v0 `error …` response line — the PR-4 framing, byte-stable
+    /// for v0 clients (spaces in the message become `_` so the line
+    /// stays trivially splittable).
+    pub fn encode(&self) -> String {
+        format!(
+            "error id={} msg={}",
+            self.id,
+            self.kind.message().replace(char::is_whitespace, "_")
+        )
+    }
+
+    /// The v1 `error …` response line: machine-readable code, byte
+    /// offset when known, then the message.
+    pub fn encode_v1(&self) -> String {
+        let mut s = format!(
+            "{} error id={} code={}",
+            v1::VERSION_TOKEN,
+            self.id,
+            self.kind.code()
+        );
+        if let Some(offset) = self.kind.offset() {
+            s.push_str(&format!(" offset={offset}"));
+        }
+        s.push_str(&format!(
+            " msg={}",
+            self.kind.message().replace(char::is_whitespace, "_")
+        ));
+        s
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request {}: {}", self.id, self.kind.message())
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Splits a line into whitespace-separated tokens, each with its byte
+/// offset (for [`ErrorKind`] diagnostics).
+pub(crate) fn tokens(line: &str) -> impl Iterator<Item = (usize, &str)> + '_ {
+    line.split_whitespace()
+        .map(move |tok| (tok.as_ptr() as usize - line.as_ptr() as usize, tok))
+}
+
+/// One parsed v0 input line (the PR-4 grammar; [`v1`] has the full
+/// envelope).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A (meta-)search job.
+    Search(Box<SearchRequest>),
+    /// Bank/service statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A single co-design search job (or a λ-grid / meta-search family of
+/// jobs) as carried by one `search`/`grid`/`meta`/`resume` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// Caller-chosen id, echoed in the report.
+    pub id: u64,
+    /// λ-grid expansion index (`None` for the unexpanded request).
+    pub sub: Option<usize>,
+    /// Benchmark task the artifacts must serve.
+    pub task: Task,
+    /// Explicit bundle seed to route to (v1; defaults to the lowest
+    /// seed registered for the task).
+    pub bundle_seed: Option<u64>,
+    /// Search method.
+    pub method: Method,
+    /// Hard constraints (enforced by HDX, monitored by baselines).
+    pub constraints: Vec<Constraint>,
+    /// λ_Cost (Eq. 6).
+    pub lambda_cost: f64,
+    /// Optional soft-penalty weight.
+    pub lambda_soft: Option<f64>,
+    /// Optional λ_Cost grid: the service expands one request into one
+    /// independent job per entry (Fig. 1-style sweeps as one line).
+    pub lambda_grid: Vec<f64>,
+    /// Search epochs.
+    pub epochs: usize,
+    /// Steps per epoch.
+    pub steps: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Final retraining steps (0 reports the supernet error).
+    pub final_train: usize,
+    /// RNG seed (per-job determinism: the report is a pure function of
+    /// the request).
+    pub seed: u64,
+    /// Supernet paths sampled per layer.
+    pub num_paths: usize,
+    /// Meta-search budget: `> 1` runs the §5.2 constrained meta-search
+    /// on the first constraint instead of a single search.
+    pub max_searches: usize,
+    /// Mid-search snapshot path (v1 `ckpt=`): the engine writes a
+    /// `hdx_core::SearchCheckpoint` here every
+    /// [`SearchRequest::checkpoint_every`] epochs. For the `resume`
+    /// verb this is also the snapshot to load.
+    pub checkpoint: Option<String>,
+    /// Epoch boundaries between snapshots (v1 `ckpt_every=`).
+    pub checkpoint_every: usize,
+    /// Whether this request resumes from [`SearchRequest::checkpoint`]
+    /// (set by the v1 `resume` verb; a resumed search keeps
+    /// snapshotting to the same path).
+    pub resume_from_checkpoint: bool,
+}
+
+impl Default for SearchRequest {
+    fn default() -> Self {
+        let opts = SearchOptions::default();
+        SearchRequest {
+            id: 0,
+            sub: None,
+            task: Task::Cifar,
+            bundle_seed: None,
+            method: opts.method,
+            constraints: Vec::new(),
+            lambda_cost: opts.lambda_cost,
+            lambda_soft: None,
+            lambda_grid: Vec::new(),
+            epochs: opts.epochs,
+            steps: opts.steps_per_epoch,
+            batch: opts.batch,
+            final_train: opts.final_train_steps,
+            seed: 0,
+            num_paths: opts.supernet.num_paths,
+            max_searches: 1,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume_from_checkpoint: false,
+        }
+    }
+}
+
+impl SearchRequest {
+    /// The [`SearchOptions`] this request resolves to. The inner search
+    /// runs single-worker (`jobs = 1`): the service parallelizes
+    /// *across* jobs, and results are worker-count invariant anyway.
+    pub fn options(&self) -> SearchOptions {
+        SearchOptions {
+            method: self.method,
+            lambda_cost: self.lambda_cost,
+            lambda_soft: self.lambda_soft,
+            constraints: self.constraints.clone(),
+            epochs: self.epochs,
+            steps_per_epoch: self.steps,
+            batch: self.batch,
+            final_train_steps: self.final_train,
+            seed: self.seed,
+            supernet: SupernetConfig {
+                num_paths: self.num_paths,
+                ..SupernetConfig::default()
+            },
+            jobs: 1,
+            checkpoint: self
+                .checkpoint
+                .as_ref()
+                .map(|path| hdx_core::CheckpointSpec {
+                    path: PathBuf::from(path),
+                    every_epochs: self.checkpoint_every,
+                    note: Some(self.encode()),
+                }),
+            ..SearchOptions::default()
+        }
+    }
+
+    /// The job's deterministic optimizer-step budget: what the per-job
+    /// deadline is enforced against, and the basis of the report's
+    /// `steps_used` field. A pure function of the request — never of
+    /// elapsed work — so resumed reports stay bit-identical to
+    /// uninterrupted ones.
+    pub fn step_budget(&self) -> u64 {
+        (self.max_searches as u64)
+            * (self.epochs as u64 * self.steps as u64 + self.final_train as u64)
+    }
+
+    /// Expands a λ-grid request into independent single-λ jobs (a
+    /// request without a grid expands to itself). Expansion order is
+    /// the grid order, so report order is deterministic.
+    pub fn expand(&self) -> Vec<SearchRequest> {
+        if self.lambda_grid.is_empty() {
+            return vec![self.clone()];
+        }
+        self.lambda_grid
+            .iter()
+            .enumerate()
+            .map(|(k, &lambda)| SearchRequest {
+                sub: Some(k),
+                lambda_cost: lambda,
+                lambda_grid: Vec::new(),
+                ..self.clone()
+            })
+            .collect()
+    }
+
+    /// Encodes the request's fields as a `search …`-style v0 line that
+    /// [`parse_request`] round-trips. v1-only fields (`bundle_seed`,
+    /// `ckpt`, `ckpt_every`) are appended only when set, so a request a
+    /// v0 client could have sent encodes to a line a v0 client could
+    /// parse.
+    pub fn encode(&self) -> String {
+        let mut s = format!(
+            "search id={} task={} method={}",
+            self.id,
+            task_label(self.task),
+            match self.method {
+                Method::NasThenHw { .. } => "nas",
+                Method::AutoNba => "autonba",
+                Method::Dance => "dance",
+                Method::Hdx { .. } => "hdx",
+            }
+        );
+        match self.method {
+            Method::NasThenHw { lambda_macs } => s.push_str(&format!(" lambda_macs={lambda_macs}")),
+            Method::Hdx { delta0, p } => s.push_str(&format!(" delta0={delta0} p={p}")),
+            _ => {}
+        }
+        for c in &self.constraints {
+            s.push_str(&format!(" {}={}", metric_key(c.metric), c.target));
+        }
+        s.push_str(&format!(" lambda_cost={}", self.lambda_cost));
+        if let Some(l) = self.lambda_soft {
+            s.push_str(&format!(" lambda_soft={l}"));
+        }
+        if !self.lambda_grid.is_empty() {
+            let grid: Vec<String> = self.lambda_grid.iter().map(f64::to_string).collect();
+            s.push_str(&format!(" lambda_grid={}", grid.join(",")));
+        }
+        s.push_str(&format!(
+            " epochs={} steps={} batch={} final_train={} seed={} num_paths={} max_searches={}",
+            self.epochs,
+            self.steps,
+            self.batch,
+            self.final_train,
+            self.seed,
+            self.num_paths,
+            self.max_searches
+        ));
+        if let Some(seed) = self.bundle_seed {
+            s.push_str(&format!(" bundle_seed={seed}"));
+        }
+        if let Some(path) = &self.checkpoint {
+            s.push_str(&format!(
+                " ckpt={path} ckpt_every={}",
+                self.checkpoint_every
+            ));
+        }
+        s
+    }
+}
+
+pub(crate) fn task_label(task: Task) -> &'static str {
+    match task {
+        Task::Cifar => "cifar",
+        Task::ImageNet => "imagenet",
+    }
+}
+
+pub(crate) fn task_from_label(label: &str) -> Option<Task> {
+    match label {
+        "cifar" => Some(Task::Cifar),
+        "imagenet" => Some(Task::ImageNet),
+        _ => None,
+    }
+}
+
+fn metric_key(metric: Metric) -> &'static str {
+    match metric {
+        Metric::Latency => "latency",
+        Metric::Energy => "energy",
+        Metric::Area => "area",
+    }
+}
+
+/// Parses one v0 input line into a [`Request`] (the PR-4 grammar —
+/// `search`/`stats`/`ping`; v1-only fields and verbs are rejected so
+/// the shim's accepted language stays exactly PR-4's).
+///
+/// # Errors
+///
+/// A typed [`ProtoError`] naming the offending token and its byte
+/// offset; unknown keys are rejected (a typo must not silently fall
+/// back to a default), and so is trailing input after `stats`/`ping`.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let mut parts = tokens(line);
+    let Some((verb_off, verb)) = parts.next() else {
+        return Err(ProtoError::new(0, ErrorKind::EmptyLine));
+    };
+    match verb {
+        "stats" => reject_trailing(parts).map(|()| Request::Stats),
+        "ping" => reject_trailing(parts).map(|()| Request::Ping),
+        "search" => {
+            let mut fields = SearchFieldParser::new(false);
+            for (offset, part) in parts {
+                fields.apply(offset, part)?;
+            }
+            fields.finish().map(|req| Request::Search(Box::new(req)))
+        }
+        other => Err(ProtoError::new(
+            0,
+            ErrorKind::UnknownVerb {
+                verb: other.to_owned(),
+                offset: verb_off,
+            },
+        )),
+    }
+}
+
+/// Rejects any token after a verb that takes no further fields. (The
+/// PR-4 parser silently ignored trailing garbage on `stats`/`ping`; a
+/// mistyped pipeline must not be mistaken for a control request.)
+pub(crate) fn reject_trailing<'a>(
+    mut parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<(), ProtoError> {
+    match parts.next() {
+        None => Ok(()),
+        Some((offset, token)) => Err(ProtoError::new(
+            0,
+            ErrorKind::TrailingInput {
+                token: token.to_owned(),
+                offset,
+            },
+        )),
+    }
+}
+
+/// Incremental `key=value` parser for search-type requests, shared by
+/// the v0 and v1 grammars (`v1` gates the fields PR-4 did not have).
+/// Method parameters arrive as independent pairs; the [`Method`] is
+/// assembled in [`SearchFieldParser::finish`].
+pub(crate) struct SearchFieldParser {
+    v1: bool,
+    req: SearchRequest,
+    method: Option<&'static str>,
+    delta0: f32,
+    p: f32,
+    lambda_macs: f64,
+}
+
+impl SearchFieldParser {
+    pub(crate) fn new(v1: bool) -> SearchFieldParser {
+        SearchFieldParser {
+            v1,
+            req: SearchRequest::default(),
+            method: None,
+            delta0: 1e-3,
+            p: 1e-2,
+            lambda_macs: 0.05,
+        }
+    }
+
+    /// Applies one `key=value` token found at byte offset `offset`.
+    pub(crate) fn apply(&mut self, offset: usize, part: &str) -> Result<(), ProtoError> {
+        let id = self.req.id;
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(ProtoError::new(
+                id,
+                ErrorKind::NotKeyValue {
+                    token: part.to_owned(),
+                    offset,
+                },
+            ));
+        };
+        // Offset of the value within the line, for value-level errors.
+        let voff = offset + key.len() + 1;
+        let err = |key: &str, value: &str| {
+            ProtoError::new(
+                id,
+                ErrorKind::InvalidValue {
+                    key: key.to_owned(),
+                    value: value.to_owned(),
+                    offset: voff,
+                },
+            )
+        };
+        // Rust's float FromStr accepts "NaN"/"inf"; a λ or δ knob set
+        // to either would silently poison the whole objective, so every
+        // float field rejects non-finite values (as the constraint
+        // fields do).
+        let finite_f64 = |key: &str, value: &str| -> Result<f64, ProtoError> {
+            match value.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok(v),
+                _ => Err(err(key, value)),
+            }
+        };
+        let finite_f32 = |key: &str, value: &str| -> Result<f32, ProtoError> {
+            match value.parse::<f32>() {
+                Ok(v) if v.is_finite() => Ok(v),
+                _ => Err(err(key, value)),
+            }
+        };
+        let positive = |key: &str, value: &str| -> Result<usize, ProtoError> {
+            match value.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(err(key, value)),
+            }
+        };
+
+        let req = &mut self.req;
+        match key {
+            "id" => req.id = value.parse().map_err(|_| err(key, value))?,
+            "task" => req.task = task_from_label(value).ok_or_else(|| err(key, value))?,
+            "method" => match value {
+                "hdx" => self.method = Some("hdx"),
+                "dance" => self.method = Some("dance"),
+                "autonba" => self.method = Some("autonba"),
+                "nas" => self.method = Some("nas"),
+                _ => return Err(err(key, value)),
+            },
+            "delta0" => self.delta0 = finite_f32(key, value)?,
+            "p" => self.p = finite_f32(key, value)?,
+            "lambda_macs" => self.lambda_macs = finite_f64(key, value)?,
+            "fps" => {
+                let fps: f64 = value.parse().map_err(|_| err(key, value))?;
+                if !(fps > 0.0 && fps.is_finite()) {
+                    return Err(err(key, value));
+                }
+                req.constraints.push(Constraint::fps(fps));
+            }
+            "latency" | "energy" | "area" => {
+                let target: f64 = value.parse().map_err(|_| err(key, value))?;
+                if !(target > 0.0 && target.is_finite()) {
+                    return Err(err(key, value));
+                }
+                let metric = match key {
+                    "latency" => Metric::Latency,
+                    "energy" => Metric::Energy,
+                    _ => Metric::Area,
+                };
+                req.constraints.push(Constraint::new(metric, target));
+            }
+            "lambda_cost" => req.lambda_cost = finite_f64(key, value)?,
+            "lambda_soft" => req.lambda_soft = Some(finite_f64(key, value)?),
+            "lambda_grid" => {
+                req.lambda_grid = value
+                    .split(',')
+                    .map(|entry| finite_f64(key, entry))
+                    .collect::<Result<_, _>>()?;
+                if req.lambda_grid.is_empty() {
+                    return Err(err(key, value));
+                }
+            }
+            "epochs" => req.epochs = positive(key, value)?,
+            "steps" => req.steps = positive(key, value)?,
+            "batch" => req.batch = positive(key, value)?,
+            "final_train" => req.final_train = value.parse().map_err(|_| err(key, value))?,
+            "seed" => req.seed = value.parse().map_err(|_| err(key, value))?,
+            "num_paths" => {
+                let n: usize = positive(key, value)?;
+                if n > OP_SET.len() {
+                    return Err(err(key, value));
+                }
+                req.num_paths = n;
+            }
+            "max_searches" => req.max_searches = positive(key, value)?,
+            "bundle_seed" if self.v1 => {
+                req.bundle_seed = Some(value.parse().map_err(|_| err(key, value))?);
+            }
+            "ckpt" if self.v1 => {
+                if value.is_empty() {
+                    return Err(err(key, value));
+                }
+                req.checkpoint = Some(value.to_owned());
+            }
+            "ckpt_every" if self.v1 => req.checkpoint_every = positive(key, value)?,
+            other => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: other.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-field validation and [`Method`] assembly.
+    pub(crate) fn finish(self) -> Result<SearchRequest, ProtoError> {
+        let mut req = self.req;
+        req.method = match self.method {
+            Some("hdx") | None => Method::Hdx {
+                delta0: self.delta0,
+                p: self.p,
+            },
+            Some("dance") => Method::Dance,
+            Some("autonba") => Method::AutoNba,
+            Some("nas") => Method::NasThenHw {
+                lambda_macs: self.lambda_macs,
+            },
+            Some(_) => unreachable!("method values validated above"),
+        };
+        if req.max_searches > 1 && req.constraints.is_empty() {
+            return Err(ProtoError::new(
+                req.id,
+                ErrorKind::Invalid {
+                    message: "max_searches > 1 requires at least one constraint".to_owned(),
+                },
+            ));
+        }
+        Ok(req)
+    }
+}
+
+/// A search outcome as carried by one `report` line. Everything in it
+/// is a deterministic function of the request, its dispatch position,
+/// and the warm artifacts — wall-clock timing is deliberately absent
+/// (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Echo of the request id.
+    pub id: u64,
+    /// λ-grid expansion index, if any.
+    pub sub: Option<usize>,
+    /// Method label (`HDX`, `DANCE`, …).
+    pub method: &'static str,
+    /// Task label.
+    pub task: &'static str,
+    /// Echo of the seed.
+    pub seed: u64,
+    /// λ_Cost the job ran with.
+    pub lambda_cost: f64,
+    /// Searches performed (1, or the meta-search count).
+    pub searches: usize,
+    /// Whether the accepted result satisfies the constraints.
+    pub satisfied: bool,
+    /// Per-layer op choices.
+    pub arch: Vec<usize>,
+    /// PE array rows × cols.
+    pub pe: (usize, usize),
+    /// Register-file bytes.
+    pub rf: usize,
+    /// Dataflow label.
+    pub dataflow: &'static str,
+    /// Ground-truth metrics.
+    pub latency_ms: f64,
+    /// Ground-truth energy.
+    pub energy_mj: f64,
+    /// Ground-truth area.
+    pub area_mm2: f64,
+    /// `Cost_HW` of the solution.
+    pub cost_hw: f64,
+    /// Retrained test error.
+    pub error: f64,
+    /// Global loss at the solution.
+    pub global_loss: f64,
+    /// Whether all hard constraints hold (ground truth).
+    pub in_constraint: bool,
+    /// Dispatch index of this job within its batch (v1 framing only —
+    /// v0 report bytes are frozen).
+    pub queue_pos: u64,
+    /// Total jobs in the batch this job was dispatched with.
+    pub queued_jobs: u64,
+    /// Jobs still queued behind this one at dispatch
+    /// (`queued_jobs − queue_pos − 1`).
+    pub queue_len_at_dispatch: u64,
+    /// The job's deterministic optimizer-step budget, scaled by the
+    /// searches actually performed (see [`SearchRequest::step_budget`]).
+    /// Deterministic — wall clock stays excluded.
+    pub steps_used: u64,
+}
+
+impl SearchReport {
+    /// Builds a report from a request and its search result. Queue
+    /// fields start at the single-job values; the scheduler overrides
+    /// them via [`SearchReport::with_queue`].
+    pub fn from_result(
+        req: &SearchRequest,
+        result: &SearchResult,
+        searches: usize,
+        satisfied: bool,
+    ) -> SearchReport {
+        SearchReport {
+            id: req.id,
+            sub: req.sub,
+            method: req.method.label(),
+            task: task_label(req.task),
+            seed: req.seed,
+            lambda_cost: req.lambda_cost,
+            searches,
+            satisfied,
+            arch: result.architecture.choices().to_vec(),
+            pe: (result.accel.pe_rows(), result.accel.pe_cols()),
+            rf: result.accel.rf_bytes(),
+            dataflow: result.accel.dataflow().label(),
+            latency_ms: result.metrics.latency_ms,
+            energy_mj: result.metrics.energy_mj,
+            area_mm2: result.metrics.area_mm2,
+            cost_hw: result.cost_hw,
+            error: result.error,
+            global_loss: result.global_loss,
+            in_constraint: result.in_constraint,
+            queue_pos: 0,
+            queued_jobs: 1,
+            queue_len_at_dispatch: 0,
+            steps_used: (searches as u64)
+                * (req.epochs as u64 * req.steps as u64 + req.final_train as u64),
+        }
+    }
+
+    /// Stamps the deterministic dispatch-position fields: this job was
+    /// job `pos` of `total` in its batch.
+    pub fn with_queue(mut self, pos: u64, total: u64) -> SearchReport {
+        self.queue_pos = pos;
+        self.queued_jobs = total;
+        self.queue_len_at_dispatch = total.saturating_sub(pos + 1);
+        self
+    }
+
+    /// The deterministic v0 `report …` line (fixed field order,
+    /// shortest round-trip float formatting) — byte-identical to PR-4's
+    /// encoding, so v0 clients see no change.
+    pub fn encode(&self) -> String {
+        let id = match self.sub {
+            Some(k) => format!("{}#{k}", self.id),
+            None => self.id.to_string(),
+        };
+        let arch: Vec<String> = self.arch.iter().map(usize::to_string).collect();
+        format!(
+            "report id={id} method={} task={} seed={} lambda_cost={} searches={} satisfied={} \
+             arch={} pe={}x{} rf={} dataflow={} latency_ms={} energy_mj={} area_mm2={} \
+             cost_hw={} error={} global_loss={} in_constraint={}",
+            self.method,
+            self.task,
+            self.seed,
+            self.lambda_cost,
+            self.searches,
+            self.satisfied,
+            arch.join(","),
+            self.pe.0,
+            self.pe.1,
+            self.rf,
+            self.dataflow,
+            self.latency_ms,
+            self.energy_mj,
+            self.area_mm2,
+            self.cost_hw,
+            self.error,
+            self.global_loss,
+            self.in_constraint
+        )
+    }
+
+    /// The v1 `report …` line: the version token, every v0 field in the
+    /// same order, then the dispatch/step fields v0 never carried.
+    pub fn encode_v1(&self) -> String {
+        format!(
+            "{} {} queue_pos={} queued_jobs={} queue_len_at_dispatch={} steps_used={}",
+            v1::VERSION_TOKEN,
+            self.encode(),
+            self.queue_pos,
+            self.queued_jobs,
+            self.queue_len_at_dispatch,
+            self.steps_used
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = [
+            SearchRequest::default(),
+            SearchRequest {
+                id: 7,
+                task: Task::ImageNet,
+                method: Method::NasThenHw { lambda_macs: 0.25 },
+                constraints: vec![Constraint::fps(30.0), Constraint::new(Metric::Area, 2.5)],
+                lambda_soft: Some(4.0),
+                lambda_grid: vec![0.001, 0.01],
+                epochs: 3,
+                steps: 4,
+                batch: 16,
+                final_train: 50,
+                seed: 9,
+                num_paths: 6,
+                max_searches: 5,
+                ..SearchRequest::default()
+            },
+            SearchRequest {
+                method: Method::Hdx {
+                    delta0: 2e-3,
+                    p: 5e-2,
+                },
+                constraints: vec![Constraint::new(Metric::Energy, 11.0)],
+                ..SearchRequest::default()
+            },
+        ];
+        for req in reqs {
+            let line = req.encode();
+            match parse_request(&line).expect("round-trip") {
+                Request::Search(back) => assert_eq!(*back, req, "line: {line}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request(" ping "), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn bad_lines_are_typed_errors() {
+        for line in [
+            "",
+            "launch id=1",
+            "search id=x",
+            "search frobnicate=1",
+            "search method=magic",
+            "search epochs=0",
+            "search num_paths=7",
+            "search fps=-3",
+            "search lambda_grid=",
+            "search id",
+            "search max_searches=4", // meta-search without a constraint
+            "search lambda_cost=NaN",
+            "search lambda_soft=inf",
+            "search lambda_grid=0.001,NaN",
+            "search delta0=-inf",
+            // v1-only fields must not leak into the v0 grammar.
+            "search ckpt=/tmp/x.ckpt",
+            "search ckpt_every=2",
+            "search bundle_seed=1",
+            // Trailing garbage after no-field verbs (the PR-4 parser
+            // silently accepted these).
+            "stats now",
+            "ping ping",
+            "stats stats",
+        ] {
+            assert!(parse_request(line).is_err(), "line \"{line}\" must fail");
+        }
+    }
+
+    #[test]
+    fn errors_carry_kind_and_offset() {
+        let err = parse_request("search id=1 frobnicate=1").expect_err("unknown field");
+        assert_eq!(err.id, 1);
+        assert_eq!(
+            err.kind,
+            ErrorKind::UnknownField {
+                key: "frobnicate".to_owned(),
+                offset: 12
+            }
+        );
+
+        let err = parse_request("search id=2 epochs=0").expect_err("bad value");
+        assert_eq!(
+            err.kind,
+            ErrorKind::InvalidValue {
+                key: "epochs".to_owned(),
+                value: "0".to_owned(),
+                offset: 19
+            }
+        );
+
+        let err = parse_request("stats now").expect_err("trailing");
+        assert_eq!(
+            err.kind,
+            ErrorKind::TrailingInput {
+                token: "now".to_owned(),
+                offset: 6
+            }
+        );
+    }
+
+    #[test]
+    fn error_lines_stay_single_line() {
+        let err = ProtoError::new(
+            3,
+            ErrorKind::InvalidValue {
+                key: "id".to_owned(),
+                value: "x y".to_owned(),
+                offset: 10,
+            },
+        );
+        let line = err.encode();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("error id=3 msg="));
+        assert_eq!(line.split_whitespace().count(), 3);
+        let line = err.encode_v1();
+        assert!(line.starts_with("hdx1 error id=3 code=invalid_value offset=10 msg="));
+        assert_eq!(line.split_whitespace().count(), 6);
+    }
+
+    #[test]
+    fn grid_expansion_is_ordered() {
+        let req = SearchRequest {
+            id: 4,
+            lambda_grid: vec![0.1, 0.2, 0.3],
+            ..SearchRequest::default()
+        };
+        let jobs = req.expand();
+        assert_eq!(jobs.len(), 3);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(job.sub, Some(k));
+            assert_eq!(job.lambda_cost, req.lambda_grid[k]);
+            assert!(job.lambda_grid.is_empty());
+            assert_eq!(job.seed, req.seed);
+        }
+        assert_eq!(SearchRequest::default().expand().len(), 1);
+    }
+
+    #[test]
+    fn step_budget_is_request_derived() {
+        let req = SearchRequest {
+            epochs: 3,
+            steps: 5,
+            final_train: 40,
+            max_searches: 1,
+            ..SearchRequest::default()
+        };
+        assert_eq!(req.step_budget(), 3 * 5 + 40);
+        let meta = SearchRequest {
+            max_searches: 4,
+            constraints: vec![Constraint::fps(30.0)],
+            ..req
+        };
+        assert_eq!(meta.step_budget(), 4 * (3 * 5 + 40));
+    }
+
+    #[test]
+    fn queue_fields_are_v1_only() {
+        let req = SearchRequest {
+            id: 5,
+            epochs: 2,
+            steps: 3,
+            final_train: 10,
+            ..SearchRequest::default()
+        };
+        let result_free_report = SearchReport {
+            id: 5,
+            sub: None,
+            method: "HDX",
+            task: "cifar",
+            seed: 0,
+            lambda_cost: 0.003,
+            searches: 1,
+            satisfied: true,
+            arch: vec![0, 1],
+            pe: (8, 8),
+            rf: 64,
+            dataflow: "ws",
+            latency_ms: 1.0,
+            energy_mj: 2.0,
+            area_mm2: 3.0,
+            cost_hw: 4.0,
+            error: 0.1,
+            global_loss: 0.2,
+            in_constraint: true,
+            queue_pos: 0,
+            queued_jobs: 1,
+            queue_len_at_dispatch: 0,
+            steps_used: req.step_budget(),
+        };
+        let stamped = result_free_report.clone().with_queue(1, 4);
+        assert_eq!(stamped.queue_len_at_dispatch, 2);
+        // v0 bytes are independent of the dispatch position…
+        assert_eq!(stamped.encode(), result_free_report.encode());
+        assert!(!stamped.encode().contains("queue_pos"));
+        // …and the v1 line is the v0 line plus the new tail.
+        let v1_line = stamped.encode_v1();
+        assert!(v1_line.starts_with(&format!("hdx1 {}", stamped.encode())));
+        assert!(
+            v1_line.ends_with("queue_pos=1 queued_jobs=4 queue_len_at_dispatch=2 steps_used=16")
+        );
+    }
+}

@@ -1,0 +1,1099 @@
+//! Protocol version 1: the versioned, typed envelope.
+//!
+//! Every v1 line leads with the [`VERSION_TOKEN`] (`hdx1`), then a
+//! verb, then `key=value` fields. The typed core is the
+//! [`Envelope`] — `{ version, request_id, body }` — with
+//! [`RequestBody`] / [`ResponseBody`] enums covering the full verb set:
+//!
+//! | request verb    | body                          | response verb |
+//! |-----------------|-------------------------------|---------------|
+//! | `search`        | one search job                | `report`      |
+//! | `grid`          | λ-grid sweep (one job per λ)  | `report` × n  |
+//! | `meta`          | §5.2 constrained meta-search  | `report`      |
+//! | `resume`        | continue from a checkpoint    | `report`      |
+//! | `stats`         | aggregated service statistics | `stats`       |
+//! | `ping`          | liveness probe                | `pong`        |
+//! | `load_bundle`   | load a bundle file at runtime | `loaded`      |
+//! | `unload_bundle` | drop a loaded bundle          | `unloaded`    |
+//! | `list_tasks`    | enumerate loaded bundles      | `tasks`       |
+//!
+//! [`decode_request`] / [`encode_request`] and [`decode_response`] /
+//! [`encode_response`] are the single canonical codec pair: every
+//! envelope round-trips, and every decode failure is a typed
+//! [`ProtoError`] carrying the byte offset of the offending token.
+//!
+//! # Version negotiation
+//!
+//! Per line, not per connection: [`sniff`] classifies each input line
+//! as v1 (leads with `hdx1`), a version mismatch (leads with another
+//! `hdx<N>` token), or v0 (anything else — the frozen PR-4 grammar).
+//! Responses always use the framing of the request they answer, so one
+//! connection can interleave v0 and v1 clients' traffic.
+
+use super::{
+    task_from_label, task_label, tokens, ErrorKind, ProtoError, SearchFieldParser, SearchReport,
+    SearchRequest,
+};
+use hdx_core::Task;
+
+/// The v1 version token every v1 line leads with.
+pub const VERSION_TOKEN: &str = "hdx1";
+
+/// The protocol version this module speaks.
+pub const VERSION: u32 = 1;
+
+/// One framed protocol message: the negotiated version, the request id
+/// it correlates with, and the typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<B> {
+    /// Protocol version ([`VERSION`]).
+    pub version: u32,
+    /// Caller-chosen correlation id (echoed in every response).
+    pub request_id: u64,
+    /// The typed payload.
+    pub body: B,
+}
+
+impl<B> Envelope<B> {
+    /// Wraps a body in a v1 envelope.
+    pub fn v1(request_id: u64, body: B) -> Envelope<B> {
+        Envelope {
+            version: VERSION,
+            request_id,
+            body,
+        }
+    }
+}
+
+/// The typed payload of one v1 request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// One search job (`lambda_grid`/`max_searches` stay unset —
+    /// sweeps and meta-searches have their own verbs).
+    Search(SearchRequest),
+    /// A λ-grid sweep: one independent job per grid entry.
+    Grid(SearchRequest),
+    /// The §5.2 constrained meta-search (`max_searches > 1`).
+    Meta(SearchRequest),
+    /// Continue a checkpointed search
+    /// ([`SearchRequest::resume_from_checkpoint`] is set; `ckpt=` names
+    /// the snapshot, which the resumed run keeps updating).
+    Resume(SearchRequest),
+    /// Aggregated service statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Load a bundle file into the router's registry at runtime.
+    LoadBundle {
+        /// Filesystem path of the bundle.
+        path: String,
+    },
+    /// Drop a loaded bundle from the registry.
+    UnloadBundle {
+        /// Task of the bundle to drop.
+        task: Task,
+        /// Dataset seed of the bundle to drop.
+        bundle_seed: u64,
+    },
+    /// Enumerate the loaded bundles.
+    ListTasks,
+}
+
+/// The typed payload of one v1 response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A finished search job.
+    Report(SearchReport),
+    /// Aggregated statistics.
+    Stats(StatsReport),
+    /// Liveness answer.
+    Pong,
+    /// A bundle was loaded.
+    Loaded(TaskEntry),
+    /// A bundle was dropped.
+    Unloaded {
+        /// Task of the dropped bundle.
+        task: Task,
+        /// Dataset seed of the dropped bundle.
+        bundle_seed: u64,
+    },
+    /// The loaded-bundle listing.
+    Tasks(Vec<TaskEntry>),
+    /// An in-band failure.
+    Error(ProtoError),
+}
+
+/// One loaded bundle, as listed by `list_tasks` / echoed by
+/// `load_bundle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskEntry {
+    /// The bundle's task.
+    pub task: Task,
+    /// The bundle's dataset seed.
+    pub bundle_seed: u64,
+    /// Held-out within-10 % estimator accuracy recorded at training
+    /// time.
+    pub estimator_accuracy: f64,
+}
+
+/// Aggregated service statistics: the process-wide session-bank
+/// counters plus one [`TaskStats`] row per loaded bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Compiled programs resident in the session bank.
+    pub programs: u64,
+    /// Idle pooled sessions in the bank.
+    pub idle_sessions: u64,
+    /// Cumulative bank checkout hits.
+    pub hits: u64,
+    /// Cumulative bank checkout misses (compiles).
+    pub misses: u64,
+    /// Cumulative bank LRU evictions.
+    pub evictions: u64,
+    /// The bank's LRU capacity (`None` = unbounded).
+    pub bank_cap: Option<u64>,
+    /// Jobs completed across every bundle since startup.
+    pub requests_served: u64,
+    /// Per-bundle counters, in registry (task, seed) order.
+    pub tasks: Vec<TaskStats>,
+}
+
+/// Per-bundle serving counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskStats {
+    /// The bundle's task.
+    pub task: Task,
+    /// The bundle's dataset seed.
+    pub bundle_seed: u64,
+    /// Jobs completed by this bundle.
+    pub served: u64,
+    /// Cumulative deterministic step budget of those jobs.
+    pub steps_used: u64,
+}
+
+/// How a raw input line should be handled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Framing {
+    /// No version token: the frozen PR-4 grammar.
+    V0,
+    /// Leads with [`VERSION_TOKEN`].
+    V1,
+    /// Leads with a `hdx<N>` token this server does not speak.
+    Unsupported {
+        /// The token as received.
+        token: String,
+        /// Its byte offset (0 unless the line has leading whitespace).
+        offset: usize,
+    },
+}
+
+/// Classifies one input line by its leading token (see the module docs
+/// on version negotiation). Empty lines classify as v0 — the v0 parser
+/// owns the empty-line diagnostic.
+pub fn sniff(line: &str) -> Framing {
+    match tokens(line).next() {
+        Some((_, tok)) if tok == VERSION_TOKEN => Framing::V1,
+        Some((offset, tok))
+            if tok.len() > 3
+                && tok.starts_with("hdx")
+                && tok[3..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            Framing::Unsupported {
+                token: tok.to_owned(),
+                offset,
+            }
+        }
+        _ => Framing::V0,
+    }
+}
+
+/// Decodes one v1 request line into its envelope.
+///
+/// # Errors
+///
+/// A typed [`ProtoError`]: version mismatch, unknown verb/field,
+/// field-level parse errors (with byte offsets), missing required
+/// fields, and cross-field validation failures.
+pub fn decode_request(line: &str) -> Result<Envelope<RequestBody>, ProtoError> {
+    let mut parts = tokens(line);
+    match parts.next() {
+        Some((_, tok)) if tok == VERSION_TOKEN => {}
+        Some((offset, tok)) => {
+            return Err(ProtoError::new(
+                0,
+                ErrorKind::VersionMismatch {
+                    token: tok.to_owned(),
+                    offset,
+                },
+            ))
+        }
+        None => return Err(ProtoError::new(0, ErrorKind::EmptyLine)),
+    }
+    let Some((verb_off, verb)) = parts.next() else {
+        return Err(ProtoError::new(0, ErrorKind::EmptyLine));
+    };
+    match verb {
+        "search" | "grid" | "meta" | "resume" => {
+            let mut fields = SearchFieldParser::new(true);
+            for (offset, part) in parts {
+                fields.apply(offset, part)?;
+            }
+            let mut req = fields.finish()?;
+            let id = req.id;
+            let invalid = |message: &str| {
+                Err(ProtoError::new(
+                    id,
+                    ErrorKind::Invalid {
+                        message: message.to_owned(),
+                    },
+                ))
+            };
+            let body = match verb {
+                "search" => {
+                    if !req.lambda_grid.is_empty() {
+                        return invalid("search does not take lambda_grid (use the grid verb)");
+                    }
+                    if req.max_searches > 1 {
+                        return invalid("search does not take max_searches (use the meta verb)");
+                    }
+                    RequestBody::Search(req)
+                }
+                "grid" => {
+                    if req.lambda_grid.is_empty() {
+                        return Err(ProtoError::new(
+                            id,
+                            ErrorKind::MissingField { key: "lambda_grid" },
+                        ));
+                    }
+                    if req.checkpoint.is_some() {
+                        return invalid("grid jobs would overwrite one another's ckpt snapshots");
+                    }
+                    RequestBody::Grid(req)
+                }
+                "meta" => {
+                    if req.max_searches <= 1 {
+                        return invalid("meta requires max_searches > 1 (use the search verb)");
+                    }
+                    if req.checkpoint.is_some() {
+                        return invalid("meta-searches are not checkpointable");
+                    }
+                    RequestBody::Meta(req)
+                }
+                _ => {
+                    if req.checkpoint.is_none() {
+                        return Err(ProtoError::new(id, ErrorKind::MissingField { key: "ckpt" }));
+                    }
+                    if !req.lambda_grid.is_empty() || req.max_searches > 1 {
+                        return invalid("resume continues exactly one checkpointed search");
+                    }
+                    req.resume_from_checkpoint = true;
+                    RequestBody::Resume(req)
+                }
+            };
+            let request_id = match &body {
+                RequestBody::Search(r)
+                | RequestBody::Grid(r)
+                | RequestBody::Meta(r)
+                | RequestBody::Resume(r) => r.id,
+                _ => unreachable!("search-type body"),
+            };
+            Ok(Envelope::v1(request_id, body))
+        }
+        "stats" => control_envelope(parts, RequestBody::Stats),
+        "ping" => control_envelope(parts, RequestBody::Ping),
+        "list_tasks" => control_envelope(parts, RequestBody::ListTasks),
+        "load_bundle" => {
+            let mut id = 0u64;
+            let mut path: Option<String> = None;
+            for (offset, part) in parts {
+                let (key, value) = split_field(id, offset, part)?;
+                match key {
+                    "id" => id = parse_u64(id, offset, key, value)?,
+                    "path" if !value.is_empty() => path = Some(value.to_owned()),
+                    "path" => {
+                        return Err(invalid_value(id, offset, key, value));
+                    }
+                    _ => {
+                        return Err(ProtoError::new(
+                            id,
+                            ErrorKind::UnknownField {
+                                key: key.to_owned(),
+                                offset,
+                            },
+                        ))
+                    }
+                }
+            }
+            let path = path.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "path" }))?;
+            Ok(Envelope::v1(id, RequestBody::LoadBundle { path }))
+        }
+        "unload_bundle" => {
+            let mut id = 0u64;
+            let mut task: Option<Task> = None;
+            let mut seed: Option<u64> = None;
+            for (offset, part) in parts {
+                let (key, value) = split_field(id, offset, part)?;
+                match key {
+                    "id" => id = parse_u64(id, offset, key, value)?,
+                    "task" => {
+                        task = Some(
+                            task_from_label(value)
+                                .ok_or_else(|| invalid_value(id, offset, key, value))?,
+                        );
+                    }
+                    "bundle_seed" => seed = Some(parse_u64(id, offset, key, value)?),
+                    _ => {
+                        return Err(ProtoError::new(
+                            id,
+                            ErrorKind::UnknownField {
+                                key: key.to_owned(),
+                                offset,
+                            },
+                        ))
+                    }
+                }
+            }
+            let task = task.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "task" }))?;
+            let bundle_seed = seed.ok_or(ProtoError::new(
+                id,
+                ErrorKind::MissingField { key: "bundle_seed" },
+            ))?;
+            Ok(Envelope::v1(
+                id,
+                RequestBody::UnloadBundle { task, bundle_seed },
+            ))
+        }
+        other => Err(ProtoError::new(
+            0,
+            ErrorKind::UnknownVerb {
+                verb: other.to_owned(),
+                offset: verb_off,
+            },
+        )),
+    }
+}
+
+/// Parses the field list of a verb that takes only `id=` (stats, ping,
+/// list_tasks) and wraps `body`.
+fn control_envelope<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+    body: RequestBody,
+) -> Result<Envelope<RequestBody>, ProtoError> {
+    let mut id = 0u64;
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        if key == "id" {
+            id = parse_u64(id, offset, key, value)?;
+        } else {
+            return Err(ProtoError::new(
+                id,
+                ErrorKind::UnknownField {
+                    key: key.to_owned(),
+                    offset,
+                },
+            ));
+        }
+    }
+    Ok(Envelope::v1(id, body))
+}
+
+fn split_field(id: u64, offset: usize, part: &str) -> Result<(&str, &str), ProtoError> {
+    part.split_once('=').ok_or_else(|| {
+        ProtoError::new(
+            id,
+            ErrorKind::NotKeyValue {
+                token: part.to_owned(),
+                offset,
+            },
+        )
+    })
+}
+
+fn invalid_value(id: u64, offset: usize, key: &str, value: &str) -> ProtoError {
+    ProtoError::new(
+        id,
+        ErrorKind::InvalidValue {
+            key: key.to_owned(),
+            value: value.to_owned(),
+            offset: offset + key.len() + 1,
+        },
+    )
+}
+
+fn parse_u64(id: u64, offset: usize, key: &str, value: &str) -> Result<u64, ProtoError> {
+    value
+        .parse()
+        .map_err(|_| invalid_value(id, offset, key, value))
+}
+
+/// Encodes a request envelope as its canonical v1 line
+/// ([`decode_request`] round-trips it).
+pub fn encode_request(env: &Envelope<RequestBody>) -> String {
+    match &env.body {
+        RequestBody::Search(r) => format!("{VERSION_TOKEN} {}", r.encode()),
+        RequestBody::Grid(r) => search_line("grid", r),
+        RequestBody::Meta(r) => search_line("meta", r),
+        RequestBody::Resume(r) => search_line("resume", r),
+        RequestBody::Stats => format!("{VERSION_TOKEN} stats id={}", env.request_id),
+        RequestBody::Ping => format!("{VERSION_TOKEN} ping id={}", env.request_id),
+        RequestBody::ListTasks => format!("{VERSION_TOKEN} list_tasks id={}", env.request_id),
+        RequestBody::LoadBundle { path } => {
+            format!(
+                "{VERSION_TOKEN} load_bundle id={} path={path}",
+                env.request_id
+            )
+        }
+        RequestBody::UnloadBundle { task, bundle_seed } => format!(
+            "{VERSION_TOKEN} unload_bundle id={} task={} bundle_seed={bundle_seed}",
+            env.request_id,
+            task_label(*task)
+        ),
+    }
+}
+
+/// `r.encode()` with the v0 `search` verb swapped for a v1-only one.
+fn search_line(verb: &str, r: &SearchRequest) -> String {
+    let line = r.encode();
+    let rest = line.strip_prefix("search ").expect("v0 search prefix");
+    format!("{VERSION_TOKEN} {verb} {rest}")
+}
+
+/// Encodes a response envelope as its canonical v1 line
+/// ([`decode_response`] round-trips it).
+pub fn encode_response(env: &Envelope<ResponseBody>) -> String {
+    match &env.body {
+        ResponseBody::Report(r) => r.encode_v1(),
+        ResponseBody::Stats(s) => {
+            let mut line = format!(
+                "{VERSION_TOKEN} stats id={} programs={} idle_sessions={} hits={} misses={} \
+                 evictions={} bank_cap={} requests_served={}",
+                env.request_id,
+                s.programs,
+                s.idle_sessions,
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.bank_cap
+                    .map_or_else(|| "none".to_owned(), |c| c.to_string()),
+                s.requests_served
+            );
+            for t in &s.tasks {
+                line.push_str(&format!(
+                    " task={}:{}:{}:{}",
+                    task_label(t.task),
+                    t.bundle_seed,
+                    t.served,
+                    t.steps_used
+                ));
+            }
+            line
+        }
+        ResponseBody::Pong => format!("{VERSION_TOKEN} pong id={}", env.request_id),
+        ResponseBody::Loaded(e) => format!(
+            "{VERSION_TOKEN} loaded id={} task={} bundle_seed={} estimator_accuracy={}",
+            env.request_id,
+            task_label(e.task),
+            e.bundle_seed,
+            e.estimator_accuracy
+        ),
+        ResponseBody::Unloaded { task, bundle_seed } => format!(
+            "{VERSION_TOKEN} unloaded id={} task={} bundle_seed={bundle_seed}",
+            env.request_id,
+            task_label(*task)
+        ),
+        ResponseBody::Tasks(entries) => {
+            let mut line = format!(
+                "{VERSION_TOKEN} tasks id={} count={}",
+                env.request_id,
+                entries.len()
+            );
+            for e in entries {
+                line.push_str(&format!(
+                    " task={}:{}:{}",
+                    task_label(e.task),
+                    e.bundle_seed,
+                    e.estimator_accuracy
+                ));
+            }
+            line
+        }
+        ResponseBody::Error(e) => e.encode_v1(),
+    }
+}
+
+/// Decodes one v1 response line (the client half of the codec; also
+/// what the round-trip tests pin).
+///
+/// # Errors
+///
+/// Typed [`ProtoError`]s mirroring [`decode_request`].
+pub fn decode_response(line: &str) -> Result<Envelope<ResponseBody>, ProtoError> {
+    let mut parts = tokens(line);
+    match parts.next() {
+        Some((_, tok)) if tok == VERSION_TOKEN => {}
+        Some((offset, tok)) => {
+            return Err(ProtoError::new(
+                0,
+                ErrorKind::VersionMismatch {
+                    token: tok.to_owned(),
+                    offset,
+                },
+            ))
+        }
+        None => return Err(ProtoError::new(0, ErrorKind::EmptyLine)),
+    }
+    let Some((verb_off, verb)) = parts.next() else {
+        return Err(ProtoError::new(0, ErrorKind::EmptyLine));
+    };
+    match verb {
+        "report" => decode_report(parts).map(|r| Envelope::v1(r.id, ResponseBody::Report(r))),
+        "pong" => {
+            let mut id = 0u64;
+            for (offset, part) in parts {
+                let (key, value) = split_field(id, offset, part)?;
+                if key == "id" {
+                    id = parse_u64(id, offset, key, value)?;
+                } else {
+                    return Err(ProtoError::new(
+                        id,
+                        ErrorKind::UnknownField {
+                            key: key.to_owned(),
+                            offset,
+                        },
+                    ));
+                }
+            }
+            Ok(Envelope::v1(id, ResponseBody::Pong))
+        }
+        "stats" => decode_stats(parts),
+        "loaded" => {
+            let (id, task, seed, acc) = decode_task_fields(parts, true)?;
+            Ok(Envelope::v1(
+                id,
+                ResponseBody::Loaded(TaskEntry {
+                    task,
+                    bundle_seed: seed,
+                    estimator_accuracy: acc,
+                }),
+            ))
+        }
+        "unloaded" => {
+            let (id, task, bundle_seed, _) = decode_task_fields(parts, false)?;
+            Ok(Envelope::v1(
+                id,
+                ResponseBody::Unloaded { task, bundle_seed },
+            ))
+        }
+        "tasks" => decode_tasks(parts),
+        "error" => decode_error(parts),
+        other => Err(ProtoError::new(
+            0,
+            ErrorKind::UnknownVerb {
+                verb: other.to_owned(),
+                offset: verb_off,
+            },
+        )),
+    }
+}
+
+/// Shared field loop for `loaded` / `unloaded`.
+fn decode_task_fields<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+    want_accuracy: bool,
+) -> Result<(u64, Task, u64, f64), ProtoError> {
+    let mut id = 0u64;
+    let mut task = None;
+    let mut seed = None;
+    let mut acc = f64::NAN;
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "task" => {
+                task = Some(
+                    task_from_label(value).ok_or_else(|| invalid_value(id, offset, key, value))?,
+                );
+            }
+            "bundle_seed" => seed = Some(parse_u64(id, offset, key, value)?),
+            "estimator_accuracy" if want_accuracy => {
+                acc = value
+                    .parse()
+                    .map_err(|_| invalid_value(id, offset, key, value))?;
+            }
+            _ => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    let task = task.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "task" }))?;
+    let seed = seed.ok_or(ProtoError::new(
+        id,
+        ErrorKind::MissingField { key: "bundle_seed" },
+    ))?;
+    Ok((id, task, seed, acc))
+}
+
+fn decode_stats<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Envelope<ResponseBody>, ProtoError> {
+    let mut id = 0u64;
+    let mut s = StatsReport {
+        programs: 0,
+        idle_sessions: 0,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        bank_cap: None,
+        requests_served: 0,
+        tasks: Vec::new(),
+    };
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "programs" => s.programs = parse_u64(id, offset, key, value)?,
+            "idle_sessions" => s.idle_sessions = parse_u64(id, offset, key, value)?,
+            "hits" => s.hits = parse_u64(id, offset, key, value)?,
+            "misses" => s.misses = parse_u64(id, offset, key, value)?,
+            "evictions" => s.evictions = parse_u64(id, offset, key, value)?,
+            "bank_cap" => {
+                s.bank_cap = if value == "none" {
+                    None
+                } else {
+                    Some(parse_u64(id, offset, key, value)?)
+                };
+            }
+            "requests_served" => s.requests_served = parse_u64(id, offset, key, value)?,
+            "task" => {
+                let fields: Vec<&str> = value.split(':').collect();
+                let parsed = (fields.len() == 4).then(|| {
+                    Some(TaskStats {
+                        task: task_from_label(fields[0])?,
+                        bundle_seed: fields[1].parse().ok()?,
+                        served: fields[2].parse().ok()?,
+                        steps_used: fields[3].parse().ok()?,
+                    })
+                });
+                match parsed.flatten() {
+                    Some(t) => s.tasks.push(t),
+                    None => return Err(invalid_value(id, offset, key, value)),
+                }
+            }
+            _ => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    Ok(Envelope::v1(id, ResponseBody::Stats(s)))
+}
+
+fn decode_tasks<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Envelope<ResponseBody>, ProtoError> {
+    let mut id = 0u64;
+    let mut count: Option<u64> = None;
+    let mut entries = Vec::new();
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "count" => count = Some(parse_u64(id, offset, key, value)?),
+            "task" => {
+                let fields: Vec<&str> = value.split(':').collect();
+                let parsed = (fields.len() == 3).then(|| {
+                    Some(TaskEntry {
+                        task: task_from_label(fields[0])?,
+                        bundle_seed: fields[1].parse().ok()?,
+                        estimator_accuracy: fields[2].parse().ok()?,
+                    })
+                });
+                match parsed.flatten() {
+                    Some(e) => entries.push(e),
+                    None => return Err(invalid_value(id, offset, key, value)),
+                }
+            }
+            _ => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    if count.is_some_and(|c| c != entries.len() as u64) {
+        return Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid {
+                message: "tasks count disagrees with the listed entries".to_owned(),
+            },
+        ));
+    }
+    Ok(Envelope::v1(id, ResponseBody::Tasks(entries)))
+}
+
+fn decode_error<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Envelope<ResponseBody>, ProtoError> {
+    let mut id = 0u64;
+    let mut code: Option<String> = None;
+    let mut msg = String::new();
+    let mut err_offset: Option<usize> = None;
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "code" => code = Some(value.to_owned()),
+            "offset" => err_offset = Some(parse_u64(id, offset, key, value)? as usize),
+            "msg" => msg = value.to_owned(),
+            _ => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    // The wire flattens the kind to (code, offset, msg); decoding keeps
+    // it as an opaque Invalid with the readable message — the typed
+    // kinds exist server-side, clients key on `code`.
+    let message = match (code, err_offset) {
+        (Some(c), Some(o)) => format!("[{c}@{o}] {msg}"),
+        (Some(c), None) => format!("[{c}] {msg}"),
+        _ => msg,
+    };
+    Ok(Envelope::v1(
+        id,
+        ResponseBody::Error(ProtoError::new(id, ErrorKind::Invalid { message })),
+    ))
+}
+
+fn decode_report<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<SearchReport, ProtoError> {
+    let mut r = SearchReport {
+        id: 0,
+        sub: None,
+        method: "HDX",
+        task: "cifar",
+        seed: 0,
+        lambda_cost: 0.0,
+        searches: 0,
+        satisfied: false,
+        arch: Vec::new(),
+        pe: (0, 0),
+        rf: 0,
+        dataflow: "WS",
+        latency_ms: 0.0,
+        energy_mj: 0.0,
+        area_mm2: 0.0,
+        cost_hw: 0.0,
+        error: 0.0,
+        global_loss: 0.0,
+        in_constraint: false,
+        queue_pos: 0,
+        queued_jobs: 1,
+        queue_len_at_dispatch: 0,
+        steps_used: 0,
+    };
+    for (offset, part) in parts {
+        let rid = r.id;
+        let (key, value) = split_field(rid, offset, part)?;
+        let bad = || invalid_value(rid, offset, key, value);
+        match key {
+            "id" => match value.split_once('#') {
+                Some((main, sub)) => {
+                    r.id = main.parse().map_err(|_| bad())?;
+                    r.sub = Some(sub.parse().map_err(|_| bad())?);
+                }
+                None => r.id = value.parse().map_err(|_| bad())?,
+            },
+            "method" => {
+                r.method = ["HDX", "DANCE", "Auto-NBA", "NAS->HW"]
+                    .into_iter()
+                    .find(|m| *m == value)
+                    .ok_or_else(bad)?;
+            }
+            "task" => {
+                r.task = ["cifar", "imagenet"]
+                    .into_iter()
+                    .find(|t| *t == value)
+                    .ok_or_else(bad)?;
+            }
+            "seed" => r.seed = value.parse().map_err(|_| bad())?,
+            "lambda_cost" => r.lambda_cost = value.parse().map_err(|_| bad())?,
+            "searches" => r.searches = value.parse().map_err(|_| bad())?,
+            "satisfied" => r.satisfied = value.parse().map_err(|_| bad())?,
+            "arch" => {
+                r.arch = value
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad())?;
+            }
+            "pe" => {
+                let (rows, cols) = value.split_once('x').ok_or_else(bad)?;
+                r.pe = (
+                    rows.parse().map_err(|_| bad())?,
+                    cols.parse().map_err(|_| bad())?,
+                );
+            }
+            "rf" => r.rf = value.parse().map_err(|_| bad())?,
+            "dataflow" => {
+                r.dataflow = ["WS", "OS", "RS"]
+                    .into_iter()
+                    .find(|d| *d == value)
+                    .ok_or_else(bad)?;
+            }
+            "latency_ms" => r.latency_ms = value.parse().map_err(|_| bad())?,
+            "energy_mj" => r.energy_mj = value.parse().map_err(|_| bad())?,
+            "area_mm2" => r.area_mm2 = value.parse().map_err(|_| bad())?,
+            "cost_hw" => r.cost_hw = value.parse().map_err(|_| bad())?,
+            "error" => r.error = value.parse().map_err(|_| bad())?,
+            "global_loss" => r.global_loss = value.parse().map_err(|_| bad())?,
+            "in_constraint" => r.in_constraint = value.parse().map_err(|_| bad())?,
+            "queue_pos" => r.queue_pos = value.parse().map_err(|_| bad())?,
+            "queued_jobs" => r.queued_jobs = value.parse().map_err(|_| bad())?,
+            "queue_len_at_dispatch" => {
+                r.queue_len_at_dispatch = value.parse().map_err(|_| bad())?;
+            }
+            "steps_used" => r.steps_used = value.parse().map_err(|_| bad())?,
+            _ => {
+                return Err(ProtoError::new(
+                    r.id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    Ok(r)
+}
+
+/// Converts a search-type request body into the scheduler's uniform
+/// [`SearchRequest`] (`None` for control verbs).
+pub fn into_search_request(body: RequestBody) -> Option<SearchRequest> {
+    match body {
+        RequestBody::Search(r)
+        | RequestBody::Grid(r)
+        | RequestBody::Meta(r)
+        | RequestBody::Resume(r) => Some(r),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdx_core::{Constraint, Method};
+
+    #[test]
+    fn sniff_classifies_framings() {
+        assert_eq!(sniff("search id=1"), Framing::V0);
+        assert_eq!(sniff("stats"), Framing::V0);
+        assert_eq!(sniff(""), Framing::V0);
+        assert_eq!(sniff("hdx1 ping id=1"), Framing::V1);
+        assert_eq!(sniff("  hdx1 ping"), Framing::V1);
+        assert_eq!(
+            sniff("hdx2 ping id=1"),
+            Framing::Unsupported {
+                token: "hdx2".to_owned(),
+                offset: 0
+            }
+        );
+        // "hdx" followed by non-digits is not a version token.
+        assert_eq!(sniff("hdxfoo ping"), Framing::V0);
+    }
+
+    #[test]
+    fn request_envelopes_round_trip() {
+        let search = SearchRequest {
+            id: 3,
+            constraints: vec![Constraint::fps(30.0)],
+            checkpoint: Some("/tmp/s3.ckpt".to_owned()),
+            checkpoint_every: 2,
+            bundle_seed: Some(7),
+            ..SearchRequest::default()
+        };
+        let grid = SearchRequest {
+            id: 4,
+            lambda_grid: vec![0.001, 0.01],
+            ..SearchRequest::default()
+        };
+        let meta = SearchRequest {
+            id: 5,
+            max_searches: 3,
+            constraints: vec![Constraint::fps(30.0)],
+            method: Method::Dance,
+            ..SearchRequest::default()
+        };
+        let resume = SearchRequest {
+            id: 6,
+            checkpoint: Some("/tmp/s6.ckpt".to_owned()),
+            resume_from_checkpoint: true,
+            ..SearchRequest::default()
+        };
+        let envelopes = vec![
+            Envelope::v1(3, RequestBody::Search(search)),
+            Envelope::v1(4, RequestBody::Grid(grid)),
+            Envelope::v1(5, RequestBody::Meta(meta)),
+            Envelope::v1(6, RequestBody::Resume(resume)),
+            Envelope::v1(7, RequestBody::Stats),
+            Envelope::v1(8, RequestBody::Ping),
+            Envelope::v1(9, RequestBody::ListTasks),
+            Envelope::v1(
+                10,
+                RequestBody::LoadBundle {
+                    path: "/tmp/b.ckpt".to_owned(),
+                },
+            ),
+            Envelope::v1(
+                11,
+                RequestBody::UnloadBundle {
+                    task: Task::ImageNet,
+                    bundle_seed: 2,
+                },
+            ),
+        ];
+        for env in envelopes {
+            let line = encode_request(&env);
+            let back = decode_request(&line).unwrap_or_else(|e| panic!("line \"{line}\": {e}"));
+            assert_eq!(back, env, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn response_envelopes_round_trip() {
+        let report = SearchReport {
+            id: 12,
+            sub: Some(1),
+            method: "DANCE",
+            task: "imagenet",
+            seed: 2,
+            lambda_cost: 0.01,
+            searches: 1,
+            satisfied: true,
+            arch: vec![0, 3, 5],
+            pe: (16, 8),
+            rf: 512,
+            dataflow: "OS",
+            latency_ms: 1.25,
+            energy_mj: 2.5,
+            area_mm2: 3.75,
+            cost_hw: 0.5,
+            error: 0.125,
+            global_loss: 0.25,
+            in_constraint: true,
+            queue_pos: 2,
+            queued_jobs: 5,
+            queue_len_at_dispatch: 2,
+            steps_used: 123,
+        };
+        let stats = StatsReport {
+            programs: 3,
+            idle_sessions: 2,
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+            bank_cap: Some(16),
+            requests_served: 9,
+            tasks: vec![
+                TaskStats {
+                    task: Task::Cifar,
+                    bundle_seed: 0,
+                    served: 5,
+                    steps_used: 250,
+                },
+                TaskStats {
+                    task: Task::ImageNet,
+                    bundle_seed: 1,
+                    served: 4,
+                    steps_used: 200,
+                },
+            ],
+        };
+        let envelopes = vec![
+            Envelope::v1(12, ResponseBody::Report(report)),
+            Envelope::v1(13, ResponseBody::Stats(stats)),
+            Envelope::v1(14, ResponseBody::Pong),
+            Envelope::v1(
+                15,
+                ResponseBody::Loaded(TaskEntry {
+                    task: Task::Cifar,
+                    bundle_seed: 0,
+                    estimator_accuracy: 0.375,
+                }),
+            ),
+            Envelope::v1(
+                16,
+                ResponseBody::Unloaded {
+                    task: Task::Cifar,
+                    bundle_seed: 0,
+                },
+            ),
+            Envelope::v1(
+                17,
+                ResponseBody::Tasks(vec![TaskEntry {
+                    task: Task::ImageNet,
+                    bundle_seed: 3,
+                    estimator_accuracy: 0.5,
+                }]),
+            ),
+        ];
+        for env in envelopes {
+            let line = encode_response(&env);
+            let back = decode_response(&line).unwrap_or_else(|e| panic!("line \"{line}\": {e}"));
+            assert_eq!(back, env, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn verb_specific_validation() {
+        // search refuses sweep/meta fields.
+        assert!(decode_request("hdx1 search id=1 lambda_grid=0.1,0.2").is_err());
+        assert!(decode_request("hdx1 search id=1 fps=30 max_searches=2").is_err());
+        // grid requires a grid; meta requires a budget.
+        assert!(decode_request("hdx1 grid id=1").is_err());
+        assert!(decode_request("hdx1 meta id=1 fps=30").is_err());
+        assert!(decode_request("hdx1 meta id=1 fps=30 max_searches=1").is_err());
+        // resume requires the snapshot path and exactly one job.
+        assert!(decode_request("hdx1 resume id=1").is_err());
+        assert!(decode_request("hdx1 resume id=1 ckpt=/tmp/x lambda_grid=0.1,0.2").is_err());
+        // Control verbs reject extra fields and non-field tokens.
+        assert!(decode_request("hdx1 ping id=1 extra=2").is_err());
+        assert!(decode_request("hdx1 stats now").is_err());
+        assert!(decode_request("hdx1 load_bundle id=1").is_err());
+        assert!(decode_request("hdx1 unload_bundle id=1 task=cifar").is_err());
+        // Version mismatch is its own kind.
+        let err = decode_request("hdx9 ping id=1").expect_err("version");
+        assert_eq!(err.kind.code(), "version_mismatch");
+        // Unknown verbs still carry the offset.
+        let err = decode_request("hdx1 launch id=1").expect_err("verb");
+        assert_eq!(
+            err.kind,
+            ErrorKind::UnknownVerb {
+                verb: "launch".to_owned(),
+                offset: 5
+            }
+        );
+    }
+}

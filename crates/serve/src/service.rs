@@ -1,81 +1,118 @@
-//! The concurrent search service: warm artifacts + a deterministic job
-//! scheduler + the line protocol over any `BufRead`/`Write` pair (and
-//! a TCP accept loop on top).
+//! The per-bundle worker: one warm `(task, seed)` artifact set plus
+//! its serving counters. Private machinery — requests enter through
+//! [`crate::Router`], which owns the registry, the protocol loops, and
+//! the hardening knobs.
 //!
-//! # Scheduling determinism
+//! # Job determinism
 //!
 //! Every job is a pure function of its [`SearchRequest`]: the engine
 //! seeds its own RNG from the request, the shared warm artifacts are
-//! read-only, and the process-wide caches ([`SessionBank`],
+//! read-only, and the process-wide caches ([`hdx_tensor::SessionBank`],
 //! `LayerLut`) only trade compute for reuse — the bit-identity
 //! contracts pinned in `tests/determinism.rs` guarantee a cache hit
-//! never changes a result. Jobs therefore commute: the scheduler fans
-//! a batch across its worker pool and writes reports **in request
-//! order**, and the output bytes are invariant to the worker count
-//! (pinned at jobs ∈ {1, 2, 4} in `tests/serve.rs`).
+//! never changes a result. Jobs therefore commute across worker
+//! threads and bundles, which is what lets the router fan a
+//! multi-task batch out in parallel and still write byte-deterministic
+//! reports.
 
-use crate::proto::{parse_request, ProtoError, Request, SearchReport, SearchRequest};
-use hdx_core::{constrained_meta_search, run_search, PreparedContext, Task};
-use hdx_tensor::SessionBank;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use crate::proto::{v1, ErrorKind, ProtoError, SearchReport, SearchRequest};
+use hdx_core::{
+    constrained_meta_search, resume_search, try_run_search, PreparedContext, SearchCheckpoint, Task,
+};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A warm, shareable search service.
-pub struct SearchService {
+/// A warm, shareable single-bundle worker.
+pub(crate) struct TaskService {
     task: Task,
+    seed: u64,
+    estimator_accuracy: f64,
     prepared: Arc<PreparedContext>,
     served: AtomicU64,
+    steps_used: AtomicU64,
 }
 
-impl SearchService {
-    /// Wraps prepared artifacts for serving (accepts a shared
-    /// [`Arc`], so several services — or a service and direct engine
-    /// callers — can serve from one warm context).
-    pub fn new(task: Task, prepared: impl Into<Arc<PreparedContext>>) -> SearchService {
-        SearchService {
+impl TaskService {
+    /// Wraps prepared artifacts for serving. `seed` is the bundle's
+    /// dataset seed — the registry key half the request routes on.
+    pub(crate) fn new(
+        task: Task,
+        seed: u64,
+        prepared: impl Into<Arc<PreparedContext>>,
+    ) -> TaskService {
+        let prepared = prepared.into();
+        TaskService {
             task,
-            prepared: prepared.into(),
+            seed,
+            estimator_accuracy: prepared.estimator_accuracy,
+            prepared,
             served: AtomicU64::new(0),
+            steps_used: AtomicU64::new(0),
         }
     }
 
-    /// The task this service's artifacts cover.
-    pub fn task(&self) -> Task {
-        self.task
+    /// The registry/listing entry for this bundle.
+    pub(crate) fn entry(&self) -> v1::TaskEntry {
+        v1::TaskEntry {
+            task: self.task,
+            bundle_seed: self.seed,
+            estimator_accuracy: self.estimator_accuracy,
+        }
     }
 
-    /// The warm context (estimator accuracy, plan, dataset).
-    pub fn prepared(&self) -> &PreparedContext {
-        &self.prepared
+    /// The per-bundle serving counters.
+    pub(crate) fn stats(&self) -> v1::TaskStats {
+        v1::TaskStats {
+            task: self.task,
+            bundle_seed: self.seed,
+            served: self.served.load(Ordering::Relaxed),
+            steps_used: self.steps_used.load(Ordering::Relaxed),
+        }
     }
 
-    /// Requests completed since startup (grid entries count
-    /// individually).
-    pub fn requests_served(&self) -> u64 {
+    /// Jobs completed by this bundle since startup.
+    pub(crate) fn requests_served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Runs one expanded job to completion.
+    /// Runs one expanded job to completion (a plain search, a
+    /// meta-search, or a checkpoint resume).
     ///
     /// # Errors
     ///
-    /// [`ProtoError`] when the request names a task the loaded
-    /// artifacts do not cover.
-    pub fn run_one(&self, req: &SearchRequest) -> Result<SearchReport, ProtoError> {
+    /// [`ProtoError`] when the request names a task this bundle does
+    /// not cover, or when its checkpoint cannot be loaded/written.
+    pub(crate) fn run_one(&self, req: &SearchRequest) -> Result<SearchReport, ProtoError> {
         if req.task != self.task {
-            return Err(ProtoError {
-                id: req.id,
-                message: format!(
-                    "artifacts serve task \"{:?}\", request wants \"{:?}\"",
-                    self.task, req.task
-                ),
-            });
+            return Err(ProtoError::new(
+                req.id,
+                ErrorKind::TaskUnavailable {
+                    task: crate::proto::task_label(req.task).to_owned(),
+                    bundle_seed: req.bundle_seed,
+                },
+            ));
         }
         let ctx = self.prepared.context();
         let opts = req.options();
-        let report = if req.max_searches > 1 {
+        let ckpt_err = |e: hdx_tensor::ckpt::CkptError| {
+            ProtoError::new(
+                req.id,
+                ErrorKind::Checkpoint {
+                    message: e.to_string(),
+                },
+            )
+        };
+        let report = if req.resume_from_checkpoint {
+            let path = req
+                .checkpoint
+                .as_deref()
+                .ok_or_else(|| ProtoError::new(req.id, ErrorKind::MissingField { key: "ckpt" }))?;
+            let snapshot = SearchCheckpoint::load(Path::new(path)).map_err(ckpt_err)?;
+            let result = resume_search(&ctx, &opts, &snapshot).map_err(ckpt_err)?;
+            let satisfied = result.in_constraint;
+            SearchReport::from_result(req, &result, 1, satisfied)
+        } else if req.max_searches > 1 {
             let constraint = *req
                 .constraints
                 .first()
@@ -83,139 +120,22 @@ impl SearchService {
             let outcome = constrained_meta_search(&ctx, &opts, constraint, req.max_searches);
             SearchReport::from_result(req, &outcome.result, outcome.searches, outcome.satisfied)
         } else {
-            let result = run_search(&ctx, &opts);
+            let result = try_run_search(&ctx, &opts).map_err(ckpt_err)?;
             let satisfied = result.in_constraint;
             SearchReport::from_result(req, &result, 1, satisfied)
         };
         self.served.fetch_add(1, Ordering::Relaxed);
+        self.steps_used
+            .fetch_add(report.steps_used, Ordering::Relaxed);
         Ok(report)
-    }
-
-    /// Expands λ-grids and fans the resulting independent jobs across
-    /// `jobs` worker threads (`0` = auto via `HDX_JOBS`). Reports come
-    /// back in expansion order regardless of scheduling, so the
-    /// response byte stream is worker-count invariant.
-    pub fn run_batch(
-        &self,
-        requests: &[SearchRequest],
-        jobs: usize,
-    ) -> Vec<Result<SearchReport, ProtoError>> {
-        let expanded: Vec<SearchRequest> =
-            requests.iter().flat_map(SearchRequest::expand).collect();
-        hdx_tensor::parallel_map(&expanded, jobs, |_, req| self.run_one(req))
-    }
-
-    /// The deterministic-order `stats …` response line: session-bank
-    /// occupancy and cumulative hit/miss/eviction counters (the
-    /// `HDX_BANK_CAP` LRU observability contract) plus requests served.
-    pub fn stats_line(&self) -> String {
-        let bank = SessionBank::global().stats();
-        format!(
-            "stats programs={} idle_sessions={} hits={} misses={} evictions={} bank_cap={} \
-             requests_served={}",
-            bank.programs,
-            bank.idle_sessions,
-            bank.hits,
-            bank.misses,
-            bank.evictions,
-            bank.capacity
-                .map_or_else(|| "none".to_owned(), |c| c.to_string()),
-            self.requests_served()
-        )
-    }
-
-    /// Serves the line protocol over a reader/writer pair until EOF.
-    ///
-    /// Consecutive `search` lines accumulate into one batch that is
-    /// flushed — fanned across the worker pool, reports written in
-    /// request order — when a control line (`stats`, `ping`, a
-    /// malformed line) or EOF arrives. A client that writes N requests
-    /// and shuts down its write side therefore gets all N reports with
-    /// full parallelism.
-    ///
-    /// # Errors
-    ///
-    /// Propagates reader/writer I/O errors; protocol-level problems
-    /// are reported in-band as `error …` lines.
-    pub fn serve_connection<R: BufRead, W: Write>(
-        &self,
-        reader: R,
-        mut writer: W,
-        jobs: usize,
-    ) -> std::io::Result<()> {
-        let mut pending: Vec<SearchRequest> = Vec::new();
-        let flush_batch =
-            |pending: &mut Vec<SearchRequest>, writer: &mut W| -> std::io::Result<()> {
-                if pending.is_empty() {
-                    return Ok(());
-                }
-                for outcome in self.run_batch(pending, jobs) {
-                    let line = match outcome {
-                        Ok(report) => report.encode(),
-                        Err(err) => err.encode(),
-                    };
-                    writeln!(writer, "{line}")?;
-                }
-                pending.clear();
-                writer.flush()
-            };
-
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            match parse_request(&line) {
-                Ok(Request::Search(req)) => pending.push(req),
-                Ok(Request::Stats) => {
-                    flush_batch(&mut pending, &mut writer)?;
-                    writeln!(writer, "{}", self.stats_line())?;
-                    writer.flush()?;
-                }
-                Ok(Request::Ping) => {
-                    flush_batch(&mut pending, &mut writer)?;
-                    writeln!(writer, "pong")?;
-                    writer.flush()?;
-                }
-                Err(err) => {
-                    flush_batch(&mut pending, &mut writer)?;
-                    writeln!(writer, "{}", err.encode())?;
-                    writer.flush()?;
-                }
-            }
-        }
-        flush_batch(&mut pending, &mut writer)
-    }
-
-    /// Accept loop: serves each TCP connection with
-    /// [`SearchService::serve_connection`] on its own thread. Runs
-    /// until the listener fails (i.e. effectively forever); intended
-    /// for the `hdx-serve serve --tcp` subcommand.
-    ///
-    /// # Errors
-    ///
-    /// Propagates listener accept errors.
-    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener, jobs: usize) -> std::io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            let service = Arc::clone(self);
-            std::thread::spawn(move || {
-                let reader = BufReader::new(match stream.try_clone() {
-                    Ok(s) => s,
-                    Err(_) => return,
-                });
-                // Connection-level I/O errors just end the connection.
-                let _ = service.serve_connection(reader, stream, jobs);
-            });
-        }
-        Ok(())
     }
 }
 
-impl std::fmt::Debug for SearchService {
+impl std::fmt::Debug for TaskService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SearchService")
+        f.debug_struct("TaskService")
             .field("task", &self.task)
+            .field("seed", &self.seed)
             .field("requests_served", &self.requests_served())
             .finish()
     }

@@ -92,6 +92,19 @@ impl Estimator {
         &self.stats
     }
 
+    /// Overrides the pre-training schedule for **continued** training
+    /// (the incremental `train-and-save --init-bundle` flow): a
+    /// checkpoint-loaded estimator keeps its architecture and weights
+    /// but trains for `epochs` more epochs over `jobs` workers on
+    /// whatever pair set the caller supplies next. Architecture
+    /// hyper-parameters (width/depth) stay fixed at construction —
+    /// they shape the parameter stores.
+    pub fn set_training_schedule(&mut self, epochs: usize, lr: f32, jobs: usize) {
+        self.cfg.epochs = epochs;
+        self.cfg.lr = lr;
+        self.cfg.jobs = jobs;
+    }
+
     /// Pre-trains on a pair set (Adam, MSE in z-scored log space) and
     /// returns the final epoch's mean training loss.
     ///

@@ -552,6 +552,44 @@ impl Checkpoint {
         Checkpoint::from_bytes(&std::fs::read(path)?)
     }
 
+    /// Stores an opaque byte string (e.g. an encoded request line) as a
+    /// u64 section: one length word followed by the bytes packed eight
+    /// per word, zero-padded. [`Checkpoint::get_bytes`] reverses it.
+    pub fn put_bytes(&mut self, name: &str, bytes: &[u8]) {
+        let mut words = Vec::with_capacity(1 + bytes.len().div_ceil(8));
+        words.push(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut padded = [0u8; 8];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(padded));
+        }
+        self.put_u64(name, &[words.len()], &words);
+    }
+
+    /// Loads a byte string written by [`Checkpoint::put_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// The per-section get errors, plus [`CkptError::Malformed`] when
+    /// the declared length disagrees with the stored word count.
+    pub fn get_bytes(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        let (_, words) = self.get_u64(name)?;
+        let (&len, packed) = words
+            .split_first()
+            .ok_or_else(|| CkptError::Malformed(format!("{name}: empty byte section")))?;
+        let len = usize::try_from(len)
+            .map_err(|_| CkptError::Malformed(format!("{name}: byte length exceeds usize")))?;
+        if packed.len() != len.div_ceil(8) {
+            return Err(CkptError::Malformed(format!(
+                "{name}: byte length {len} disagrees with {} packed words",
+                packed.len()
+            )));
+        }
+        let mut bytes: Vec<u8> = packed.iter().flat_map(|w| w.to_le_bytes()).collect();
+        bytes.truncate(len);
+        Ok(bytes)
+    }
+
     /// Saves every parameter of `store` as sections `{prefix}.N` plus a
     /// `{prefix}.count` section, in allocation order.
     pub fn put_param_store(&mut self, prefix: &str, store: &ParamStore) {
@@ -656,6 +694,32 @@ mod tests {
             &[f32::NAN, f32::INFINITY, -0.0, 1e-40, 3.25],
         );
         ckpt
+    }
+
+    #[test]
+    fn byte_sections_round_trip_any_length() {
+        let mut ckpt = Checkpoint::new();
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"x".to_vec(),
+            b"12345678".to_vec(),
+            b"search id=1 task=cifar seed=0".to_vec(),
+            (0..=255u8).collect(),
+        ];
+        for (i, bytes) in cases.iter().enumerate() {
+            ckpt.put_bytes(&format!("blob{i}"), bytes);
+        }
+        let back = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("round-trip");
+        for (i, bytes) in cases.iter().enumerate() {
+            assert_eq!(&back.get_bytes(&format!("blob{i}")).expect("bytes"), bytes);
+        }
+        // A lying length prefix is a typed error, not a panic.
+        let mut hostile = Checkpoint::new();
+        hostile.put_u64("blob", &[2], &[64, 0x4141_4141_4141_4141]);
+        assert!(matches!(
+            hostile.get_bytes("blob"),
+            Err(CkptError::Malformed(_))
+        ));
     }
 
     #[test]

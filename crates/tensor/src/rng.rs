@@ -123,6 +123,28 @@ impl Rng {
         }
     }
 
+    /// Captures the generator's full state as three words (the
+    /// SplitMix64 state, a flag for the cached Box–Muller sample, and
+    /// its bit pattern). [`Rng::from_state_words`] restores the exact
+    /// stream — the checkpoint/resume layer relies on this to continue
+    /// a search bit-identically.
+    pub fn state_words(&self) -> [u64; 3] {
+        [
+            self.state,
+            u64::from(self.spare_normal.is_some()),
+            self.spare_normal.unwrap_or(0),
+        ]
+    }
+
+    /// Rebuilds a generator from [`Rng::state_words`]. The restored
+    /// stream continues exactly where the captured one stopped.
+    pub fn from_state_words(words: [u64; 3]) -> Rng {
+        Rng {
+            state: words[0],
+            spare_normal: (words[1] != 0).then_some(words[2]),
+        }
+    }
+
     /// Samples an index from an (unnormalized, non-negative) weight slice.
     ///
     /// # Panics
@@ -235,6 +257,19 @@ mod tests {
         let a: Vec<u64> = (0..16).map(|_| parent.next_u64()).collect();
         let b: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_words_round_trip_mid_stream() {
+        let mut rng = Rng::new(19);
+        // Leave a cached Box–Muller sample pending so the spare slot is
+        // exercised too.
+        let _ = rng.normal();
+        let mut restored = Rng::from_state_words(rng.state_words());
+        for _ in 0..64 {
+            assert_eq!(restored.normal().to_bits(), rng.normal().to_bits());
+            assert_eq!(restored.next_u64(), rng.next_u64());
+        }
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! Train-once / serve-many over the line protocol.
 //!
 //! Pre-trains the search artifacts once, checkpoints them to a bundle
-//! file, then starts a warm [`hdx_serve::SearchService`] from the
-//! bundle and feeds it a small batch of `search …` request lines — the
-//! exact flow `hdx-serve train-and-save` + `hdx-serve serve` run as
-//! separate processes, demonstrated in-process:
+//! file, then starts a warm [`hdx_serve::Router`] from the bundle and
+//! feeds it a small batch of `search …` request lines — the exact flow
+//! `hdx-serve train-and-save` + `hdx-serve serve` run as separate
+//! processes, demonstrated in-process:
 //!
 //! ```sh
 //! cargo run --release --example serve_warm_start
 //! ```
 
 use hdx_core::Task;
-use hdx_serve::{load_bundle, save_bundle, train_artifacts, SearchService};
+use hdx_serve::{save_bundle, train_artifacts, Router, RouterConfig};
 use std::io::Cursor;
 
 fn main() {
@@ -49,9 +49,14 @@ fn main() {
     // -- serve many --------------------------------------------------
     println!("== warm start from the bundle ==");
     let start = std::time::Instant::now();
-    let artifacts = load_bundle(&bundle).expect("load bundle");
-    let service = SearchService::new(artifacts.task, artifacts.into_prepared());
-    println!("warm start in {:.2}s\n", start.elapsed().as_secs_f64());
+    let router = Router::new(RouterConfig::default());
+    let entry = router.load_bundle_path(&bundle).expect("load bundle");
+    println!(
+        "warm start in {:.2}s: task={:?} bundle_seed={}\n",
+        start.elapsed().as_secs_f64(),
+        entry.task,
+        entry.bundle_seed
+    );
 
     // Three independent jobs — a 30 fps HDX search, a λ-grid DANCE
     // sweep, and a meta-search — as protocol lines, answered as one
@@ -65,8 +70,8 @@ stats
     println!("== requests ==\n{requests}");
     let start = std::time::Instant::now();
     let mut out = Vec::new();
-    service
-        .serve_connection(Cursor::new(requests), &mut out, 0)
+    router
+        .serve_connection(Cursor::new(requests), &mut out)
         .expect("serve");
     println!("== responses ({:.1}s) ==", start.elapsed().as_secs_f64());
     print!("{}", String::from_utf8(out).expect("utf-8"));

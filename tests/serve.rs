@@ -1,17 +1,20 @@
 //! Serving-layer contracts: warm-start bit-identity, scheduler
 //! determinism, bounded-bank invariance, and checkpoint robustness.
 //!
-//! * A service answering the same request set at jobs ∈ {1, 2, 4}
+//! * A router answering the same request set at jobs ∈ {1, 2, 4}
 //!   must return **byte-identical** report lines (seeds 0–2).
-//! * A service started from a checkpoint bundle must return
+//! * A router started from a checkpoint bundle must return
 //!   byte-identical reports to one serving the in-process artifacts.
 //! * Capping the session bank (`HDX_BANK_CAP` semantics) must evict
 //!   without changing a single result byte.
 //! * Corrupt/truncated/wrong-version checkpoint files must surface as
 //!   typed errors, never panics.
+//!
+//! (Multi-bundle routing, the v1 protocol, quota/deadline hardening,
+//! and resume bit-identity are pinned by `tests/serve_router.rs`.)
 
 use hdx_core::{prepare_context_with, PreparedContext, Task};
-use hdx_serve::{load_bundle, save_bundle, SearchRequest, SearchService};
+use hdx_serve::{load_bundle, save_bundle, Router, RouterConfig, SearchRequest};
 use hdx_surrogate::EstimatorConfig;
 use hdx_tensor::ckpt::{Checkpoint, CkptError};
 use hdx_tensor::{Rng, SessionBank, Tensor};
@@ -36,6 +39,14 @@ fn prepared() -> Arc<PreparedContext> {
             },
         ))
     }))
+}
+
+/// A single-bundle router over the shared warm context (the PR-4
+/// `SearchService` shape, expressed in the new registry API).
+fn single_router() -> Router {
+    let router = Router::new(RouterConfig::default());
+    router.insert_prepared(Task::Cifar, 7, prepared());
+    router
 }
 
 /// Serializes the tests that mutate process-global state (the session
@@ -91,8 +102,8 @@ fn request_set() -> Vec<SearchRequest> {
     reqs
 }
 
-fn encode_batch(service: &SearchService, reqs: &[SearchRequest], jobs: usize) -> Vec<String> {
-    service
+fn encode_batch(router: &Router, reqs: &[SearchRequest], jobs: usize) -> Vec<String> {
+    router
         .run_batch(reqs, jobs)
         .into_iter()
         .map(|r| r.expect("request set is valid").encode())
@@ -102,9 +113,9 @@ fn encode_batch(service: &SearchService, reqs: &[SearchRequest], jobs: usize) ->
 #[test]
 fn service_output_is_worker_count_invariant() {
     let _guard = global_guard();
-    let service = SearchService::new(Task::Cifar, prepared());
+    let router = single_router();
     let reqs = request_set();
-    let reference = encode_batch(&service, &reqs, 1);
+    let reference = encode_batch(&router, &reqs, 1);
     // Grid expansion: 6 requests -> 7 jobs, reports in request order.
     assert_eq!(reference.len(), 7);
     for line in &reference {
@@ -112,7 +123,7 @@ fn service_output_is_worker_count_invariant() {
     }
     for jobs in JOB_GRID {
         assert_eq!(
-            encode_batch(&service, &reqs, jobs),
+            encode_batch(&router, &reqs, jobs),
             reference,
             "jobs={jobs}: report bytes diverged"
         );
@@ -138,10 +149,11 @@ fn warm_start_from_bundle_is_byte_identical() {
     )
     .expect("save bundle");
 
-    let artifacts = load_bundle(&path).expect("load bundle");
-    assert_eq!(artifacts.luts.len(), 2);
-    let warm = SearchService::new(artifacts.task, artifacts.into_prepared());
-    let cold = SearchService::new(Task::Cifar, prepared);
+    let warm = Router::new(RouterConfig::default());
+    let entry = warm.load_bundle_path(&path).expect("load bundle");
+    assert_eq!(entry.task, Task::Cifar);
+    assert_eq!(entry.bundle_seed, 7);
+    let cold = single_router();
 
     let reqs = request_set();
     for jobs in [1, 4] {
@@ -158,7 +170,7 @@ fn warm_start_from_bundle_is_byte_identical() {
 fn bank_cap_evicts_without_changing_results() {
     let _guard = global_guard();
     let bank = SessionBank::global();
-    let service = SearchService::new(Task::Cifar, prepared());
+    let router = single_router();
     let req = SearchRequest {
         id: 9,
         seed: 1,
@@ -169,15 +181,23 @@ fn bank_cap_evicts_without_changing_results() {
         constraints: vec![hdx_core::Constraint::fps(30.0)],
         ..SearchRequest::default()
     };
+    let run = || {
+        router
+            .run_one(&req)
+            .pop()
+            .expect("one job")
+            .expect("valid request")
+            .encode()
+    };
 
     bank.set_capacity(None);
-    let unbounded = service.run_one(&req).expect("unbounded run").encode();
+    let unbounded = run();
 
     // A tiny cap forces constant eviction/recompile churn across the
     // sampled-mixture, estimator-shard, final-net, and head programs.
     bank.set_capacity(Some(2));
     let evictions_before = bank.stats().evictions;
-    let capped = service.run_one(&req).expect("capped run").encode();
+    let capped = run();
     let stats = bank.stats();
     bank.set_capacity(None);
 
@@ -193,7 +213,7 @@ fn bank_cap_evicts_without_changing_results() {
 #[test]
 fn line_protocol_batches_and_reports_in_order() {
     let _guard = global_guard();
-    let service = SearchService::new(Task::Cifar, prepared());
+    let router = single_router();
     let quick = "epochs=2 steps=3 batch=16 final_train=40 fps=30";
     let input = format!(
         "ping\n\
@@ -204,8 +224,8 @@ fn line_protocol_batches_and_reports_in_order() {
          bogus line\n"
     );
     let mut out = Vec::new();
-    service
-        .serve_connection(Cursor::new(input), &mut out, 2)
+    router
+        .serve_connection(Cursor::new(input), &mut out)
         .expect("serve");
     let text = String::from_utf8(out).expect("utf-8");
     let lines: Vec<&str> = text.lines().collect();
@@ -235,14 +255,19 @@ fn line_protocol_batches_and_reports_in_order() {
             constraints: vec![hdx_core::Constraint::fps(30.0)],
             ..SearchRequest::default()
         };
-        assert_eq!(service.run_one(&req).expect("direct run").encode(), line);
+        let direct = router
+            .run_one(&req)
+            .pop()
+            .expect("one job")
+            .expect("direct run");
+        assert_eq!(direct.encode(), line);
     }
 }
 
 #[test]
 fn mismatched_task_is_an_in_band_error() {
     let _guard = global_guard();
-    let service = SearchService::new(Task::Cifar, prepared());
+    let router = single_router();
     let req = SearchRequest {
         id: 21,
         task: Task::ImageNet,
@@ -251,7 +276,7 @@ fn mismatched_task_is_an_in_band_error() {
         final_train: 0,
         ..SearchRequest::default()
     };
-    let outcome = &service.run_batch(std::slice::from_ref(&req), 1)[0];
+    let outcome = &router.run_batch(std::slice::from_ref(&req), 1)[0];
     let err = outcome.as_ref().expect_err("must be rejected");
     assert_eq!(err.id, 21);
     assert!(err.encode().starts_with("error id=21 msg="));

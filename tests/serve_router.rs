@@ -1,0 +1,501 @@
+//! Router-layer contracts: multi-bundle routing, the v1 protocol and
+//! its v0 shim, quota/deadline hardening, and resume bit-identity.
+//!
+//! * One router holding ≥ 2 `(task, seed)` bundles answers a mixed
+//!   batch routed by task, byte-invariant to the worker count.
+//! * A v0 client sees byte-identical responses whether or not v1
+//!   machinery is in play; v1 responses are the v0 bytes plus the
+//!   versioned tail.
+//! * The per-connection quota and the per-job deterministic step
+//!   deadline answer in-band typed errors.
+//! * A search interrupted at an epoch boundary and resumed via the v1
+//!   `resume` verb reports **byte-identically** to the uninterrupted
+//!   run (seeds 0–2, jobs ∈ {1, 2, 4}).
+//! * Trailing garbage after any complete request is a typed error
+//!   naming the offending byte offset (fuzz-style sweep).
+
+use hdx_core::{prepare_context_with, PreparedContext, Task};
+use hdx_serve::v1;
+use hdx_serve::{parse_request, save_bundle, Router, RouterConfig, SearchRequest};
+use hdx_surrogate::EstimatorConfig;
+use std::io::Cursor;
+use std::sync::{Arc, OnceLock};
+
+fn cifar() -> Arc<PreparedContext> {
+    static CTX: OnceLock<Arc<PreparedContext>> = OnceLock::new();
+    Arc::clone(CTX.get_or_init(|| {
+        Arc::new(prepare_context_with(
+            Task::Cifar,
+            7,
+            1500,
+            EstimatorConfig {
+                epochs: 12,
+                batch: 128,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        ))
+    }))
+}
+
+fn imagenet() -> Arc<PreparedContext> {
+    static CTX: OnceLock<Arc<PreparedContext>> = OnceLock::new();
+    Arc::clone(CTX.get_or_init(|| {
+        Arc::new(prepare_context_with(
+            Task::ImageNet,
+            3,
+            1200,
+            EstimatorConfig {
+                epochs: 10,
+                batch: 128,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        ))
+    }))
+}
+
+/// A two-task router (the acceptance shape: one process, ≥ 2 bundles).
+fn dual_router(cfg: RouterConfig) -> Router {
+    let router = Router::new(cfg);
+    router.insert_prepared(Task::Cifar, 7, cifar());
+    router.insert_prepared(Task::ImageNet, 3, imagenet());
+    router
+}
+
+fn quick(id: u64, task: Task, seed: u64) -> SearchRequest {
+    SearchRequest {
+        id,
+        task,
+        seed,
+        epochs: 2,
+        steps: 3,
+        batch: 16,
+        final_train: 40,
+        constraints: vec![hdx_core::Constraint::fps(30.0)],
+        ..SearchRequest::default()
+    }
+}
+
+/// Serves `input` over an in-memory connection and returns the
+/// response lines.
+fn serve_lines(router: &Router, input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    router
+        .serve_connection(Cursor::new(input.to_owned()), &mut out)
+        .expect("serve");
+    String::from_utf8(out)
+        .expect("utf-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn mixed_task_batches_route_and_stay_worker_invariant() {
+    let router = dual_router(RouterConfig::default());
+    let reqs = vec![
+        quick(1, Task::Cifar, 0),
+        quick(2, Task::ImageNet, 0),
+        SearchRequest {
+            lambda_grid: vec![0.001, 0.01],
+            constraints: Vec::new(),
+            method: hdx_core::Method::Dance,
+            ..quick(3, Task::Cifar, 1)
+        },
+    ];
+    let reference: Vec<String> = router
+        .run_batch(&reqs, 1)
+        .into_iter()
+        .map(|r| r.expect("valid").encode_v1())
+        .collect();
+    // 3 requests -> 4 jobs (the grid expands), in request order.
+    assert_eq!(reference.len(), 4);
+    assert!(reference[0].contains(" task=cifar "), "{}", reference[0]);
+    assert!(reference[1].contains(" task=imagenet "), "{}", reference[1]);
+    assert!(reference[2].contains("id=3#0 "), "{}", reference[2]);
+    assert!(reference[3].contains("id=3#1 "), "{}", reference[3]);
+    // Deterministic dispatch-position fields.
+    for (pos, line) in reference.iter().enumerate() {
+        assert!(
+            line.contains(&format!("queue_pos={pos} queued_jobs=4")),
+            "line: {line}"
+        );
+        assert!(
+            line.contains(&format!("queue_len_at_dispatch={}", 4 - pos - 1)),
+            "line: {line}"
+        );
+    }
+    for jobs in [2, 4] {
+        let got: Vec<String> = router
+            .run_batch(&reqs, jobs)
+            .into_iter()
+            .map(|r| r.expect("valid").encode_v1())
+            .collect();
+        assert_eq!(got, reference, "jobs={jobs}: report bytes diverged");
+    }
+
+    // Per-task counters accumulated (3 runs of 4 jobs: 3 cifar + 1
+    // imagenet each).
+    let stats = router.stats();
+    assert_eq!(stats.tasks.len(), 2);
+    assert_eq!(stats.tasks[0].task, Task::Cifar);
+    assert_eq!(stats.tasks[0].served, 9);
+    assert_eq!(stats.tasks[1].task, Task::ImageNet);
+    assert_eq!(stats.tasks[1].served, 3);
+    assert_eq!(stats.requests_served, 12);
+    assert!(stats.tasks[0].steps_used > 0);
+}
+
+#[test]
+fn bundle_seed_pins_and_unload_is_in_band() {
+    let router = dual_router(RouterConfig::default());
+    // A second cifar bundle under a higher seed (same artifacts — the
+    // point is which registry entry answers).
+    router.insert_prepared(Task::Cifar, 9, cifar());
+    assert_eq!(router.tasks().len(), 3);
+
+    // Unpinned requests go to the lowest seed; pinned ones to theirs.
+    let unpinned = quick(1, Task::Cifar, 0);
+    let pinned = SearchRequest {
+        bundle_seed: Some(9),
+        ..quick(2, Task::Cifar, 0)
+    };
+    router.run_one(&unpinned).pop().unwrap().expect("unpinned");
+    router.run_one(&pinned).pop().unwrap().expect("pinned");
+    let stats = router.stats();
+    let by_key: Vec<(u64, u64)> = stats
+        .tasks
+        .iter()
+        .filter(|t| t.task == Task::Cifar)
+        .map(|t| (t.bundle_seed, t.served))
+        .collect();
+    assert_eq!(by_key, vec![(7, 1), (9, 1)]);
+
+    // A pin to a seed that is not registered is an in-band error.
+    let missing = SearchRequest {
+        bundle_seed: Some(42),
+        ..quick(3, Task::Cifar, 0)
+    };
+    let err = router
+        .run_one(&missing)
+        .pop()
+        .unwrap()
+        .expect_err("missing seed");
+    assert_eq!(err.kind.code(), "task_unavailable");
+
+    // Unloading a bundle takes it out of rotation, in-band.
+    let lines = serve_lines(
+        &router,
+        "hdx1 unload_bundle id=5 task=imagenet bundle_seed=3\n\
+         hdx1 list_tasks id=6\n\
+         hdx1 unload_bundle id=7 task=imagenet bundle_seed=3\n",
+    );
+    assert_eq!(lines[0], "hdx1 unloaded id=5 task=imagenet bundle_seed=3");
+    assert!(lines[1].starts_with("hdx1 tasks id=6 count=2 "));
+    assert!(lines[2].starts_with("hdx1 error id=7 code=task_unavailable"));
+    let err = router
+        .run_one(&quick(8, Task::ImageNet, 0))
+        .pop()
+        .unwrap()
+        .expect_err("unloaded task");
+    assert_eq!(err.id, 8);
+    assert_eq!(err.kind.code(), "task_unavailable");
+}
+
+#[test]
+fn runtime_load_bundle_serves_warm() {
+    let dir = std::env::temp_dir().join("hdx_router_load_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("cifar.ckpt");
+    let prepared = cifar();
+    save_bundle(
+        &path,
+        Task::Cifar,
+        7,
+        1500,
+        prepared.estimator_accuracy,
+        prepared.estimator(),
+        &[],
+    )
+    .expect("save bundle");
+
+    // Starts empty: the task is unavailable until load_bundle arrives.
+    let router = Router::new(RouterConfig::default());
+    let req = quick(1, Task::Cifar, 0).encode();
+    let lines = serve_lines(
+        &router,
+        &format!(
+            "hdx1 list_tasks id=1\n\
+             hdx1 {req}\n\
+             hdx1 load_bundle id=2 path={}\n\
+             hdx1 {req}\n\
+             hdx1 load_bundle id=3 path={}/nope.ckpt\n",
+            path.display(),
+            dir.display()
+        ),
+    );
+    assert_eq!(lines[0], "hdx1 tasks id=1 count=0");
+    assert!(lines[1].starts_with("hdx1 error id=1 code=task_unavailable"));
+    assert!(
+        lines[2].starts_with("hdx1 loaded id=2 task=cifar bundle_seed=7"),
+        "{}",
+        lines[2]
+    );
+    assert!(lines[3].starts_with("hdx1 report id=1 "), "{}", lines[3]);
+    assert!(
+        lines[4].starts_with("hdx1 error id=3 code=checkpoint"),
+        "{}",
+        lines[4]
+    );
+
+    // The runtime-loaded bundle answers byte-identically to the
+    // in-process artifacts (warm-start bit-identity through the
+    // registry path).
+    let direct = dual_router(RouterConfig::default());
+    let report = direct
+        .run_one(&quick(1, Task::Cifar, 0))
+        .pop()
+        .unwrap()
+        .expect("direct");
+    assert_eq!(lines[3], report.encode_v1());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn quota_and_deadline_are_enforced_in_band() {
+    // Quota: the connection dies after `limit` lines, answering the
+    // overflowing one with a typed error in its own framing.
+    let router = dual_router(RouterConfig {
+        max_requests_per_conn: Some(3),
+        ..RouterConfig::default()
+    });
+    let lines = serve_lines(&router, "ping\nping\nhdx1 ping id=9\nping\nping\n");
+    assert_eq!(
+        lines,
+        vec![
+            "pong".to_owned(),
+            "pong".to_owned(),
+            "hdx1 pong id=9".to_owned(),
+            "error id=0 msg=connection_exceeded_its_3-request_quota".to_owned(),
+        ]
+    );
+    // …and in v1 framing when the overflowing line is v1.
+    let lines = serve_lines(&router, "ping\nping\nping\nhdx1 ping id=4\n");
+    assert_eq!(
+        lines[3],
+        "hdx1 error id=0 code=quota_exceeded msg=connection_exceeded_its_3-request_quota"
+    );
+
+    // Deadline: a job whose deterministic step budget exceeds the cap
+    // is rejected before any work runs; smaller jobs still serve.
+    let router = dual_router(RouterConfig {
+        deadline_steps: Some(50),
+        ..RouterConfig::default()
+    });
+    let ok = quick(1, Task::Cifar, 0); // budget 2·3 + 40 = 46 ≤ 50
+    let too_big = SearchRequest {
+        epochs: 40,
+        steps: 50,
+        final_train: 4000,
+        ..quick(2, Task::Cifar, 0)
+    };
+    let outcomes = router.run_batch(&[ok.clone(), too_big.clone()], 2);
+    assert!(outcomes[0].is_ok());
+    let err = outcomes[1].as_ref().expect_err("over deadline");
+    assert_eq!(err.id, 2);
+    assert_eq!(err.kind.code(), "deadline_exceeded");
+    assert_eq!(
+        err.kind,
+        hdx_serve::ErrorKind::DeadlineExceeded {
+            budget: too_big.step_budget(),
+            limit: 50
+        }
+    );
+    // Meta-searches are charged their worst case.
+    let meta = SearchRequest {
+        max_searches: 2,
+        ..quick(3, Task::Cifar, 0)
+    };
+    let err = router.run_one(&meta).pop().unwrap().expect_err("meta over");
+    assert_eq!(err.kind.code(), "deadline_exceeded");
+}
+
+#[test]
+fn v0_shim_is_byte_identical_and_v1_extends_it() {
+    let router = dual_router(RouterConfig::default());
+    let fields = "id=21 task=imagenet seed=1 epochs=2 steps=3 batch=16 final_train=40 fps=30";
+    // One connection interleaving a v0 and a v1 client's traffic.
+    let lines = serve_lines(
+        &router,
+        &format!(
+            "ping\n\
+             hdx1 ping id=20\n\
+             search {fields}\n\
+             hdx1 search {fields}\n\
+             stats trailing\n\
+             hdx2 ping id=22\n"
+        ),
+    );
+    assert_eq!(lines[0], "pong");
+    assert_eq!(lines[1], "hdx1 pong id=20");
+    // The v0 report is the exact PR-4 byte stream…
+    let direct = router
+        .run_one(&quick(21, Task::ImageNet, 1))
+        .pop()
+        .unwrap()
+        .expect("direct");
+    assert_eq!(lines[2], direct.encode());
+    assert!(!lines[2].contains("queue_pos"));
+    // …and the v1 report is those same bytes behind the version token,
+    // plus the deterministic dispatch tail (both searches flushed as
+    // one two-job batch, so the v1 job dispatched second).
+    assert!(lines[3].starts_with(&format!("hdx1 {}", lines[2])));
+    assert!(lines[3].ends_with("queue_pos=1 queued_jobs=2 queue_len_at_dispatch=0 steps_used=46"));
+    // The v1 line round-trips through the canonical response decoder.
+    match v1::decode_response(&lines[3]).expect("decode").body {
+        v1::ResponseBody::Report(r) => {
+            assert_eq!(r.id, 21);
+            assert_eq!(r.encode(), lines[2]);
+        }
+        other => panic!("unexpected body {other:?}"),
+    }
+    // Trailing garbage on a v0 control verb is now a typed error…
+    assert!(lines[4].starts_with("error id=0 msg=trailing_input"));
+    // …and an unknown version token is a v1-framed mismatch error.
+    assert!(lines[5].starts_with("hdx1 error id=0 code=version_mismatch"));
+}
+
+#[test]
+fn resume_equals_uninterrupted_bit_for_bit() {
+    let dir = std::env::temp_dir().join("hdx_router_resume_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let base = |id: u64, seed: u64, epochs: usize| SearchRequest {
+        epochs,
+        ..quick(id, Task::Cifar, seed)
+    };
+
+    for jobs in [1usize, 2, 4] {
+        let router = dual_router(RouterConfig {
+            jobs,
+            ..RouterConfig::default()
+        });
+        // Reference: three uninterrupted 4-epoch searches (seeds 0–2).
+        let reference: Vec<String> = router
+            .run_batch(&[base(31, 0, 4), base(32, 1, 4), base(33, 2, 4)], jobs)
+            .into_iter()
+            .map(|r| r.expect("reference").encode_v1())
+            .collect();
+
+        // "Interrupt": run only 2 of the 4 epochs, snapshotting every
+        // epoch — state-identical to a search killed mid-flight.
+        let interrupted: Vec<SearchRequest> = (0..3u64)
+            .map(|seed| SearchRequest {
+                checkpoint: Some(
+                    dir.join(format!("s{seed}_j{jobs}.ckpt"))
+                        .display()
+                        .to_string(),
+                ),
+                ..base(31 + seed, seed, 2)
+            })
+            .collect();
+        for outcome in router.run_batch(&interrupted, jobs) {
+            outcome.expect("interrupted run");
+        }
+
+        // Resume through the protocol: same fields, full schedule,
+        // the `resume` verb pointing at the snapshot.
+        let resume_input: String = interrupted
+            .iter()
+            .map(|req| {
+                let line = SearchRequest {
+                    epochs: 4,
+                    ..req.clone()
+                }
+                .encode();
+                format!(
+                    "hdx1 resume {}\n",
+                    line.strip_prefix("search ").expect("search prefix")
+                )
+            })
+            .collect();
+        let resumed = serve_lines(&router, &resume_input);
+        assert_eq!(
+            resumed, reference,
+            "jobs={jobs}: resumed reports diverged from uninterrupted"
+        );
+    }
+
+    // A resume whose fields disagree with the snapshot is a typed
+    // in-band error, not a wrong answer.
+    let router = dual_router(RouterConfig::default());
+    let path = dir.join("s0_j1.ckpt").display().to_string();
+    let mismatched = SearchRequest {
+        seed: 5,
+        checkpoint: Some(path),
+        resume_from_checkpoint: true,
+        ..base(40, 0, 4)
+    };
+    let err = router
+        .run_one(&SearchRequest {
+            seed: 5,
+            ..mismatched
+        })
+        .pop()
+        .unwrap()
+        .expect_err("fingerprint mismatch");
+    assert_eq!(err.kind.code(), "checkpoint");
+    // And a missing snapshot file likewise.
+    let gone = SearchRequest {
+        checkpoint: Some(dir.join("missing.ckpt").display().to_string()),
+        resume_from_checkpoint: true,
+        ..base(41, 0, 4)
+    };
+    let err = router.run_one(&gone).pop().unwrap().expect_err("no file");
+    assert_eq!(err.kind.code(), "checkpoint");
+}
+
+#[test]
+fn trailing_garbage_sweep_rejects_with_offsets() {
+    // Complete, valid request lines in both framings…
+    let bases = [
+        "stats",
+        "ping",
+        "hdx1 stats id=1",
+        "hdx1 ping id=1",
+        "hdx1 list_tasks id=1",
+        "search id=1 fps=30",
+        "hdx1 search id=1 fps=30",
+        "hdx1 unload_bundle id=1 task=cifar bundle_seed=0",
+    ];
+    // …and a corpus of garbage suffixes: bare tokens, stray verbs,
+    // unknown fields, malformed pairs.
+    let garbage = ["x", "1", "stats", "ping", "frob=1", "=x", "##", "id"];
+    for base in bases {
+        // The base itself parses.
+        let ok = if base.starts_with("hdx1") {
+            v1::decode_request(base).is_ok()
+        } else {
+            parse_request(base).is_ok()
+        };
+        assert!(ok, "base \"{base}\" must parse");
+        for g in garbage {
+            // "id" alone is a valid-looking prefix only for key=value
+            // verbs; it must still fail (no '=').
+            let line = format!("{base} {g}");
+            let err = if base.starts_with("hdx1") {
+                v1::decode_request(&line).expect_err(&line)
+            } else {
+                parse_request(&line).expect_err(&line)
+            };
+            // Every rejection names the offending byte offset — and it
+            // is exactly where the garbage starts.
+            assert_eq!(
+                err.kind.offset(),
+                Some(base.len() + 1),
+                "line \"{line}\" kind {:?}",
+                err.kind
+            );
+        }
+    }
+}
