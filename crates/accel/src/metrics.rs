@@ -142,6 +142,30 @@ impl CostWeights {
         }
     }
 
+    /// Edge-deployment weighting: latency dominates (interactive
+    /// inference), area is cheap relative to the paper's balance.
+    /// Normalization references are shared with [`CostWeights::paper`]
+    /// so costs stay comparable across hardware targets.
+    pub fn edge() -> Self {
+        Self {
+            c_e: 2.0,
+            c_l: 8.5,
+            c_a: 0.8,
+            ..Self::paper()
+        }
+    }
+
+    /// Datacenter/throughput weighting: energy and silicon area
+    /// dominate (amortized batch serving), latency is discounted.
+    pub fn datacenter() -> Self {
+        Self {
+            c_e: 6.0,
+            c_l: 2.0,
+            c_a: 2.2,
+            ..Self::paper()
+        }
+    }
+
     /// Evaluates `Cost_HW` for a metrics record.
     pub fn cost(&self, metrics: &HwMetrics) -> f64 {
         self.c_e * metrics.energy_mj / self.e_ref
@@ -201,6 +225,22 @@ mod tests {
         assert!(HwMetrics::new(1.0, 1.0, 1.0).is_valid());
         assert!(!HwMetrics::new(f64::NAN, 1.0, 1.0).is_valid());
         assert!(!HwMetrics::new(-1.0, 1.0, 1.0).is_valid());
+    }
+
+    #[test]
+    fn hardware_targets_reorder_designs() {
+        // A slow/frugal design vs a fast/hungry one: the edge target
+        // must prefer the fast design, the datacenter target the
+        // frugal one — otherwise the variants are not real targets.
+        let slow_frugal = HwMetrics::new(60.0, 8.0, 1.5);
+        let fast_hungry = HwMetrics::new(15.0, 30.0, 4.0);
+        let edge = CostWeights::edge();
+        let dc = CostWeights::datacenter();
+        assert!(edge.cost(&fast_hungry) < edge.cost(&slow_frugal));
+        assert!(dc.cost(&slow_frugal) < dc.cost(&fast_hungry));
+        // Shared normalization references keep targets comparable.
+        assert_eq!(edge.e_ref, CostWeights::paper().e_ref);
+        assert_eq!(dc.l_ref, CostWeights::paper().l_ref);
     }
 
     #[test]

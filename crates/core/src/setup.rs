@@ -11,20 +11,47 @@ use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
 use hdx_tensor::Rng;
 
 /// Which benchmark task to prepare.
+///
+/// The first two are the paper's benchmarks; the rest are the workload
+/// harness's families (`crates/workload`), varying mixture geometry,
+/// dimensionality, class count, and the hardware cost target. Every
+/// family expands deterministically from `(Task, seed)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Task {
     /// CIFAR-10-like task on the 18-layer plan.
     Cifar,
     /// ImageNet-like task on the 21-layer plan.
     ImageNet,
+    /// Gaussian-mixture geometry family (12 classes × 3 clusters,
+    /// 24-dim) on the 18-layer plan.
+    Spheres,
+    /// Higher-dimensional teacher family (40-dim inputs) on the
+    /// 18-layer plan.
+    HighDim,
+    /// Many-class teacher family (32 classes) on the 21-layer plan,
+    /// scored under datacenter cost weights.
+    ManyClass,
+    /// CIFAR-like data scored under edge (latency-dominated) cost
+    /// weights — a hardware-target variant, not a new dataset.
+    Edge,
 }
 
 impl Task {
+    /// Every task family, in canonical (wire-code) order.
+    pub const ALL: [Task; 6] = [
+        Task::Cifar,
+        Task::ImageNet,
+        Task::Spheres,
+        Task::HighDim,
+        Task::ManyClass,
+        Task::Edge,
+    ];
+
     /// The network plan for this task (§4.4: 18 / 21 layers).
     pub fn plan(self) -> NetworkPlan {
         match self {
-            Task::Cifar => NetworkPlan::cifar18(),
-            Task::ImageNet => NetworkPlan::imagenet21(),
+            Task::Cifar | Task::Spheres | Task::HighDim | Task::Edge => NetworkPlan::cifar18(),
+            Task::ImageNet | Task::ManyClass => NetworkPlan::imagenet21(),
         }
     }
 
@@ -33,7 +60,49 @@ impl Task {
         match self {
             Task::Cifar => TaskSpec::cifar_like(seed),
             Task::ImageNet => TaskSpec::imagenet_like(seed),
+            Task::Spheres => TaskSpec::spheres_like(seed),
+            Task::HighDim => TaskSpec::highdim_like(seed),
+            Task::ManyClass => TaskSpec::manyclass_like(seed),
+            Task::Edge => TaskSpec::edge_like(seed),
         }
+    }
+
+    /// The hardware cost target this task is scored under. The paper
+    /// tasks keep the paper's §5.3 weights; the harness's hardware
+    /// variants re-weight the same normalized metrics.
+    pub fn cost_weights(self) -> CostWeights {
+        match self {
+            Task::Edge => CostWeights::edge(),
+            Task::ManyClass => CostWeights::datacenter(),
+            _ => CostWeights::paper(),
+        }
+    }
+
+    /// Stable wire/CLI label (also the `task=` value in both protocol
+    /// framings).
+    pub fn label(self) -> &'static str {
+        match self {
+            Task::Cifar => "cifar",
+            Task::ImageNet => "imagenet",
+            Task::Spheres => "spheres",
+            Task::HighDim => "highdim",
+            Task::ManyClass => "manyclass",
+            Task::Edge => "edge",
+        }
+    }
+
+    /// Inverse of [`Task::label`].
+    pub fn parse_label(label: &str) -> Option<Task> {
+        Task::ALL.into_iter().find(|t| t.label() == label)
+    }
+
+    /// Canonical index of this task in [`Task::ALL`] (the persisted
+    /// bundle/registry code).
+    pub fn index(self) -> usize {
+        Task::ALL
+            .into_iter()
+            .position(|t| t == self)
+            .expect("every task is in Task::ALL")
     }
 }
 
@@ -81,7 +150,7 @@ impl PreparedContext {
             plan,
             dataset,
             estimator,
-            weights: CostWeights::paper(),
+            weights: task.cost_weights(),
             estimator_accuracy,
         }
     }
@@ -165,7 +234,7 @@ pub fn prepare_context_with(
         plan,
         dataset,
         estimator,
-        weights: CostWeights::paper(),
+        weights: task.cost_weights(),
         estimator_accuracy,
     }
 }
@@ -185,5 +254,38 @@ mod tests {
         let c = Task::Cifar.spec(0);
         let i = Task::ImageNet.spec(0);
         assert!(i.num_classes > c.num_classes);
+    }
+
+    #[test]
+    fn labels_roundtrip_and_codes_are_stable() {
+        for (i, t) in Task::ALL.into_iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Task::parse_label(t.label()), Some(t));
+        }
+        assert_eq!(Task::parse_label("frobnicate"), None);
+        // Persisted bundle codes: the first two are frozen since PR 3.
+        assert_eq!(Task::Cifar.index(), 0);
+        assert_eq!(Task::ImageNet.index(), 1);
+    }
+
+    #[test]
+    fn hardware_variants_change_weights_not_paper_tasks() {
+        assert_eq!(Task::Cifar.cost_weights(), CostWeights::paper());
+        assert_eq!(Task::ImageNet.cost_weights(), CostWeights::paper());
+        assert_eq!(Task::Edge.cost_weights(), CostWeights::edge());
+        assert_eq!(Task::ManyClass.cost_weights(), CostWeights::datacenter());
+        // Edge shares CIFAR's dataset spec apart from the name.
+        let e = Task::Edge.spec(4);
+        let c = Task::Cifar.spec(4);
+        assert_eq!(e.num_classes, c.num_classes);
+        assert_ne!(e.name, c.name);
+    }
+
+    #[test]
+    fn new_family_plans_match_estimator_dims() {
+        for t in Task::ALL {
+            let layers = t.plan().num_layers();
+            assert!(layers == 18 || layers == 21);
+        }
     }
 }

@@ -39,7 +39,7 @@ pub mod ops;
 pub mod supernet;
 
 pub use arch::Architecture;
-pub use data::{Batch, Dataset, TaskSpec};
+pub use data::{Batch, Dataset, Geometry, TaskSpec};
 pub use geometry::{LayerSlot, NetworkPlan};
 pub use ops::{MbConvOp, OP_SET};
 pub use supernet::{FinalNet, Supernet, SupernetConfig};

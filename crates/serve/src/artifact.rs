@@ -35,18 +35,17 @@ pub struct Artifacts {
 }
 
 fn task_code(task: Task) -> u64 {
-    match task {
-        Task::Cifar => 0,
-        Task::ImageNet => 1,
-    }
+    // The persisted code is the canonical Task::ALL position; the
+    // first two are frozen (PR-3 bundles must keep loading), new
+    // families only append.
+    task.index() as u64
 }
 
 fn task_from_code(code: u64) -> Result<Task, CkptError> {
-    match code {
-        0 => Ok(Task::Cifar),
-        1 => Ok(Task::ImageNet),
-        other => Err(CkptError::Malformed(format!("unknown task code {other}"))),
-    }
+    usize::try_from(code)
+        .ok()
+        .and_then(|i| Task::ALL.get(i).copied())
+        .ok_or_else(|| CkptError::Malformed(format!("unknown task code {code}")))
 }
 
 /// Writes a bundle file from borrowed artifacts (the in-process

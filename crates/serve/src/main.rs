@@ -153,11 +153,11 @@ impl Flags {
 }
 
 fn parse_task(flags: &Flags) -> Result<Task, String> {
-    match flags.get("task").unwrap_or("cifar") {
-        "cifar" => Ok(Task::Cifar),
-        "imagenet" => Ok(Task::ImageNet),
-        other => Err(format!("invalid --task \"{other}\" (cifar|imagenet)")),
-    }
+    let label = flags.get("task").unwrap_or("cifar");
+    Task::parse_label(label).ok_or_else(|| {
+        let known: Vec<&str> = Task::ALL.iter().map(|t| t.label()).collect();
+        format!("invalid --task \"{label}\" ({})", known.join("|"))
+    })
 }
 
 fn cmd_train_and_save(args: &[String]) -> Result<(), String> {

@@ -469,18 +469,15 @@ impl SearchRequest {
 }
 
 pub(crate) fn task_label(task: Task) -> &'static str {
-    match task {
-        Task::Cifar => "cifar",
-        Task::ImageNet => "imagenet",
-    }
+    // Delegates to the core registry so the wire labels of new task
+    // families stay in one place. Accepting a new `task=` *value* is a
+    // value-level extension shared by both framings, not a grammar
+    // change — no pre-existing exchange's bytes move.
+    task.label()
 }
 
 pub(crate) fn task_from_label(label: &str) -> Option<Task> {
-    match label {
-        "cifar" => Some(Task::Cifar),
-        "imagenet" => Some(Task::ImageNet),
-        _ => None,
-    }
+    Task::parse_label(label)
 }
 
 fn metric_key(metric: Metric) -> &'static str {

@@ -169,6 +169,33 @@ pub struct TaskStats {
     pub served: u64,
     /// Cumulative deterministic step budget of those jobs.
     pub steps_used: u64,
+    /// Per-verb breakdown of `served` (v1 stats rows only; the v0
+    /// stats line is frozen and carries no per-bundle rows at all).
+    pub verbs: VerbCounts,
+}
+
+/// Jobs completed, broken down by the search-type verb that produced
+/// them. Control verbs (`stats`/`ping`/registry) are not jobs and are
+/// not counted. A v0 `search` line counts under the verb its options
+/// imply (grid expansion ⇒ `grid`, `max_searches>1` ⇒ `meta`), so the
+/// breakdown is framing-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerbCounts {
+    /// Plain single-λ searches.
+    pub search: u64,
+    /// λ-grid expanded sub-jobs.
+    pub grid: u64,
+    /// Constraint-driven meta-searches.
+    pub meta: u64,
+    /// Checkpoint resumes.
+    pub resume: u64,
+}
+
+impl VerbCounts {
+    /// Sum over all verbs (equals the bundle's `served`).
+    pub fn total(&self) -> u64 {
+        self.search + self.grid + self.meta + self.resume
+    }
 }
 
 /// How a raw input line should be handled.
@@ -479,11 +506,15 @@ pub fn encode_response(env: &Envelope<ResponseBody>) -> String {
             );
             for t in &s.tasks {
                 line.push_str(&format!(
-                    " task={}:{}:{}:{}",
+                    " task={}:{}:{}:{}:{}:{}:{}:{}",
                     task_label(t.task),
                     t.bundle_seed,
                     t.served,
-                    t.steps_used
+                    t.steps_used,
+                    t.verbs.search,
+                    t.verbs.grid,
+                    t.verbs.meta,
+                    t.verbs.resume
                 ));
             }
             line
@@ -672,12 +703,18 @@ fn decode_stats<'a>(
             "requests_served" => s.requests_served = parse_u64(id, offset, key, value)?,
             "task" => {
                 let fields: Vec<&str> = value.split(':').collect();
-                let parsed = (fields.len() == 4).then(|| {
+                let parsed = (fields.len() == 8).then(|| {
                     Some(TaskStats {
                         task: task_from_label(fields[0])?,
                         bundle_seed: fields[1].parse().ok()?,
                         served: fields[2].parse().ok()?,
                         steps_used: fields[3].parse().ok()?,
+                        verbs: VerbCounts {
+                            search: fields[4].parse().ok()?,
+                            grid: fields[5].parse().ok()?,
+                            meta: fields[6].parse().ok()?,
+                            resume: fields[7].parse().ok()?,
+                        },
                     })
                 });
                 match parsed.flatten() {
@@ -832,10 +869,9 @@ fn decode_report<'a>(
                     .ok_or_else(bad)?;
             }
             "task" => {
-                r.task = ["cifar", "imagenet"]
-                    .into_iter()
-                    .find(|t| *t == value)
-                    .ok_or_else(bad)?;
+                // Any registered family label is a valid report task —
+                // a value-level extension point, not a grammar change.
+                r.task = task_from_label(value).map(task_label).ok_or_else(bad)?;
             }
             "seed" => r.seed = value.parse().map_err(|_| bad())?,
             "lambda_cost" => r.lambda_cost = value.parse().map_err(|_| bad())?,
@@ -1022,12 +1058,24 @@ mod tests {
                     bundle_seed: 0,
                     served: 5,
                     steps_used: 250,
+                    verbs: VerbCounts {
+                        search: 2,
+                        grid: 2,
+                        meta: 1,
+                        resume: 0,
+                    },
                 },
                 TaskStats {
                     task: Task::ImageNet,
                     bundle_seed: 1,
                     served: 4,
                     steps_used: 200,
+                    verbs: VerbCounts {
+                        search: 4,
+                        grid: 0,
+                        meta: 0,
+                        resume: 0,
+                    },
                 },
             ],
         };

@@ -49,12 +49,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Stable ordering key for [`Task`] (registry iteration order must be
-/// deterministic for stats/listing byte-stability).
+/// deterministic for stats/listing byte-stability). Delegates to the
+/// canonical [`Task::ALL`] position so new families sort after the
+/// frozen paper tasks.
 fn task_code(task: Task) -> u8 {
-    match task {
-        Task::Cifar => 0,
-        Task::ImageNet => 1,
-    }
+    task.index() as u8
 }
 
 /// Router construction knobs.

@@ -31,6 +31,9 @@ pub(crate) struct TaskService {
     prepared: Arc<PreparedContext>,
     served: AtomicU64,
     steps_used: AtomicU64,
+    // Per-verb breakdown of `served` (search/grid/meta/resume), in
+    // the classification order of `run_one`.
+    verb_counts: [AtomicU64; 4],
 }
 
 impl TaskService {
@@ -49,6 +52,22 @@ impl TaskService {
             prepared,
             served: AtomicU64::new(0),
             steps_used: AtomicU64::new(0),
+            verb_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Which per-verb counter a job lands in. Resume beats meta beats
+    /// grid so a v0 line combining options is classified by the
+    /// strongest branch — the same precedence `run_one` executes.
+    fn verb_slot(req: &SearchRequest) -> usize {
+        if req.resume_from_checkpoint {
+            3
+        } else if req.max_searches > 1 {
+            2
+        } else if req.sub.is_some() {
+            1
+        } else {
+            0
         }
     }
 
@@ -63,11 +82,18 @@ impl TaskService {
 
     /// The per-bundle serving counters.
     pub(crate) fn stats(&self) -> v1::TaskStats {
+        let verb = |i: usize| self.verb_counts[i].load(Ordering::Relaxed);
         v1::TaskStats {
             task: self.task,
             bundle_seed: self.seed,
             served: self.served.load(Ordering::Relaxed),
             steps_used: self.steps_used.load(Ordering::Relaxed),
+            verbs: v1::VerbCounts {
+                search: verb(0),
+                grid: verb(1),
+                meta: verb(2),
+                resume: verb(3),
+            },
         }
     }
 
@@ -127,6 +153,7 @@ impl TaskService {
         self.served.fetch_add(1, Ordering::Relaxed);
         self.steps_used
             .fetch_add(report.steps_used, Ordering::Relaxed);
+        self.verb_counts[Self::verb_slot(req)].fetch_add(1, Ordering::Relaxed);
         Ok(report)
     }
 }

@@ -457,7 +457,7 @@ fn resume_equals_uninterrupted_bit_for_bit() {
 
 #[test]
 fn trailing_garbage_sweep_rejects_with_offsets() {
-    // Complete, valid request lines in both framings…
+    // Complete, valid request lines in both framings — every v1 verb.
     let bases = [
         "stats",
         "ping",
@@ -466,6 +466,10 @@ fn trailing_garbage_sweep_rejects_with_offsets() {
         "hdx1 list_tasks id=1",
         "search id=1 fps=30",
         "hdx1 search id=1 fps=30",
+        "hdx1 grid id=1 lambda_grid=0.5,1",
+        "hdx1 meta id=1 fps=30 max_searches=2",
+        "hdx1 resume id=1 ckpt=/tmp/s.ckpt",
+        "hdx1 load_bundle id=1 path=/tmp/b.ckpt",
         "hdx1 unload_bundle id=1 task=cifar bundle_seed=0",
     ];
     // …and a corpus of garbage suffixes: bare tokens, stray verbs,
@@ -498,4 +502,315 @@ fn trailing_garbage_sweep_rejects_with_offsets() {
             );
         }
     }
+}
+
+/// Every decoder entry point, so the fuzz sweep exercises one line
+/// through the decoder that owns it.
+fn fuzz_decode(line: &str, dir: FuzzDir) -> Option<usize> {
+    let err = match dir {
+        FuzzDir::V0Request => parse_request(line).map(drop).err(),
+        FuzzDir::V1Request => v1::decode_request(line).map(drop).err(),
+        FuzzDir::V1Response => v1::decode_response(line).map(drop).err(),
+    };
+    err.map(|e| e.kind.offset().unwrap_or(0))
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FuzzDir {
+    V0Request,
+    V1Request,
+    V1Response,
+}
+
+#[test]
+fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
+    use v1::{Envelope, RequestBody, ResponseBody};
+
+    // Canonical request lines: the full v0 grammar plus all nine v1
+    // verbs, built through the real encoders so they are canonical by
+    // construction.
+    let grid_req = SearchRequest {
+        lambda_grid: vec![0.001, 0.01],
+        ..quick(1, Task::Cifar, 0)
+    };
+    let resume_req = SearchRequest {
+        resume_from_checkpoint: true,
+        checkpoint: Some("/tmp/s.ckpt".to_owned()),
+        ..quick(2, Task::Cifar, 0)
+    };
+    let meta_req = SearchRequest {
+        max_searches: 4,
+        ..quick(3, Task::ImageNet, 1)
+    };
+    let enc = v1::encode_request;
+    let requests: Vec<(String, FuzzDir)> = [
+        (grid_req.encode(), FuzzDir::V0Request),
+        ("stats".to_owned(), FuzzDir::V0Request),
+        ("ping".to_owned(), FuzzDir::V0Request),
+        (
+            enc(&Envelope::v1(
+                1,
+                RequestBody::Search(quick(1, Task::Cifar, 0)),
+            )),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(1, RequestBody::Grid(grid_req))),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(3, RequestBody::Meta(meta_req))),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(2, RequestBody::Resume(resume_req))),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(4, RequestBody::Stats)),
+            FuzzDir::V1Request,
+        ),
+        (enc(&Envelope::v1(5, RequestBody::Ping)), FuzzDir::V1Request),
+        (
+            enc(&Envelope::v1(
+                6,
+                RequestBody::LoadBundle {
+                    path: "/tmp/b.ckpt".to_owned(),
+                },
+            )),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(
+                7,
+                RequestBody::UnloadBundle {
+                    task: Task::Cifar,
+                    bundle_seed: 0,
+                },
+            )),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(8, RequestBody::ListTasks)),
+            FuzzDir::V1Request,
+        ),
+    ]
+    .into_iter()
+    .collect();
+
+    // Canonical response lines: a live report (both framings answer
+    // with the same body; the v1 tail adds the queue fields), plus
+    // every control response, encoded or actually served.
+    let router = dual_router(RouterConfig::default());
+    let report_v1 = router
+        .run_one(&quick(10, Task::Cifar, 0))
+        .pop()
+        .unwrap()
+        .expect("report")
+        .encode_v1();
+    let entry = v1::TaskEntry {
+        task: Task::ImageNet,
+        bundle_seed: 3,
+        estimator_accuracy: 0.875,
+    };
+    let proto_err = parse_request("bogus").expect_err("bogus line");
+    let encr = v1::encode_response;
+    let stats_line = encr(&Envelope::v1(11, ResponseBody::Stats(router.stats())));
+    let responses: Vec<(String, FuzzDir)> = vec![
+        (report_v1, FuzzDir::V1Response),
+        (stats_line, FuzzDir::V1Response),
+        (
+            encr(&Envelope::v1(12, ResponseBody::Pong)),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(13, ResponseBody::Loaded(entry.clone()))),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(
+                14,
+                ResponseBody::Unloaded {
+                    task: Task::Cifar,
+                    bundle_seed: 7,
+                },
+            )),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(15, ResponseBody::Tasks(vec![entry]))),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(16, ResponseBody::Error(proto_err))),
+            FuzzDir::V1Response,
+        ),
+    ];
+
+    let corpus: Vec<(String, FuzzDir)> = requests.into_iter().chain(responses).collect();
+    // Substitutions chosen to hit every parser family: alpha, digit,
+    // structural '=', field separator ' ', comment-ish '#'.
+    let substitutions = [b'z', b'0', b'=', b' ', b'#'];
+
+    for (line, dir) in &corpus {
+        // The canonical line itself must decode.
+        assert!(
+            fuzz_decode(line, *dir).is_none(),
+            "canonical line must decode: {line}"
+        );
+        let bytes = line.as_bytes();
+        for i in 0..bytes.len() {
+            for &sub in &substitutions {
+                if bytes[i] == sub {
+                    continue;
+                }
+                let mut mutated = bytes.to_vec();
+                mutated[i] = sub;
+                // All-ASCII corpus: single-byte substitution stays UTF-8.
+                let mutated = String::from_utf8(mutated).expect("ascii corpus");
+                if let Some(offset) = fuzz_decode(&mutated, *dir) {
+                    assert!(
+                        offset <= mutated.len(),
+                        "offset {offset} out of bounds for {dir:?} line \"{mutated}\""
+                    );
+                }
+            }
+            // Multi-byte insertion at every boundary hardens slicing:
+            // any offset the decoder reports must still be in bounds.
+            let mut inserted = line.clone();
+            inserted.insert(i, 'π');
+            if let Some(offset) = fuzz_decode(&inserted, *dir) {
+                assert!(
+                    offset <= inserted.len(),
+                    "offset {offset} out of bounds for {dir:?} line \"{inserted}\""
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_verb_counters_pin_and_v0_stats_bytes_stay_frozen() {
+    let router = dual_router(RouterConfig::default());
+    let dir = std::env::temp_dir().join("hdx_router_verb_count_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt = dir.join("verbs.ckpt").display().to_string();
+
+    // One job per verb class, spread over both bundles and framings:
+    //   cifar: v1 search, checkpointed v0 search, v1 resume
+    //   cifar: v1 grid (expands to 2 jobs)
+    //   imagenet: v0 search, v1 meta
+    let snap = SearchRequest {
+        checkpoint: Some(ckpt.clone()),
+        ..quick(60, Task::Cifar, 0)
+    };
+    router.run_one(&snap).pop().unwrap().expect("snapshot run");
+    let resume_line = format!(
+        "hdx1 resume {}",
+        SearchRequest {
+            epochs: 4,
+            ..snap.clone()
+        }
+        .encode()
+        .strip_prefix("search ")
+        .expect("search prefix")
+    );
+    let grid_line = format!(
+        "hdx1 grid {}",
+        SearchRequest {
+            lambda_grid: vec![0.001, 0.01],
+            ..quick(62, Task::Cifar, 1)
+        }
+        .encode()
+        .strip_prefix("search ")
+        .expect("search prefix")
+    );
+    let meta_line = format!(
+        "hdx1 meta {}",
+        SearchRequest {
+            max_searches: 2,
+            ..quick(63, Task::ImageNet, 0)
+        }
+        .encode()
+        .strip_prefix("search ")
+        .expect("search prefix")
+    );
+    let input = format!(
+        "hdx1 search {}\n{grid_line}\n{meta_line}\n{}\n{resume_line}\n",
+        quick(61, Task::Cifar, 2)
+            .encode()
+            .strip_prefix("search ")
+            .expect("search prefix"),
+        quick(64, Task::ImageNet, 1).encode(),
+    );
+    for line in serve_lines(&router, &input) {
+        assert!(
+            line.contains("report "),
+            "expected only reports, got: {line}"
+        );
+    }
+
+    // The typed counters pin the classification: the checkpointed v0
+    // search counts as `search` (resume=false), the grid's expansion
+    // counts per job, max_searches>1 counts as `meta` regardless of
+    // framing.
+    let stats = router.stats();
+    let cifar_row = &stats.tasks[0];
+    assert_eq!(cifar_row.task, Task::Cifar);
+    assert_eq!(
+        (
+            cifar_row.verbs.search,
+            cifar_row.verbs.grid,
+            cifar_row.verbs.meta,
+            cifar_row.verbs.resume
+        ),
+        (2, 2, 0, 1),
+        "cifar verb counters"
+    );
+    assert_eq!(cifar_row.verbs.total(), cifar_row.served);
+    let imagenet_row = &stats.tasks[1];
+    assert_eq!(imagenet_row.task, Task::ImageNet);
+    assert_eq!(
+        (
+            imagenet_row.verbs.search,
+            imagenet_row.verbs.grid,
+            imagenet_row.verbs.meta,
+            imagenet_row.verbs.resume
+        ),
+        (1, 0, 1, 0),
+        "imagenet verb counters"
+    );
+    assert_eq!(imagenet_row.verbs.total(), imagenet_row.served);
+
+    // The counters surface through the v1 stats verb (8-field rows)…
+    let v1_stats = serve_lines(&router, "hdx1 stats id=90\n").remove(0);
+    let decoded = match v1::decode_response(&v1_stats).expect("stats decodes").body {
+        v1::ResponseBody::Stats(s) => s,
+        other => panic!("unexpected body {other:?}"),
+    };
+    assert_eq!(decoded.tasks, stats.tasks);
+    assert!(
+        v1_stats.contains("task=cifar:7:5:"),
+        "v1 stats row should lead with label:seed:served: — {v1_stats}"
+    );
+
+    // …while the v0 stats line stays byte-frozen on the PR-4 grammar:
+    // reconstructible field-for-field from the typed stats, with no
+    // per-task rows and no verb counters.
+    let v0_line = serve_lines(&router, "stats\n").remove(0);
+    let s = router.stats();
+    let expected = format!(
+        "stats programs={} idle_sessions={} hits={} misses={} evictions={} bank_cap={} \
+         requests_served={}",
+        s.programs,
+        s.idle_sessions,
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.bank_cap
+            .map_or_else(|| "none".to_owned(), |c| c.to_string()),
+        s.requests_served
+    );
+    assert_eq!(v0_line, expected, "v0 stats bytes must not grow fields");
+    assert!(!v0_line.contains("task="), "v0 shim must not leak v1 rows");
 }
