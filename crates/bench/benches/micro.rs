@@ -583,12 +583,59 @@ fn bench_serve_oneshot(report: &mut Report) {
     );
 }
 
+/// Raw throughput of the blocked kernels, outside any program: the
+/// three matmul shapes of the evaluator MLP step (input layer, hidden
+/// layer, and the transposed gW form) plus the generator's fused
+/// decode head. GFLOP/s (2·m·k·n flops per matmul) land in the JSON
+/// counters so kernel regressions are visible without a full replay.
+fn bench_raw_kernels(report: &mut Report) {
+    use hdx_tensor::kernels::{decode_head_into, matmul_blocked, DecodeAct};
+    let mut rng = Rng::new(33);
+    for (m, k, n) in [(32usize, 114usize, 64usize), (32, 64, 64), (114, 32, 64)] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        let per = bench(
+            report,
+            &format!("tensor/matmul_blocked_{m}x{k}x{n}"),
+            || {
+                matmul_blocked(black_box(a.data()), black_box(b.data()), &mut out, m, k, n);
+                black_box(&out);
+            },
+        );
+        let gflops = 2.0 * (m * k * n) as f64 / per / 1e9;
+        println!("    -> {gflops:.2} GFLOP/s");
+        report
+            .counters
+            .push((format!("raw.matmul_{m}x{k}x{n}_gflops"), gflops));
+    }
+
+    // The generator's decode head at its serving shape: one row,
+    // softmax/sigmoid windows, no materialized slices.
+    let parts = [
+        (0usize, 8usize, DecodeAct::Softmax),
+        (8, 14, DecodeAct::Sigmoid),
+        (14, 20, DecodeAct::Softmax),
+    ];
+    let src = Tensor::randn(&[1, 20], 1.0, &mut rng);
+    let mut out = vec![0.0f32; 20];
+    let per = bench(report, "tensor/decode_head_fused_1x20", || {
+        decode_head_into(black_box(src.data()), &mut out, 1, 20, &parts);
+        black_box(&out);
+    });
+    report.counters.push((
+        "raw.decode_head_1x20_melems_per_sec".to_string(),
+        20.0 / per / 1e6,
+    ));
+}
+
 fn main() {
     println!(
         "HDX micro-benchmarks ({}s budget per case)\n",
         measure_secs()
     );
     let mut report = Report::default();
+    bench_raw_kernels(&mut report);
     bench_accel_model(&mut report);
     bench_exhaustive_search(&mut report);
     bench_estimator_inference(&mut report);

@@ -483,6 +483,120 @@ fn registry_covers_the_tape_surface() {
     }
 }
 
+/// Finite-difference check against a *compiled session*'s backward.
+///
+/// [`check_gradient`] exercises the tape's fresh path; fused step
+/// kinds ([`crate::program`]'s `FusedLinearAdd`, `FusedDecodeHead`, …)
+/// exist only after compilation, so this variant compiles once,
+/// computes analytic gradients via session replay, and differentiates
+/// numerically by rebinding perturbed inputs.
+fn check_session_gradient(
+    label: &str,
+    inputs: &[Tensor],
+    expected_steps: usize,
+    f: impl Fn(&mut Tape, &[Var]) -> Var,
+    tol: f32,
+) {
+    use crate::program::{Program, Session};
+    use std::sync::Arc;
+
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let out = f(&mut tape, &vars);
+    let prog = Arc::new(Program::compile(&tape, &[out], &[]));
+    assert_eq!(
+        prog.num_steps(),
+        expected_steps,
+        "gradcheck[{label}]: the pattern under test did not compile to the fused form"
+    );
+    let mut sess = Session::new(prog);
+    let bind_all = |sess: &mut Session, ts: &[Tensor]| {
+        for (v, t) in vars.iter().zip(ts) {
+            sess.bind_tensor(*v, t);
+        }
+    };
+    bind_all(&mut sess, inputs);
+    sess.forward();
+    sess.backward(out);
+    let analytic: Vec<Option<Vec<f32>>> = vars
+        .iter()
+        .map(|v| sess.grad(*v).map(<[f32]>::to_vec))
+        .collect();
+
+    let eps = 1e-2f32;
+    for i in 0..inputs.len() {
+        let Some(analytic) = &analytic[i] else {
+            continue;
+        };
+        for (j, &a) in analytic.iter().enumerate() {
+            let mut plus = inputs.to_vec();
+            plus[i].data_mut()[j] += eps;
+            let mut minus = inputs.to_vec();
+            minus[i].data_mut()[j] -= eps;
+            let mut eval = |ts: &[Tensor]| {
+                bind_all(&mut sess, ts);
+                sess.forward();
+                sess.scalar(out)
+            };
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "gradcheck[{label}] failed: input {i} element {j}: \
+                 analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+/// The residual fusion (`FusedLinearAdd`): `relu(x·W + b) + x`, with
+/// the residual aliasing the linear's input as in [`crate::nn::ResidualMlp`].
+#[test]
+fn gradcheck_fused_linear_add_step() {
+    for seed in 0..3u64 {
+        let inputs = rand_inputs(&[&[3, 4], &[4, 4], &[1, 4], &[3, 4]], 600 + seed);
+        // 4 leaves + FusedLinearAdd + Mse.
+        check_session_gradient(
+            &format!("fused_linear_add seed {seed}"),
+            &inputs,
+            6,
+            |t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                let act = t.relu(lin);
+                let res = t.add(act, v[0]);
+                t.mse(res, v[3])
+            },
+            3e-2,
+        );
+    }
+}
+
+/// The decode-head fusion (`FusedDecodeHead`): column slices of one
+/// source through sigmoid/softmax, concatenated back in order.
+#[test]
+fn gradcheck_fused_decode_head_step() {
+    for seed in 0..3u64 {
+        let inputs = rand_inputs(&[&[2, 3], &[3, 7], &[2, 7]], 700 + seed);
+        // 3 leaves + MatMul + FusedDecodeHead + Mse.
+        check_session_gradient(
+            &format!("fused_decode_head seed {seed}"),
+            &inputs,
+            6,
+            |t, v| {
+                let h = t.matmul(v[0], v[1]);
+                let s1 = t.slice_cols(h, 0, 3);
+                let a1 = t.softmax_rows(s1);
+                let s2 = t.slice_cols(h, 3, 7);
+                let a2 = t.sigmoid(s2);
+                let cat = t.concat_cols(&[a1, a2]);
+                t.mse(cat, v[2])
+            },
+            3e-2,
+        );
+    }
+}
+
 #[test]
 fn gradcheck_residual_mlp() {
     use crate::nn::{ParamStore, ResidualMlp};

@@ -6,14 +6,59 @@
 //! which is only possible if both paths execute the *same* floating
 //! point operations in the *same* order. Any kernel with an internal
 //! reduction (matrix product, softmax denominator) therefore lives
-//! here, once, and both execution paths call it.
+//! here, once, with [`matmul_into`] as the **scalar reference
+//! contract**: the per-element sum folds over `p` in ascending order
+//! starting from `0.0`, and `a` terms that compare equal to zero are
+//! skipped (never added, not even as `±0.0`).
+//!
+//! # The blocked/vectorized kernels
+//!
+//! [`matmul_blocked`] is the cache-blocked, register-tiled form of the
+//! same contract, used by the compiled replay path (`program.rs`). It
+//! reorders only *which output element is computed when* — never the
+//! fold order *within* an element — so it is bit-for-bit equal to
+//! [`matmul_into`] on every input (`tests/kernel_equiv.rs` pins this
+//! across odd shapes, signed zeros, subnormals, and NaN placement):
+//!
+//! * **n-tiling**: output columns are processed in panels of 64/32/16/8
+//!   columns (greedy, widest first; a sub-8 column tail dispatches to
+//!   the same microkernel monomorphized at widths 1–7, so no shape ever
+//!   takes a scalar path). Each panel width is a separate
+//!   monomorphized microkernel whose `[f32; W]` accumulator array lives
+//!   in vector registers for the whole `p` loop — the "unrolled
+//!   multi-accumulator inner loop over output columns".
+//! * **m-tiling**: rows are processed in blocks of [`ROW_BLOCK`] so one
+//!   packed B panel is reused across the block while hot in L1, and the
+//!   per-row nonzero index lists are built once per block.
+//! * **packed-B panel**: for row counts that amortize the copy, each
+//!   panel of `b` is repacked into a contiguous `[k × W]` buffer
+//!   (thread-local scratch) so the inner loop streams unit-stride
+//!   memory. Packing copies values verbatim — no arithmetic — so it
+//!   cannot perturb a bit.
+//! * **zero-skip**: a per-row list of `(p, a[i][p])` pairs with
+//!   `a[i][p] != 0.0` is precomputed; the inner loop iterates only
+//!   those, in ascending `p` — exactly the terms, in exactly the order,
+//!   the reference adds. (`NaN != 0.0` is true, so NaN terms stay; a
+//!   `-0.0` compares equal to zero, so it is skipped in both paths.)
+//! * **k-blocking is forbidden**: splitting the reduction would change
+//!   the fold order and break bit-identity, so the `p` loop is never
+//!   tiled.
+//!
+//! On x86-64 the microkernels are additionally instantiated under
+//! `#[target_feature(enable = "avx2")]` and dispatched at runtime. The
+//! AVX2 copies execute the same mul-then-add sequence — Rust never
+//! licenses FMA contraction, and an FMA's single rounding *would*
+//! change bits — wider lanes only change how many independent output
+//! columns advance per instruction.
 
 /// `out = a · b` for row-major `a [m,k]`, `b [k,n]`, `out [m,n]`.
 ///
 /// `out` is fully overwritten. The ikj loop order (streaming through
 /// `b` rows) and the zero-skip are part of the numeric contract: the
-/// per-element sums fold in `p` order starting from 0.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// per-element sums fold in `p` order starting from 0. This is the
+/// scalar reference kernel — the eager [`crate::tensor`] path runs it
+/// directly, and [`matmul_blocked`] is pinned bit-for-bit against it.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -33,19 +78,394 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     }
 }
 
-/// `out = srcᵀ` for row-major `src [m,n]`, `out [n,m]`.
-pub(crate) fn transpose_into(src: &[f32], out: &mut [f32], m: usize, n: usize) {
-    debug_assert_eq!(src.len(), m * n);
+/// Rows per m-tile of [`matmul_blocked`]: the nonzero lists of a block
+/// are built together and a packed panel is reused across the block.
+/// Parallel row partitions align their chunk sizes to this, so worker
+/// boundaries fall on tile boundaries.
+pub const ROW_BLOCK: usize = 8;
+
+/// Minimum rows before panel packing pays for itself (the copy is
+/// amortized over `m` rows; row-vector graphs read `b` in place).
+const PACK_MIN_ROWS: usize = 4;
+
+/// Thread-local scratch for [`matmul_blocked`]: the packed panels and
+/// the per-row-block nonzero lists. Thread-local (not caller-passed) so
+/// every pool worker packs into its own buffer.
+struct Scratch {
+    pack: Vec<f32>,
+    nz_idx: Vec<u32>,
+    nz_val: Vec<f32>,
+    nz_len: [usize; ROW_BLOCK],
+    panels: Vec<(usize, usize, usize)>, // (j0, width, pack offset)
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = const {
+        std::cell::RefCell::new(Scratch {
+            pack: Vec::new(),
+            nz_idx: Vec::new(),
+            nz_val: Vec::new(),
+            nz_len: [0; ROW_BLOCK],
+            panels: Vec::new(),
+        })
+    };
+}
+
+/// Greedy panel decomposition of `n` columns into widths 64/32/16/8;
+/// returns the first column *not* covered by a panel (the scalar tail).
+fn plan_panels(n: usize, panels: &mut Vec<(usize, usize, usize)>, k: usize) -> usize {
+    panels.clear();
+    let mut j0 = 0usize;
+    let mut off = 0usize;
+    for w in [64usize, 32, 16, 8] {
+        while n - j0 >= w {
+            panels.push((j0, w, off));
+            off += k * w;
+            j0 += w;
+            if w == 64 {
+                continue; // 64-wide panels repeat; narrower ones fire once
+            }
+            break;
+        }
+    }
+    j0
+}
+
+/// One panel-microkernel invocation: folds the row's nonzero `a` terms
+/// (ascending `p`) into `W` register accumulators and stores them.
+/// `bsrc` is either the packed panel (`stride == W`, `boff == 0`-based
+/// panel offset) or `b` itself (`stride == n`, `boff == j0`).
+#[inline(always)]
+fn micro_body<const W: usize>(
+    nz_idx: &[u32],
+    nz_val: &[f32],
+    bsrc: &[f32],
+    stride: usize,
+    boff: usize,
+    orow: &mut [f32],
+) {
+    let mut acc = [0.0f32; W];
+    for (&pi, &av) in nz_idx.iter().zip(nz_val) {
+        let base = pi as usize * stride + boff;
+        let brow = &bsrc[base..base + W];
+        for jj in 0..W {
+            acc[jj] += av * brow[jj];
+        }
+    }
+    orow[..W].copy_from_slice(&acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_avx2<const W: usize>(
+    nz_idx: &[u32],
+    nz_val: &[f32],
+    bsrc: &[f32],
+    stride: usize,
+    boff: usize,
+    orow: &mut [f32],
+) {
+    // Same source, same op order as `micro_body` — the target feature
+    // only widens the autovectorized lanes (no FMA contraction).
+    micro_body::<W>(nz_idx, nz_val, bsrc, stride, boff, orow);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl")]
+unsafe fn micro_avx512<const W: usize>(
+    nz_idx: &[u32],
+    nz_val: &[f32],
+    bsrc: &[f32],
+    stride: usize,
+    boff: usize,
+    orow: &mut [f32],
+) {
+    // Same source, same op order as `micro_body` — 16-lane registers
+    // double the no-FMA mul+add throughput ceiling over AVX2.
+    micro_body::<W>(nz_idx, nz_val, bsrc, stride, boff, orow);
+}
+
+/// Instruction-set tier picked once at runtime for the microkernels.
+#[cfg(target_arch = "x86_64")]
+fn simd_tier() -> u8 {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static TIER: AtomicU8 = AtomicU8::new(0);
+    match TIER.load(Ordering::Relaxed) {
+        0 => {
+            let t = if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                3
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                2
+            } else {
+                1
+            };
+            TIER.store(t, Ordering::Relaxed);
+            t
+        }
+        t => t,
+    }
+}
+
+/// Runtime-width dispatch to the monomorphized microkernels for the
+/// sub-8 column tail (and whole matrices narrower than a panel).
+#[inline]
+fn micro_dyn(
+    w: usize,
+    nz_idx: &[u32],
+    nz_val: &[f32],
+    bsrc: &[f32],
+    stride: usize,
+    boff: usize,
+    orow: &mut [f32],
+) {
+    match w {
+        1 => micro::<1>(nz_idx, nz_val, bsrc, stride, boff, orow),
+        2 => micro::<2>(nz_idx, nz_val, bsrc, stride, boff, orow),
+        3 => micro::<3>(nz_idx, nz_val, bsrc, stride, boff, orow),
+        4 => micro::<4>(nz_idx, nz_val, bsrc, stride, boff, orow),
+        5 => micro::<5>(nz_idx, nz_val, bsrc, stride, boff, orow),
+        6 => micro::<6>(nz_idx, nz_val, bsrc, stride, boff, orow),
+        _ => micro::<7>(nz_idx, nz_val, bsrc, stride, boff, orow),
+    }
+}
+
+#[inline]
+fn micro<const W: usize>(
+    nz_idx: &[u32],
+    nz_val: &[f32],
+    bsrc: &[f32],
+    stride: usize,
+    boff: usize,
+    orow: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    match simd_tier() {
+        // SAFETY: tier 3 is only reported after runtime detection of
+        // avx512f+avx512vl, so the target-feature fn may run.
+        3 => unsafe { micro_avx512::<W>(nz_idx, nz_val, bsrc, stride, boff, orow) },
+        // SAFETY: tier 2 is only reported after runtime detection of
+        // avx2, so the target-feature fn may run.
+        2 => unsafe { micro_avx2::<W>(nz_idx, nz_val, bsrc, stride, boff, orow) },
+        _ => micro_body::<W>(nz_idx, nz_val, bsrc, stride, boff, orow),
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    micro_body::<W>(nz_idx, nz_val, bsrc, stride, boff, orow)
+}
+
+/// Cache-blocked, vectorized `out = a · b` — bit-for-bit identical to
+/// [`matmul_into`] on every input (see the module docs for the tiling
+/// scheme and why identity holds). Used by the compiled replay path;
+/// the eager path keeps the scalar reference.
+pub fn matmul_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = src[i * n + j];
+    if n == 0 {
+        return;
+    }
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        let Scratch {
+            pack,
+            nz_idx,
+            nz_val,
+            nz_len,
+            panels,
+        } = s;
+        let tail = plan_panels(n, panels, k);
+        let do_pack = m >= PACK_MIN_ROWS && !panels.is_empty();
+        if do_pack {
+            pack.clear();
+            pack.resize(k * tail, 0.0);
+            for &(j0, w, off) in panels.iter() {
+                for p in 0..k {
+                    pack[off + p * w..off + p * w + w]
+                        .copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                }
+            }
+        }
+        nz_idx.resize(ROW_BLOCK * k, 0);
+        nz_val.resize(ROW_BLOCK * k, 0.0);
+
+        let mut i0 = 0usize;
+        while i0 < m {
+            let i1 = (i0 + ROW_BLOCK).min(m);
+            // Nonzero lists for this row block: exactly the terms the
+            // reference adds, in ascending p (NaN != 0.0 keeps NaNs;
+            // -0.0 == 0.0 skips signed zeros, matching the reference).
+            for i in i0..i1 {
+                let r = i - i0;
+                let arow = &a[i * k..(i + 1) * k];
+                // Branchless compaction: unconditional stores with a
+                // data-dependent length bump. Activation matrices are
+                // ~half zeros in no predictable pattern, so a branchy
+                // scan would eat a mispredict per element.
+                let idx = &mut nz_idx[r * k..r * k + k];
+                let val = &mut nz_val[r * k..r * k + k];
+                let mut len = 0usize;
+                for (p, &av) in arow.iter().enumerate() {
+                    idx[len] = p as u32;
+                    val[len] = av;
+                    len += (av != 0.0) as usize;
+                }
+                nz_len[r] = len;
+            }
+            for &(j0, w, off) in panels.iter() {
+                let (bsrc, stride, boff): (&[f32], usize, usize) = if do_pack {
+                    (pack.as_slice(), w, off)
+                } else {
+                    (b, n, j0)
+                };
+                for i in i0..i1 {
+                    let r = i - i0;
+                    let (idx, val) = (
+                        &nz_idx[r * k..r * k + nz_len[r]],
+                        &nz_val[r * k..r * k + nz_len[r]],
+                    );
+                    let orow = &mut out[i * n + j0..i * n + j0 + w];
+                    match w {
+                        64 => micro::<64>(idx, val, bsrc, stride, boff, orow),
+                        32 => micro::<32>(idx, val, bsrc, stride, boff, orow),
+                        16 => micro::<16>(idx, val, bsrc, stride, boff, orow),
+                        _ => micro::<8>(idx, val, bsrc, stride, boff, orow),
+                    }
+                }
+            }
+            if tail < n {
+                // Sub-8 column tail (or a whole matrix narrower than a
+                // panel): one narrow microkernel pass per row, same
+                // ascending-p fold over the same nonzero terms.
+                for i in i0..i1 {
+                    let r = i - i0;
+                    let (idx, val) = (
+                        &nz_idx[r * k..r * k + nz_len[r]],
+                        &nz_val[r * k..r * k + nz_len[r]],
+                    );
+                    let orow = &mut out[i * n + tail..(i + 1) * n];
+                    micro_dyn(n - tail, idx, val, b, n, tail, orow);
+                }
+            }
+            i0 = i1;
+        }
+    });
+}
+
+/// Transpose-free `dst[c] (=|+=) Σ_p g[p] · b[c·n + p]` for the
+/// row-vector backward `ga = g · bᵀ` (`dst` holds `dst.len()`
+/// consecutive `c` rows of `b`; callers pass per-worker chunks).
+///
+/// Each output element folds `p` ascending exactly like the staged
+/// `transpose_into` + [`matmul_into`] path. The only divergence from
+/// that reference is that zero `g[p]` terms are added (as `±0.0`)
+/// instead of branched over — which can differ solely in the sign of
+/// an IEEE zero, a bit no comparison (`==`), argmax, or downstream
+/// arithmetic in this workspace can distinguish. The blocked scheme
+/// advances four independent `c` accumulators per `p` step (the fold
+/// within each stays strictly sequential), which is what gives the
+/// latency-bound scalar chain its instruction-level parallelism.
+pub fn row_times_bt_into(g: &[f32], b: &[f32], dst: &mut [f32], n: usize, single: bool) {
+    debug_assert_eq!(b.len(), dst.len() * n);
+    debug_assert!(g.len() >= n);
+    let g = &g[..n];
+    let rows = dst.len();
+    let mut c = 0usize;
+    while c + 4 <= rows {
+        let b0 = &b[c * n..c * n + n];
+        let b1 = &b[(c + 1) * n..(c + 1) * n + n];
+        let b2 = &b[(c + 2) * n..(c + 2) * n + n];
+        let b3 = &b[(c + 3) * n..(c + 3) * n + n];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for p in 0..n {
+            let gv = g[p];
+            a0 += gv * b0[p];
+            a1 += gv * b1[p];
+            a2 += gv * b2[p];
+            a3 += gv * b3[p];
+        }
+        if single {
+            dst[c] = a0;
+            dst[c + 1] = a1;
+            dst[c + 2] = a2;
+            dst[c + 3] = a3;
+        } else {
+            dst[c] += a0;
+            dst[c + 1] += a1;
+            dst[c + 2] += a2;
+            dst[c + 3] += a3;
+        }
+        c += 4;
+    }
+    for c in c..rows {
+        let brow = &b[c * n..c * n + n];
+        let mut acc = 0.0f32;
+        for (&gv, &bv) in g.iter().zip(brow) {
+            acc += gv * bv;
+        }
+        if single {
+            dst[c] = acc;
+        } else {
+            dst[c] += acc;
         }
     }
 }
 
+/// Transpose-free `gb = aᵀ · g` for a row-vector product: an outer
+/// product `dst[c][j] (=|+=) a[c] · g[j]` over `dst.len()/n` rows, with
+/// the shared kernel's zero-skip on `a[c]`. Each output row is one
+/// independent vectorizable tile; there is no reduction, so any write
+/// order is bit-identical.
+pub fn row_outer_into(a: &[f32], g: &[f32], dst: &mut [f32], n: usize, single: bool) {
+    debug_assert_eq!(dst.len(), a.len() * n);
+    debug_assert!(g.len() >= n);
+    let g = &g[..n];
+    for (c, &av) in a.iter().enumerate() {
+        let drow = &mut dst[c * n..(c + 1) * n];
+        if single {
+            if av == 0.0 {
+                drow.fill(0.0);
+            } else {
+                for (dv, &gv) in drow.iter_mut().zip(g) {
+                    *dv = av * gv;
+                }
+            }
+        } else if av != 0.0 {
+            for (dv, &gv) in drow.iter_mut().zip(g) {
+                *dv += av * gv;
+            }
+        }
+    }
+}
+
+/// `out = srcᵀ` for row-major `src [m,n]`, `out [n,m]` — cache-blocked:
+/// 16×16 tiles keep both the source rows and the destination columns
+/// inside L1 while a tile is live, instead of the column-strided
+/// scatter walking the whole destination per source row. A transpose
+/// performs no arithmetic, so any visit order is bit-identical.
+pub fn transpose_into(src: &[f32], out: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    const TB: usize = 16;
+    let mut i0 = 0usize;
+    while i0 < m {
+        let i1 = (i0 + TB).min(m);
+        let mut j0 = 0usize;
+        while j0 < n {
+            let j1 = (j0 + TB).min(n);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    out[j * m + i] = src[i * n + j];
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+}
+
 /// Row-wise numerically-stabilized softmax of `src [m,n]` into `out`.
-pub(crate) fn softmax_rows_into(src: &[f32], out: &mut [f32], m: usize, n: usize) {
+pub fn softmax_rows_into(src: &[f32], out: &mut [f32], m: usize, n: usize) {
     debug_assert_eq!(src.len(), m * n);
     debug_assert_eq!(out.len(), m * n);
     for i in 0..m {
@@ -59,6 +479,67 @@ pub(crate) fn softmax_rows_into(src: &[f32], out: &mut [f32], m: usize, n: usize
         }
         for j in 0..n {
             out[i * n + j] /= denom;
+        }
+    }
+}
+
+/// Per-window activation of the fused decode head: `sigmoid` applies
+/// the logistic elementwise, `softmax` normalizes the window with the
+/// row-local max/exp/denominator fold of [`softmax_rows_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeAct {
+    /// `1 / (1 + e^{-x})` per element of the window.
+    Sigmoid,
+    /// Numerically-stabilized softmax across the window's columns.
+    Softmax,
+}
+
+/// The fused `slice → sigmoid/softmax → concat` decode head: for each
+/// row of `src [m,n]`, every `(start, end, act)` window is activated
+/// straight into the same columns of `out [m,n]` — no column slice is
+/// ever materialized. The windows must be ascending, contiguous, and
+/// cover all `n` columns (the compiler's pattern matcher guarantees
+/// this).
+///
+/// Bit-identity with the unfused chain holds because a column slice is
+/// a verbatim copy: the sigmoid formula sees exactly the same `f32`
+/// inputs, and the softmax max/exp/denominator folds run over exactly
+/// the window the materialized slice would contain, in the same order
+/// as [`softmax_rows_into`].
+pub fn decode_head_into(
+    src: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    parts: &[(usize, usize, DecodeAct)],
+) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(parts.iter().all(|&(s, e, _)| s < e && e <= n));
+    for i in 0..m {
+        let srow = &src[i * n..(i + 1) * n];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for &(s, e, act) in parts {
+            match act {
+                DecodeAct::Sigmoid => {
+                    for j in s..e {
+                        orow[j] = 1.0 / (1.0 + (-srow[j]).exp());
+                    }
+                }
+                DecodeAct::Softmax => {
+                    let win = &srow[s..e];
+                    let max = win.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0;
+                    for j in s..e {
+                        let ex = (srow[j] - max).exp();
+                        orow[j] = ex;
+                        denom += ex;
+                    }
+                    for o in orow[s..e].iter_mut() {
+                        *o /= denom;
+                    }
+                }
+            }
         }
     }
 }

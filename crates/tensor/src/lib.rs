@@ -28,7 +28,7 @@
 
 pub mod bank;
 pub mod ckpt;
-mod kernels;
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod par;
@@ -41,7 +41,10 @@ pub use bank::{bank_key, parse_bank_cap_env, BankStats, SessionBank, SessionLeas
 pub use ckpt::{Checkpoint, CkptError};
 pub use nn::{Binding, Linear, ParamId, ParamStore, ResidualMlp};
 pub use optim::{Adam, CosineLr, Sgd};
-pub use par::{num_jobs, parallel_map, parse_jobs_env, WorkerPool};
+pub use par::{
+    num_jobs, par_threshold, parallel_map, parse_jobs_env, parse_par_threshold_env,
+    set_par_threshold, WorkerPool,
+};
 pub use program::{ExecMode, Program, ProgramError, Session};
 pub use rng::Rng;
 pub use tape::{Gradients, Tape, Var};

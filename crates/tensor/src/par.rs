@@ -62,6 +62,92 @@ pub fn parse_jobs_env(value: Option<&str>) -> Result<Option<usize>, String> {
     }
 }
 
+/// Minimum multiply-accumulate count before the compiled executor's
+/// row-partitioned kernels dispatch to the [`WorkerPool`] instead of
+/// running on the calling thread.
+///
+/// Resolved once and cached: the `HDX_PAR_THRESHOLD` environment
+/// variable if set (strictly parsed, like `HDX_JOBS`), otherwise
+/// [`default_par_threshold`] for the host's core count. The threshold
+/// only selects *which* code path runs — both paths partition rows
+/// identically and every row's arithmetic is partition-independent, so
+/// it can never change results.
+///
+/// # Panics
+///
+/// Panics if `HDX_PAR_THRESHOLD` is set but not a positive integer
+/// (see [`parse_par_threshold_env`]).
+pub fn par_threshold() -> usize {
+    match PAR_THRESHOLD.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => {
+            let env = std::env::var("HDX_PAR_THRESHOLD").ok();
+            let resolved = match parse_par_threshold_env(env.as_deref()) {
+                Ok(Some(n)) => n,
+                Ok(None) => default_par_threshold(
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+                ),
+                Err(msg) => panic!("{msg}"),
+            };
+            PAR_THRESHOLD.store(resolved, std::sync::atomic::Ordering::Relaxed);
+            resolved
+        }
+        n => n,
+    }
+}
+
+/// Cached threshold; `0` means "not yet resolved" (the parser rejects
+/// an explicit `0`, so the sentinel can't collide with a real value).
+static PAR_THRESHOLD: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Programmatic override of [`par_threshold`] (e.g. benchmarks pinning
+/// a dispatch path). Takes effect process-wide for subsequent kernel
+/// dispatches; results are unaffected by construction.
+///
+/// # Panics
+///
+/// Panics on `0` — a zero threshold would mean "parallelize empty
+/// work" and is certainly a bug at the call site.
+pub fn set_par_threshold(threshold: usize) {
+    assert!(threshold > 0, "par threshold must be positive");
+    PAR_THRESHOLD.store(threshold, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Parses the `HDX_PAR_THRESHOLD` environment value: `None` when unset
+/// (use the core-count default), `Some(n)` for a positive integer, and
+/// an error message for anything else (including `0` — a broken shell
+/// expansion must not silently disable the threshold).
+pub fn parse_par_threshold_env(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "HDX_PAR_THRESHOLD must be a positive MAC count, got \"{raw}\" (unset it for the default)"
+        )),
+        Err(_) => Err(format!(
+            "HDX_PAR_THRESHOLD must be a positive integer, got \"{raw}\" (unset it for the default)"
+        )),
+    }
+}
+
+/// Default parallel-dispatch threshold for a host with `cores` logical
+/// CPUs.
+///
+/// On a single-core host every extra worker is pure oversubscription —
+/// the OS time-slices them over the one core and the channel
+/// round-trips are dead weight — so the default disables parallel
+/// kernel dispatch outright (`usize::MAX`). With real parallelism
+/// available, 64Ki MACs is the measured break-even region for the
+/// blocked kernels: they run ~2–3× faster than the scalar loops the
+/// old fixed 32Ki-MAC gate was tuned against, so the fixed dispatch
+/// cost (two channel round-trips per worker) amortizes later.
+pub fn default_par_threshold(cores: usize) -> usize {
+    if cores <= 1 {
+        usize::MAX
+    } else {
+        64 * 1024
+    }
+}
+
 /// Maps `f(index, &item)` over `items` on up to `jobs` worker threads
 /// (resolved through [`num_jobs`]), returning outputs in input order.
 ///
@@ -336,6 +422,34 @@ mod tests {
         assert!(parse_jobs_env(Some("frsh")).is_err());
         assert!(parse_jobs_env(Some("-1")).is_err());
         assert!(parse_jobs_env(Some("")).is_err());
+    }
+
+    #[test]
+    fn par_threshold_env_parsing_rejects_bad_values() {
+        assert_eq!(parse_par_threshold_env(None), Ok(None));
+        assert_eq!(parse_par_threshold_env(Some("65536")), Ok(Some(65536)));
+        assert_eq!(parse_par_threshold_env(Some(" 128 ")), Ok(Some(128)));
+        assert!(parse_par_threshold_env(Some("0")).is_err());
+        assert!(parse_par_threshold_env(Some("lots")).is_err());
+        assert!(parse_par_threshold_env(Some("-5")).is_err());
+        assert!(parse_par_threshold_env(Some("")).is_err());
+        assert!(parse_par_threshold_env(Some("64Ki")).is_err());
+    }
+
+    #[test]
+    fn par_threshold_default_disables_dispatch_on_one_core() {
+        assert_eq!(default_par_threshold(0), usize::MAX);
+        assert_eq!(default_par_threshold(1), usize::MAX);
+        assert_eq!(default_par_threshold(2), 64 * 1024);
+        assert_eq!(default_par_threshold(96), 64 * 1024);
+    }
+
+    #[test]
+    fn par_threshold_resolves_positive() {
+        // Whatever the host/env, the resolved threshold is positive
+        // (other tests may override it concurrently, so only the
+        // invariant is asserted).
+        assert!(par_threshold() > 0);
     }
 
     #[test]

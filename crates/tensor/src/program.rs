@@ -66,7 +66,9 @@
 //! assert_eq!(sess.grad(x).unwrap(), &[6.0, -2.0]);
 //! ```
 
-use crate::kernels::{matmul_into, softmax_rows_into, transpose_into};
+use crate::kernels::{
+    decode_head_into, matmul_blocked, softmax_rows_into, transpose_into, DecodeAct, ROW_BLOCK,
+};
 use crate::par::WorkerPool;
 use crate::tape::{lut_cell, Op, Tape, Var};
 use crate::tensor::Tensor;
@@ -243,6 +245,31 @@ enum Step {
         w: usize,
         bias: usize,
         relu: bool,
+    },
+    /// `matmul → add_bias (→ relu) → add` — a fused linear whose only
+    /// consumer is a residual add — collapsed into one step producing
+    /// the value of the `add` node. `res` is the other operand of the
+    /// add; `res_first` records whether it was the add's *first*
+    /// operand (`add(res, act)` vs `add(act, res)`), so the forward
+    /// addition keeps the recorded operand order (IEEE addition is
+    /// bitwise commutative except for two-NaN payload selection).
+    FusedLinearAdd {
+        x: usize,
+        w: usize,
+        bias: usize,
+        res: usize,
+        relu: bool,
+        res_first: bool,
+    },
+    /// The generator's decode head — `slice_cols → sigmoid/softmax`
+    /// per window, then `concat_cols` — collapsed into one step that
+    /// activates each window of `input` straight into the matching
+    /// columns of the output, with no materialized slices. `parts` are
+    /// `(start, end, activation)` windows: ascending, contiguous, and
+    /// covering every input column (checked by the fusion scan).
+    FusedDecodeHead {
+        input: usize,
+        parts: Vec<(usize, usize, DecodeAct)>,
     },
 }
 
@@ -453,6 +480,99 @@ impl Program {
             }
         }
 
+        // Second pass: a fused linear whose only consumer is the next
+        // step's residual add folds into one `FusedLinearAdd`. The
+        // `use_count`/`protected` guards are over the original node
+        // ids, which the fused step inherited from its last node.
+        let mut i = 0;
+        while i + 1 < n {
+            let fused = match (&steps[i], &steps[i + 1]) {
+                (&Step::FusedLinear { x, w, bias, relu }, &Step::Add(a, b))
+                    if (a == i) != (b == i) && use_count[i] == 1 && !protected[i] =>
+                {
+                    let (res, res_first) = if a == i { (b, false) } else { (a, true) };
+                    Some((x, w, bias, relu, res, res_first))
+                }
+                _ => None,
+            };
+            if let Some((x, w, bias, relu, res, res_first)) = fused {
+                steps[i] = Step::Skip;
+                steps[i + 1] = Step::FusedLinearAdd {
+                    x,
+                    w,
+                    bias,
+                    res,
+                    relu,
+                    res_first,
+                };
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Third pass: the decode head. A `ConcatCols` whose parts are
+        // all single-use sigmoid/softmax activations of single-use
+        // column slices of one shared source — with windows ascending,
+        // contiguous from column 0, and covering the whole source —
+        // folds into one `FusedDecodeHead`.
+        for c in 0..n {
+            let parts: Vec<usize> = match &steps[c] {
+                Step::ConcatCols(p) if !p.is_empty() => p.clone(),
+                _ => continue,
+            };
+            let mut specs: Vec<(usize, usize, DecodeAct)> = Vec::with_capacity(parts.len());
+            let mut slices: Vec<usize> = Vec::with_capacity(parts.len());
+            let mut src = usize::MAX;
+            let mut col = 0usize;
+            let mut ok = true;
+            for &p in &parts {
+                let (act, sr) = match steps[p] {
+                    Step::Sigmoid(sr) => (DecodeAct::Sigmoid, sr),
+                    Step::SoftmaxRows(sr) => (DecodeAct::Softmax, sr),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                };
+                if use_count[p] != 1 || protected[p] {
+                    ok = false;
+                    break;
+                }
+                let (input, start, end) = match steps[sr] {
+                    Step::SliceCols { input, start, end } => (input, start, end),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                };
+                if use_count[sr] != 1 || protected[sr] || start != col {
+                    ok = false;
+                    break;
+                }
+                if src == usize::MAX {
+                    src = input;
+                } else if src != input {
+                    ok = false;
+                    break;
+                }
+                col = end;
+                specs.push((start, end, act));
+                slices.push(sr);
+            }
+            if !ok || src == usize::MAX || col != shape[src].1 {
+                continue;
+            }
+            for (&p, &sr) in parts.iter().zip(&slices) {
+                steps[p] = Step::Skip;
+                steps[sr] = Step::Skip;
+            }
+            steps[c] = Step::FusedDecodeHead {
+                input: src,
+                parts: specs,
+            };
+        }
+
         // ---- backward reachability (per output, over fused steps) -----
         let reach: Vec<Vec<bool>> = outputs
             .iter()
@@ -504,6 +624,17 @@ impl Program {
                     if *relu {
                         saved[idx] = true; // relu gate tests the output
                     }
+                }
+                Step::FusedLinearAdd { x, w, .. } => {
+                    saved[*x] = true;
+                    saved[*w] = true;
+                    // The relu gate can't test this step's output (it
+                    // holds activation *plus* residual); the gate reads
+                    // the pre-residual activation stashed in the aux
+                    // arena instead.
+                }
+                Step::FusedDecodeHead { .. } => {
+                    saved[idx] = true; // sigmoid/softmax backward read the output
                 }
                 _ => {}
             }
@@ -590,19 +721,24 @@ impl Program {
         let mut aux: Vec<Option<Buf>> = vec![None; n];
         let mut aux_len = 0usize;
         for idx in 0..n {
-            if matches!(
-                steps[idx],
-                Step::CrossEntropy { .. } | Step::LogSoftmaxRows(_)
-            ) {
-                let (m, cols) = match steps[idx] {
-                    Step::CrossEntropy { logits, .. } => shape[logits],
-                    Step::LogSoftmaxRows(a) => shape[a],
-                    _ => unreachable!(),
-                };
-                let len = m * cols;
-                aux[idx] = Some(Buf { off: aux_len, len });
-                aux_len += len;
-            }
+            let len = match steps[idx] {
+                Step::CrossEntropy { logits, .. } => {
+                    let (m, cols) = shape[logits];
+                    m * cols
+                }
+                Step::LogSoftmaxRows(a) => {
+                    let (m, cols) = shape[a];
+                    m * cols
+                }
+                // The relu-gated residual fusion stashes the
+                // pre-residual activation: the gate needs it in
+                // backward, and it is not bit-recoverable from
+                // `out - res`.
+                Step::FusedLinearAdd { relu: true, .. } => shape[idx].0 * shape[idx].1,
+                _ => continue,
+            };
+            aux[idx] = Some(Buf { off: aux_len, len });
+            aux_len += len;
         }
 
         // ---- scratch sizing -------------------------------------------
@@ -618,7 +754,7 @@ impl Program {
                     s2_len = s2_len.max(len_of(*a)).max(len_of(*b));
                 }
                 Step::AddBias(_, bias) => s1_len = s1_len.max(len_of(*bias)),
-                Step::FusedLinear { x, w, bias, .. } => {
+                Step::FusedLinear { x, w, bias, .. } | Step::FusedLinearAdd { x, w, bias, .. } => {
                     s0_len = s0_len.max(len_of(idx));
                     s1_len = s1_len.max(len_of(*w)).max(len_of(*x)).max(len_of(*bias));
                     s2_len = s2_len.max(len_of(*x)).max(len_of(*w));
@@ -639,11 +775,17 @@ impl Program {
         let single_contrib: Vec<bool> = contrib_count.iter().map(|&c| c == 1).collect();
         // A slice's backward only writes its column window, so its
         // input must be pre-zeroed even with a single contribution.
+        // The fused decode head keeps the same pre-zero + accumulate
+        // scheme per window, so its backward stays byte-identical to
+        // the unfused `SliceCols` scatter it replaced.
         let mut needs_zero: Vec<bool> = contrib_count.iter().map(|&c| c != 1).collect();
         for (idx, step) in steps.iter().enumerate() {
             if union[idx] {
-                if let Step::SliceCols { input, .. } = step {
-                    needs_zero[*input] = true;
+                match step {
+                    Step::SliceCols { input, .. } | Step::FusedDecodeHead { input, .. } => {
+                        needs_zero[*input] = true;
+                    }
+                    _ => {}
                 }
             }
         }
@@ -733,6 +875,10 @@ fn step_inputs(step: &Step) -> Vec<usize> {
         | Step::LutRowInterp { coord: a, .. } => vec![*a],
         Step::ConcatCols(parts) => parts.clone(),
         Step::FusedLinear { x, w, bias, .. } => vec![*x, *w, *bias],
+        Step::FusedLinearAdd {
+            x, w, bias, res, ..
+        } => vec![*x, *w, *bias, *res],
+        Step::FusedDecodeHead { input, .. } => vec![*input],
     }
 }
 
@@ -1188,6 +1334,47 @@ fn exec_forward(
                 x_slice, w_slice, bias_slice, out_slice, xm, xk, n, *relu, pool,
             );
         }
+        Step::FusedLinearAdd {
+            x,
+            w,
+            bias,
+            res,
+            relu,
+            res_first,
+        } => {
+            let (xm, xk) = prog.shape[*x];
+            // SAFETY: the arena planner never hands a step an output
+            // buffer overlapping any input, so the immutable views of
+            // x/w/bias/res and the mutable view of out are disjoint
+            // (inputs may alias each other; all are reads). Checked in
+            // every build profile.
+            let (x_slice, w_slice, bias_slice, res_slice, out_slice) = unsafe {
+                let base = vals.as_mut_ptr();
+                let (xb, wb, bb, rb) = (slot(*x), slot(*w), slot(*bias), slot(*res));
+                let disjoint = |b: Buf| b.off + b.len <= out.off || out.off + out.len <= b.off;
+                assert!(
+                    disjoint(xb) && disjoint(wb) && disjoint(bb) && disjoint(rb),
+                    "fused-linear-add output aliases an input buffer"
+                );
+                (
+                    std::slice::from_raw_parts(base.add(xb.off), xb.len),
+                    std::slice::from_raw_parts(base.add(wb.off), wb.len),
+                    std::slice::from_raw_parts(base.add(bb.off), bb.len),
+                    std::slice::from_raw_parts(base.add(rb.off), rb.len),
+                    std::slice::from_raw_parts_mut(base.add(out.off), out.len),
+                )
+            };
+            let act = prog.aux[idx].map(|ab| &mut aux[ab.range()]);
+            fused_linear_add_forward(
+                x_slice, w_slice, bias_slice, res_slice, act, out_slice, xm, xk, n, *res_first,
+                pool,
+            );
+            debug_assert!(prog.aux[idx].is_some() == *relu);
+        }
+        Step::FusedDecodeHead { input, parts } => {
+            let (src, dst) = split_two(vals, slot(*input), out);
+            decode_head_into(src, dst, m, n, parts);
+        }
     }
 }
 
@@ -1351,8 +1538,8 @@ fn exec_backward(
                             bk,
                             pool,
                         );
-                        for j in 0..pb.len {
-                            grads[pb.off + j] += s2[j];
+                        for (d, &c) in grads[pb.range()].iter_mut().zip(&s2[..pb.len]) {
+                            *d += c;
                         }
                     }
                 }
@@ -1385,8 +1572,8 @@ fn exec_backward(
                             bn,
                             pool,
                         );
-                        for j in 0..pb.len {
-                            grads[pb.off + j] += s2[j];
+                        for (d, &c) in grads[pb.range()].iter_mut().zip(&s2[..pb.len]) {
+                            *d += c;
                         }
                     }
                 }
@@ -1574,125 +1761,104 @@ fn exec_backward(
             }
         }
         Step::FusedLinear { x, w, bias, relu } => {
-            let (xm, xk) = prog.shape[*x];
-            let (xv, wv) = (slot(*x), slot(*w));
             // Gated upstream gradient ĝ (the relu gate tests the
             // post-activation output, positive exactly when the
             // pre-activation is).
             let glen = g_buf.len;
             if *relu {
                 let yv = prog.val[idx].expect("saved output");
-                for j in 0..glen {
-                    s0[j] = if vals[yv.off + j] > 0.0 {
-                        grads[g_buf.off + j]
-                    } else {
-                        0.0
-                    };
-                }
+                relu_gate(&grads[g_buf.range()], &vals[yv.range()], &mut s0[..glen]);
             } else {
                 s0[..glen].copy_from_slice(&grads[g_buf.range()]);
             }
-            // Contribution order mirrors the fresh path: bias, then x,
-            // then w. Single-contribution slots are written directly
-            // (the fresh path's first-assign), others staged.
-            if let Some(pb) = prog.grad[*bias] {
-                if prog.single_contrib[*bias] {
-                    let dst = &mut grads[pb.range()];
-                    dst.fill(0.0);
-                    for i in 0..m {
-                        for j in 0..n {
-                            dst[j] += s0[i * n + j];
-                        }
-                    }
-                } else {
-                    let s1 = &mut s1[..n];
-                    s1.fill(0.0);
-                    for i in 0..m {
-                        for j in 0..n {
-                            s1[j] += s0[i * n + j];
-                        }
-                    }
-                    for j in 0..n {
-                        grads[pb.off + j] += s1[j];
-                    }
-                }
+            fused_linear_backward_core(
+                *x,
+                *w,
+                *bias,
+                prog,
+                vals,
+                grads,
+                &s0[..glen],
+                s1,
+                s2,
+                m,
+                n,
+                pool,
+            );
+        }
+        Step::FusedLinearAdd {
+            x,
+            w,
+            bias,
+            res,
+            relu,
+            ..
+        } => {
+            // The unfused plan ran the residual `add` after the
+            // linear, so the reverse sweep delivered the residual's
+            // contribution first; keeping that order preserves
+            // bit-identity when `res` aliases `x` (pre-activation
+            // residual blocks).
+            acc!(*res, g_buf.len, |g, j| g[j]);
+            // The gate cannot read the fused output (it holds
+            // activation + residual), so the forward pass saved the
+            // pre-residual activation in the aux arena.
+            let glen = g_buf.len;
+            if *relu {
+                let ab = prog.aux[idx].expect("relu residual fusion saves its activation");
+                relu_gate(&grads[g_buf.range()], &aux[ab.range()], &mut s0[..glen]);
+            } else {
+                s0[..glen].copy_from_slice(&grads[g_buf.range()]);
             }
-            // gx = ĝ · Wᵀ.
-            if let Some(pb) = prog.grad[*x] {
-                if xm == 1 {
-                    row_grad_wrt_a(
-                        &s0[..glen],
-                        &vals[wv.range()],
-                        &mut grads[pb.range()],
-                        xk,
-                        n,
-                        prog.single_contrib[*x],
-                        pool,
-                    );
-                } else {
-                    transpose_into(&vals[wv.range()], &mut s1[..xk * n], xk, n);
-                    if prog.single_contrib[*x] {
-                        matmul_par(
-                            &s0[..glen],
-                            &s1[..xk * n],
-                            &mut grads[pb.range()],
-                            xm,
-                            n,
-                            xk,
-                            pool,
-                        );
-                    } else {
-                        matmul_par(
-                            &s0[..glen],
-                            &s1[..xk * n],
-                            &mut s2[..xm * xk],
-                            xm,
-                            n,
-                            xk,
-                            pool,
-                        );
-                        for j in 0..pb.len {
-                            grads[pb.off + j] += s2[j];
+            fused_linear_backward_core(
+                *x,
+                *w,
+                *bias,
+                prog,
+                vals,
+                grads,
+                &s0[..glen],
+                s1,
+                s2,
+                m,
+                n,
+                pool,
+            );
+        }
+        Step::FusedDecodeHead { input, parts } => {
+            // The unfused plan scattered each window's gradient into
+            // the shared (pre-zeroed) input gradient with `+=`, so the
+            // fused form always accumulates — `compile` forces
+            // `needs_zero` on the input for exactly this reason.
+            if let Some(pb) = prog.grad[*input] {
+                let yv = prog.val[idx].expect("saved output");
+                let (g, dst) = split_two(grads, g_buf, pb);
+                let y = &vals[yv.range()];
+                for &(start, end, act) in parts {
+                    match act {
+                        DecodeAct::Sigmoid => {
+                            for i in 0..m {
+                                for j in start..end {
+                                    let yi = y[i * n + j];
+                                    dst[i * n + j] += g[i * n + j] * yi * (1.0 - yi);
+                                }
+                            }
                         }
-                    }
-                }
-            }
-            // gW = Xᵀ · ĝ.
-            if let Some(pb) = prog.grad[*w] {
-                if xm == 1 {
-                    row_grad_wrt_b(
-                        &vals[xv.range()],
-                        &s0[..glen],
-                        &mut grads[pb.range()],
-                        xk,
-                        n,
-                        prog.single_contrib[*w],
-                        pool,
-                    );
-                } else {
-                    transpose_into(&vals[xv.range()], &mut s1[..xm * xk], xm, xk);
-                    if prog.single_contrib[*w] {
-                        matmul_par(
-                            &s1[..xm * xk],
-                            &s0[..glen],
-                            &mut grads[pb.range()],
-                            xk,
-                            xm,
-                            n,
-                            pool,
-                        );
-                    } else {
-                        matmul_par(
-                            &s1[..xm * xk],
-                            &s0[..glen],
-                            &mut s2[..xk * n],
-                            xk,
-                            xm,
-                            n,
-                            pool,
-                        );
-                        for j in 0..pb.len {
-                            grads[pb.off + j] += s2[j];
+                        DecodeAct::Softmax => {
+                            // Mirrors `Step::SoftmaxRows` backward on
+                            // the window: the dot folds ascending over
+                            // the window's columns, exactly the
+                            // unfused slice's local column order.
+                            for i in 0..m {
+                                let mut dot = 0.0f32;
+                                for j in start..end {
+                                    dot += g[i * n + j] * y[i * n + j];
+                                }
+                                for j in start..end {
+                                    let s = y[i * n + j];
+                                    dst[i * n + j] += s * (g[i * n + j] - dot);
+                                }
+                            }
                         }
                     }
                 }
@@ -1700,16 +1866,155 @@ fn exec_backward(
         }
     }
 }
-/// Transpose-free `ga = g · bᵀ` for a row-vector product (`a` is
-/// `[1, k]`, `b` is `[k, n]`, `g` is `[1, n]`): each output element
-/// folds `g[p] · b[c][p]` over `p` in the staged
-/// `transpose_into` + [`matmul_into`] path's order while streaming
-/// `b`'s rows contiguously. The only divergence from that reference is
-/// that zero `g[p]` terms are added (as `±0.0`) instead of branched
-/// over — which can differ solely in the sign of an IEEE zero, a bit
-/// no comparison (`==`), argmax, or downstream arithmetic in this
-/// workspace can distinguish; keeping the inner loop branch-free is
-/// what lets it vectorize.
+/// Branchless relu gate: `dst[j] = if act[j] > 0.0 { g[j] } else { 0.0 }`,
+/// written as a bitmask select. Value-identical to the branchy form
+/// (`NaN > 0.0` is false, and the gated-off value is exactly `+0.0`),
+/// but the gate pattern on real activations is a coin flip per
+/// element, so the branchy form pays a mispredict per lane while this
+/// compiles to vectorized compare-and-mask.
+fn relu_gate(g: &[f32], act: &[f32], dst: &mut [f32]) {
+    for (d, (&gv, &av)) in dst.iter_mut().zip(g.iter().zip(act)) {
+        let mask = 0u32.wrapping_sub((av > 0.0) as u32);
+        *d = f32::from_bits(gv.to_bits() & mask);
+    }
+}
+
+/// Shared backward tail of the fused linear step kinds: given the
+/// (gated) upstream gradient ĝ in `s0`, accumulates the bias, `x`,
+/// and `w` contributions with the same staging, kernels, and ordering
+/// the unfused plan used — bias, then x, then w, mirroring the fresh
+/// path's contribution order.
+#[allow(clippy::too_many_arguments)]
+fn fused_linear_backward_core(
+    x: usize,
+    w: usize,
+    bias: usize,
+    prog: &Program,
+    vals: &[f32],
+    grads: &mut [f32],
+    s0: &[f32],
+    s1: &mut [f32],
+    s2: &mut [f32],
+    m: usize,
+    n: usize,
+    pool: Option<&WorkerPool>,
+) {
+    let (xm, xk) = prog.shape[x];
+    let glen = m * n;
+    let (xv, wv) = (
+        prog.val[x].expect("saved input slot"),
+        prog.val[w].expect("saved input slot"),
+    );
+    // Single-contribution slots are written directly (the fresh
+    // path's first-assign), others staged and accumulated.
+    if let Some(pb) = prog.grad[bias] {
+        if prog.single_contrib[bias] {
+            let dst = &mut grads[pb.range()];
+            dst.fill(0.0);
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j] += s0[i * n + j];
+                }
+            }
+        } else {
+            let s1 = &mut s1[..n];
+            s1.fill(0.0);
+            for i in 0..m {
+                for j in 0..n {
+                    s1[j] += s0[i * n + j];
+                }
+            }
+            for j in 0..n {
+                grads[pb.off + j] += s1[j];
+            }
+        }
+    }
+    // gx = ĝ · Wᵀ.
+    if let Some(pb) = prog.grad[x] {
+        if xm == 1 {
+            row_grad_wrt_a(
+                &s0[..glen],
+                &vals[wv.range()],
+                &mut grads[pb.range()],
+                xk,
+                n,
+                prog.single_contrib[x],
+                pool,
+            );
+        } else {
+            transpose_into(&vals[wv.range()], &mut s1[..xk * n], xk, n);
+            if prog.single_contrib[x] {
+                matmul_par(
+                    &s0[..glen],
+                    &s1[..xk * n],
+                    &mut grads[pb.range()],
+                    xm,
+                    n,
+                    xk,
+                    pool,
+                );
+            } else {
+                matmul_par(
+                    &s0[..glen],
+                    &s1[..xk * n],
+                    &mut s2[..xm * xk],
+                    xm,
+                    n,
+                    xk,
+                    pool,
+                );
+                for (d, &c) in grads[pb.range()].iter_mut().zip(&s2[..pb.len]) {
+                    *d += c;
+                }
+            }
+        }
+    }
+    // gW = Xᵀ · ĝ.
+    if let Some(pb) = prog.grad[w] {
+        if xm == 1 {
+            row_grad_wrt_b(
+                &vals[xv.range()],
+                &s0[..glen],
+                &mut grads[pb.range()],
+                xk,
+                n,
+                prog.single_contrib[w],
+                pool,
+            );
+        } else {
+            transpose_into(&vals[xv.range()], &mut s1[..xm * xk], xm, xk);
+            if prog.single_contrib[w] {
+                matmul_par(
+                    &s1[..xm * xk],
+                    &s0[..glen],
+                    &mut grads[pb.range()],
+                    xk,
+                    xm,
+                    n,
+                    pool,
+                );
+            } else {
+                matmul_par(
+                    &s1[..xm * xk],
+                    &s0[..glen],
+                    &mut s2[..xk * n],
+                    xk,
+                    xm,
+                    n,
+                    pool,
+                );
+                for (d, &c) in grads[pb.range()].iter_mut().zip(&s2[..pb.len]) {
+                    *d += c;
+                }
+            }
+        }
+    }
+}
+
+/// Transpose-free `ga = g · bᵀ` for a row-vector product:
+/// [`crate::kernels::row_times_bt_into`] with the output rows
+/// partitioned over the pool (each element is an independent fold, so
+/// any partition is bit-identical).
 fn row_grad_wrt_a(
     g: &[f32],
     b: &[f32],
@@ -1723,18 +2028,7 @@ fn row_grad_wrt_a(
     par_rows(pool, k, k * n, &|lo, hi| {
         // SAFETY: [lo, hi) is this worker's exclusive output range.
         let d = unsafe { std::slice::from_raw_parts_mut(dst_ptr.ptr().add(lo), hi - lo) };
-        for (slot, c) in d.iter_mut().zip(lo..hi) {
-            let brow = &b[c * n..(c + 1) * n];
-            let mut acc = 0.0f32;
-            for (&gv, &bv) in g[..n].iter().zip(brow) {
-                acc += gv * bv;
-            }
-            if single {
-                *slot = acc;
-            } else {
-                *slot += acc;
-            }
-        }
+        crate::kernels::row_times_bt_into(g, &b[lo * n..hi * n], d, n, single);
     });
 }
 
@@ -1754,33 +2048,9 @@ fn row_grad_wrt_b(
     par_rows(pool, k, k * n, &|lo, hi| {
         // SAFETY: rows [lo, hi) are this worker's exclusive slice.
         let d = unsafe { std::slice::from_raw_parts_mut(dst_ptr.ptr().add(lo * n), (hi - lo) * n) };
-        for (i, c) in (lo..hi).enumerate() {
-            let av = a[c];
-            let drow = &mut d[i * n..(i + 1) * n];
-            if single {
-                if av == 0.0 {
-                    drow.fill(0.0);
-                } else {
-                    for (dv, &gv) in drow.iter_mut().zip(g) {
-                        *dv = av * gv;
-                    }
-                }
-            } else if av != 0.0 {
-                for (dv, &gv) in drow.iter_mut().zip(g) {
-                    *dv += av * gv;
-                }
-            }
-        }
+        crate::kernels::row_outer_into(&a[lo..hi], g, d, n, single);
     });
 }
-
-/// Minimum multiply–accumulate count before a kernel is dispatched to
-/// the worker pool. Below this the two channel round-trips per worker
-/// cost more than the arithmetic; the threshold depends only on the
-/// kernel's shape (never on the worker count), and partitioned and
-/// sequential execution are bit-identical anyway, so it is purely a
-/// latency knob.
-const MIN_PAR_MACS: usize = 32 * 1024;
 
 /// A mutable arena pointer that may cross to pool workers. Each worker
 /// touches only its own disjoint row range. (The method accessor makes
@@ -1802,10 +2072,16 @@ impl SendPtr {
 /// Row-partitions `total_rows` over the pool, calling `f(lo, hi)` once
 /// per contiguous chunk — or once with the full range on the calling
 /// thread when no pool is present, the pool has one worker, or `macs`
-/// is under [`MIN_PAR_MACS`]. `f` must write only to its own rows;
-/// per-element arithmetic must not depend on the chunking (every
-/// caller here computes each output element from a fixed fold over
-/// inputs, so any row partition is bit-identical).
+/// is under [`crate::par::par_threshold`] (the `HDX_PAR_THRESHOLD`
+/// knob; below it the two channel round-trips per worker cost more
+/// than the arithmetic). Chunks are rounded up to whole
+/// [`ROW_BLOCK`] tiles so parallel dispatch splits along the
+/// blocked kernels' tile boundaries and no worker starts mid-tile.
+/// `f` must write only to its own rows; per-element arithmetic must
+/// not depend on the chunking (every caller here computes each output
+/// element from a fixed fold over inputs, so any row partition is
+/// bit-identical — the threshold and the tile rounding are purely
+/// latency knobs).
 fn par_rows(
     pool: Option<&WorkerPool>,
     total_rows: usize,
@@ -1813,9 +2089,11 @@ fn par_rows(
     f: &(dyn Fn(usize, usize) + Sync),
 ) {
     match pool {
-        Some(pool) if pool.workers() > 1 && total_rows >= 2 && macs >= MIN_PAR_MACS => {
+        Some(pool)
+            if pool.workers() > 1 && total_rows >= 2 && macs >= crate::par::par_threshold() =>
+        {
             let workers = pool.workers().min(total_rows);
-            let per = total_rows.div_ceil(workers);
+            let per = total_rows.div_ceil(workers).div_ceil(ROW_BLOCK) * ROW_BLOCK;
             pool.run(&|t| {
                 let lo = (t * per).min(total_rows);
                 let hi = ((t + 1) * per).min(total_rows);
@@ -1845,7 +2123,7 @@ fn matmul_par(
         let rows = hi - lo;
         // SAFETY: chunk [lo*n, hi*n) is this worker's exclusive slice.
         let dst = unsafe { std::slice::from_raw_parts_mut(out_ptr.ptr().add(lo * n), rows * n) };
-        matmul_into(&a[lo * k..hi * k], b, dst, rows, k, n);
+        matmul_blocked(&a[lo * k..hi * k], b, dst, rows, k, n);
     });
 }
 
@@ -1869,7 +2147,7 @@ fn fused_linear_forward(
         let rows = hi - lo;
         // SAFETY: chunk [lo*n, hi*n) is this worker's exclusive slice.
         let dst = unsafe { std::slice::from_raw_parts_mut(out_ptr.ptr().add(lo * n), rows * n) };
-        matmul_into(&x[lo * k..hi * k], w, dst, rows, k, n);
+        matmul_blocked(&x[lo * k..hi * k], w, dst, rows, k, n);
         for i in 0..rows {
             for j in 0..n {
                 dst[i * n + j] += bias[j];
@@ -1878,6 +2156,90 @@ fn fused_linear_forward(
         if relu {
             for v in dst.iter_mut() {
                 *v = v.max(0.0);
+            }
+        }
+    });
+}
+
+/// Fused `matmul → add_bias (→ relu) → add residual` forward.
+///
+/// `act` is `Some` exactly when the step has a relu: the gate's
+/// backward needs the pre-residual activation, which is not
+/// recoverable from `out` (it holds activation + residual), so the
+/// relu variant stages into the step's aux window and then combines
+/// with the residual. The residual add honors the recorded operand
+/// order (`res_first`) so even NaN-payload propagation matches the
+/// unfused `Add` step bit-for-bit.
+// The `res_first` branches look commutative-identical to clippy, and
+// `*d = rv + *d` looks like `+=`, but both spell out the recorded
+// operand order of the unfused `Add` they replace.
+#[allow(
+    clippy::too_many_arguments,
+    clippy::if_same_then_else,
+    clippy::assign_op_pattern
+)]
+fn fused_linear_add_forward(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    res: &[f32],
+    act: Option<&mut [f32]>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    res_first: bool,
+    pool: Option<&WorkerPool>,
+) {
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let act_ptr = act.map(|a| SendPtr(a.as_mut_ptr()));
+    par_rows(pool, m, m * k * n, &|lo, hi| {
+        let rows = hi - lo;
+        // SAFETY: chunk [lo*n, hi*n) is this worker's exclusive slice
+        // of the output (and, below, of the aux window).
+        let dst = unsafe { std::slice::from_raw_parts_mut(out_ptr.ptr().add(lo * n), rows * n) };
+        let rchunk = &res[lo * n..hi * n];
+        match &act_ptr {
+            Some(a) => {
+                // SAFETY: workers touch disjoint row ranges of the aux
+                // window, mirroring the output partition.
+                let stage =
+                    unsafe { std::slice::from_raw_parts_mut(a.ptr().add(lo * n), rows * n) };
+                matmul_blocked(&x[lo * k..hi * k], w, stage, rows, k, n);
+                for i in 0..rows {
+                    for j in 0..n {
+                        stage[i * n + j] += bias[j];
+                    }
+                }
+                for v in stage.iter_mut() {
+                    *v = v.max(0.0);
+                }
+                if res_first {
+                    for ((d, &av), &rv) in dst.iter_mut().zip(stage.iter()).zip(rchunk) {
+                        *d = rv + av;
+                    }
+                } else {
+                    for ((d, &av), &rv) in dst.iter_mut().zip(stage.iter()).zip(rchunk) {
+                        *d = av + rv;
+                    }
+                }
+            }
+            None => {
+                matmul_blocked(&x[lo * k..hi * k], w, dst, rows, k, n);
+                for i in 0..rows {
+                    for j in 0..n {
+                        dst[i * n + j] += bias[j];
+                    }
+                }
+                if res_first {
+                    for (d, &rv) in dst.iter_mut().zip(rchunk) {
+                        *d = rv + *d;
+                    }
+                } else {
+                    for (d, &rv) in dst.iter_mut().zip(rchunk) {
+                        *d += rv;
+                    }
+                }
             }
         }
     });
@@ -2041,6 +2403,187 @@ mod tests {
             },
             &rand_sets(&[&[2, 3], &[3, 4], &[1, 4]], 3, 3),
         );
+    }
+
+    #[test]
+    fn residual_fusion_replays_bit_identically() {
+        // relu(x·W + b) + x — the ResidualMlp block shape, where the
+        // residual aliases the linear's own input.
+        assert_replay_matches(
+            |t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                let act = t.relu(lin);
+                let res = t.add(act, v[0]);
+                t.mse(res, v[3])
+            },
+            &rand_sets(&[&[4, 4], &[4, 4], &[1, 4], &[4, 4]], 4, 11),
+        );
+    }
+
+    #[test]
+    fn residual_fusion_res_first_and_no_relu_replay_bit_identically() {
+        // Residual on the left of the add (res_first) and no relu.
+        assert_replay_matches(
+            |t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                let res = t.add(v[3], lin);
+                t.mse(res, v[4])
+            },
+            &rand_sets(&[&[3, 5], &[5, 4], &[1, 4], &[3, 4], &[3, 4]], 4, 12),
+        );
+    }
+
+    #[test]
+    fn residual_add_fuses_into_one_step() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4, 4]));
+        let w = tape.leaf(Tensor::ones(&[4, 4]));
+        let b = tape.leaf(Tensor::ones(&[1, 4]));
+        let mm = tape.matmul(x, w);
+        let lin = tape.add_bias(mm, b);
+        let act = tape.relu(lin);
+        let res = tape.add(act, x);
+        let out = tape.sum(res);
+        let prog = Program::compile(&tape, &[out], &[]);
+        // 3 leaves + FusedLinearAdd + Sum.
+        assert_eq!(prog.num_steps(), 5);
+    }
+
+    #[test]
+    fn residual_fusion_rejected_when_activation_is_shared() {
+        // The relu output feeds the residual add *and* a sum, so the
+        // add must not be folded in; replay must still match.
+        assert_replay_matches(
+            |t, v| {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                let act = t.relu(lin);
+                let res = t.add(act, v[0]);
+                let s1 = t.sum(res);
+                let s2 = t.sum(act);
+                t.add(s1, s2)
+            },
+            &rand_sets(&[&[4, 4], &[4, 4], &[1, 4]], 3, 13),
+        );
+    }
+
+    #[test]
+    fn decode_head_fusion_replays_bit_identically() {
+        // The generator's decode head: column slices of one source,
+        // sigmoid/softmax per window, concatenated back in order.
+        assert_replay_matches(
+            |t, v| {
+                let h = t.matmul(v[0], v[1]);
+                let s1 = t.slice_cols(h, 0, 3);
+                let a1 = t.sigmoid(s1);
+                let s2 = t.slice_cols(h, 3, 7);
+                let a2 = t.softmax_rows(s2);
+                let s3 = t.slice_cols(h, 7, 9);
+                let a3 = t.sigmoid(s3);
+                let cat = t.concat_cols(&[a1, a2, a3]);
+                t.mse(cat, v[2])
+            },
+            &rand_sets(&[&[5, 4], &[4, 9], &[5, 9]], 4, 14),
+        );
+    }
+
+    #[test]
+    fn decode_head_fusion_replays_bit_identically_single_row() {
+        // m = 1 — the generator's actual decode shape.
+        assert_replay_matches(
+            |t, v| {
+                let h = t.matmul(v[0], v[1]);
+                let s1 = t.slice_cols(h, 0, 4);
+                let a1 = t.softmax_rows(s1);
+                let s2 = t.slice_cols(h, 4, 6);
+                let a2 = t.sigmoid(s2);
+                let cat = t.concat_cols(&[a1, a2]);
+                t.mse(cat, v[2])
+            },
+            &rand_sets(&[&[1, 3], &[3, 6], &[1, 6]], 4, 15),
+        );
+    }
+
+    #[test]
+    fn decode_head_fuses_into_one_step() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2, 4]));
+        let w = tape.leaf(Tensor::ones(&[4, 9]));
+        let h = tape.matmul(x, w);
+        let s1 = tape.slice_cols(h, 0, 3);
+        let a1 = tape.sigmoid(s1);
+        let s2 = tape.slice_cols(h, 3, 9);
+        let a2 = tape.softmax_rows(s2);
+        let cat = tape.concat_cols(&[a1, a2]);
+        let out = tape.sum(cat);
+        let prog = Program::compile(&tape, &[out], &[]);
+        // 2 leaves + MatMul + FusedDecodeHead + Sum.
+        assert_eq!(prog.num_steps(), 5);
+    }
+
+    #[test]
+    fn decode_head_fusion_rejected_on_gaps_partial_cover_and_sharing() {
+        // Non-contiguous windows (gap between 3 and 4).
+        let gap = |t: &mut Tape, v: &[Var]| {
+            let h = t.matmul(v[0], v[1]);
+            let a1 = {
+                let s = t.slice_cols(h, 0, 3);
+                t.sigmoid(s)
+            };
+            let a2 = {
+                let s = t.slice_cols(h, 4, 9);
+                t.sigmoid(s)
+            };
+            let cat = t.concat_cols(&[a1, a2]);
+            t.sum(cat)
+        };
+        // Windows cover only a prefix of the source's columns.
+        let partial = |t: &mut Tape, v: &[Var]| {
+            let h = t.matmul(v[0], v[1]);
+            let a1 = {
+                let s = t.slice_cols(h, 0, 3);
+                t.sigmoid(s)
+            };
+            let a2 = {
+                let s = t.slice_cols(h, 3, 7);
+                t.softmax_rows(s)
+            };
+            let cat = t.concat_cols(&[a1, a2]);
+            t.sum(cat)
+        };
+        // One slice feeds an extra consumer besides its activation.
+        let shared = |t: &mut Tape, v: &[Var]| {
+            let h = t.matmul(v[0], v[1]);
+            let s1 = t.slice_cols(h, 0, 3);
+            let a1 = t.sigmoid(s1);
+            let a2 = {
+                let s = t.slice_cols(h, 3, 9);
+                t.softmax_rows(s)
+            };
+            let cat = t.concat_cols(&[a1, a2]);
+            let extra = t.sum(s1);
+            let base = t.sum(cat);
+            t.add(base, extra)
+        };
+        let sets = rand_sets(&[&[3, 4], &[4, 9]], 3, 16);
+        assert_replay_matches(gap, &sets);
+        assert_replay_matches(partial, &sets);
+        assert_replay_matches(shared, &sets);
+
+        // Pin that none of them fused: every step stays materialized.
+        let count = |build: &dyn Fn(&mut Tape, &[Var]) -> Var| {
+            let mut tape = Tape::new();
+            let vars: Vec<Var> = sets[0].iter().map(|t| tape.leaf(t.clone())).collect();
+            let out = build(&mut tape, &vars);
+            Program::compile(&tape, &[out], &[]).num_steps()
+        };
+        // leaves(2) + matmul + 2·(slice+act) + concat + sum = 9
+        assert_eq!(count(&gap), 9);
+        assert_eq!(count(&partial), 9);
+        // shared keeps everything plus extra sum + add = 11
+        assert_eq!(count(&shared), 11);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Kernel-equivalence sweep: blocked/vectorized == scalar reference, bit for bit.
+//!
+//! The cache-blocked kernels in `hdx_tensor::kernels` promise byte
+//! identity with the scalar reference loops at every shape — the
+//! p-ascending fold per output element and the `av == 0.0` zero-skip
+//! are the contract, and tiling/vectorization only reorder *across*
+//! output elements, never within a fold. These tests pin that promise
+//! across odd shapes (everything below the 8-row tile and the panel
+//! widths, plus the 32/64 boundaries), with `-0.0`, subnormals, and
+//! NaN routed through (and around) the zero-skip, for the standalone
+//! kernels and for the fused program paths built on them.
+
+use hdx_tensor::kernels::{
+    decode_head_into, matmul_blocked, matmul_into, row_outer_into, row_times_bt_into,
+    softmax_rows_into, transpose_into, DecodeAct,
+};
+use hdx_tensor::{Program, Rng, Session, Tape, Tensor, Var};
+use std::sync::Arc;
+
+/// Shapes the sweep crosses: every size below and just above the 8-row
+/// tile and 8/16-wide micro-panels, plus the 32/64 panel boundaries.
+const DIMS: [usize; 23] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+];
+
+/// Gaussian data salted with the special values the contract is about:
+/// exact zeros (must be skipped), negative zeros (equal to zero, must
+/// also be skipped), and subnormals (must flow through untouched).
+fn salted(shape: &[usize], seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    let mut data = Tensor::randn(shape, 1.0, &mut rng).data().to_vec();
+    for (i, x) in data.iter_mut().enumerate() {
+        match i % 13 {
+            0 => *x = 0.0,
+            4 => *x = -0.0,
+            8 => *x = 1.0e-41, // subnormal
+            _ => {}
+        }
+    }
+    data
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{ctx}: element {i}: {g:?} ({:#010x}) vs {w:?} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_matches_reference_bitwise_across_odd_shapes() {
+    let max = *DIMS.last().expect("non-empty");
+    let mut reference = vec![0.0f32; max * max];
+    let mut blocked = vec![0.0f32; max * max];
+    for &m in &DIMS {
+        for &k in &DIMS {
+            for &n in &DIMS {
+                let seed = (m * 1_000_000 + k * 1_000 + n) as u64;
+                let a = salted(&[m, k], seed);
+                let b = salted(&[k, n], seed ^ 0x9e37_79b9);
+                matmul_into(&a, &b, &mut reference[..m * n], m, k, n);
+                matmul_blocked(&a, &b, &mut blocked[..m * n], m, k, n);
+                assert_bits_eq(
+                    &blocked[..m * n],
+                    &reference[..m * n],
+                    &format!("matmul m={m} k={k} n={n}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nan_flows_through_included_terms_and_is_skipped_with_zero() {
+    let (m, k, n) = (9, 17, 13);
+    // NaN in `a`: the term is included (NaN != 0.0), so it must poison
+    // exactly the rows it appears in — identically in both kernels.
+    let mut a = salted(&[m, k], 42);
+    a[3 * k + 5] = f32::NAN;
+    let b = salted(&[k, n], 43);
+    let mut reference = vec![0.0f32; m * n];
+    let mut blocked = vec![0.0f32; m * n];
+    matmul_into(&a, &b, &mut reference, m, k, n);
+    matmul_blocked(&a, &b, &mut blocked, m, k, n);
+    assert_bits_eq(&blocked, &reference, "matmul with NaN in a");
+    assert!(reference[3 * n..4 * n].iter().all(|x| x.is_nan()));
+    assert!(reference[..3 * n].iter().all(|x| !x.is_nan()));
+
+    // NaN in `b` row p: rows of `a` with a zero at column p skip the
+    // term entirely — `0 * NaN` is never evaluated — while rows with a
+    // nonzero at p include it.
+    let mut a = salted(&[m, k], 44);
+    for i in 0..m {
+        a[i * k + 7] = 0.0;
+    }
+    a[2 * k + 7] = 1.5; // the one row that sees the NaN
+    let mut b = salted(&[k, n], 45);
+    for j in 0..n {
+        b[7 * n + j] = f32::NAN;
+    }
+    matmul_into(&a, &b, &mut reference, m, k, n);
+    matmul_blocked(&a, &b, &mut blocked, m, k, n);
+    assert_bits_eq(&blocked, &reference, "matmul with NaN behind the zero-skip");
+    assert!(reference[2 * n..3 * n].iter().all(|x| x.is_nan()));
+    assert!(
+        reference
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(2 * n..3 * n).contains(i))
+            .all(|(_, x)| !x.is_nan()),
+        "zero-skip leaked a NaN"
+    );
+}
+
+#[test]
+fn tiled_transpose_matches_scalar_reference() {
+    let max = *DIMS.last().expect("non-empty");
+    let mut naive = vec![0.0f32; max * max];
+    let mut tiled = vec![0.0f32; max * max];
+    for &m in &DIMS {
+        for &n in &DIMS {
+            let src = salted(&[m, n], (m * 1_000 + n) as u64);
+            for i in 0..m {
+                for j in 0..n {
+                    naive[j * m + i] = src[i * n + j];
+                }
+            }
+            transpose_into(&src, &mut tiled[..m * n], m, n);
+            assert_bits_eq(
+                &tiled[..m * n],
+                &naive[..m * n],
+                &format!("transpose {m}x{n}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn row_times_bt_matches_documented_fold() {
+    // Contract: dst[c] folds g[p]·b[c][p] ascending from 0.0, zero
+    // terms added (not skipped) — see the kernel doc for why the ±0.0
+    // relaxation is observationally equivalent here.
+    for &k in &DIMS {
+        for &n in &DIMS {
+            let seed = (k * 10_000 + n) as u64;
+            let g = salted(&[1, n], seed);
+            let b = salted(&[k, n], seed ^ 0x5bd1_e995);
+            let mut want = salted(&[1, k], seed ^ 0xabcd);
+            let mut got = want.clone();
+            for single in [true, false] {
+                for c in 0..k {
+                    let mut acc = 0.0f32;
+                    for p in 0..n {
+                        acc += g[p] * b[c * n + p];
+                    }
+                    if single {
+                        want[c] = acc;
+                    } else {
+                        want[c] += acc;
+                    }
+                }
+                row_times_bt_into(&g, &b, &mut got, n, single);
+                assert_bits_eq(
+                    &got,
+                    &want,
+                    &format!("row_times_bt k={k} n={n} single={single}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn row_outer_matches_documented_fold() {
+    // Contract: dst[c][j] = a[c]·g[j] with the zero-skip on a[c]
+    // (accumulate leaves the row untouched; assign zero-fills it).
+    for &k in &DIMS {
+        for &n in &DIMS {
+            let seed = (k * 20_000 + n) as u64;
+            let a = salted(&[1, k], seed);
+            let g = salted(&[1, n], seed ^ 0x2545_f491);
+            let mut want = salted(&[k, n], seed ^ 0xdcba);
+            let mut got = want.clone();
+            for single in [true, false] {
+                for c in 0..k {
+                    let av = a[c];
+                    let row = &mut want[c * n..(c + 1) * n];
+                    if single {
+                        if av == 0.0 {
+                            row.fill(0.0);
+                        } else {
+                            for (d, &gv) in row.iter_mut().zip(&g) {
+                                *d = av * gv;
+                            }
+                        }
+                    } else if av != 0.0 {
+                        for (d, &gv) in row.iter_mut().zip(&g) {
+                            *d += av * gv;
+                        }
+                    }
+                }
+                row_outer_into(&a, &g, &mut got, n, single);
+                assert_bits_eq(
+                    &got,
+                    &want,
+                    &format!("row_outer k={k} n={n} single={single}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_head_matches_materialized_slices() {
+    let parts = [
+        (0usize, 3usize, DecodeAct::Sigmoid),
+        (3, 7, DecodeAct::Softmax),
+        (7, 9, DecodeAct::Sigmoid),
+    ];
+    let n = 9;
+    for &m in &DIMS {
+        let src = salted(&[m, n], (900 + m) as u64);
+        let mut fused = vec![0.0f32; m * n];
+        decode_head_into(&src, &mut fused, m, n, &parts);
+
+        // Unfused reference: materialize each column slice, activate
+        // it, scatter it back — the chain the fusion replaced.
+        let mut want = vec![0.0f32; m * n];
+        for &(s, e, act) in &parts {
+            let w = e - s;
+            let mut slice = vec![0.0f32; m * w];
+            for i in 0..m {
+                slice[i * w..(i + 1) * w].copy_from_slice(&src[i * n + s..i * n + e]);
+            }
+            let mut out = vec![0.0f32; m * w];
+            match act {
+                DecodeAct::Sigmoid => {
+                    for (o, &x) in out.iter_mut().zip(&slice) {
+                        *o = 1.0 / (1.0 + (-x).exp());
+                    }
+                }
+                DecodeAct::Softmax => softmax_rows_into(&slice, &mut out, m, w),
+            }
+            for i in 0..m {
+                want[i * n + s..i * n + e].copy_from_slice(&out[i * w..(i + 1) * w]);
+            }
+        }
+        assert_bits_eq(&fused, &want, &format!("decode_head m={m}"));
+    }
+}
+
+/// End-to-end: the fused program path (blocked matmul + fused linear +
+/// residual fusion + decode head) replays bit-identically to a fresh
+/// tape recording at odd shapes — losses and every leaf gradient.
+#[test]
+fn fused_program_paths_match_fresh_record_at_odd_shapes() {
+    for &(m, k, h) in &[(1usize, 5usize, 9usize), (3, 17, 9), (8, 31, 9), (33, 7, 9)] {
+        let mut rng = Rng::new((m * 100 + k) as u64);
+        let tensors = [
+            Tensor::randn(&[m, k], 1.0, &mut rng),
+            Tensor::randn(&[k, h], 1.0, &mut rng),
+            Tensor::randn(&[1, h], 1.0, &mut rng),
+            Tensor::randn(&[h, h], 1.0, &mut rng),
+            Tensor::randn(&[1, h], 1.0, &mut rng),
+            Tensor::randn(&[m, h], 1.0, &mut rng),
+        ];
+        let build = |t: &mut Tape, v: &[Var]| {
+            // linear→relu, residual add (fuses), then a decode head
+            // over the full width (fuses), against an MSE target.
+            let l1 = {
+                let mm = t.matmul(v[0], v[1]);
+                let lin = t.add_bias(mm, v[2]);
+                t.relu(lin)
+            };
+            let l2 = {
+                let mm = t.matmul(l1, v[3]);
+                let lin = t.add_bias(mm, v[4]);
+                let act = t.relu(lin);
+                t.add(act, l1)
+            };
+            let head = {
+                let s1 = t.slice_cols(l2, 0, 4);
+                let a1 = t.softmax_rows(s1);
+                let s2 = t.slice_cols(l2, 4, 9);
+                let a2 = t.sigmoid(s2);
+                t.concat_cols(&[a1, a2])
+            };
+            t.mse(head, v[5])
+        };
+
+        // Compiled replay.
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = tensors.iter().map(|t| tape.leaf(t.clone())).collect();
+        let out = build(&mut tape, &vars);
+        let prog = Arc::new(Program::compile(&tape, &[out], &[]));
+        let mut sess = Session::new(prog);
+        for (v, t) in vars.iter().zip(&tensors) {
+            sess.bind_tensor(*v, t);
+        }
+        sess.forward();
+        sess.backward(out);
+
+        // Fresh record.
+        let mut fresh = Tape::new();
+        let fvars: Vec<Var> = tensors.iter().map(|t| fresh.leaf(t.clone())).collect();
+        let fout = build(&mut fresh, &fvars);
+        let fgrads = fresh.backward(fout);
+
+        let ctx = format!("program m={m} k={k}");
+        assert_bits_eq(&[sess.scalar(out)], &[fresh.value(fout).item()], &ctx);
+        for (i, (v, fv)) in vars.iter().zip(&fvars).enumerate() {
+            let fg = fgrads.wrt(*fv).expect("leaf gradient");
+            let cg = sess.grad(*v).expect("session gradient");
+            assert_bits_eq(cg, fg.data(), &format!("{ctx} grad {i}"));
+        }
+    }
+}
