@@ -9,7 +9,7 @@
 ///
 /// `groups == 1` is a dense convolution; `groups == c_in == c_out`
 /// is a depthwise convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConvLayer {
     /// Input channels.
     pub c_in: usize,

@@ -22,7 +22,7 @@ use crate::metrics::{CostWeights, HwMetrics, Metric};
 use crate::model::evaluate_layer;
 use hdx_tensor::ckpt::{Checkpoint, CkptError};
 use hdx_tensor::par::parallel_map;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Result of an exhaustive hardware search.
@@ -181,9 +181,9 @@ impl LayerLut {
         Self::insert_cached(layers, built)
     }
 
-    fn cache() -> &'static Mutex<HashMap<Vec<ConvLayer>, Arc<LayerLut>>> {
-        static CACHE: OnceLock<Mutex<HashMap<Vec<ConvLayer>, Arc<LayerLut>>>> = OnceLock::new();
-        CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    fn cache() -> &'static Mutex<BTreeMap<Vec<ConvLayer>, Arc<LayerLut>>> {
+        static CACHE: OnceLock<Mutex<BTreeMap<Vec<ConvLayer>, Arc<LayerLut>>>> = OnceLock::new();
+        CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
     }
 
     fn insert_cached(layers: &[ConvLayer], built: Arc<LayerLut>) -> Arc<LayerLut> {

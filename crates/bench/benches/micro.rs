@@ -23,10 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn measure_secs() -> f64 {
-    std::env::var("HDX_BENCH_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0)
+    hdx_tensor::knobs::f64_or("HDX_BENCH_SECS", 2.0)
 }
 
 /// Collected results, serialized by hand (std-only container).
@@ -651,7 +648,7 @@ fn main() {
 
     // `cargo bench` sets the package dir as CWD; anchor the default to
     // the workspace root so the artifact lands next to ROADMAP.md.
-    let path = std::env::var("HDX_BENCH_JSON").unwrap_or_else(|_| {
+    let path = hdx_tensor::knobs::raw("HDX_BENCH_JSON").unwrap_or_else(|| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json").to_string()
     });
     std::fs::write(&path, report.to_json()).expect("write bench JSON");

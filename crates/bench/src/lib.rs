@@ -16,12 +16,12 @@
 
 use hdx_core::{prepare_context_with, EstimatorConfig, PreparedContext, SearchOptions, Task};
 
-/// Reads a scale knob from the environment.
+/// Reads a scale knob from the environment, strictly, via the central
+/// knob registry (`hdx_tensor::knobs`): unset yields the default; a
+/// set-but-malformed value panics instead of silently running the
+/// wrong scale; an unregistered name is a programming error.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    hdx_tensor::knobs::usize_or(name, default)
 }
 
 /// Prepares the experiment context for a task at the configured
@@ -63,7 +63,13 @@ mod tests {
 
     #[test]
     fn env_usize_defaults() {
-        assert_eq!(env_usize("HDX_SURELY_UNSET_VAR_123", 7), 7);
+        // `HDX_REPS` is registered but not set under `cargo test`, so
+        // the default comes back; an unregistered name must panic (the
+        // registry is what keeps the knob table honest).
+        if std::env::var_os("HDX_REPS").is_none() {
+            assert_eq!(env_usize("HDX_REPS", 7), 7);
+        }
+        assert!(std::panic::catch_unwind(|| env_usize("HDX_SURELY_UNSET_VAR_123", 7)).is_err());
     }
 
     #[test]

@@ -307,6 +307,7 @@ fn search_inner(
         "run_search: estimator dimension does not match plan"
     );
 
+    // hdx-lint: allow(wall_clock) reason="search_seconds is a diagnostic for the CLI/meta-search logs; it never reaches report bytes (the serve encoders carry no timing fields, pinned by the frozen v0 surface)"
     let start = std::time::Instant::now();
     let mut rng = Rng::new(opts.seed);
     let mut supernet = Supernet::new(

@@ -183,12 +183,9 @@ impl PreparedContext {
 
 /// Number of estimator pre-training pairs (scaled stand-in for the
 /// paper's 10.8 M; override with the `HDX_EST_PAIRS` environment
-/// variable).
+/// variable, strictly parsed via the knob registry).
 fn est_pairs() -> usize {
-    std::env::var("HDX_EST_PAIRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8_000)
+    hdx_tensor::knobs::usize_or("HDX_EST_PAIRS", 8_000)
 }
 
 /// Builds the full environment for a task: generates the synthetic

@@ -1,0 +1,389 @@
+//! A lightweight Rust lexer: just enough tokenization for the rule
+//! engine, with byte-offset spans.
+//!
+//! The rules in [`crate::analyze`] are token pattern matchers, so the
+//! lexer's one job is to classify bytes *correctly enough* that an
+//! identifier inside a string, comment, or raw string is never mistaken
+//! for code (a doc comment mentioning `Instant` must not trip the
+//! wall-clock rule), and that comments are kept as tokens (waivers,
+//! `// SAFETY:` audits, and frozen-region markers all live in
+//! comments). It is not a full Rust lexer: numeric literals are lexed
+//! loosely and every punctuation byte is its own token, which is all
+//! the pattern matchers need.
+
+/// Token classification. Spans are byte offsets into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, minus `r#`).
+    Ident,
+    /// String literal of any flavor (`"…"`, `b"…"`, `r#"…"#`). The
+    /// span covers the whole literal including quotes and prefix.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Life,
+    /// Line (`//…`) or block (`/*…*/`) comment, doc or plain.
+    Comment,
+    /// Loosely-lexed numeric literal.
+    Num,
+    /// A single punctuation byte.
+    Punct(u8),
+}
+
+/// One token: kind plus byte span (`start..end`).
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// The inner value of a string-literal token, or `None` when the
+/// literal uses escapes (no rule needs to decode those) or is exotic.
+pub fn str_inner<'a>(tok: &Tok, src: &'a str) -> Option<&'a str> {
+    let text = tok.text(src);
+    if text.contains('\\') {
+        return None;
+    }
+    // Strip a `b`/`r`/`br` prefix, then `#…#` guards, then quotes.
+    let body = text.trim_start_matches(['b', 'r']);
+    let body = body.trim_start_matches('#');
+    let body = body.trim_end_matches('#');
+    body.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment)
+/// consume to end of input rather than erroring — the lint runs on
+/// code that already compiles, so this is defensive, not load-bearing.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Plain (or byte, via the `b` ident prefix path below) string.
+        if c == b'"' {
+            i = scan_string(b, i + 1);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            let (end, kind) = scan_char_or_lifetime(src, i);
+            i = end;
+            toks.push(Tok {
+                kind,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Identifier — possibly a string prefix (`b"`, `r"`, `br#"`)
+        // or a raw identifier (`r#name`).
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let word = &src[i..j];
+            if (word == "r" || word == "b" || word == "br") && j < n {
+                if b[j] == b'"' {
+                    let end = if word == "b" {
+                        scan_string(b, j + 1)
+                    } else {
+                        scan_raw_string(b, j + 1, 0)
+                    };
+                    i = end;
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        start,
+                        end: i,
+                    });
+                    continue;
+                }
+                if b[j] == b'#' && word != "b" {
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && b[k] == b'#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && b[k] == b'"' {
+                        i = scan_raw_string(b, k + 1, hashes);
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            start,
+                            end: i,
+                        });
+                        continue;
+                    }
+                    // `r#ident` raw identifier.
+                    if word == "r" && hashes == 1 && k < n && is_ident_start(b[k]) {
+                        let mut m = k + 1;
+                        while m < n && is_ident_continue(b[m]) {
+                            m += 1;
+                        }
+                        i = m;
+                        toks.push(Tok {
+                            kind: TokKind::Ident,
+                            start,
+                            end: i,
+                        });
+                        continue;
+                    }
+                }
+                if b[j] == b'\'' && word == "b" {
+                    let (end, _) = scan_char_or_lifetime(src, j);
+                    i = end;
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        start,
+                        end: i,
+                    });
+                    continue;
+                }
+            }
+            i = j;
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Loose numeric literal.
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n && (is_ident_continue(b[i])) {
+                i += 1;
+            }
+            // One fractional part, but never eat a `..` range operator.
+            if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        i += 1;
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            start,
+            end: i,
+        });
+    }
+    toks
+}
+
+/// Scans a quoted string body starting just after the opening `"`;
+/// returns the offset one past the closing quote.
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i = (i + 2).min(n),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scans a raw string body starting just after the opening `"`, with
+/// `hashes` guard hashes; returns the offset one past the closing
+/// delimiter.
+fn scan_raw_string(b: &[u8], mut i: usize, hashes: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) starting at
+/// the `'` at offset `i`.
+fn scan_char_or_lifetime(src: &str, i: usize) -> (usize, TokKind) {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut j = i + 1;
+    if j >= n {
+        return (n, TokKind::Char);
+    }
+    if b[j] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        j += 2;
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+        return ((j + 1).min(n), TokKind::Char);
+    }
+    // One UTF-8 character, then either a closing quote (char literal)
+    // or not (lifetime).
+    let ch_len = src[j..].chars().next().map_or(1, char::len_utf8);
+    let after = j + ch_len;
+    if after < n && b[after] == b'\'' {
+        return (after + 1, TokKind::Char);
+    }
+    // Lifetime: consume identifier characters.
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    (j, TokKind::Life)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds("let x = y;");
+        assert_eq!(got[0], (TokKind::Ident, "let".into()));
+        assert_eq!(got[1], (TokKind::Ident, "x".into()));
+        assert_eq!(got[2], (TokKind::Punct(b'='), "=".into()));
+        assert_eq!(got[3], (TokKind::Ident, "y".into()));
+        assert_eq!(got[4], (TokKind::Punct(b';'), ";".into()));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r#"let s = "Instant inside"; use x;"#;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "Instant"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("Instant")));
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let src = "// SAFETY: fine\nunsafe {}\n/* block\nmulti */ x";
+        let got = kinds(src);
+        assert_eq!(got[0], (TokKind::Comment, "// SAFETY: fine".into()));
+        assert_eq!(got[1], (TokKind::Ident, "unsafe".into()));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Comment && t.contains("multi")));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r###"let a = r#"no "Instant" here"#; let r#unsafe = 1;"###;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "Instant"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a u8) -> char { 'x' }";
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Life && t == "'a"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let got = kinds("for i in 0..10 {}");
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+    }
+
+    #[test]
+    fn str_inner_extracts_plain_values() {
+        let src = r#"a("HDX_JOBS") b("esc\"aped")"#;
+        let toks = lex(src);
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(str_inner(strs[0], src), Some("HDX_JOBS"));
+        assert_eq!(str_inner(strs[1], src), None);
+    }
+}

@@ -1,0 +1,1137 @@
+//! hdx-lint: a std-only static analysis pass over the workspace source.
+//!
+//! The project's load-bearing invariant — bit-identical outputs at any
+//! worker count, connection interleaving, or cache state — was until
+//! now enforced only by runtime sweeps (`tests/determinism.rs`,
+//! `tests/kernel_equiv.rs`, trace replay), which catch violations after
+//! they ship into a hot path. This crate checks the contracts at the
+//! *artifact* level instead: every rule is a source-level invariant
+//! that, when it holds, makes a whole class of determinism bugs
+//! unrepresentable. See DESIGN.md "Static analysis & contracts" for the
+//! rule table.
+//!
+//! # Rules
+//!
+//! | code | rule | what it enforces |
+//! |---|---|---|
+//! | HDX000 | `waiver` | waiver grammar: `allow(rule)` must carry `reason="…"` |
+//! | HDX001 | `wall_clock` | no `Instant`/`SystemTime`/`thread::sleep` in library crates |
+//! | HDX002 | `fma` | no `mul_add`/FMA intrinsics anywhere (double rounding is the contract) |
+//! | HDX003 | `hash_order` | `HashMap`/`HashSet` require a waiver (or use `BTreeMap`/`BTreeSet`) |
+//! | HDX004 | `unsafe_safety` | every `unsafe` is immediately preceded by `// SAFETY:` |
+//! | HDX005 | `unsafe_module` | `unsafe` is confined to an allowlisted module set |
+//! | HDX006 | `env_read` | `std::env::var` only inside `hdx_tensor::knobs` (the registry) |
+//! | HDX007 | `knob_unregistered` | every `HDX_*` knob literal is declared in the registry |
+//! | HDX008 | `knob_unused` | every registered knob is read somewhere (no table drift) |
+//! | HDX009 | `frozen_marker` | `hdx-frozen` begin/end markers pair up |
+//! | HDX010 | `frozen_pin` | frozen regions hash (FNV-1a 64) to their committed pins |
+//!
+//! # Waivers
+//!
+//! A finding on line *N* is waived by a comment on line *N* (trailing)
+//! or on the comment block ending at line *N−1*:
+//!
+//! ```text
+//! // hdx-lint: allow(hash_order) reason="keyed lookups only; never iterated"
+//! ```
+//!
+//! A waiver without a `reason` is itself a finding — the rule engine
+//! insists the justification ships next to the exception. `#[cfg(test)]
+//! mod` regions are exempt from the determinism-facing rules
+//! (`wall_clock`, `hash_order`, `env_read`, knob literals): test code
+//! may sleep, hash, and probe the environment without ceremony, but the
+//! `unsafe` and FMA rules still apply everywhere.
+
+pub mod lex;
+
+use lex::{lex, str_inner, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: every rule applies.
+    Lib,
+    /// Binary entry point (`main.rs`): exempt from `wall_clock` —
+    /// progress timers on a CLI are fine; they can't reach report
+    /// bytes, which the frozen-surface and serve tests pin separately.
+    Bin,
+    /// Bench harness: exempt from `wall_clock` (timing is its job).
+    Bench,
+}
+
+/// One source file handed to [`analyze`] — real (from
+/// [`workspace_files`]) or virtual (the lint's own fixtures).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (used for allowlists and
+    /// registry detection).
+    pub path: String,
+    /// Rule profile.
+    pub kind: FileKind,
+    /// Full source text.
+    pub text: String,
+}
+
+/// Stable rule identity: every finding carries one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    Waiver,
+    WallClock,
+    Fma,
+    HashOrder,
+    UnsafeSafety,
+    UnsafeModule,
+    EnvRead,
+    KnobUnregistered,
+    KnobUnused,
+    FrozenMarker,
+    FrozenPin,
+}
+
+impl Rule {
+    /// Stable machine-readable code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Waiver => "HDX000",
+            Rule::WallClock => "HDX001",
+            Rule::Fma => "HDX002",
+            Rule::HashOrder => "HDX003",
+            Rule::UnsafeSafety => "HDX004",
+            Rule::UnsafeModule => "HDX005",
+            Rule::EnvRead => "HDX006",
+            Rule::KnobUnregistered => "HDX007",
+            Rule::KnobUnused => "HDX008",
+            Rule::FrozenMarker => "HDX009",
+            Rule::FrozenPin => "HDX010",
+        }
+    }
+
+    /// The name used in `allow(...)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Waiver => "waiver",
+            Rule::WallClock => "wall_clock",
+            Rule::Fma => "fma",
+            Rule::HashOrder => "hash_order",
+            Rule::UnsafeSafety => "unsafe_safety",
+            Rule::UnsafeModule => "unsafe_module",
+            Rule::EnvRead => "env_read",
+            Rule::KnobUnregistered => "knob_unregistered",
+            Rule::KnobUnused => "knob_unused",
+            Rule::FrozenMarker => "frozen_marker",
+            Rule::FrozenPin => "frozen_pin",
+        }
+    }
+
+    /// Parses a waiver rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Whether an inline waiver can suppress this rule. The waiver
+    /// grammar itself, the registry drift check, and the frozen-surface
+    /// pins are not waivable — they are repaired by fixing the source
+    /// (or deliberately re-pinning), never by annotating around them.
+    pub fn waivable(self) -> bool {
+        !matches!(
+            self,
+            Rule::Waiver | Rule::KnobUnused | Rule::FrozenMarker | Rule::FrozenPin
+        )
+    }
+}
+
+const ALL_RULES: &[Rule] = &[
+    Rule::Waiver,
+    Rule::WallClock,
+    Rule::Fma,
+    Rule::HashOrder,
+    Rule::UnsafeSafety,
+    Rule::UnsafeModule,
+    Rule::EnvRead,
+    Rule::KnobUnregistered,
+    Rule::KnobUnused,
+    Rule::FrozenMarker,
+    Rule::FrozenPin,
+];
+
+/// One typed finding: `path:line:col`, stable rule code, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.code(),
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Rule-engine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path suffixes (with `/` separators) where `unsafe` is allowed.
+    pub unsafe_allowlist: Vec<String>,
+    /// Path suffix of the knob registry module (the one sanctioned
+    /// `std::env` call site, and the source of declared knob names).
+    pub registry_suffix: String,
+    /// Committed frozen-region digests: region name → FNV-1a 64.
+    pub pins: BTreeMap<String, u64>,
+    /// Where the pins came from, for pin-level findings.
+    pub pins_origin: String,
+}
+
+impl Config {
+    /// The workspace's production configuration (everything but the
+    /// pins, which are loaded from the committed pin file).
+    pub fn workspace(pins: BTreeMap<String, u64>, pins_origin: String) -> Config {
+        Config {
+            unsafe_allowlist: vec![
+                "crates/tensor/src/kernels.rs".to_owned(),
+                "crates/tensor/src/par.rs".to_owned(),
+                "crates/tensor/src/program.rs".to_owned(),
+            ],
+            registry_suffix: "crates/tensor/src/knobs.rs".to_owned(),
+            pins,
+            pins_origin,
+        }
+    }
+}
+
+/// FNV-1a 64-bit. The same digest family the checkpoint container
+/// uses; offset basis and prime per the reference parameters.
+pub fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The FNV-1a 64 offset basis (initial digest state).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Parses the committed pin file: `name = <16 hex digits>` lines, `#`
+/// comments and blank lines ignored.
+///
+/// # Errors
+///
+/// A message naming the offending line.
+pub fn parse_pins(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut pins = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            return Err(format!("pin line {}: expected `name = hex`", i + 1));
+        };
+        let name = name.trim();
+        let value = value.trim().trim_start_matches("0x");
+        let digest = u64::from_str_radix(value, 16)
+            .map_err(|_| format!("pin line {}: bad digest \"{value}\"", i + 1))?;
+        if pins.insert(name.to_owned(), digest).is_some() {
+            return Err(format!("pin line {}: duplicate region \"{name}\"", i + 1));
+        }
+    }
+    Ok(pins)
+}
+
+/// Computed digest of one frozen region (possibly multi-segment).
+#[derive(Debug, Clone)]
+pub struct RegionDigest {
+    /// FNV-1a 64 over the concatenated segment bytes.
+    pub digest: u64,
+    /// Number of `begin`/`end` segments that fed it.
+    pub segments: usize,
+    /// Anchor of the first `begin` marker (path, 1-based line).
+    pub anchor: (String, usize),
+}
+
+/// Result of a full analysis pass: the findings plus the computed
+/// frozen-region digests (the bin's `--pins` mode prints the latter).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings, sorted by (path, line, col, code).
+    pub findings: Vec<Finding>,
+    /// Region name → computed digest.
+    pub regions: BTreeMap<String, RegionDigest>,
+}
+
+/// Runs every rule over `files` and returns sorted findings plus the
+/// computed frozen-region digests.
+pub fn analyze(files: &[SourceFile], cfg: &Config) -> Analysis {
+    let mut findings = Vec::new();
+    let mut regions: BTreeMap<String, RegionDigest> = BTreeMap::new();
+
+    // Pass 0: declared knob names, from the registry file.
+    let mut declared: Vec<(String, String, usize, bool)> = Vec::new(); // (name, path, line, waived)
+    for file in files {
+        if file.path.ends_with(&cfg.registry_suffix) {
+            collect_registry(file, &mut declared);
+        }
+    }
+    let declared_names: BTreeSet<&str> = declared.iter().map(|(n, ..)| n.as_str()).collect();
+    let mut usage: BTreeMap<String, usize> = BTreeMap::new();
+
+    // Main pass.
+    for file in files {
+        analyze_file(
+            file,
+            cfg,
+            &declared_names,
+            &mut usage,
+            &mut findings,
+            &mut regions,
+        );
+    }
+
+    // Post: registry drift — a declared knob nothing reads.
+    for (name, path, line, waived) in &declared {
+        if usage.get(name).copied().unwrap_or(0) == 0 && !*waived {
+            findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                col: 1,
+                rule: Rule::KnobUnused,
+                message: format!(
+                    "registered knob \"{name}\" is never read by any walked source \
+                     (stale registry entry — delete it or wire up the reader)"
+                ),
+            });
+        }
+    }
+
+    // Post: frozen-surface pins.
+    for (name, acc) in &regions {
+        match cfg.pins.get(name) {
+            None => findings.push(Finding {
+                path: acc.anchor.0.clone(),
+                line: acc.anchor.1,
+                col: 1,
+                rule: Rule::FrozenPin,
+                message: format!(
+                    "frozen region \"{name}\" has no committed pin; add `{name} = {:016x}` to {}",
+                    acc.digest, cfg.pins_origin
+                ),
+            }),
+            Some(&pin) if pin != acc.digest => findings.push(Finding {
+                path: acc.anchor.0.clone(),
+                line: acc.anchor.1,
+                col: 1,
+                rule: Rule::FrozenPin,
+                message: format!(
+                    "frozen region \"{name}\" changed: digest {:016x} != pinned {pin:016x} \
+                     ({} segment(s)); this surface is byte-frozen — revert, or re-pin in {} \
+                     only with a compatibility argument",
+                    acc.digest, acc.segments, cfg.pins_origin
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, &pin) in &cfg.pins {
+        if !regions.contains_key(name) {
+            findings.push(Finding {
+                path: cfg.pins_origin.clone(),
+                line: 1,
+                col: 1,
+                rule: Rule::FrozenPin,
+                message: format!(
+                    "pin \"{name}\" = {pin:016x} matches no `hdx-frozen: begin({name})` \
+                     marker in any walked source"
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule.code()).cmp(&(&b.path, b.line, b.col, b.rule.code()))
+    });
+    Analysis { findings, regions }
+}
+
+/// Byte offsets of every line start (line 0 starts at 0).
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 0-based line index of a byte offset.
+fn line_of(starts: &[usize], off: usize) -> usize {
+    match starts.binary_search(&off) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+/// `#[cfg(test)] mod …` byte ranges, found by token pattern matching
+/// (handles `cfg(all(test, …))` by looking for a `test` ident anywhere
+/// inside the attribute's brackets).
+fn test_regions(toks: &[Tok], src: &str) -> Vec<(usize, usize)> {
+    let sig: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut regions = Vec::new();
+    let mut s = 0usize;
+    while s < sig.len() {
+        let i = sig[s];
+        if toks[i].kind != TokKind::Punct(b'#') || s + 1 >= sig.len() {
+            s += 1;
+            continue;
+        }
+        if toks[sig[s + 1]].kind != TokKind::Punct(b'[') {
+            s += 1;
+            continue;
+        }
+        // Scan the attribute body for `cfg` … `test`.
+        let mut depth = 1usize;
+        let mut k = s + 2;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while k < sig.len() && depth > 0 {
+            let t = &toks[sig[k]];
+            match t.kind {
+                TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b']') => depth -= 1,
+                TokKind::Ident => {
+                    let w = t.text(src);
+                    saw_cfg |= w == "cfg";
+                    saw_test |= w == "test";
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            s += 1;
+            continue;
+        }
+        // Skip further attributes, then require `mod`.
+        let mut m = k;
+        while m + 1 < sig.len()
+            && toks[sig[m]].kind == TokKind::Punct(b'#')
+            && toks[sig[m + 1]].kind == TokKind::Punct(b'[')
+        {
+            let mut d = 1usize;
+            let mut j = m + 2;
+            while j < sig.len() && d > 0 {
+                match toks[sig[j]].kind {
+                    TokKind::Punct(b'[') => d += 1,
+                    TokKind::Punct(b']') => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            m = j;
+        }
+        if m < sig.len() && toks[sig[m]].kind == TokKind::Ident && toks[sig[m]].text(src) == "mod" {
+            // Find the opening brace, then match it.
+            let mut j = m + 1;
+            while j < sig.len() && toks[sig[j]].kind != TokKind::Punct(b'{') {
+                j += 1;
+            }
+            if j < sig.len() {
+                let start = toks[i].start;
+                let mut d = 1usize;
+                let mut e = j + 1;
+                while e < sig.len() && d > 0 {
+                    match toks[sig[e]].kind {
+                        TokKind::Punct(b'{') => d += 1,
+                        TokKind::Punct(b'}') => d -= 1,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                let end = if e > 0 && e <= sig.len() {
+                    toks[sig[e - 1]].end
+                } else {
+                    src.len()
+                };
+                regions.push((start, end));
+                s = e;
+                continue;
+            }
+        }
+        s += 1;
+    }
+    regions
+}
+
+/// Parsed waiver directives: target line (0-based) → waived rules.
+struct Waivers {
+    by_line: BTreeMap<usize, BTreeSet<Rule>>,
+}
+
+impl Waivers {
+    fn covers(&self, line0: usize, rule: Rule) -> bool {
+        rule.waivable()
+            && self
+                .by_line
+                .get(&line0)
+                .is_some_and(|rules| rules.contains(&rule))
+    }
+}
+
+/// Parses every `hdx-lint:` comment directive, producing the waiver map
+/// and grammar findings.
+fn parse_waivers(
+    file: &SourceFile,
+    toks: &[Tok],
+    starts: &[usize],
+    findings: &mut Vec<Finding>,
+) -> Waivers {
+    let src = &file.text;
+    let mut by_line: BTreeMap<usize, BTreeSet<Rule>> = BTreeMap::new();
+    for (idx, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Comment {
+            continue;
+        }
+        let body = tok.text(src).trim_start_matches('/').trim();
+        let Some(directive) = body.strip_prefix("hdx-lint:") else {
+            continue;
+        };
+        let line0 = line_of(starts, tok.start);
+        let col = tok.start - starts[line0] + 1;
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: line0 + 1,
+                col,
+                rule: Rule::Waiver,
+                message,
+            });
+        };
+        let directive = directive.trim();
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            bad(format!(
+                "unrecognized hdx-lint directive \"{directive}\" (expected \
+                 `allow(<rule>) reason=\"…\"`)"
+            ));
+            continue;
+        };
+        let Some((rule_list, tail)) = rest.split_once(')') else {
+            bad("unterminated allow(…) rule list".to_owned());
+            continue;
+        };
+        let mut rules = BTreeSet::new();
+        for name in rule_list.split(',') {
+            let name = name.trim();
+            match Rule::from_name(name) {
+                Some(rule) if rule.waivable() => {
+                    rules.insert(rule);
+                }
+                Some(rule) => bad(format!("rule \"{}\" cannot be waived inline", rule.name())),
+                None => bad(format!("unknown rule \"{name}\" in allow(…)")),
+            }
+        }
+        // The reason is mandatory: an unexplained exception is a
+        // finding in its own right.
+        let tail = tail.trim();
+        let reason_ok = tail
+            .strip_prefix("reason=\"")
+            .and_then(|r| r.strip_suffix('"'))
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            bad(
+                "waiver without a reason: append reason=\"…\" explaining why the rule \
+                 does not apply here"
+                    .to_owned(),
+            );
+        }
+        // Trailing waiver → its own line; standalone → next code line.
+        let trailing = toks[..idx]
+            .iter()
+            .rev()
+            .take_while(|t| line_of(starts, t.start) == line0)
+            .any(|t| t.kind != TokKind::Comment);
+        let target = if trailing {
+            line0
+        } else {
+            toks[idx + 1..]
+                .iter()
+                .find(|t| t.kind != TokKind::Comment)
+                .map_or(line0, |t| line_of(starts, t.start))
+        };
+        by_line.entry(target).or_default().extend(rules);
+    }
+    Waivers { by_line }
+}
+
+/// True when the contiguous comment block ending directly above
+/// `line0` (skipping attribute lines and multi-line statement heads)
+/// contains a `// SAFETY:` line.
+fn has_safety_comment(lines: &[&str], mut line0: usize) -> bool {
+    loop {
+        let mut j = line0;
+        let mut found = false;
+        let mut saw_comment = false;
+        while j > 0 {
+            let t = lines[j - 1].trim_start();
+            if t.starts_with("#[") || t.starts_with("#!") {
+                j -= 1;
+                continue;
+            }
+            if t.starts_with("//") {
+                saw_comment = true;
+                found |= t.starts_with("// SAFETY:");
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        if found {
+            return true;
+        }
+        if saw_comment || j == 0 {
+            return false;
+        }
+        // No comment directly above: if the previous line is the head
+        // of the same multi-line statement (does not end a statement or
+        // block), look above it instead.
+        let prev = lines[j - 1].trim_end();
+        let head = !prev.is_empty()
+            && !prev.ends_with(';')
+            && !prev.ends_with('{')
+            && !prev.ends_with('}')
+            && !prev.ends_with(',');
+        if !head {
+            return false;
+        }
+        line0 = j - 1;
+    }
+}
+
+/// Knob-name shape: `HDX_` followed by at least one `[A-Z0-9_]`.
+fn is_knob_name(s: &str) -> bool {
+    s.len() > 4
+        && s.starts_with("HDX_")
+        && s.as_bytes()[4..]
+            .iter()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || *b == b'_')
+}
+
+/// Collects `name: "…"` registry entries from the knob registry file
+/// (outside its test regions).
+fn collect_registry(file: &SourceFile, out: &mut Vec<(String, String, usize, bool)>) {
+    let src = &file.text;
+    let toks = lex(src);
+    let starts = line_starts(src);
+    let tests = test_regions(&toks, src);
+    let mut throwaway = Vec::new();
+    let waivers = parse_waivers(file, &toks, &starts, &mut throwaway);
+    let sig: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    for w in sig.windows(3) {
+        let (a, b, c) = (w[0], w[1], w[2]);
+        if a.kind == TokKind::Ident
+            && a.text(src) == "name"
+            && b.kind == TokKind::Punct(b':')
+            && c.kind == TokKind::Str
+            && !tests.iter().any(|&(s, e)| a.start >= s && a.start < e)
+        {
+            if let Some(value) = str_inner(c, src) {
+                let line0 = line_of(&starts, a.start);
+                // `knob_unused` is not inline-waivable; record `false`
+                // so the field exists if that policy ever loosens.
+                let waived = waivers.covers(line0, Rule::KnobUnused);
+                out.push((value.to_owned(), file.path.clone(), line0 + 1, waived));
+            }
+        }
+    }
+}
+
+/// Frozen-region marker parsed out of a comment.
+enum Marker {
+    Begin(String),
+    End(String),
+}
+
+fn parse_marker(comment: &str) -> Option<Marker> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("hdx-frozen:")?.trim();
+    if let Some(name) = rest
+        .strip_prefix("begin(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        return Some(Marker::Begin(name.trim().to_owned()));
+    }
+    if let Some(name) = rest.strip_prefix("end(").and_then(|r| r.strip_suffix(')')) {
+        return Some(Marker::End(name.trim().to_owned()));
+    }
+    None
+}
+
+#[allow(clippy::too_many_lines)]
+fn analyze_file(
+    file: &SourceFile,
+    cfg: &Config,
+    declared: &BTreeSet<&str>,
+    usage: &mut BTreeMap<String, usize>,
+    findings: &mut Vec<Finding>,
+    regions: &mut BTreeMap<String, RegionDigest>,
+) {
+    let src = &file.text;
+    let toks = lex(src);
+    let starts = line_starts(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let tests = test_regions(&toks, src);
+    let in_test = |off: usize| tests.iter().any(|&(s, e)| off >= s && off < e);
+    let waivers = parse_waivers(file, &toks, &starts, findings);
+    let is_registry = file.path.ends_with(&cfg.registry_suffix);
+    let unsafe_allowed = cfg
+        .unsafe_allowlist
+        .iter()
+        .any(|suffix| file.path.ends_with(suffix.as_str()));
+
+    let report = |tok: &Tok, rule: Rule, message: String, findings: &mut Vec<Finding>| {
+        let line0 = line_of(&starts, tok.start);
+        if waivers.covers(line0, rule) {
+            return;
+        }
+        findings.push(Finding {
+            path: file.path.clone(),
+            line: line0 + 1,
+            col: tok.start - starts[line0] + 1,
+            rule,
+            message,
+        });
+    };
+
+    // Frozen-region accumulation state for this file.
+    let mut open: Option<(String, usize, Tok)> = None; // (name, content start, begin token)
+
+    // Previous three significant tokens, for path-pattern rules.
+    let mut prev: [Option<(TokKind, &str)>; 3] = [None, None, None];
+
+    for tok in &toks {
+        if tok.kind == TokKind::Comment {
+            let text = tok.text(src);
+            if let Some(marker) = parse_marker(text) {
+                let line0 = line_of(&starts, tok.start);
+                match marker {
+                    Marker::Begin(name) => {
+                        if let Some((ref inner, ..)) = open {
+                            report(
+                                tok,
+                                Rule::FrozenMarker,
+                                format!(
+                                    "begin({name}) while region \"{inner}\" is still open \
+                                     (frozen regions do not nest)"
+                                ),
+                                findings,
+                            );
+                        } else {
+                            let content_start = starts.get(line0 + 1).copied().unwrap_or(src.len());
+                            open = Some((name, content_start, *tok));
+                        }
+                    }
+                    Marker::End(name) => match open.take() {
+                        Some((ref inner, content_start, begin_tok)) if *inner == name => {
+                            let content_end = starts[line0];
+                            let acc = regions.entry(name.clone()).or_insert_with(|| RegionDigest {
+                                digest: FNV_OFFSET,
+                                segments: 0,
+                                anchor: (file.path.clone(), line_of(&starts, begin_tok.start) + 1),
+                            });
+                            acc.digest =
+                                fnv1a64(acc.digest, &src.as_bytes()[content_start..content_end]);
+                            acc.segments += 1;
+                        }
+                        Some((inner, _, begin_tok)) => {
+                            report(
+                                tok,
+                                Rule::FrozenMarker,
+                                format!("end({name}) does not match open region \"{inner}\""),
+                                findings,
+                            );
+                            report(
+                                &begin_tok,
+                                Rule::FrozenMarker,
+                                format!("begin({inner}) never closed"),
+                                findings,
+                            );
+                        }
+                        None => report(
+                            tok,
+                            Rule::FrozenMarker,
+                            format!("end({name}) without a matching begin"),
+                            findings,
+                        ),
+                    },
+                }
+            }
+            continue;
+        }
+
+        match tok.kind {
+            TokKind::Ident => {
+                let w = tok.text(src);
+                match w {
+                    "unsafe" => {
+                        let line0 = line_of(&starts, tok.start);
+                        if !unsafe_allowed {
+                            report(
+                                tok,
+                                Rule::UnsafeModule,
+                                "`unsafe` outside the allowlisted module set \
+                                 (tensor::kernels, tensor::par, tensor::program)"
+                                    .to_owned(),
+                                findings,
+                            );
+                        }
+                        if !has_safety_comment(&lines, line0) {
+                            report(
+                                tok,
+                                Rule::UnsafeSafety,
+                                "`unsafe` without an immediately preceding `// SAFETY:` \
+                                 comment stating why the invariants hold"
+                                    .to_owned(),
+                                findings,
+                            );
+                        }
+                    }
+                    "Instant" | "SystemTime" => {
+                        if file.kind == FileKind::Lib && !in_test(tok.start) {
+                            report(
+                                tok,
+                                Rule::WallClock,
+                                format!(
+                                    "wall-clock type `{w}` in a library crate; outputs must \
+                                     be wall-clock-free (move behind a bin/bench or waive \
+                                     with a reason)"
+                                ),
+                                findings,
+                            );
+                        }
+                    }
+                    "sleep" => {
+                        // `prev[0]` is the nearest preceding token.
+                        let from_thread = matches!(
+                            prev,
+                            [
+                                Some((TokKind::Punct(b':'), _)),
+                                Some((TokKind::Punct(b':'), _)),
+                                Some((TokKind::Ident, "thread"))
+                            ]
+                        );
+                        if from_thread && file.kind == FileKind::Lib && !in_test(tok.start) {
+                            report(
+                                tok,
+                                Rule::WallClock,
+                                "thread::sleep in a library crate; timing must never shape \
+                                 library behavior"
+                                    .to_owned(),
+                                findings,
+                            );
+                        }
+                    }
+                    "var" | "var_os" | "vars" | "vars_os" => {
+                        let from_env = matches!(
+                            prev,
+                            [
+                                Some((TokKind::Punct(b':'), _)),
+                                Some((TokKind::Punct(b':'), _)),
+                                Some((TokKind::Ident, "env"))
+                            ]
+                        );
+                        if from_env && !is_registry && !in_test(tok.start) {
+                            report(
+                                tok,
+                                Rule::EnvRead,
+                                "direct std::env read; every knob goes through \
+                                 hdx_tensor::knobs (the registry owns the process's one \
+                                 sanctioned env::var call)"
+                                    .to_owned(),
+                                findings,
+                            );
+                        }
+                    }
+                    "HashMap" | "HashSet" => {
+                        if !in_test(tok.start) {
+                            report(
+                                tok,
+                                Rule::HashOrder,
+                                format!(
+                                    "`{w}` iteration order is nondeterministic; use the \
+                                     BTree equivalent, or waive with a reason proving no \
+                                     iteration order reaches an output byte"
+                                ),
+                                findings,
+                            );
+                        }
+                    }
+                    _ => {
+                        if w == "mul_add"
+                            || w == "fmaf"
+                            || (w.starts_with("_mm")
+                                && (w.contains("fmadd") || w.contains("fmsub")))
+                        {
+                            report(
+                                tok,
+                                Rule::Fma,
+                                format!(
+                                    "`{w}` contracts mul+add into one rounding; the kernel \
+                                     bit-identity contract requires separate mul then add"
+                                ),
+                                findings,
+                            );
+                        }
+                    }
+                }
+            }
+            TokKind::Str if !is_registry && !in_test(tok.start) => {
+                if let Some(value) = str_inner(tok, src).filter(|v| is_knob_name(v)) {
+                    *usage.entry(value.to_owned()).or_insert(0) += 1;
+                    if !declared.contains(value) {
+                        report(
+                            tok,
+                            Rule::KnobUnregistered,
+                            format!(
+                                "env knob \"{value}\" is not declared in \
+                                 hdx_tensor::knobs::REGISTRY; register it so the \
+                                 knob table cannot drift"
+                            ),
+                            findings,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        prev = [
+            Some((tok.kind, tok.text(src))),
+            prev[0].take(),
+            prev[1].take(),
+        ];
+    }
+
+    if let Some((name, _, begin_tok)) = open {
+        report(
+            &begin_tok,
+            Rule::FrozenMarker,
+            format!("begin({name}) never closed before end of file"),
+            findings,
+        );
+    }
+}
+
+/// Walks the workspace source the lint covers: `crates/*/src/**/*.rs`
+/// (`main.rs` classified [`FileKind::Bin`]) plus `crates/*/benches/*.rs`
+/// ([`FileKind::Bench`]). Paths are returned repo-relative with `/`
+/// separators, sorted.
+///
+/// # Errors
+///
+/// Any I/O error reading the tree.
+pub fn workspace_files(root: &std::path::Path) -> std::io::Result<Vec<SourceFile>> {
+    fn walk(
+        dir: &std::path::Path,
+        root: &std::path::Path,
+        kind_of: &dyn Fn(&std::path::Path) -> FileKind,
+        out: &mut Vec<SourceFile>,
+    ) -> std::io::Result<()> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(&path, root, kind_of, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(SourceFile {
+                    path: rel,
+                    kind: kind_of(&path),
+                    text: std::fs::read_to_string(&path)?,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk(
+                &src,
+                root,
+                &|p| {
+                    if p.file_name().is_some_and(|n| n == "main.rs") {
+                        FileKind::Bin
+                    } else {
+                        FileKind::Lib
+                    }
+                },
+                &mut files,
+            )?;
+        }
+        let benches = crate_dir.join("benches");
+        if benches.is_dir() {
+            walk(&benches, root, &|_| FileKind::Bench, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Path of the committed pin file, relative to the repo root.
+pub const PINS_PATH: &str = "crates/lint/pins.txt";
+
+/// Loads the workspace [`Config`]: the production rule profile plus the
+/// committed pins.
+///
+/// # Errors
+///
+/// A message when the pin file is unreadable or malformed.
+pub fn workspace_config(root: &std::path::Path) -> Result<Config, String> {
+    let pins_file = root.join(PINS_PATH);
+    let text = std::fs::read_to_string(&pins_file)
+        .map_err(|e| format!("cannot read {}: {e}", pins_file.display()))?;
+    let pins = parse_pins(&text)?;
+    Ok(Config::workspace(pins, PINS_PATH.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_owned(),
+            kind: FileKind::Lib,
+            text: text.to_owned(),
+        }
+    }
+
+    fn cfg_empty() -> Config {
+        Config::workspace(BTreeMap::new(), "pins.txt".to_owned())
+    }
+
+    fn rules_of(analysis: &Analysis) -> Vec<Rule> {
+        analysis.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let f = lib_file(
+            "crates/x/src/lib.rs",
+            "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n",
+        );
+        let analysis = analyze(&[f], &cfg_empty());
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn pins_parse_and_reject() {
+        let pins = parse_pins("# comment\nv0 = 00000000deadbeef\nx = 0x1\n").expect("ok");
+        assert_eq!(pins["v0"], 0xdead_beef);
+        assert_eq!(pins["x"], 1);
+        assert!(parse_pins("oops").is_err());
+        assert!(parse_pins("a = zz\n").is_err());
+        assert!(parse_pins("a = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn waiver_target_lines() {
+        // Trailing waiver covers its own line; standalone covers the
+        // next code line.
+        let f = lib_file(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap; // hdx-lint: allow(hash_order) reason=\"lookup only\"\n\
+             // hdx-lint: allow(hash_order) reason=\"lookup only\"\n\
+             pub type M = HashMap<u32, u32>;\n\
+             pub type N = HashMap<u32, u32>;\n",
+        );
+        let analysis = analyze(&[f], &cfg_empty());
+        assert_eq!(rules_of(&analysis), vec![Rule::HashOrder]);
+        assert_eq!(analysis.findings[0].line, 4);
+    }
+
+    #[test]
+    fn knob_usage_counts_cross_files() {
+        let registry = lib_file(
+            "crates/tensor/src/knobs.rs",
+            "pub struct Knob { pub name: &'static str }\n\
+             pub const REGISTRY: &[Knob] = &[\n\
+                 Knob { name: \"HDX_USED\" },\n\
+                 Knob { name: \"HDX_STALE\" },\n\
+             ];\n",
+        );
+        let user = lib_file(
+            "crates/x/src/lib.rs",
+            "pub fn f() -> Option<String> { crate::knobs_raw(\"HDX_USED\") }\n",
+        );
+        let analysis = analyze(&[registry, user], &cfg_empty());
+        assert_eq!(rules_of(&analysis), vec![Rule::KnobUnused]);
+        assert!(analysis.findings[0].message.contains("HDX_STALE"));
+    }
+
+    #[test]
+    fn frozen_region_digest_is_stable_and_segmented() {
+        let text = "fn a() {}\n// hdx-frozen: begin(r)\nfrozen line\n// hdx-frozen: end(r)\n\
+                    // hdx-frozen: begin(r)\nmore\n// hdx-frozen: end(r)\n";
+        let expect = fnv1a64(fnv1a64(FNV_OFFSET, b"frozen line\n"), b"more\n");
+        let f = SourceFile {
+            path: "crates/x/src/lib.rs".to_owned(),
+            kind: FileKind::Lib,
+            text: text.to_owned(),
+        };
+        let mut cfg = cfg_empty();
+        cfg.pins.insert("r".to_owned(), expect);
+        let analysis = analyze(&[f], &cfg);
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+        assert_eq!(analysis.regions["r"].digest, expect);
+        assert_eq!(analysis.regions["r"].segments, 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! hdx-lint CLI: walks the workspace source and reports findings.
+//!
+//! ```text
+//! cargo run -p hdx-lint              # report findings, always exit 0
+//! cargo run -p hdx-lint -- --deny    # exit 1 when any finding survives
+//! cargo run -p hdx-lint -- --pins    # print computed frozen-region digests
+//! cargo run -p hdx-lint -- --root P  # lint a tree other than this repo
+//! ```
+//!
+//! `--pins` exists for deliberate re-pins: it prints the digests in the
+//! exact `name = hex` format `crates/lint/pins.txt` expects.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut deny = false;
+    let mut print_pins = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--pins" => print_pins = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument \"{other}\" (expected --deny, --pins, --root <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let cfg = match hdx_lint::workspace_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("hdx-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    let files = match hdx_lint::workspace_files(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("hdx-lint: walking {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    let analysis = hdx_lint::analyze(&files, &cfg);
+
+    if print_pins {
+        for (name, region) in &analysis.regions {
+            println!("{name} = {:016x}", region.digest);
+        }
+        return;
+    }
+
+    for finding in &analysis.findings {
+        println!("{finding}");
+    }
+    let n = analysis.findings.len();
+    if n == 0 {
+        eprintln!(
+            "hdx-lint: {} file(s) clean, {} frozen region(s) pinned",
+            files.len(),
+            analysis.regions.len()
+        );
+    } else {
+        eprintln!("hdx-lint: {n} finding(s) across {} file(s)", files.len());
+        if deny {
+            std::process::exit(1);
+        }
+    }
+}

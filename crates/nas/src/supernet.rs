@@ -29,7 +29,7 @@ use hdx_tensor::{
     bank_key, Binding, CosineLr, ExecMode, Linear, ParamStore, Program, Rng, SessionBank, Sgd,
     Tape, Tensor, Var,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Hyper-parameters of the supernet proxy.
@@ -790,7 +790,7 @@ impl FinalNet {
             .collect();
         let worker_results = hdx_tensor::parallel_map(&ranges, workers, |_, shard_range| {
             // One lease per shard size, held for the whole range.
-            let mut leases = HashMap::new();
+            let mut leases = BTreeMap::new();
             shard_range
                 .clone()
                 .map(|s| {

@@ -216,6 +216,7 @@ impl ProtoError {
     /// The v0 `error …` response line — the PR-4 framing, byte-stable
     /// for v0 clients (spaces in the message become `_` so the line
     /// stays trivially splittable).
+    // hdx-frozen: begin(v0-shim)
     pub fn encode(&self) -> String {
         format!(
             "error id={} msg={}",
@@ -223,6 +224,7 @@ impl ProtoError {
             self.kind.message().replace(char::is_whitespace, "_")
         )
     }
+    // hdx-frozen: end(v0-shim)
 
     /// The v1 `error …` response line: machine-readable code, byte
     /// offset when known, then the message.
@@ -827,6 +829,7 @@ impl SearchReport {
     /// The deterministic v0 `report …` line (fixed field order,
     /// shortest round-trip float formatting) — byte-identical to PR-4's
     /// encoding, so v0 clients see no change.
+    // hdx-frozen: begin(v0-shim)
     pub fn encode(&self) -> String {
         let id = match self.sub {
             Some(k) => format!("{}#{k}", self.id),
@@ -857,6 +860,7 @@ impl SearchReport {
             self.in_constraint
         )
     }
+    // hdx-frozen: end(v0-shim)
 
     /// The v1 `report …` line: the version token, every v0 field in the
     /// same order, then the dispatch/step fields v0 never carried.

@@ -9,7 +9,7 @@ use hdx_tensor::{
     bank_key, Adam, Binding, ExecMode, ParamStore, Program, ResidualMlp, Rng, SessionBank, Tape,
     Tensor, Var,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -280,7 +280,7 @@ impl Estimator {
             .collect();
         let worker_results = hdx_tensor::parallel_map(&ranges, workers, |_, range| {
             // One lease per shard size, held for the whole range.
-            let mut leases = HashMap::new();
+            let mut leases = BTreeMap::new();
             range
                 .clone()
                 .map(|s| {

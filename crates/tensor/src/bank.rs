@@ -76,7 +76,7 @@
 
 use crate::program::{Program, Session};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -95,17 +95,17 @@ pub fn bank_key<H: Hash + ?Sized>(tag: &str, parts: &H) -> u64 {
 /// (unbounded), `Some(n)` for a positive entry count, and an error
 /// message for anything else — a mistyped cap must not silently mean
 /// "unbounded" on a long-lived server.
+///
+/// # Errors
+///
+/// See [`crate::knobs::parse_positive`], which owns the error style.
 pub fn parse_bank_cap_env(value: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = value else { return Ok(None) };
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Ok(Some(n)),
-        Ok(_) => Err(format!(
-            "HDX_BANK_CAP must be a positive program count, got \"{raw}\" (unset it for unbounded)"
-        )),
-        Err(_) => Err(format!(
-            "HDX_BANK_CAP must be a positive integer, got \"{raw}\" (unset it for unbounded)"
-        )),
-    }
+    crate::knobs::parse_positive(
+        "HDX_BANK_CAP",
+        "program count",
+        "unset it for unbounded",
+        value,
+    )
 }
 
 struct Entry {
@@ -119,7 +119,10 @@ struct Entry {
 
 #[derive(Default)]
 struct Inner {
-    entries: HashMap<u64, Entry>,
+    /// Keyed by [`bank_key`] fingerprint. A `BTreeMap` so eviction
+    /// scans (and any future introspection) visit entries in one
+    /// key-determined order on every host.
+    entries: BTreeMap<u64, Entry>,
     /// Monotonic checkout counter driving `last_used`.
     tick: u64,
     /// Maximum cached programs; `None` = unbounded.
@@ -207,7 +210,7 @@ impl SessionBank {
     pub fn global() -> &'static SessionBank {
         static BANK: OnceLock<SessionBank> = OnceLock::new();
         BANK.get_or_init(|| {
-            let env = std::env::var("HDX_BANK_CAP").ok();
+            let env = crate::knobs::raw("HDX_BANK_CAP");
             match parse_bank_cap_env(env.as_deref()) {
                 Ok(cap) => SessionBank::with_capacity(cap),
                 Err(msg) => panic!("{msg}"),

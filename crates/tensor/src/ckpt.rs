@@ -39,7 +39,7 @@
 
 use crate::nn::ParamStore;
 use crate::tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// File magic (`b"HDXC"`).
@@ -186,7 +186,7 @@ pub struct Checkpoint {
     /// deterministic).
     sections: Vec<(String, Section)>,
     /// Name → index into `sections`.
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl Checkpoint {

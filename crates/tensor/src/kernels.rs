@@ -155,6 +155,9 @@ fn micro_body<const W: usize>(
     orow[..W].copy_from_slice(&acc);
 }
 
+// SAFETY: `unsafe` solely because of `#[target_feature]` — callers
+// must have verified AVX2 support at runtime (see `micro`); the body
+// itself is safe code.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn micro_avx2<const W: usize>(
@@ -170,6 +173,9 @@ unsafe fn micro_avx2<const W: usize>(
     micro_body::<W>(nz_idx, nz_val, bsrc, stride, boff, orow);
 }
 
+// SAFETY: `unsafe` solely because of `#[target_feature]` — callers
+// must have verified AVX-512 support at runtime (see `micro`); the
+// body itself is safe code.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f", enable = "avx512vl")]
 unsafe fn micro_avx512<const W: usize>(

@@ -29,6 +29,7 @@
 pub mod bank;
 pub mod ckpt;
 pub mod kernels;
+pub mod knobs;
 pub mod nn;
 pub mod optim;
 pub mod par;

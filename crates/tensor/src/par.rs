@@ -37,7 +37,7 @@ pub fn num_jobs(jobs: usize) -> usize {
     if jobs > 0 {
         return jobs;
     }
-    let env = std::env::var("HDX_JOBS").ok();
+    let env = crate::knobs::raw("HDX_JOBS");
     match parse_jobs_env(env.as_deref()) {
         Ok(Some(n)) => n,
         Ok(None) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -49,17 +49,12 @@ pub fn num_jobs(jobs: usize) -> usize {
 /// unset (auto), `Some(n)` for a positive integer, and an error message
 /// for anything else (including `0` — use an unset variable for auto,
 /// so a broken shell expansion can't pass silently).
+///
+/// # Errors
+///
+/// See [`crate::knobs::parse_positive`], which owns the error style.
 pub fn parse_jobs_env(value: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = value else { return Ok(None) };
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Ok(Some(n)),
-        Ok(_) => Err(format!(
-            "HDX_JOBS must be a positive worker count, got \"{raw}\" (unset it for auto)"
-        )),
-        Err(_) => Err(format!(
-            "HDX_JOBS must be a positive integer, got \"{raw}\" (unset it for auto)"
-        )),
-    }
+    crate::knobs::parse_positive("HDX_JOBS", "worker count", "unset it for auto", value)
 }
 
 /// Minimum multiply-accumulate count before the compiled executor's
@@ -80,7 +75,7 @@ pub fn parse_jobs_env(value: Option<&str>) -> Result<Option<usize>, String> {
 pub fn par_threshold() -> usize {
     match PAR_THRESHOLD.load(std::sync::atomic::Ordering::Relaxed) {
         0 => {
-            let env = std::env::var("HDX_PAR_THRESHOLD").ok();
+            let env = crate::knobs::raw("HDX_PAR_THRESHOLD");
             let resolved = match parse_par_threshold_env(env.as_deref()) {
                 Ok(Some(n)) => n,
                 Ok(None) => default_par_threshold(
@@ -116,17 +111,17 @@ pub fn set_par_threshold(threshold: usize) {
 /// (use the core-count default), `Some(n)` for a positive integer, and
 /// an error message for anything else (including `0` — a broken shell
 /// expansion must not silently disable the threshold).
+///
+/// # Errors
+///
+/// See [`crate::knobs::parse_positive`], which owns the error style.
 pub fn parse_par_threshold_env(value: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = value else { return Ok(None) };
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Ok(Some(n)),
-        Ok(_) => Err(format!(
-            "HDX_PAR_THRESHOLD must be a positive MAC count, got \"{raw}\" (unset it for the default)"
-        )),
-        Err(_) => Err(format!(
-            "HDX_PAR_THRESHOLD must be a positive integer, got \"{raw}\" (unset it for the default)"
-        )),
-    }
+    crate::knobs::parse_positive(
+        "HDX_PAR_THRESHOLD",
+        "MAC count",
+        "unset it for the default",
+        value,
+    )
 }
 
 /// Default parallel-dispatch threshold for a host with `cores` logical

@@ -95,7 +95,7 @@ impl ExecMode {
     /// `compiled` (case-insensitive) — a mistyped mode (`frsh`) must
     /// not silently run the other engine.
     pub fn auto() -> Self {
-        let env = std::env::var("HDX_EXEC").ok();
+        let env = crate::knobs::raw("HDX_EXEC");
         match Self::parse_env(env.as_deref()) {
             Ok(mode) => mode,
             Err(msg) => panic!("{msg}"),
@@ -700,6 +700,7 @@ impl Program {
         }
 
         // ---- gradient + auxiliary arenas ------------------------------
+        // hdx-lint: allow(hash_order) reason="membership queries only (contains); never iterated, so order cannot reach an output byte"
         let sink_set: Option<std::collections::HashSet<usize>> =
             grad_sinks.map(|s| s.iter().map(|v| v.index()).collect());
         let mut grad: Vec<Option<Buf>> = vec![None; n];

@@ -1,0 +1,299 @@
+//! Fixture tests for hdx-lint, plus the enforcement test that runs the
+//! full rule set over this repository's own source.
+//!
+//! Each fixture is an embedded snippet deliberately violating (or
+//! correctly waiving) one rule; the assertions pin rule code, span, and
+//! waiver semantics. The final test makes `cargo test -q` equivalent to
+//! `hdx-lint --deny`: the workspace's own source must produce zero
+//! findings.
+
+use hdx_lint::{analyze, Analysis, Config, FileKind, Finding, Rule, SourceFile};
+use std::collections::BTreeMap;
+
+fn file(path: &str, kind: FileKind, text: &str) -> SourceFile {
+    SourceFile {
+        path: path.to_owned(),
+        kind,
+        text: text.to_owned(),
+    }
+}
+
+fn lib(text: &str) -> SourceFile {
+    file("crates/x/src/lib.rs", FileKind::Lib, text)
+}
+
+fn run(files: &[SourceFile]) -> Analysis {
+    analyze(
+        files,
+        &Config::workspace(BTreeMap::new(), "pins.txt".to_owned()),
+    )
+}
+
+fn rules(analysis: &Analysis) -> Vec<Rule> {
+    analysis.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn wall_clock_fires_in_lib_but_not_bin_or_bench() {
+    let src = "pub fn f() { let _ = std::time::Instant::now(); }\n";
+    let in_lib = run(&[lib(src)]);
+    assert_eq!(rules(&in_lib), vec![Rule::WallClock]);
+
+    let in_bin = run(&[file("crates/x/src/main.rs", FileKind::Bin, src)]);
+    let in_bench = run(&[file("crates/x/benches/b.rs", FileKind::Bench, src)]);
+    assert!(in_bin.findings.is_empty(), "{:?}", in_bin.findings);
+    assert!(in_bench.findings.is_empty(), "{:?}", in_bench.findings);
+}
+
+#[test]
+fn wall_clock_covers_system_time_and_thread_sleep() {
+    let analysis = run(&[lib(
+        "pub fn f() {\n    let _ = std::time::SystemTime::now();\n    \
+         std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
+    )]);
+    assert_eq!(rules(&analysis), vec![Rule::WallClock, Rule::WallClock]);
+    assert_eq!(analysis.findings[0].line, 2);
+    assert_eq!(analysis.findings[1].line, 3);
+}
+
+#[test]
+fn wall_clock_is_exempt_inside_test_modules() {
+    let analysis = run(&[lib(
+        "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+         let _ = std::time::Instant::now(); }\n}\n",
+    )]);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn fma_fires_everywhere_including_benches() {
+    let src = "pub fn f(a: f32, b: f32, c: f32) -> f32 { a.mul_add(b, c) }\n";
+    let in_lib = run(&[lib(src)]);
+    let in_bench = run(&[file("crates/x/benches/b.rs", FileKind::Bench, src)]);
+    assert_eq!(rules(&in_lib), vec![Rule::Fma]);
+    assert_eq!(rules(&in_bench), vec![Rule::Fma]);
+}
+
+#[test]
+fn fma_catches_intrinsics() {
+    let analysis = run(&[lib(
+        "pub unsafe fn f() { core::arch::x86_64::_mm256_fmadd_ps; }\n",
+    )]);
+    assert!(
+        rules(&analysis).contains(&Rule::Fma),
+        "{:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn identifiers_inside_strings_and_comments_do_not_fire() {
+    let analysis = run(&[lib("// An Instant in a comment, a HashMap in prose.\n\
+         pub const DOC: &str = \"Instant HashMap mul_add unsafe\";\n")]);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn hash_order_requires_waiver_with_reason() {
+    let bare = run(&[lib("pub type M = std::collections::HashMap<u8, u8>;\n")]);
+    assert_eq!(rules(&bare), vec![Rule::HashOrder]);
+
+    let waived = run(&[lib(
+        "// hdx-lint: allow(hash_order) reason=\"keyed lookups only\"\n\
+         pub type M = std::collections::HashMap<u8, u8>;\n",
+    )]);
+    assert!(waived.findings.is_empty(), "{:?}", waived.findings);
+
+    // A reason-less waiver still suppresses the target rule but is
+    // itself a finding, so `--deny` fails either way.
+    let reasonless = run(&[lib("// hdx-lint: allow(hash_order)\n\
+         pub type M = std::collections::HashMap<u8, u8>;\n")]);
+    assert_eq!(rules(&reasonless), vec![Rule::Waiver]);
+}
+
+#[test]
+fn waiver_with_unknown_rule_is_a_finding() {
+    let analysis = run(&[lib(
+        "// hdx-lint: allow(no_such_rule) reason=\"x\"\npub fn f() {}\n",
+    )]);
+    assert_eq!(rules(&analysis), vec![Rule::Waiver]);
+    assert!(analysis.findings[0].message.contains("no_such_rule"));
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires_with_span() {
+    let analysis = run(&[file(
+        "crates/tensor/src/par.rs", // allowlisted: isolates the SAFETY rule
+        FileKind::Lib,
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    )]);
+    assert_eq!(rules(&analysis), vec![Rule::UnsafeSafety]);
+    let Finding { line, col, .. } = analysis.findings[0];
+    assert_eq!((line, col), (2, 5));
+}
+
+#[test]
+fn safety_comment_satisfies_the_audit() {
+    let analysis = run(&[file(
+        "crates/tensor/src/par.rs",
+        FileKind::Lib,
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    \
+         unsafe { *p }\n}\n",
+    )]);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn safety_comment_above_attributes_and_statement_heads_counts() {
+    // The comment sits above `#[target_feature]` attributes…
+    let above_attrs = run(&[file(
+        "crates/tensor/src/kernels.rs",
+        FileKind::Lib,
+        "// SAFETY: callers verify AVX2 at runtime.\n\
+         #[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2\")]\n\
+         pub unsafe fn f() {}\n",
+    )]);
+    assert!(
+        above_attrs.findings.is_empty(),
+        "{:?}",
+        above_attrs.findings
+    );
+
+    // …or above the head of a multi-line statement ending in `unsafe`.
+    let above_head = run(&[file(
+        "crates/tensor/src/program.rs",
+        FileKind::Lib,
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads.\n    \
+         let v: u8 =\n        unsafe { *p };\n    v\n}\n",
+    )]);
+    assert!(above_head.findings.is_empty(), "{:?}", above_head.findings);
+}
+
+#[test]
+fn unsafe_outside_allowlist_fires_even_with_safety_comment() {
+    let analysis = run(&[file(
+        "crates/serve/src/router.rs",
+        FileKind::Lib,
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid.\n    unsafe { *p }\n}\n",
+    )]);
+    assert_eq!(rules(&analysis), vec![Rule::UnsafeModule]);
+}
+
+#[test]
+fn env_read_outside_registry_fires() {
+    let analysis = run(&[lib(
+        "pub fn f() -> Option<String> { std::env::var(\"PATH\").ok() }\n",
+    )]);
+    assert_eq!(rules(&analysis), vec![Rule::EnvRead]);
+}
+
+#[test]
+fn env_read_inside_registry_module_is_sanctioned() {
+    let analysis = run(&[file(
+        "crates/tensor/src/knobs.rs",
+        FileKind::Lib,
+        "pub const REGISTRY: &[&str] = &[];\n\
+         pub fn raw(name: &str) -> Option<String> { std::env::var(name).ok() }\n",
+    )]);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn unregistered_knob_literal_fires_and_registered_counts_as_use() {
+    let registry = file(
+        "crates/tensor/src/knobs.rs",
+        FileKind::Lib,
+        "pub struct Knob { pub name: &'static str }\n\
+         pub const REGISTRY: &[Knob] = &[Knob { name: \"HDX_GOOD\" }];\n",
+    );
+    let user = lib("pub fn f() { let _ = (\"HDX_GOOD\", \"HDX_ROGUE\"); }\n");
+    let analysis = run(&[registry, user]);
+    assert_eq!(rules(&analysis), vec![Rule::KnobUnregistered]);
+    assert!(analysis.findings[0].message.contains("HDX_ROGUE"));
+}
+
+#[test]
+fn stale_registry_entry_fires_knob_unused() {
+    let registry = file(
+        "crates/tensor/src/knobs.rs",
+        FileKind::Lib,
+        "pub struct Knob { pub name: &'static str }\n\
+         pub const REGISTRY: &[Knob] = &[Knob { name: \"HDX_STALE\" }];\n",
+    );
+    let analysis = run(&[registry]);
+    assert_eq!(rules(&analysis), vec![Rule::KnobUnused]);
+    assert_eq!(analysis.findings[0].line, 2);
+}
+
+#[test]
+fn mutated_frozen_region_fails_its_pin() {
+    let text = "// hdx-frozen: begin(v0)\npub fn encode() {}\n// hdx-frozen: end(v0)\n";
+    let good = hdx_lint::fnv1a64(hdx_lint::FNV_OFFSET, b"pub fn encode() {}\n");
+    let mut pins = BTreeMap::new();
+    pins.insert("v0".to_owned(), good);
+    let cfg = Config::workspace(pins, "pins.txt".to_owned());
+
+    let clean = analyze(&[lib(text)], &cfg);
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+
+    let mutated = text.replace("encode", "encode2");
+    let broken = analyze(&[lib(&mutated)], &cfg);
+    assert_eq!(rules(&broken), vec![Rule::FrozenPin]);
+    assert!(broken.findings[0].message.contains("byte-frozen"));
+}
+
+#[test]
+fn unmatched_frozen_markers_are_findings() {
+    let dangling_end = run(&[lib("// hdx-frozen: end(v0)\npub fn f() {}\n")]);
+    assert_eq!(rules(&dangling_end), vec![Rule::FrozenMarker]);
+
+    let unclosed = run(&[lib("// hdx-frozen: begin(v0)\npub fn f() {}\n")]);
+    assert!(
+        rules(&unclosed).contains(&Rule::FrozenMarker),
+        "{:?}",
+        unclosed.findings
+    );
+}
+
+#[test]
+fn finding_spans_are_one_based_byte_columns() {
+    let analysis = run(&[lib("pub fn f() { let _ = std::time::Instant::now(); }\n")]);
+    assert_eq!(analysis.findings.len(), 1);
+    let f = &analysis.findings[0];
+    // `Instant` starts at byte 32 (0-based) of line 1.
+    assert_eq!((f.line, f.col), (1, 33));
+    assert_eq!(f.rule.code(), "HDX001");
+    assert_eq!(
+        format!("{f}").split(": ").next(),
+        Some("crates/x/src/lib.rs:1:33")
+    );
+}
+
+/// The enforcement test: this repository's own source, under the
+/// committed pins, produces zero findings — `cargo test -q` fails the
+/// same way `hdx-lint --deny` would.
+#[test]
+fn workspace_source_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let cfg = hdx_lint::workspace_config(&root).expect("pins load");
+    let files = hdx_lint::workspace_files(&root).expect("workspace walk");
+    assert!(
+        files.len() > 40,
+        "workspace walk looks truncated: {} files",
+        files.len()
+    );
+    let analysis = analyze(&files, &cfg);
+    assert!(
+        analysis.findings.is_empty(),
+        "hdx-lint findings on the workspace:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(analysis.regions.contains_key("v0-shim"));
+}
