@@ -2,8 +2,8 @@
 //! co-exploration loop leans on (accelerator model, estimator
 //! inference, gradient manipulation, supernet step) and of the
 //! compile-once/replay-many training engine vs. the fresh-record
-//! reference, timed with a plain `std::time` harness (the container
-//! has no criterion).
+//! reference, timed with `hdx_obs::Stopwatch` (the container has no
+//! criterion, and rule HDX011 keeps raw clocks inside the obs crate).
 //!
 //! Set `HDX_BENCH_SECS` to change the per-benchmark measurement budget
 //! (default 2 s after a 0.3 s warm-up). Results — op timings plus
@@ -15,12 +15,12 @@ use hdx_accel::{evaluate_network, AccelConfig, Dataflow, SearchSpace};
 use hdx_core::manipulate;
 use hdx_nas::supernet::FinalNet;
 use hdx_nas::{Architecture, Dataset, NetworkPlan, Supernet, SupernetConfig, TaskSpec};
+use hdx_obs::Stopwatch;
 use hdx_surrogate::{Estimator, EstimatorConfig, PairSet};
 use hdx_tensor::{ExecMode, ParamStore, Program, ResidualMlp, Rng, Session, Tape, Tensor};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 fn measure_secs() -> f64 {
     hdx_tensor::knobs::f64_or("HDX_BENCH_SECS", 2.0)
@@ -79,22 +79,22 @@ impl Report {
 /// Runs `f` repeatedly for the measurement budget and prints mean
 /// time/iter and iterations/second.
 fn bench(report: &mut Report, name: &str, mut f: impl FnMut()) -> f64 {
-    let warmup = Duration::from_millis(300);
-    let start = Instant::now();
+    let warmup_secs = 0.3;
+    let watch = Stopwatch::start();
     let mut warm_iters = 0u64;
-    while start.elapsed() < warmup {
+    while watch.seconds() < warmup_secs {
         f();
         warm_iters += 1;
     }
 
-    let budget = Duration::from_secs_f64(measure_secs());
-    let start = Instant::now();
+    let budget = measure_secs();
+    let watch = Stopwatch::start();
     let mut iters = 0u64;
-    while start.elapsed() < budget {
+    while watch.seconds() < budget {
         f();
         iters += 1;
     }
-    let elapsed = start.elapsed().as_secs_f64();
+    let elapsed = watch.seconds();
     let per_iter = elapsed / iters as f64;
     println!(
         "{name:<44} {:>12.3} us/iter {:>12.1} iter/s  ({iters} iters, {warm_iters} warm)",
@@ -237,7 +237,7 @@ fn bench_mlp_step_replay(report: &mut Report) {
     let loss = tape.mse(pred, tv);
     let prog = Arc::new(Program::compile(&tape, &[loss], &[]));
     let mut sess = Session::new(prog);
-    let compiled = bench(report, "tensor/mlp_step (session replay)", || {
+    let mut step = || {
         for (id, tensor) in params.iter() {
             sess.bind(b.var(id), tensor.data());
         }
@@ -246,11 +246,54 @@ fn bench_mlp_step_replay(report: &mut Report) {
         sess.forward();
         sess.backward(loss);
         black_box(sess.scalar(loss));
-    });
+    };
+    let compiled = bench(report, "tensor/mlp_step (session replay)", &mut step);
     println!("    -> session replay speedup: {:.2}x", fresh / compiled);
     report
         .replay
         .push(("mlp_step".to_string(), 1.0 / fresh, 1.0 / compiled));
+
+    // Obs-overhead guard: with the trace sink disabled, the obs work a
+    // replay step performs (per-dispatch counter ops plus span checks)
+    // must stay under 1% of the step itself. Measured, not assumed:
+    // count the dispatches one step records, then time the disabled
+    // primitives directly.
+    if !hdx_obs::enabled() {
+        let dispatches = |snap: &[(String, u64)]| -> u64 {
+            snap.iter()
+                .filter(|(name, _)| name.starts_with("kernel.dispatch."))
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        let before = dispatches(&hdx_obs::snapshot());
+        step();
+        let per_step = (dispatches(&hdx_obs::snapshot()) - before) as f64;
+
+        static PROBE: hdx_obs::Counter = hdx_obs::Counter::new("bench.obs_probe");
+        let probe_iters = 1_000_000u64;
+        let watch = Stopwatch::start();
+        for _ in 0..probe_iters {
+            let _span = hdx_obs::span("bench.obs_probe");
+            PROBE.incr();
+            PROBE.add(1);
+        }
+        let per_probe = watch.seconds() / probe_iters as f64;
+        let overhead = per_step * per_probe / compiled;
+        println!(
+            "    -> obs-disabled overhead estimate: {:.4}% \
+             ({per_step} dispatches/step, {:.1} ns/probe)",
+            overhead * 100.0,
+            per_probe * 1e9
+        );
+        report
+            .counters
+            .push(("obs_disabled_overhead_pct".to_string(), overhead * 100.0));
+        assert!(
+            overhead <= 0.01,
+            "obs-disabled overhead {:.4}% exceeds the 1% budget on mlp_step",
+            overhead * 100.0
+        );
+    }
 }
 
 /// The engine α/v-step hardware head: 18 α rows → softmax encoding →
@@ -387,9 +430,9 @@ fn bench_estimator_train_replay(report: &mut Report) {
             ..Default::default()
         };
         let mut est = Estimator::new(&plan, cfg, &mut Rng::new(6));
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         black_box(est.train(&pairs, &mut Rng::new(7)));
-        let secs = start.elapsed().as_secs_f64();
+        let secs = watch.seconds();
         let steps = (epochs * pairs.len().div_ceil(128)) as f64;
         steps / secs
     };
@@ -501,9 +544,9 @@ fn bench_final_net_replay(report: &mut Report) {
             &SupernetConfig::default(),
             &mut rng,
         );
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         black_box(net.train_exec(&ds, steps, 32, &mut rng, exec));
-        steps as f64 / start.elapsed().as_secs_f64()
+        steps as f64 / watch.seconds()
     };
     let fresh = run(ExecMode::FreshRecord);
     let compiled = run(ExecMode::Compiled);
@@ -645,6 +688,28 @@ fn main() {
     bench_estimator_train_replay(&mut report);
     bench_final_net_replay(&mut report);
     bench_serve_oneshot(&mut report);
+
+    // Deterministic obs-registry counters: the same values the serving
+    // layer exposes through the `metrics` verb, cumulative over this
+    // whole bench run — bank hit rate and kernel dispatch tiers land
+    // in the JSON so cache and SIMD regressions are visible at a
+    // glance.
+    let snap = hdx_obs::snapshot();
+    let get = |name: &str| -> f64 {
+        snap.iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |&(_, v)| v as f64)
+    };
+    let (hits, misses) = (get("bank.hit"), get("bank.miss"));
+    if hits + misses > 0.0 {
+        report
+            .counters
+            .push(("obs.bank_hit_rate".to_string(), hits / (hits + misses)));
+    }
+    for tier in ["avx512", "avx2", "scalar"] {
+        let name = format!("kernel.dispatch.{tier}");
+        report.counters.push((format!("obs.{name}"), get(&name)));
+    }
 
     // `cargo bench` sets the package dir as CWD; anchor the default to
     // the workspace root so the artifact lands next to ROADMAP.md.

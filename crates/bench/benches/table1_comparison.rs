@@ -60,9 +60,12 @@ fn main() {
             // constraint, forcing baselines into repeated searches.
             opts.lambda_cost = 0.001;
             opts.seed = 1000 + rep as u64 * 77;
+            // Search cost is timed here, around the whole meta-search:
+            // results carry step counts, not seconds.
+            let watch = hdx_obs::Stopwatch::start();
             let outcome = constrained_meta_search(&ctx, &opts, constraint, max_searches);
+            cost_sum += watch.seconds();
             searches_sum += outcome.searches as f64;
-            cost_sum += outcome.total_seconds;
             err_sum += outcome.result.error * 100.0;
             if outcome.satisfied {
                 satisfied += 1;

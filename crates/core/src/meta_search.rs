@@ -23,11 +23,14 @@ pub struct MetaSearchOutcome {
     pub searches: usize,
     /// The accepted (or best-effort) result.
     pub result: SearchResult,
-    /// Total wall-clock seconds across all searches.
-    pub total_seconds: f64,
     /// Whether the accepted result satisfies the constraint.
     pub satisfied: bool,
 }
+
+/// Meta-searches started (one per constrained Table 1 cell).
+static OBS_META_SEARCHES: hdx_obs::Counter = hdx_obs::Counter::new("engine.meta.searches");
+/// Full searches consumed across all meta-searches.
+static OBS_META_ATTEMPTS: hdx_obs::Counter = hdx_obs::Counter::new("engine.meta.attempts");
 
 fn with_control(opts: &SearchOptions, value: f64) -> SearchOptions {
     let mut out = opts.clone();
@@ -73,6 +76,8 @@ pub fn constrained_meta_search(
         max_searches > 0,
         "constrained_meta_search: max_searches must be positive"
     );
+    let _span = hdx_obs::span("engine.meta_search");
+    OBS_META_SEARCHES.incr();
 
     // HDX: hard constraints are handled inside the single search.
     if matches!(base.method, Method::Hdx { .. }) {
@@ -80,13 +85,12 @@ pub fn constrained_meta_search(
         if !opts.constraints.contains(&constraint) {
             opts.constraints.push(constraint);
         }
+        OBS_META_ATTEMPTS.incr();
         let result = run_search(ctx, &opts);
         let satisfied = constraint.is_satisfied(&result.metrics);
-        let total_seconds = result.search_seconds;
         return MetaSearchOutcome {
             searches: 1,
             result,
-            total_seconds,
             satisfied,
         };
     }
@@ -96,7 +100,6 @@ pub fn constrained_meta_search(
     let mut lo: Option<f64> = None; // too weak (metric above target)
     let mut hi: Option<f64> = None; // too strong (metric below 0.5·target)
     let mut best: Option<SearchResult> = None;
-    let mut total_seconds = 0.0;
 
     for attempt in 0..max_searches {
         let mut opts = with_control(base, param);
@@ -107,8 +110,8 @@ pub fn constrained_meta_search(
         if !opts.constraints.contains(&constraint) {
             opts.constraints.push(constraint); // monitored only
         }
+        OBS_META_ATTEMPTS.incr();
         let result = run_search(ctx, &opts);
-        total_seconds += result.search_seconds;
         let metric = result.metrics.get(constraint.metric);
 
         let better = |cur: &SearchResult, prev: &Option<SearchResult>| -> bool {
@@ -138,7 +141,6 @@ pub fn constrained_meta_search(
             return MetaSearchOutcome {
                 searches: attempt + 1,
                 result,
-                total_seconds,
                 satisfied: true,
             };
         }
@@ -171,7 +173,6 @@ pub fn constrained_meta_search(
     MetaSearchOutcome {
         searches: max_searches,
         result,
-        total_seconds,
         satisfied,
     }
 }

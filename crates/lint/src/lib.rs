@@ -15,7 +15,7 @@
 //! | code | rule | what it enforces |
 //! |---|---|---|
 //! | HDX000 | `waiver` | waiver grammar: `allow(rule)` must carry `reason="…"` |
-//! | HDX001 | `wall_clock` | no `Instant`/`SystemTime`/`thread::sleep` in library crates |
+//! | HDX001 | `wall_clock` | no `thread::sleep` in library crates |
 //! | HDX002 | `fma` | no `mul_add`/FMA intrinsics anywhere (double rounding is the contract) |
 //! | HDX003 | `hash_order` | `HashMap`/`HashSet` require a waiver (or use `BTreeMap`/`BTreeSet`) |
 //! | HDX004 | `unsafe_safety` | every `unsafe` is immediately preceded by `// SAFETY:` |
@@ -25,6 +25,7 @@
 //! | HDX008 | `knob_unused` | every registered knob is read somewhere (no table drift) |
 //! | HDX009 | `frozen_marker` | `hdx-frozen` begin/end markers pair up |
 //! | HDX010 | `frozen_pin` | frozen regions hash (FNV-1a 64) to their committed pins |
+//! | HDX011 | `wall_clock_scope` | `Instant`/`SystemTime` only inside `crates/obs` (the one sanctioned clock; everyone else uses `hdx_obs::Stopwatch` or spans) |
 //!
 //! # Waivers
 //!
@@ -38,9 +39,10 @@
 //! A waiver without a `reason` is itself a finding — the rule engine
 //! insists the justification ships next to the exception. `#[cfg(test)]
 //! mod` regions are exempt from the determinism-facing rules
-//! (`wall_clock`, `hash_order`, `env_read`, knob literals): test code
-//! may sleep, hash, and probe the environment without ceremony, but the
-//! `unsafe` and FMA rules still apply everywhere.
+//! (`wall_clock`, `wall_clock_scope`, `hash_order`, `env_read`, knob
+//! literals): test code may sleep, time, hash, and probe the
+//! environment without ceremony, but the `unsafe` and FMA rules still
+//! apply everywhere.
 
 pub mod lex;
 
@@ -52,11 +54,13 @@ use std::collections::{BTreeMap, BTreeSet};
 pub enum FileKind {
     /// Library source: every rule applies.
     Lib,
-    /// Binary entry point (`main.rs`): exempt from `wall_clock` —
-    /// progress timers on a CLI are fine; they can't reach report
-    /// bytes, which the frozen-surface and serve tests pin separately.
+    /// Binary entry point (`main.rs`): exempt from `wall_clock`
+    /// (sleeping on a CLI is fine), but `wall_clock_scope` still
+    /// applies — even progress timers go through `hdx_obs::Stopwatch`
+    /// so the clock has exactly one owner.
     Bin,
-    /// Bench harness: exempt from `wall_clock` (timing is its job).
+    /// Bench harness: exempt from `wall_clock`; `wall_clock_scope`
+    /// still applies — benches time through `hdx_obs::Stopwatch`.
     Bench,
 }
 
@@ -87,6 +91,7 @@ pub enum Rule {
     KnobUnused,
     FrozenMarker,
     FrozenPin,
+    WallClockScope,
 }
 
 impl Rule {
@@ -104,6 +109,7 @@ impl Rule {
             Rule::KnobUnused => "HDX008",
             Rule::FrozenMarker => "HDX009",
             Rule::FrozenPin => "HDX010",
+            Rule::WallClockScope => "HDX011",
         }
     }
 
@@ -121,6 +127,7 @@ impl Rule {
             Rule::KnobUnused => "knob_unused",
             Rule::FrozenMarker => "frozen_marker",
             Rule::FrozenPin => "frozen_pin",
+            Rule::WallClockScope => "wall_clock_scope",
         }
     }
 
@@ -153,6 +160,7 @@ const ALL_RULES: &[Rule] = &[
     Rule::KnobUnused,
     Rule::FrozenMarker,
     Rule::FrozenPin,
+    Rule::WallClockScope,
 ];
 
 /// One typed finding: `path:line:col`, stable rule code, message.
@@ -190,6 +198,11 @@ impl std::fmt::Display for Finding {
 pub struct Config {
     /// Path suffixes (with `/` separators) where `unsafe` is allowed.
     pub unsafe_allowlist: Vec<String>,
+    /// Path prefixes where wall-clock types (`Instant`/`SystemTime`)
+    /// are allowed — the observability crate that owns the process's
+    /// clock. Everywhere else rule `wall_clock_scope` fires, for every
+    /// [`FileKind`].
+    pub wall_clock_allowlist: Vec<String>,
     /// Path suffix of the knob registry module (the one sanctioned
     /// `std::env` call site, and the source of declared knob names).
     pub registry_suffix: String,
@@ -209,6 +222,7 @@ impl Config {
                 "crates/tensor/src/par.rs".to_owned(),
                 "crates/tensor/src/program.rs".to_owned(),
             ],
+            wall_clock_allowlist: vec!["crates/obs/".to_owned()],
             registry_suffix: "crates/tensor/src/knobs.rs".to_owned(),
             pins,
             pins_origin,
@@ -707,6 +721,10 @@ fn analyze_file(
         .unsafe_allowlist
         .iter()
         .any(|suffix| file.path.ends_with(suffix.as_str()));
+    let wall_clock_allowed = cfg
+        .wall_clock_allowlist
+        .iter()
+        .any(|prefix| file.path.starts_with(prefix.as_str()));
 
     let report = |tok: &Tok, rule: Rule, message: String, findings: &mut Vec<Finding>| {
         let line0 = line_of(&starts, tok.start);
@@ -816,14 +834,14 @@ fn analyze_file(
                         }
                     }
                     "Instant" | "SystemTime" => {
-                        if file.kind == FileKind::Lib && !in_test(tok.start) {
+                        if !wall_clock_allowed && !in_test(tok.start) {
                             report(
                                 tok,
-                                Rule::WallClock,
+                                Rule::WallClockScope,
                                 format!(
-                                    "wall-clock type `{w}` in a library crate; outputs must \
-                                     be wall-clock-free (move behind a bin/bench or waive \
-                                     with a reason)"
+                                    "wall-clock type `{w}` outside crates/obs; the obs \
+                                     crate owns the process clock — time with \
+                                     hdx_obs::Stopwatch or an hdx-obs span"
                                 ),
                                 findings,
                             );

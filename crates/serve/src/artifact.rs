@@ -89,6 +89,9 @@ pub fn save_bundle(
 /// truncation, checksum mismatch, wrong version), and per-artifact
 /// validation failures.
 pub fn load_bundle(path: &Path) -> Result<Artifacts, CkptError> {
+    static OBS_LOADS: hdx_obs::Counter = hdx_obs::Counter::new("artifact.bundle_loads");
+    let _span = hdx_obs::span("artifact.load_bundle");
+    OBS_LOADS.incr();
     let ckpt = Checkpoint::load(path)?;
     let (shape, meta) = ckpt.get_u64("bundle.meta")?;
     if shape != [3] {

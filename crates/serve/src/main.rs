@@ -34,16 +34,23 @@ use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `HDX_TRACE=<path>` enables the span sink for every subcommand;
+    // `--trace` (serve/oneshot) overrides the path.
+    hdx_tensor::obs::init_trace_from_env();
     let result = match args.first().map(String::as_str) {
         Some("train-and-save") => cmd_train_and_save(&args[1..]),
         Some("oneshot") => cmd_oneshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         Some(other) => Err(format!("unknown subcommand \"{other}\"\n\n{USAGE}")),
     };
+    // Drain the main thread's span ring into the sink (worker threads
+    // drain on their own exit).
+    hdx_obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -62,8 +69,11 @@ USAGE:
                            [--init-bundle FILE] [--jobs N]
   hdx-serve oneshot --bundle FILE [--bundle FILE …] [--requests FILE]
                     [--jobs N] [--max-requests-per-conn N] [--deadline-steps N]
+                    [--trace FILE]
   hdx-serve serve   --bundle FILE [--bundle FILE …] [--tcp ADDR]
                     [--jobs N] [--max-requests-per-conn N] [--deadline-steps N]
+                    [--trace FILE]
+  hdx-serve trace-check FILE
 
 train-and-save  pre-trains the estimator on analytical-model pairs,
                 builds warm LayerLut tables, writes one bundle file.
@@ -74,11 +84,18 @@ oneshot         reads request lines (file or stdin), runs them as a
 serve           line protocol on stdin/stdout, or TCP with --tcp.
                 Requests route by task across every --bundle.
                 (--artifacts is accepted as an alias for --bundle.)
+trace-check     validates an hdx-obs span trace (JSONL, schema v1)
+                and prints its line counts.
 
 Hardening: --max-requests-per-conn caps lines per connection;
 --deadline-steps caps each job's deterministic step budget
 (epochs·steps + final_train, × max_searches). Both answer in-band
 typed errors, never silent drops.
+
+Observability: --trace FILE (or HDX_TRACE=FILE) writes wall-clock
+span events to a JSONL sink; HDX_OBS_BUF sizes the per-thread ring.
+Tracing never changes response bytes — the v1 `metrics` verb reports
+the deterministic counters.
 ";
 
 /// Tiny std-only flag parser: `--key value` pairs after the
@@ -178,7 +195,7 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
     let warm_luts: usize = flags.parse_num("warm-luts", 6)?;
     let jobs: usize = flags.parse_num("jobs", 0)?;
 
-    let start = std::time::Instant::now();
+    let watch = hdx_obs::Stopwatch::start();
     let (task, seed, prepared, luts, total_pairs) = match flags.get("init-bundle") {
         Some(init_path) => {
             if flags.get("task").is_some() || flags.get("seed").is_some() {
@@ -208,7 +225,7 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
     };
     eprintln!(
         "trained in {:.1}s: estimator within-10% accuracy {:.1}%, {} warm LUT(s)",
-        start.elapsed().as_secs_f64(),
+        watch.seconds(),
         prepared.estimator_accuracy * 100.0,
         luts.len()
     );
@@ -245,13 +262,13 @@ fn load_router(flags: &Flags) -> Result<Router, String> {
     };
     let router = Router::new(cfg);
     for path in bundles {
-        let start = std::time::Instant::now();
+        let watch = hdx_obs::Stopwatch::start();
         let entry = router
             .load_bundle_path(&PathBuf::from(path))
             .map_err(|e| format!("cannot load bundle {path}: {e}"))?;
         eprintln!(
             "loaded {path} in {:.2}s: task={:?} bundle_seed={} estimator accuracy {:.1}%",
-            start.elapsed().as_secs_f64(),
+            watch.seconds(),
             entry.task,
             entry.bundle_seed,
             entry.estimator_accuracy * 100.0,
@@ -260,7 +277,7 @@ fn load_router(flags: &Flags) -> Result<Router, String> {
     Ok(router)
 }
 
-const SERVE_FLAGS: [&str; 7] = [
+const SERVE_FLAGS: [&str; 8] = [
     "bundle",
     "artifacts",
     "requests",
@@ -268,7 +285,30 @@ const SERVE_FLAGS: [&str; 7] = [
     "jobs",
     "max-requests-per-conn",
     "deadline-steps",
+    "trace",
 ];
+
+/// Honors `--trace FILE` for the serve/oneshot subcommands (overrides
+/// any `HDX_TRACE` sink already opened by `main`).
+fn init_trace_flag(flags: &Flags) {
+    if let Some(path) = flags.get("trace") {
+        hdx_tensor::obs::init_trace_to(path);
+    }
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: hdx-serve trace-check FILE".to_owned());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let summary = hdx_obs::check_trace(&text).map_err(|e| format!("invalid trace {path}: {e}"))?;
+    println!(
+        "trace ok: {} meta line(s), {} span line(s)",
+        summary.meta_lines, summary.span_lines
+    );
+    Ok(())
+}
 
 fn cmd_oneshot(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
@@ -276,6 +316,7 @@ fn cmd_oneshot(args: &[String]) -> Result<(), String> {
     if flags.get("tcp").is_some() {
         return Err("--tcp belongs to the serve subcommand".to_owned());
     }
+    init_trace_flag(&flags);
     let router = load_router(&flags)?;
     let stdout = std::io::stdout();
     match flags.get("requests") {
@@ -298,6 +339,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.get("requests").is_some() {
         return Err("--requests belongs to the oneshot subcommand".to_owned());
     }
+    init_trace_flag(&flags);
     let router = load_router(&flags)?;
     match flags.get("tcp") {
         Some(addr) => {

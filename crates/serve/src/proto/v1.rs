@@ -16,6 +16,7 @@
 //! | `load_bundle`   | load a bundle file at runtime | `loaded`      |
 //! | `unload_bundle` | drop a loaded bundle          | `unloaded`    |
 //! | `list_tasks`    | enumerate loaded bundles      | `tasks`       |
+//! | `metrics`       | deterministic obs counters    | `metrics`     |
 //!
 //! [`decode_request`] / [`encode_request`] and [`decode_response`] /
 //! [`encode_response`] are the single canonical codec pair: every
@@ -97,6 +98,10 @@ pub enum RequestBody {
     },
     /// Enumerate the loaded bundles.
     ListTasks,
+    /// Snapshot of the process-wide deterministic obs counter registry
+    /// (step-based counts only — wall-clock timing never enters the
+    /// registry, so the snapshot is reproducible).
+    Metrics,
 }
 
 /// The typed payload of one v1 response line.
@@ -119,6 +124,11 @@ pub enum ResponseBody {
     },
     /// The loaded-bundle listing.
     Tasks(Vec<TaskEntry>),
+    /// The deterministic obs counter snapshot, sorted by name
+    /// ([`hdx_obs::snapshot`] order). Names are dot-separated
+    /// `<layer>.<thing>[.<variant>]` and never collide with the
+    /// envelope's `id`/`count` keys.
+    Metrics(Vec<(String, u64)>),
     /// An in-band failure.
     Error(ProtoError),
 }
@@ -329,6 +339,7 @@ pub fn decode_request(line: &str) -> Result<Envelope<RequestBody>, ProtoError> {
         "stats" => control_envelope(parts, RequestBody::Stats),
         "ping" => control_envelope(parts, RequestBody::Ping),
         "list_tasks" => control_envelope(parts, RequestBody::ListTasks),
+        "metrics" => control_envelope(parts, RequestBody::Metrics),
         "load_bundle" => {
             let mut id = 0u64;
             let mut path: Option<String> = None;
@@ -464,6 +475,7 @@ pub fn encode_request(env: &Envelope<RequestBody>) -> String {
         RequestBody::Stats => format!("{VERSION_TOKEN} stats id={}", env.request_id),
         RequestBody::Ping => format!("{VERSION_TOKEN} ping id={}", env.request_id),
         RequestBody::ListTasks => format!("{VERSION_TOKEN} list_tasks id={}", env.request_id),
+        RequestBody::Metrics => format!("{VERSION_TOKEN} metrics id={}", env.request_id),
         RequestBody::LoadBundle { path } => {
             format!(
                 "{VERSION_TOKEN} load_bundle id={} path={path}",
@@ -548,6 +560,17 @@ pub fn encode_response(env: &Envelope<ResponseBody>) -> String {
             }
             line
         }
+        ResponseBody::Metrics(entries) => {
+            let mut line = format!(
+                "{VERSION_TOKEN} metrics id={} count={}",
+                env.request_id,
+                entries.len()
+            );
+            for (name, value) in entries {
+                line.push_str(&format!(" {name}={value}"));
+            }
+            line
+        }
         ResponseBody::Error(e) => e.encode_v1(),
     }
 }
@@ -616,6 +639,7 @@ pub fn decode_response(line: &str) -> Result<Envelope<ResponseBody>, ProtoError>
             ))
         }
         "tasks" => decode_tasks(parts),
+        "metrics" => decode_metrics(parts),
         "error" => decode_error(parts),
         other => Err(ProtoError::new(
             0,
@@ -781,6 +805,54 @@ fn decode_tasks<'a>(
         ));
     }
     Ok(Envelope::v1(id, ResponseBody::Tasks(entries)))
+}
+
+/// Decodes the `metrics` counter snapshot. `id`/`count` are envelope
+/// keys; every other `key=value` token is one counter entry. Entries
+/// must be strictly ascending by name (the canonical snapshot order)
+/// and `count` must match — both reject hand-edited or truncated
+/// lines, mirroring the `tasks` count cross-check.
+fn decode_metrics<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Envelope<ResponseBody>, ProtoError> {
+    let mut id = 0u64;
+    let mut count: Option<u64> = None;
+    let mut entries: Vec<(String, u64)> = Vec::new();
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "count" => count = Some(parse_u64(id, offset, key, value)?),
+            name => {
+                if entries
+                    .last()
+                    .is_some_and(|(prev, _)| prev.as_str() >= name)
+                {
+                    return Err(ProtoError::new(
+                        id,
+                        ErrorKind::Invalid {
+                            message: format!(
+                                "metrics entries must be strictly ascending by name (\"{name}\" \
+                                 after \"{}\")",
+                                entries.last().map_or("", |(p, _)| p)
+                            ),
+                        },
+                    ));
+                }
+                let v = parse_u64(id, offset, name, value)?;
+                entries.push((name.to_owned(), v));
+            }
+        }
+    }
+    if count.is_some_and(|c| c != entries.len() as u64) {
+        return Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid {
+                message: "metrics count disagrees with the listed entries".to_owned(),
+            },
+        ));
+    }
+    Ok(Envelope::v1(id, ResponseBody::Metrics(entries)))
 }
 
 fn decode_error<'a>(
@@ -996,6 +1068,7 @@ mod tests {
             Envelope::v1(7, RequestBody::Stats),
             Envelope::v1(8, RequestBody::Ping),
             Envelope::v1(9, RequestBody::ListTasks),
+            Envelope::v1(12, RequestBody::Metrics),
             Envelope::v1(
                 10,
                 RequestBody::LoadBundle {
@@ -1106,6 +1179,15 @@ mod tests {
                     estimator_accuracy: 0.5,
                 }]),
             ),
+            Envelope::v1(
+                18,
+                ResponseBody::Metrics(vec![
+                    ("bank.hit".to_owned(), 41),
+                    ("bank.miss".to_owned(), 2),
+                    ("engine.steps.hdx".to_owned(), 1250),
+                ]),
+            ),
+            Envelope::v1(19, ResponseBody::Metrics(Vec::new())),
         ];
         for env in envelopes {
             let line = encode_response(&env);
@@ -1129,6 +1211,12 @@ mod tests {
         // Control verbs reject extra fields and non-field tokens.
         assert!(decode_request("hdx1 ping id=1 extra=2").is_err());
         assert!(decode_request("hdx1 stats now").is_err());
+        assert!(decode_request("hdx1 metrics id=1 extra=2").is_err());
+        // Metrics responses enforce the count and the canonical order.
+        assert!(decode_response("hdx1 metrics id=1 count=2 bank.hit=1").is_err());
+        assert!(decode_response("hdx1 metrics id=1 count=2 bank.miss=1 bank.hit=2").is_err());
+        assert!(decode_response("hdx1 metrics id=1 count=2 bank.hit=1 bank.hit=2").is_err());
+        assert!(decode_response("hdx1 metrics id=1 count=1 bank.hit=nope").is_err());
         assert!(decode_request("hdx1 load_bundle id=1").is_err());
         assert!(decode_request("hdx1 unload_bundle id=1 task=cifar").is_err());
         // Version mismatch is its own kind.

@@ -56,6 +56,23 @@ fn task_code(task: Task) -> u8 {
     task.index() as u8
 }
 
+/// Per-verb request counters (both framings; a v0 `search` line counts
+/// under `search`). Counts only — per-verb *timing* goes to the span
+/// sink, keeping the `metrics` snapshot wall-clock-free.
+static OBS_VERB_SEARCH: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.search");
+static OBS_VERB_GRID: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.grid");
+static OBS_VERB_META: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.meta");
+static OBS_VERB_RESUME: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.resume");
+static OBS_VERB_STATS: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.stats");
+static OBS_VERB_PING: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.ping");
+static OBS_VERB_LIST_TASKS: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.list_tasks");
+static OBS_VERB_LOAD_BUNDLE: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.load_bundle");
+static OBS_VERB_UNLOAD_BUNDLE: hdx_obs::Counter =
+    hdx_obs::Counter::new("router.verb.unload_bundle");
+static OBS_VERB_METRICS: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.metrics");
+/// Lines answered with an in-band protocol error.
+static OBS_PROTO_ERRORS: hdx_obs::Counter = hdx_obs::Counter::new("router.proto_errors");
+
 /// Router construction knobs.
 #[derive(Debug, Clone, Default)]
 pub struct RouterConfig {
@@ -227,6 +244,7 @@ impl Router {
         requests: &[SearchRequest],
         jobs: usize,
     ) -> Vec<Result<SearchReport, ProtoError>> {
+        let _span = hdx_obs::span("router.dispatch");
         let expanded: Vec<SearchRequest> =
             requests.iter().flat_map(SearchRequest::expand).collect();
         let total = expanded.len() as u64;
@@ -318,6 +336,7 @@ impl Router {
         reader: R,
         mut writer: W,
     ) -> std::io::Result<()> {
+        let _conn_span = hdx_obs::span("router.connection");
         // Each pending job remembers its framing so its report is
         // encoded the way the request arrived.
         let mut pending: Vec<(bool, SearchRequest)> = Vec::new();
@@ -327,6 +346,7 @@ impl Router {
             if pending.is_empty() {
                 return Ok(());
             }
+            let _span = hdx_obs::span("router.flush");
             // Expansion order matches request order, so zip the
             // per-request framing over the expanded outcome list (a
             // request expands to one job per grid entry).
@@ -388,18 +408,27 @@ impl Router {
             }
             match framing {
                 v1::Framing::Unsupported { token, offset } => {
+                    OBS_PROTO_ERRORS.incr();
                     let err = ProtoError::new(0, ErrorKind::VersionMismatch { token, offset });
                     respond(&mut pending, &mut writer, &mut || err.encode_v1())?;
                 }
                 v1::Framing::V0 => match parse_request(&line) {
-                    Ok(Request::Search(req)) => pending.push((false, *req)),
+                    Ok(Request::Search(req)) => {
+                        OBS_VERB_SEARCH.incr();
+                        pending.push((false, *req));
+                    }
                     Ok(Request::Stats) => {
+                        OBS_VERB_STATS.incr();
                         respond(&mut pending, &mut writer, &mut || self.stats_line_v0())?;
                     }
                     Ok(Request::Ping) => {
+                        OBS_VERB_PING.incr();
                         respond(&mut pending, &mut writer, &mut || "pong".to_owned())?;
                     }
-                    Err(err) => respond(&mut pending, &mut writer, &mut || err.encode())?,
+                    Err(err) => {
+                        OBS_PROTO_ERRORS.incr();
+                        respond(&mut pending, &mut writer, &mut || err.encode())?;
+                    }
                 },
                 v1::Framing::V1 => match v1::decode_request(&line) {
                     Ok(env) => {
@@ -408,26 +437,48 @@ impl Router {
                             v1::encode_response(&v1::Envelope::v1(id, body))
                         };
                         match env.body {
-                            v1::RequestBody::Search(req)
-                            | v1::RequestBody::Grid(req)
-                            | v1::RequestBody::Meta(req)
-                            | v1::RequestBody::Resume(req) => pending.push((true, req)),
+                            v1::RequestBody::Search(req) => {
+                                OBS_VERB_SEARCH.incr();
+                                pending.push((true, req));
+                            }
+                            v1::RequestBody::Grid(req) => {
+                                OBS_VERB_GRID.incr();
+                                pending.push((true, req));
+                            }
+                            v1::RequestBody::Meta(req) => {
+                                OBS_VERB_META.incr();
+                                pending.push((true, req));
+                            }
+                            v1::RequestBody::Resume(req) => {
+                                OBS_VERB_RESUME.incr();
+                                pending.push((true, req));
+                            }
                             v1::RequestBody::Stats => {
+                                OBS_VERB_STATS.incr();
                                 respond(&mut pending, &mut writer, &mut || {
                                     reply(v1::ResponseBody::Stats(self.stats()))
                                 })?;
                             }
                             v1::RequestBody::Ping => {
+                                OBS_VERB_PING.incr();
                                 respond(&mut pending, &mut writer, &mut || {
                                     reply(v1::ResponseBody::Pong)
                                 })?;
                             }
                             v1::RequestBody::ListTasks => {
+                                OBS_VERB_LIST_TASKS.incr();
                                 respond(&mut pending, &mut writer, &mut || {
                                     reply(v1::ResponseBody::Tasks(self.tasks()))
                                 })?;
                             }
+                            v1::RequestBody::Metrics => {
+                                OBS_VERB_METRICS.incr();
+                                respond(&mut pending, &mut writer, &mut || {
+                                    reply(v1::ResponseBody::Metrics(hdx_obs::snapshot()))
+                                })?;
+                            }
                             v1::RequestBody::LoadBundle { path } => {
+                                OBS_VERB_LOAD_BUNDLE.incr();
                                 respond(&mut pending, &mut writer, &mut || {
                                     let body = match self.load_bundle_path(Path::new(&path)) {
                                         Ok(entry) => v1::ResponseBody::Loaded(entry),
@@ -442,6 +493,7 @@ impl Router {
                                 })?;
                             }
                             v1::RequestBody::UnloadBundle { task, bundle_seed } => {
+                                OBS_VERB_UNLOAD_BUNDLE.incr();
                                 respond(&mut pending, &mut writer, &mut || {
                                     let body = if self.unload(task, bundle_seed) {
                                         v1::ResponseBody::Unloaded { task, bundle_seed }
@@ -459,7 +511,10 @@ impl Router {
                             }
                         }
                     }
-                    Err(err) => respond(&mut pending, &mut writer, &mut || err.encode_v1())?,
+                    Err(err) => {
+                        OBS_PROTO_ERRORS.incr();
+                        respond(&mut pending, &mut writer, &mut || err.encode_v1())?;
+                    }
                 },
             }
         }

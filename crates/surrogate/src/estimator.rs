@@ -13,6 +13,15 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
+/// [`Estimator::train`] invocations (a meta-search retrains several).
+static OBS_TRAIN_CALLS: hdx_obs::Counter = hdx_obs::Counter::new("surrogate.train.calls");
+/// Total training pairs across all [`Estimator::train`] calls.
+static OBS_TRAIN_PAIRS: hdx_obs::Counter = hdx_obs::Counter::new("surrogate.train.pairs");
+/// Microbatch shard gradient computations fanned out by training. The
+/// shard decomposition is fixed (independent of the worker count), so
+/// this counts the same at every `HDX_JOBS` value.
+static OBS_TRAIN_SHARDS: hdx_obs::Counter = hdx_obs::Counter::new("surrogate.train.shards");
+
 /// Estimator hyper-parameters.
 ///
 /// The paper pre-trains for 200 epochs with batch 256 and Adam 1e-4 on
@@ -120,6 +129,9 @@ impl Estimator {
     ///
     /// Panics if `pairs` is empty or its dimension mismatches.
     pub fn train(&mut self, pairs: &PairSet, rng: &mut Rng) -> f32 {
+        let _span = hdx_obs::span("surrogate.train");
+        OBS_TRAIN_CALLS.incr();
+        OBS_TRAIN_PAIRS.add(pairs.len() as u64);
         assert!(!pairs.is_empty(), "train: empty pair set");
         assert_eq!(
             pairs.dim(),
@@ -175,6 +187,7 @@ impl Estimator {
         jobs: usize,
     ) -> (f32, Vec<Option<Tensor>>) {
         let shards: Vec<&[usize]> = chunk.chunks(Self::SHARD_ROWS).collect();
+        OBS_TRAIN_SHARDS.add(shards.len() as u64);
         let results = hdx_tensor::parallel_map(&shards, jobs, |_, shard| {
             let (x, t) = pairs.batch(shard);
             let mut tape = Tape::new();
@@ -267,6 +280,7 @@ impl Estimator {
         jobs: usize,
     ) -> (f32, Vec<Option<Tensor>>) {
         let shards: Vec<&[usize]> = chunk.chunks(Self::SHARD_ROWS).collect();
+        OBS_TRAIN_SHARDS.add(shards.len() as u64);
         // Explicit contiguous worker ranges: which worker replays which
         // shard affects only session reuse, never the results. Workers
         // left over after the shard fan-out go to each session's own

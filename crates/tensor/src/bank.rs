@@ -75,10 +75,20 @@
 //! ```
 
 use crate::program::{Program, Session};
+use hdx_obs::{Counter, Gauge};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Obs mirrors of the bank counters (deterministic magnitudes; the
+/// authoritative per-bank numbers stay in [`BankStats`]). Process-wide
+/// across every bank instance, like the rest of the obs registry.
+static OBS_HITS: Counter = Counter::new("bank.hit");
+static OBS_MISSES: Counter = Counter::new("bank.miss");
+static OBS_EVICTIONS: Counter = Counter::new("bank.evict");
+static OBS_COMPILES: Counter = Counter::new("bank.compile");
+static OBS_PROGRAMS: Gauge = Gauge::new("bank.programs");
 
 /// Fingerprints a program identity for [`SessionBank::checkout`]: a
 /// distinguishing tag (one per call site) plus everything baked into
@@ -143,6 +153,7 @@ impl Inner {
             };
             self.entries.remove(&victim);
             self.evictions += 1;
+            OBS_EVICTIONS.incr();
         }
     }
 }
@@ -246,10 +257,16 @@ impl SessionBank {
         let hit = inner.entries.contains_key(&key);
         if hit {
             inner.hits += 1;
+            OBS_HITS.incr();
         } else {
             inner.misses += 1;
+            OBS_MISSES.incr();
         }
         let entry = inner.entries.entry(key).or_insert_with(|| {
+            // Compile time is wall-clock, so it goes only to the obs
+            // trace sink (never into the deterministic registry).
+            let _compile_span = hdx_obs::span("bank.compile");
+            OBS_COMPILES.incr();
             let (prog, meta) = compile();
             Entry {
                 prog: Arc::new(prog),
@@ -271,6 +288,7 @@ impl SessionBank {
         if let Some(cap) = inner.capacity {
             inner.evict_to(cap);
         }
+        OBS_PROGRAMS.set(inner.entries.len() as u64);
         SessionLease {
             bank: self,
             key,

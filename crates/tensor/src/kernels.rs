@@ -51,6 +51,38 @@
 //! change bits — wider lanes only change how many independent output
 //! columns advance per instruction.
 
+/// Cumulative nominal multiply-accumulate volume of the compiled
+/// executor's kernel steps (zero-skip makes the executed count ≤ this,
+/// but GFLOP accounting uses the nominal figure).
+static OBS_MACS: hdx_obs::Counter = hdx_obs::Counter::new("kernel.macs");
+/// Logical kernel dispatches that ran the AVX-512 microkernels.
+static OBS_DISPATCH_AVX512: hdx_obs::Counter = hdx_obs::Counter::new("kernel.dispatch.avx512");
+/// Logical kernel dispatches that ran the AVX2 microkernels.
+static OBS_DISPATCH_AVX2: hdx_obs::Counter = hdx_obs::Counter::new("kernel.dispatch.avx2");
+/// Logical kernel dispatches that ran the scalar-body microkernels.
+static OBS_DISPATCH_SCALAR: hdx_obs::Counter = hdx_obs::Counter::new("kernel.dispatch.scalar");
+
+/// Records one *logical* kernel dispatch in the obs registry: the SIMD
+/// tier it will run at and its nominal MAC volume. Called by the
+/// compiled executor's row-partitioner once per kernel step — not per
+/// worker chunk — so the counts are identical at every `HDX_JOBS`
+/// value (worker count must never show in deterministic outputs, and
+/// the `metrics` verb snapshots this registry). Two relaxed atomic
+/// adds; counting cannot perturb results.
+#[inline]
+pub(crate) fn observe_dispatch(macs: usize) {
+    OBS_MACS.add(macs as u64);
+    #[cfg(target_arch = "x86_64")]
+    let tier = simd_tier();
+    #[cfg(not(target_arch = "x86_64"))]
+    let tier = 1u8;
+    match tier {
+        3 => OBS_DISPATCH_AVX512.incr(),
+        2 => OBS_DISPATCH_AVX2.incr(),
+        _ => OBS_DISPATCH_SCALAR.incr(),
+    }
+}
+
 /// `out = a · b` for row-major `a [m,k]`, `b [k,n]`, `out [m,n]`.
 ///
 /// `out` is fully overwritten. The ikj loop order (streaming through

@@ -93,6 +93,18 @@ pub const REGISTRY: &[Knob] = &[
         default: "BENCH_micro.json at the repo root",
         summary: "output path for the micro-bench JSON report",
     },
+    Knob {
+        name: "HDX_TRACE",
+        owner: "tensor::obs (init) / hdx-serve --trace",
+        default: "unset (trace sink off)",
+        summary: "path of the hdx-obs wall-clock span JSONL sink",
+    },
+    Knob {
+        name: "HDX_OBS_BUF",
+        owner: "tensor::obs (init)",
+        default: "4096",
+        summary: "per-thread span ring-buffer capacity (events)",
+    },
 ];
 
 /// Looks up a declared knob.

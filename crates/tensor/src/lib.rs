@@ -31,6 +31,7 @@ pub mod ckpt;
 pub mod kernels;
 pub mod knobs;
 pub mod nn;
+pub mod obs;
 pub mod optim;
 pub mod par;
 pub mod program;

@@ -161,6 +161,13 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    // One call and `items.len()` units of work regardless of how many
+    // workers end up running them — the counts (and therefore the
+    // `metrics` verb snapshot) are identical at every `HDX_JOBS`.
+    static OBS_CALLS: hdx_obs::Counter = hdx_obs::Counter::new("par.map.calls");
+    static OBS_ITEMS: hdx_obs::Counter = hdx_obs::Counter::new("par.map.items");
+    OBS_CALLS.incr();
+    OBS_ITEMS.add(items.len() as u64);
     let workers = num_jobs(jobs).min(items.len().max(1));
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();

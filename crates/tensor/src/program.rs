@@ -2089,6 +2089,9 @@ fn par_rows(
     macs: usize,
     f: &(dyn Fn(usize, usize) + Sync),
 ) {
+    // One obs record per *logical* dispatch (never per worker chunk),
+    // so the registry counts stay identical at every worker count.
+    crate::kernels::observe_dispatch(macs);
     match pool {
         Some(pool)
             if pool.workers() > 1 && total_rows >= 2 && macs >= crate::par::par_threshold() =>

@@ -178,12 +178,12 @@ fn cmd_gen_bundles(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, String>>()?
     };
     for spec in &specs {
-        let start = std::time::Instant::now();
+        let watch = hdx_obs::Stopwatch::start();
         let path = spec.write_bundle(&out, jobs).map_err(|e| e.to_string())?;
         eprintln!(
             "wrote {} in {:.1}s (pairs={} est_epochs={} warm_luts={})",
             path.display(),
-            start.elapsed().as_secs_f64(),
+            watch.seconds(),
             spec.pairs,
             spec.est_epochs,
             spec.warm_luts,

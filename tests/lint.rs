@@ -34,26 +34,43 @@ fn rules(analysis: &Analysis) -> Vec<Rule> {
 }
 
 #[test]
-fn wall_clock_fires_in_lib_but_not_bin_or_bench() {
+fn wall_clock_scope_fires_in_every_file_kind_except_obs() {
     let src = "pub fn f() { let _ = std::time::Instant::now(); }\n";
     let in_lib = run(&[lib(src)]);
-    assert_eq!(rules(&in_lib), vec![Rule::WallClock]);
-
     let in_bin = run(&[file("crates/x/src/main.rs", FileKind::Bin, src)]);
     let in_bench = run(&[file("crates/x/benches/b.rs", FileKind::Bench, src)]);
-    assert!(in_bin.findings.is_empty(), "{:?}", in_bin.findings);
-    assert!(in_bench.findings.is_empty(), "{:?}", in_bench.findings);
+    assert_eq!(rules(&in_lib), vec![Rule::WallClockScope]);
+    assert_eq!(rules(&in_bin), vec![Rule::WallClockScope]);
+    assert_eq!(rules(&in_bench), vec![Rule::WallClockScope]);
+
+    // The obs crate is the one sanctioned clock owner.
+    let in_obs = run(&[file("crates/obs/src/lib.rs", FileKind::Lib, src)]);
+    assert!(in_obs.findings.is_empty(), "{:?}", in_obs.findings);
 }
 
 #[test]
 fn wall_clock_covers_system_time_and_thread_sleep() {
+    // SystemTime is a scope violation (HDX011); thread::sleep stays
+    // under the library-only wall_clock rule (HDX001).
     let analysis = run(&[lib(
         "pub fn f() {\n    let _ = std::time::SystemTime::now();\n    \
          std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
     )]);
-    assert_eq!(rules(&analysis), vec![Rule::WallClock, Rule::WallClock]);
+    assert_eq!(
+        rules(&analysis),
+        vec![Rule::WallClockScope, Rule::WallClock]
+    );
     assert_eq!(analysis.findings[0].line, 2);
     assert_eq!(analysis.findings[1].line, 3);
+}
+
+#[test]
+fn thread_sleep_stays_exempt_in_bin_and_bench() {
+    let src = "pub fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n";
+    let in_bin = run(&[file("crates/x/src/main.rs", FileKind::Bin, src)]);
+    let in_bench = run(&[file("crates/x/benches/b.rs", FileKind::Bench, src)]);
+    assert!(in_bin.findings.is_empty(), "{:?}", in_bin.findings);
+    assert!(in_bench.findings.is_empty(), "{:?}", in_bench.findings);
 }
 
 #[test]
@@ -226,6 +243,44 @@ fn stale_registry_entry_fires_knob_unused() {
 }
 
 #[test]
+fn obs_knob_divergence_fails_the_registry_cross_checks() {
+    // An obs knob read somewhere without a registry entry → HDX007.
+    let registry = file(
+        "crates/tensor/src/knobs.rs",
+        FileKind::Lib,
+        "pub struct Knob { pub name: &'static str }\n\
+         pub const REGISTRY: &[Knob] = &[Knob { name: \"HDX_TRACE\" }];\n",
+    );
+    let reader = file(
+        "crates/tensor/src/obs.rs",
+        FileKind::Lib,
+        "pub fn f() { let _ = (crate::raw(\"HDX_TRACE\"), crate::raw(\"HDX_OBS_BUF\")); }\n",
+    );
+    let analysis = run(&[registry, reader]);
+    assert_eq!(rules(&analysis), vec![Rule::KnobUnregistered]);
+    assert!(analysis.findings[0].message.contains("HDX_OBS_BUF"));
+
+    // A registered obs knob nothing reads → HDX008.
+    let registry = file(
+        "crates/tensor/src/knobs.rs",
+        FileKind::Lib,
+        "pub struct Knob { pub name: &'static str }\n\
+         pub const REGISTRY: &[Knob] = &[\n\
+             Knob { name: \"HDX_TRACE\" },\n\
+             Knob { name: \"HDX_OBS_BUF\" },\n\
+         ];\n",
+    );
+    let reader = file(
+        "crates/tensor/src/obs.rs",
+        FileKind::Lib,
+        "pub fn f() { let _ = crate::raw(\"HDX_TRACE\"); }\n",
+    );
+    let analysis = run(&[registry, reader]);
+    assert_eq!(rules(&analysis), vec![Rule::KnobUnused]);
+    assert!(analysis.findings[0].message.contains("HDX_OBS_BUF"));
+}
+
+#[test]
 fn mutated_frozen_region_fails_its_pin() {
     let text = "// hdx-frozen: begin(v0)\npub fn encode() {}\n// hdx-frozen: end(v0)\n";
     let good = hdx_lint::fnv1a64(hdx_lint::FNV_OFFSET, b"pub fn encode() {}\n");
@@ -262,7 +317,7 @@ fn finding_spans_are_one_based_byte_columns() {
     let f = &analysis.findings[0];
     // `Instant` starts at byte 32 (0-based) of line 1.
     assert_eq!((f.line, f.col), (1, 33));
-    assert_eq!(f.rule.code(), "HDX001");
+    assert_eq!(f.rule.code(), "HDX011");
     assert_eq!(
         format!("{f}").split(": ").next(),
         Some("crates/x/src/lib.rs:1:33")

@@ -471,6 +471,7 @@ fn trailing_garbage_sweep_rejects_with_offsets() {
         "hdx1 resume id=1 ckpt=/tmp/s.ckpt",
         "hdx1 load_bundle id=1 path=/tmp/b.ckpt",
         "hdx1 unload_bundle id=1 task=cifar bundle_seed=0",
+        "hdx1 metrics id=1",
     ];
     // …and a corpus of garbage suffixes: bare tokens, stray verbs,
     // unknown fields, malformed pairs.
@@ -526,7 +527,7 @@ enum FuzzDir {
 fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
     use v1::{Envelope, RequestBody, ResponseBody};
 
-    // Canonical request lines: the full v0 grammar plus all nine v1
+    // Canonical request lines: the full v0 grammar plus all ten v1
     // verbs, built through the real encoders so they are canonical by
     // construction.
     let grid_req = SearchRequest {
@@ -594,6 +595,10 @@ fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
             enc(&Envelope::v1(8, RequestBody::ListTasks)),
             FuzzDir::V1Request,
         ),
+        (
+            enc(&Envelope::v1(9, RequestBody::Metrics)),
+            FuzzDir::V1Request,
+        ),
     ]
     .into_iter()
     .collect();
@@ -643,6 +648,17 @@ fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
         ),
         (
             encr(&Envelope::v1(16, ResponseBody::Error(proto_err))),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(
+                17,
+                ResponseBody::Metrics(vec![
+                    ("bank.hit".to_owned(), 12),
+                    ("engine.searches".to_owned(), 3),
+                    ("router.verb.metrics".to_owned(), 1),
+                ]),
+            )),
             FuzzDir::V1Response,
         ),
     ];
