@@ -669,6 +669,28 @@ fn bench_raw_kernels(report: &mut Report) {
     ));
 }
 
+/// Catalog hot path: publish (idempotent re-publish of the same
+/// content) + verified read of a small checkpoint object. Feeds the
+/// `catalog.*` obs counters surfaced in the JSON below.
+fn bench_catalog_roundtrip(report: &mut Report) {
+    let root = std::env::temp_dir().join(format!("hdx_bench_catalog_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let catalog = hdx_catalog::Catalog::open(&root).expect("open bench catalog");
+    let mut ckpt = hdx_tensor::Checkpoint::new();
+    ckpt.put_u64("bench.payload", &[64], &(0..64u64).collect::<Vec<_>>());
+    let bytes = ckpt.to_bytes();
+    let receipt = catalog.publish(0, "bench", 0, &bytes).expect("publish");
+    bench(report, "catalog/publish_get_small", || {
+        let r = catalog
+            .publish(0, "bench", 0, black_box(&bytes))
+            .expect("re-publish");
+        black_box(catalog.get(r.fingerprint).expect("get"));
+    });
+    catalog.gc(1).expect("gc");
+    black_box(receipt);
+    std::fs::remove_dir_all(&root).ok();
+}
+
 fn main() {
     println!(
         "HDX micro-benchmarks ({}s budget per case)\n",
@@ -688,6 +710,7 @@ fn main() {
     bench_estimator_train_replay(&mut report);
     bench_final_net_replay(&mut report);
     bench_serve_oneshot(&mut report);
+    bench_catalog_roundtrip(&mut report);
 
     // Deterministic obs-registry counters: the same values the serving
     // layer exposes through the `metrics` verb, cumulative over this
@@ -709,6 +732,14 @@ fn main() {
     for tier in ["avx512", "avx2", "scalar"] {
         let name = format!("kernel.dispatch.{tier}");
         report.counters.push((format!("obs.{name}"), get(&name)));
+    }
+    for name in [
+        "catalog.publishes",
+        "catalog.hits",
+        "catalog.evictions",
+        "catalog.bytes",
+    ] {
+        report.counters.push((format!("obs.{name}"), get(name)));
     }
 
     // `cargo bench` sets the package dir as CWD; anchor the default to

@@ -34,14 +34,20 @@ pub struct Artifacts {
     pub luts: Vec<(Vec<ConvLayer>, LayerLut)>,
 }
 
-fn task_code(task: Task) -> u64 {
-    // The persisted code is the canonical Task::ALL position; the
-    // first two are frozen (PR-3 bundles must keep loading), new
-    // families only append.
+/// The persisted task code: the canonical `Task::ALL` position. The
+/// first two are frozen (PR-3 bundles must keep loading), new families
+/// only append. The artifact catalog keys on the same code, so a
+/// catalog index row and a bundle's `bundle.meta` always agree.
+pub fn task_code(task: Task) -> u64 {
     task.index() as u64
 }
 
-fn task_from_code(code: u64) -> Result<Task, CkptError> {
+/// Inverse of [`task_code`].
+///
+/// # Errors
+///
+/// [`CkptError::Malformed`] for a code no registered task carries.
+pub fn task_from_code(code: u64) -> Result<Task, CkptError> {
     usize::try_from(code)
         .ok()
         .and_then(|i| Task::ALL.get(i).copied())
@@ -92,7 +98,26 @@ pub fn load_bundle(path: &Path) -> Result<Artifacts, CkptError> {
     static OBS_LOADS: hdx_obs::Counter = hdx_obs::Counter::new("artifact.bundle_loads");
     let _span = hdx_obs::span("artifact.load_bundle");
     OBS_LOADS.incr();
-    let ckpt = Checkpoint::load(path)?;
+    artifacts_from(&Checkpoint::load(path)?)
+}
+
+/// Loads a bundle from in-memory container bytes — the catalog read
+/// path. Same parser as [`load_bundle`], so a bundle served from a
+/// `cat:` fingerprint ref is bit-identical to one served from the
+/// loose file it was published from.
+///
+/// # Errors
+///
+/// The same typed [`CkptError`]s as [`load_bundle`] (minus I/O).
+pub fn load_bundle_bytes(bytes: &[u8]) -> Result<Artifacts, CkptError> {
+    static OBS_LOADS: hdx_obs::Counter = hdx_obs::Counter::new("artifact.bundle_loads_bytes");
+    let _span = hdx_obs::span("artifact.load_bundle_bytes");
+    OBS_LOADS.incr();
+    artifacts_from(&Checkpoint::from_bytes(bytes)?)
+}
+
+/// The shared section-level bundle parser.
+fn artifacts_from(ckpt: &Checkpoint) -> Result<Artifacts, CkptError> {
     let (shape, meta) = ckpt.get_u64("bundle.meta")?;
     if shape != [3] {
         return Err(CkptError::ShapeMismatch {
@@ -106,13 +131,13 @@ pub fn load_bundle(path: &Path) -> Result<Artifacts, CkptError> {
     let pairs = usize::try_from(meta[2])
         .map_err(|_| CkptError::Malformed("bundle.meta pair count exceeds usize".to_owned()))?;
     let accuracy = ckpt.get_scalar_f64("bundle.accuracy")?;
-    let estimator = Estimator::load_sections(&ckpt, "est", &task.plan())?;
+    let estimator = Estimator::load_sections(ckpt, "est", &task.plan())?;
     let lut_count = ckpt.get_scalar_u64("bundle.lut_count")?;
     let lut_count = usize::try_from(lut_count)
         .map_err(|_| CkptError::Malformed("bundle.lut_count exceeds usize".to_owned()))?;
     let mut luts = Vec::with_capacity(lut_count);
     for i in 0..lut_count {
-        luts.push(LayerLut::load_sections(&ckpt, &format!("lut{i}"))?);
+        luts.push(LayerLut::load_sections(ckpt, &format!("lut{i}"))?);
     }
     Ok(Artifacts {
         task,

@@ -43,8 +43,8 @@ pub mod router;
 pub(crate) mod service;
 
 pub use artifact::{
-    load_bundle, save_bundle, train_artifacts, train_artifacts_from, warm_uniform_luts, Artifacts,
-    WarmLuts,
+    load_bundle, load_bundle_bytes, save_bundle, task_code, task_from_code, train_artifacts,
+    train_artifacts_from, warm_uniform_luts, Artifacts, WarmLuts,
 };
 pub use proto::{parse_request, v1, ErrorKind, ProtoError, Request, SearchReport, SearchRequest};
 pub use router::{Router, RouterConfig};

@@ -24,7 +24,8 @@
 
 use hdx_core::Task;
 use hdx_serve::{
-    load_bundle, save_bundle, train_artifacts, train_artifacts_from, Router, RouterConfig,
+    load_bundle, save_bundle, task_code, train_artifacts, train_artifacts_from, Router,
+    RouterConfig,
 };
 use std::io::BufReader;
 use std::net::TcpListener;
@@ -66,13 +67,13 @@ hdx-serve — persistent multi-tenant co-design search service
 USAGE:
   hdx-serve train-and-save --out FILE [--task cifar|imagenet] [--seed N]
                            [--pairs N] [--est-epochs N] [--warm-luts 0..=6]
-                           [--init-bundle FILE] [--jobs N]
-  hdx-serve oneshot --bundle FILE [--bundle FILE …] [--requests FILE]
+                           [--init-bundle FILE] [--jobs N] [--catalog DIR]
+  hdx-serve oneshot --bundle SPEC [--bundle SPEC …] [--requests FILE]
                     [--jobs N] [--max-requests-per-conn N] [--deadline-steps N]
-                    [--trace FILE]
-  hdx-serve serve   --bundle FILE [--bundle FILE …] [--tcp ADDR]
+                    [--trace FILE] [--catalog DIR]
+  hdx-serve serve   --bundle SPEC [--bundle SPEC …] [--tcp ADDR]
                     [--jobs N] [--max-requests-per-conn N] [--deadline-steps N]
-                    [--trace FILE]
+                    [--trace FILE] [--catalog DIR]
   hdx-serve trace-check FILE
 
 train-and-save  pre-trains the estimator on analytical-model pairs,
@@ -84,6 +85,12 @@ oneshot         reads request lines (file or stdin), runs them as a
 serve           line protocol on stdin/stdout, or TCP with --tcp.
                 Requests route by task across every --bundle.
                 (--artifacts is accepted as an alias for --bundle.)
+
+Catalog: --catalog DIR mounts the content-addressed artifact catalog.
+train-and-save then also publishes the bundle into it (printing its
+cat:<fingerprint> ref) and runs HDX_CATALOG_KEEP retention GC;
+serve/oneshot accept cat:<fingerprint> bundle SPECs and enable the v1
+catalog_list / catalog_pin / catalog_evict verbs.
 trace-check     validates an hdx-obs span trace (JSONL, schema v1)
                 and prints its line counts.
 
@@ -188,6 +195,7 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
         "warm-luts",
         "init-bundle",
         "jobs",
+        "catalog",
     ])?;
     let out = PathBuf::from(flags.require("out")?);
     let pairs: usize = flags.parse_num("pairs", 8_000)?;
@@ -245,11 +253,52 @@ fn cmd_train_and_save(args: &[String]) -> Result<(), String> {
         out.display(),
         size as f64 / (1 << 20) as f64
     );
+    if let Some(dir) = flags.get("catalog") {
+        let receipt = publish_to_catalog(dir, task, seed, "train", &out)?;
+        eprintln!(
+            "published {} gen={} ({} bytes) to catalog {dir}",
+            hdx_catalog::format_ref(receipt.fingerprint),
+            receipt.gen,
+            receipt.len,
+        );
+    }
     Ok(())
 }
 
+/// Publishes a just-written bundle file into the catalog under
+/// `(task, family, seed)` and runs retention GC per `HDX_CATALOG_KEEP`
+/// (a no-op when the knob is unset).
+fn publish_to_catalog(
+    dir: &str,
+    task: Task,
+    seed: u64,
+    family: &str,
+    bundle: &std::path::Path,
+) -> Result<hdx_catalog::Receipt, String> {
+    let catalog = hdx_catalog::Catalog::open(&PathBuf::from(dir))
+        .map_err(|e| format!("cannot open catalog {dir}: {e}"))?;
+    let bytes = std::fs::read(bundle)
+        .map_err(|e| format!("cannot read back bundle {}: {e}", bundle.display()))?;
+    let code = u8::try_from(task_code(task)).expect("task codes fit in u8");
+    let receipt = catalog
+        .publish(code, family, seed, &bytes)
+        .map_err(|e| format!("cannot publish {} to catalog {dir}: {e}", bundle.display()))?;
+    let report = catalog
+        .gc_from_env()
+        .map_err(|e| format!("catalog retention GC failed in {dir}: {e}"))?;
+    if !report.evicted.is_empty() {
+        eprintln!(
+            "catalog GC evicted {} generation(s), freed {} bytes",
+            report.evicted.len(),
+            report.freed
+        );
+    }
+    Ok(receipt)
+}
+
 /// Builds a router from every `--bundle`/`--artifacts` flag plus the
-/// hardening knobs.
+/// hardening knobs. `--catalog DIR` mounts the artifact catalog first,
+/// so bundle specs may be `cat:<fingerprint>` refs into it.
 fn load_router(flags: &Flags) -> Result<Router, String> {
     let bundles = flags.get_all(&["bundle", "artifacts"]);
     if bundles.is_empty() {
@@ -261,13 +310,19 @@ fn load_router(flags: &Flags) -> Result<Router, String> {
         deadline_steps: flags.parse_opt_num("deadline-steps")?,
     };
     let router = Router::new(cfg);
-    for path in bundles {
+    if let Some(dir) = flags.get("catalog") {
+        let catalog = hdx_catalog::Catalog::open(&PathBuf::from(dir))
+            .map_err(|e| format!("cannot open catalog {dir}: {e}"))?;
+        eprintln!("mounted catalog {dir}");
+        router.mount_catalog(catalog);
+    }
+    for spec in bundles {
         let watch = hdx_obs::Stopwatch::start();
         let entry = router
-            .load_bundle_path(&PathBuf::from(path))
-            .map_err(|e| format!("cannot load bundle {path}: {e}"))?;
+            .load_bundle_ref(spec)
+            .map_err(|e| format!("cannot load bundle {spec}: {}", e.message()))?;
         eprintln!(
-            "loaded {path} in {:.2}s: task={:?} bundle_seed={} estimator accuracy {:.1}%",
+            "loaded {spec} in {:.2}s: task={:?} bundle_seed={} estimator accuracy {:.1}%",
             watch.seconds(),
             entry.task,
             entry.bundle_seed,
@@ -277,7 +332,7 @@ fn load_router(flags: &Flags) -> Result<Router, String> {
     Ok(router)
 }
 
-const SERVE_FLAGS: [&str; 8] = [
+const SERVE_FLAGS: [&str; 9] = [
     "bundle",
     "artifacts",
     "requests",
@@ -286,6 +341,7 @@ const SERVE_FLAGS: [&str; 8] = [
     "max-requests-per-conn",
     "deadline-steps",
     "trace",
+    "catalog",
 ];
 
 /// Honors `--trace FILE` for the serve/oneshot subcommands (overrides

@@ -128,6 +128,12 @@ pub enum ErrorKind {
         /// Human-readable description.
         message: String,
     },
+    /// A catalog operation failure (no catalog mounted, unknown
+    /// fingerprint, pinned/leased eviction refusal, store corruption).
+    CatalogOp {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl ErrorKind {
@@ -147,6 +153,7 @@ impl ErrorKind {
             ErrorKind::QuotaExceeded { .. } => "quota_exceeded",
             ErrorKind::DeadlineExceeded { .. } => "deadline_exceeded",
             ErrorKind::Checkpoint { .. } => "checkpoint",
+            ErrorKind::CatalogOp { .. } => "catalog",
         }
     }
 
@@ -181,7 +188,9 @@ impl ErrorKind {
                 format!("trailing input \"{token}\" after request")
             }
             ErrorKind::MissingField { key } => format!("required field \"{key}\" missing"),
-            ErrorKind::Invalid { message } | ErrorKind::Checkpoint { message } => message.clone(),
+            ErrorKind::Invalid { message }
+            | ErrorKind::Checkpoint { message }
+            | ErrorKind::CatalogOp { message } => message.clone(),
             ErrorKind::TaskUnavailable { task, bundle_seed } => match bundle_seed {
                 Some(seed) => format!("no bundle loaded for task \"{task}\" seed {seed}"),
                 None => format!("no bundle loaded for task \"{task}\""),

@@ -17,6 +17,13 @@
 //! | `unload_bundle` | drop a loaded bundle          | `unloaded`    |
 //! | `list_tasks`    | enumerate loaded bundles      | `tasks`       |
 //! | `metrics`       | deterministic obs counters    | `metrics`     |
+//! | `catalog_list`  | enumerate catalog generations | `catalog`     |
+//! | `catalog_pin`   | pin/unpin a catalog object    | `pinned`      |
+//! | `catalog_evict` | evict a catalog object        | `evicted`     |
+//!
+//! `load_bundle` additionally accepts a catalog fingerprint ref as its
+//! `path` (`path=cat:<16 hex digits>`, see [`hdx_catalog::parse_ref`])
+//! when the router has a catalog mounted.
 //!
 //! [`decode_request`] / [`encode_request`] and [`decode_response`] /
 //! [`encode_response`] are the single canonical codec pair: every
@@ -102,6 +109,24 @@ pub enum RequestBody {
     /// (step-based counts only — wall-clock timing never enters the
     /// registry, so the snapshot is reproducible).
     Metrics,
+    /// Enumerate the mounted catalog's index (every generation of
+    /// every `(task, family, seed)` key, in index order).
+    CatalogList,
+    /// Pin (`on=1`) or unpin (`on=0`) every catalog generation
+    /// carrying a fingerprint; pinned generations survive GC and
+    /// refuse eviction.
+    CatalogPin {
+        /// Content fingerprint of the object.
+        fingerprint: u64,
+        /// Pin (`true`) or unpin (`false`).
+        on: bool,
+    },
+    /// Evict a fingerprint from the mounted catalog (refused while
+    /// pinned or leased by a live bundle).
+    CatalogEvict {
+        /// Content fingerprint of the object.
+        fingerprint: u64,
+    },
 }
 
 /// The typed payload of one v1 response line.
@@ -129,8 +154,44 @@ pub enum ResponseBody {
     /// `<layer>.<thing>[.<variant>]` and never collide with the
     /// envelope's `id`/`count` keys.
     Metrics(Vec<(String, u64)>),
+    /// The catalog index listing, in index `(task, family, seed, gen)`
+    /// order.
+    Catalog(Vec<CatalogEntry>),
+    /// A pin state was applied.
+    Pinned {
+        /// Content fingerprint of the object.
+        fingerprint: u64,
+        /// The pin state now in force.
+        on: bool,
+    },
+    /// A catalog object was evicted.
+    Evicted {
+        /// Content fingerprint of the evicted object.
+        fingerprint: u64,
+        /// Object bytes freed.
+        freed: u64,
+    },
     /// An in-band failure.
     Error(ProtoError),
+}
+
+/// One catalog generation, as listed by `catalog_list`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// The bundle's task.
+    pub task: Task,
+    /// Publisher family label.
+    pub family: String,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Per-key generation number.
+    pub gen: u64,
+    /// Content fingerprint.
+    pub fingerprint: u64,
+    /// Object length in bytes.
+    pub len: u64,
+    /// Whether the generation is pinned.
+    pub pinned: bool,
 }
 
 /// One loaded bundle, as listed by `list_tasks` / echoed by
@@ -340,6 +401,59 @@ pub fn decode_request(line: &str) -> Result<Envelope<RequestBody>, ProtoError> {
         "ping" => control_envelope(parts, RequestBody::Ping),
         "list_tasks" => control_envelope(parts, RequestBody::ListTasks),
         "metrics" => control_envelope(parts, RequestBody::Metrics),
+        "catalog_list" => control_envelope(parts, RequestBody::CatalogList),
+        "catalog_pin" => {
+            let mut id = 0u64;
+            let mut fingerprint: Option<u64> = None;
+            let mut on: Option<bool> = None;
+            for (offset, part) in parts {
+                let (key, value) = split_field(id, offset, part)?;
+                match key {
+                    "id" => id = parse_u64(id, offset, key, value)?,
+                    "ref" => fingerprint = Some(parse_cat_ref(id, offset, key, value)?),
+                    "on" => on = Some(parse_bit(id, offset, key, value)?),
+                    _ => {
+                        return Err(ProtoError::new(
+                            id,
+                            ErrorKind::UnknownField {
+                                key: key.to_owned(),
+                                offset,
+                            },
+                        ))
+                    }
+                }
+            }
+            let fingerprint =
+                fingerprint.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "ref" }))?;
+            let on = on.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "on" }))?;
+            Ok(Envelope::v1(
+                id,
+                RequestBody::CatalogPin { fingerprint, on },
+            ))
+        }
+        "catalog_evict" => {
+            let mut id = 0u64;
+            let mut fingerprint: Option<u64> = None;
+            for (offset, part) in parts {
+                let (key, value) = split_field(id, offset, part)?;
+                match key {
+                    "id" => id = parse_u64(id, offset, key, value)?,
+                    "ref" => fingerprint = Some(parse_cat_ref(id, offset, key, value)?),
+                    _ => {
+                        return Err(ProtoError::new(
+                            id,
+                            ErrorKind::UnknownField {
+                                key: key.to_owned(),
+                                offset,
+                            },
+                        ))
+                    }
+                }
+            }
+            let fingerprint =
+                fingerprint.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "ref" }))?;
+            Ok(Envelope::v1(id, RequestBody::CatalogEvict { fingerprint }))
+        }
         "load_bundle" => {
             let mut id = 0u64;
             let mut path: Option<String> = None;
@@ -464,6 +578,20 @@ fn parse_u64(id: u64, offset: usize, key: &str, value: &str) -> Result<u64, Prot
         .map_err(|_| invalid_value(id, offset, key, value))
 }
 
+/// Parses a `cat:<16 hex digits>` fingerprint ref field.
+fn parse_cat_ref(id: u64, offset: usize, key: &str, value: &str) -> Result<u64, ProtoError> {
+    hdx_catalog::parse_ref(value).ok_or_else(|| invalid_value(id, offset, key, value))
+}
+
+/// Parses a strict `0`/`1` boolean field (canonical both directions).
+fn parse_bit(id: u64, offset: usize, key: &str, value: &str) -> Result<bool, ProtoError> {
+    match value {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(invalid_value(id, offset, key, value)),
+    }
+}
+
 /// Encodes a request envelope as its canonical v1 line
 /// ([`decode_request`] round-trips it).
 pub fn encode_request(env: &Envelope<RequestBody>) -> String {
@@ -486,6 +614,18 @@ pub fn encode_request(env: &Envelope<RequestBody>) -> String {
             "{VERSION_TOKEN} unload_bundle id={} task={} bundle_seed={bundle_seed}",
             env.request_id,
             task_label(*task)
+        ),
+        RequestBody::CatalogList => format!("{VERSION_TOKEN} catalog_list id={}", env.request_id),
+        RequestBody::CatalogPin { fingerprint, on } => format!(
+            "{VERSION_TOKEN} catalog_pin id={} ref={} on={}",
+            env.request_id,
+            hdx_catalog::format_ref(*fingerprint),
+            u8::from(*on)
+        ),
+        RequestBody::CatalogEvict { fingerprint } => format!(
+            "{VERSION_TOKEN} catalog_evict id={} ref={}",
+            env.request_id,
+            hdx_catalog::format_ref(*fingerprint)
         ),
     }
 }
@@ -571,6 +711,37 @@ pub fn encode_response(env: &Envelope<ResponseBody>) -> String {
             }
             line
         }
+        ResponseBody::Catalog(entries) => {
+            let mut line = format!(
+                "{VERSION_TOKEN} catalog id={} count={}",
+                env.request_id,
+                entries.len()
+            );
+            for e in entries {
+                line.push_str(&format!(
+                    " entry={}:{}:{}:{}:{:016x}:{}:{}",
+                    task_label(e.task),
+                    e.family,
+                    e.seed,
+                    e.gen,
+                    e.fingerprint,
+                    e.len,
+                    u8::from(e.pinned)
+                ));
+            }
+            line
+        }
+        ResponseBody::Pinned { fingerprint, on } => format!(
+            "{VERSION_TOKEN} pinned id={} ref={} on={}",
+            env.request_id,
+            hdx_catalog::format_ref(*fingerprint),
+            u8::from(*on)
+        ),
+        ResponseBody::Evicted { fingerprint, freed } => format!(
+            "{VERSION_TOKEN} evicted id={} ref={} freed={freed}",
+            env.request_id,
+            hdx_catalog::format_ref(*fingerprint)
+        ),
         ResponseBody::Error(e) => e.encode_v1(),
     }
 }
@@ -640,6 +811,24 @@ pub fn decode_response(line: &str) -> Result<Envelope<ResponseBody>, ProtoError>
         }
         "tasks" => decode_tasks(parts),
         "metrics" => decode_metrics(parts),
+        "catalog" => decode_catalog(parts),
+        "pinned" => {
+            let (id, fingerprint, bit) = decode_ref_fields(parts, "on")?;
+            Ok(Envelope::v1(
+                id,
+                ResponseBody::Pinned {
+                    fingerprint,
+                    on: bit != 0,
+                },
+            ))
+        }
+        "evicted" => {
+            let (id, fingerprint, freed) = decode_ref_fields(parts, "freed")?;
+            Ok(Envelope::v1(
+                id,
+                ResponseBody::Evicted { fingerprint, freed },
+            ))
+        }
         "error" => decode_error(parts),
         other => Err(ProtoError::new(
             0,
@@ -853,6 +1042,106 @@ fn decode_metrics<'a>(
         ));
     }
     Ok(Envelope::v1(id, ResponseBody::Metrics(entries)))
+}
+
+/// Shared field loop for the `pinned` / `evicted` responses: `id`, a
+/// required `ref`, and one required extra field (`on`, a strict 0/1
+/// bit, or `freed`, a byte count).
+fn decode_ref_fields<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+    extra_key: &'static str,
+) -> Result<(u64, u64, u64), ProtoError> {
+    let mut id = 0u64;
+    let mut fingerprint: Option<u64> = None;
+    let mut extra: Option<u64> = None;
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "ref" => fingerprint = Some(parse_cat_ref(id, offset, key, value)?),
+            k if k == extra_key && extra_key == "on" => {
+                extra = Some(u64::from(parse_bit(id, offset, key, value)?));
+            }
+            k if k == extra_key => extra = Some(parse_u64(id, offset, key, value)?),
+            _ => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    let fingerprint =
+        fingerprint.ok_or(ProtoError::new(id, ErrorKind::MissingField { key: "ref" }))?;
+    let extra = extra.ok_or(ProtoError::new(
+        id,
+        ErrorKind::MissingField { key: extra_key },
+    ))?;
+    Ok((id, fingerprint, extra))
+}
+
+/// Decodes the `catalog` index listing. Entries must stay in the
+/// canonical index order (non-descending `(task, family, seed, gen)`)
+/// and `count` must match — the same cross-checks `tasks`/`metrics`
+/// apply.
+fn decode_catalog<'a>(
+    parts: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Envelope<ResponseBody>, ProtoError> {
+    let mut id = 0u64;
+    let mut count: Option<u64> = None;
+    let mut entries: Vec<CatalogEntry> = Vec::new();
+    for (offset, part) in parts {
+        let (key, value) = split_field(id, offset, part)?;
+        match key {
+            "id" => id = parse_u64(id, offset, key, value)?,
+            "count" => count = Some(parse_u64(id, offset, key, value)?),
+            "entry" => {
+                let fields: Vec<&str> = value.split(':').collect();
+                let parsed = (fields.len() == 7).then(|| {
+                    Some(CatalogEntry {
+                        task: task_from_label(fields[0])?,
+                        family: (!fields[1].is_empty()).then(|| fields[1].to_owned())?,
+                        seed: fields[2].parse().ok()?,
+                        gen: fields[3].parse().ok()?,
+                        fingerprint: (fields[4].len() == 16)
+                            .then(|| u64::from_str_radix(fields[4], 16).ok())
+                            .flatten()?,
+                        len: fields[5].parse().ok()?,
+                        pinned: match fields[6] {
+                            "0" => Some(false),
+                            "1" => Some(true),
+                            _ => None,
+                        }?,
+                    })
+                });
+                match parsed.flatten() {
+                    Some(e) => entries.push(e),
+                    None => return Err(invalid_value(id, offset, key, value)),
+                }
+            }
+            _ => {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::UnknownField {
+                        key: key.to_owned(),
+                        offset,
+                    },
+                ))
+            }
+        }
+    }
+    if count.is_some_and(|c| c != entries.len() as u64) {
+        return Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid {
+                message: "catalog count disagrees with the listed entries".to_owned(),
+            },
+        ));
+    }
+    Ok(Envelope::v1(id, ResponseBody::Catalog(entries)))
 }
 
 fn decode_error<'a>(
@@ -1082,6 +1371,27 @@ mod tests {
                     bundle_seed: 2,
                 },
             ),
+            Envelope::v1(13, RequestBody::CatalogList),
+            Envelope::v1(
+                14,
+                RequestBody::CatalogPin {
+                    fingerprint: 0x00ab_cdef_0123_4567,
+                    on: true,
+                },
+            ),
+            Envelope::v1(
+                15,
+                RequestBody::CatalogPin {
+                    fingerprint: u64::MAX,
+                    on: false,
+                },
+            ),
+            Envelope::v1(
+                16,
+                RequestBody::CatalogEvict {
+                    fingerprint: 0xdead_beef_cafe_f00d,
+                },
+            ),
         ];
         for env in envelopes {
             let line = encode_request(&env);
@@ -1188,6 +1498,44 @@ mod tests {
                 ]),
             ),
             Envelope::v1(19, ResponseBody::Metrics(Vec::new())),
+            Envelope::v1(
+                20,
+                ResponseBody::Catalog(vec![
+                    CatalogEntry {
+                        task: Task::Cifar,
+                        family: "train".to_owned(),
+                        seed: 0,
+                        gen: 1,
+                        fingerprint: 0x0000_0000_0000_00ff,
+                        len: 4096,
+                        pinned: false,
+                    },
+                    CatalogEntry {
+                        task: Task::ImageNet,
+                        family: "workload".to_owned(),
+                        seed: 2,
+                        gen: 7,
+                        fingerprint: u64::MAX,
+                        len: 1,
+                        pinned: true,
+                    },
+                ]),
+            ),
+            Envelope::v1(21, ResponseBody::Catalog(Vec::new())),
+            Envelope::v1(
+                22,
+                ResponseBody::Pinned {
+                    fingerprint: 0x0123_4567_89ab_cdef,
+                    on: true,
+                },
+            ),
+            Envelope::v1(
+                23,
+                ResponseBody::Evicted {
+                    fingerprint: 0xfeed_face_0000_0001,
+                    freed: 8192,
+                },
+            ),
         ];
         for env in envelopes {
             let line = encode_response(&env);
@@ -1219,6 +1567,32 @@ mod tests {
         assert!(decode_response("hdx1 metrics id=1 count=1 bank.hit=nope").is_err());
         assert!(decode_request("hdx1 load_bundle id=1").is_err());
         assert!(decode_request("hdx1 unload_bundle id=1 task=cifar").is_err());
+        // Catalog verbs: refs must be cat:<16 hex digits>, pins a 0/1
+        // bit, and the required fields enforced.
+        assert!(decode_request("hdx1 catalog_list id=1 extra=2").is_err());
+        assert!(decode_request("hdx1 catalog_pin id=1 on=1").is_err());
+        assert!(decode_request("hdx1 catalog_pin id=1 ref=cat:00000000000000ff").is_err());
+        assert!(decode_request("hdx1 catalog_pin id=1 ref=cat:ff on=1").is_err());
+        assert!(decode_request("hdx1 catalog_pin id=1 ref=cat:00000000000000ff on=2").is_err());
+        assert!(decode_request("hdx1 catalog_evict id=1").is_err());
+        assert!(decode_request("hdx1 catalog_evict id=1 ref=00000000000000ff").is_err());
+        assert!(
+            decode_request("hdx1 catalog_evict id=1 ref=cat:00000000000000gg").is_err(),
+            "non-hex digits must be rejected"
+        );
+        // Catalog responses enforce the count and entry shape.
+        assert!(decode_response("hdx1 catalog id=1 count=1").is_err());
+        assert!(
+            decode_response("hdx1 catalog id=1 count=1 entry=cifar:train:0:1:00000000000000ff")
+                .is_err(),
+            "seven colon-separated fields required"
+        );
+        assert!(decode_response(
+            "hdx1 catalog id=1 count=1 entry=cifar:train:0:1:00000000000000ff:4096:2"
+        )
+        .is_err());
+        assert!(decode_response("hdx1 pinned id=1 on=1").is_err());
+        assert!(decode_response("hdx1 evicted id=1 ref=cat:00000000000000ff").is_err());
         // Version mismatch is its own kind.
         let err = decode_request("hdx9 ping id=1").expect_err("version");
         assert_eq!(err.kind.code(), "version_mismatch");

@@ -33,7 +33,7 @@
 //!   timing nondeterminism: an oversized job is rejected with an
 //!   in-band `deadline_exceeded` error before any work runs.
 
-use crate::artifact::{load_bundle, Artifacts};
+use crate::artifact::{load_bundle, load_bundle_bytes, task_from_code, Artifacts};
 use crate::proto::{
     parse_request, task_label, v1, ErrorKind, ProtoError, Request, SearchReport, SearchRequest,
 };
@@ -46,7 +46,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Stable ordering key for [`Task`] (registry iteration order must be
 /// deterministic for stats/listing byte-stability). Delegates to the
@@ -70,6 +70,10 @@ static OBS_VERB_LOAD_BUNDLE: hdx_obs::Counter = hdx_obs::Counter::new("router.ve
 static OBS_VERB_UNLOAD_BUNDLE: hdx_obs::Counter =
     hdx_obs::Counter::new("router.verb.unload_bundle");
 static OBS_VERB_METRICS: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.metrics");
+static OBS_VERB_CATALOG_LIST: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.catalog_list");
+static OBS_VERB_CATALOG_PIN: hdx_obs::Counter = hdx_obs::Counter::new("router.verb.catalog_pin");
+static OBS_VERB_CATALOG_EVICT: hdx_obs::Counter =
+    hdx_obs::Counter::new("router.verb.catalog_evict");
 /// Lines answered with an in-band protocol error.
 static OBS_PROTO_ERRORS: hdx_obs::Counter = hdx_obs::Counter::new("router.proto_errors");
 
@@ -93,6 +97,15 @@ pub struct RouterConfig {
 pub struct Router {
     cfg: RouterConfig,
     services: RwLock<BTreeMap<(u8, u64), Arc<TaskService>>>,
+    /// The mounted artifact catalog, if any (`--catalog <dir>`).
+    /// Backs `cat:` refs in `load_bundle` and the `catalog_*` verbs.
+    catalog: RwLock<Option<hdx_catalog::Catalog>>,
+    /// One lease per bundle that was loaded from the catalog, keyed
+    /// like the service registry. Holding the lease keeps retention GC
+    /// (and explicit `catalog_evict`) from deleting an object that is
+    /// still backing a live bundle; the lease drops when the bundle is
+    /// unloaded or replaced.
+    cat_leases: Mutex<BTreeMap<(u8, u64), hdx_catalog::Lease>>,
     /// Jobs/steps completed by bundles that have since been unloaded
     /// or replaced — keeps the aggregate `stats` counters monotonic
     /// ("since startup"), as monitoring deltas expect.
@@ -107,9 +120,65 @@ impl Router {
         Router {
             cfg,
             services: RwLock::new(BTreeMap::new()),
+            catalog: RwLock::new(None),
+            cat_leases: Mutex::new(BTreeMap::new()),
             retired_served: AtomicU64::new(0),
             retired_steps_used: AtomicU64::new(0),
         }
+    }
+
+    /// Mounts an artifact catalog, enabling `cat:` refs in
+    /// `load_bundle` and the `catalog_list` / `catalog_pin` /
+    /// `catalog_evict` verbs. Replaces any previously mounted catalog.
+    pub fn mount_catalog(&self, catalog: hdx_catalog::Catalog) {
+        *self.catalog.write().expect("router catalog poisoned") = Some(catalog);
+    }
+
+    /// The mounted catalog, if any (a cheap handle clone).
+    pub fn catalog(&self) -> Option<hdx_catalog::Catalog> {
+        self.catalog
+            .read()
+            .expect("router catalog poisoned")
+            .clone()
+    }
+
+    /// Runs a catalog operation, mapping "not mounted" and the
+    /// operation's own failure into the protocol-level
+    /// [`ErrorKind::CatalogOp`].
+    fn with_catalog<T>(
+        &self,
+        op: impl FnOnce(&hdx_catalog::Catalog) -> Result<T, hdx_catalog::CatalogError>,
+    ) -> Result<T, ErrorKind> {
+        let catalog = self.catalog().ok_or_else(|| ErrorKind::CatalogOp {
+            message: "no catalog mounted (start the server with --catalog <dir>)".to_owned(),
+        })?;
+        op(&catalog).map_err(|e| ErrorKind::CatalogOp {
+            message: e.to_string(),
+        })
+    }
+
+    /// The catalog index flattened into protocol listing entries, in
+    /// canonical index order.
+    fn catalog_entries(&self) -> Result<Vec<v1::CatalogEntry>, ErrorKind> {
+        self.with_catalog(|catalog| {
+            let mut entries = Vec::new();
+            for (key, gens) in catalog.list() {
+                let task = task_from_code(u64::from(key.task))
+                    .map_err(|e| hdx_catalog::CatalogError::IndexMalformed(e.to_string()))?;
+                for g in gens {
+                    entries.push(v1::CatalogEntry {
+                        task,
+                        family: key.family.clone(),
+                        seed: key.seed,
+                        gen: g.gen,
+                        fingerprint: g.fingerprint,
+                        len: g.len,
+                        pinned: g.pinned,
+                    });
+                }
+            }
+            Ok(entries)
+        })
     }
 
     /// The configuration in force.
@@ -138,11 +207,18 @@ impl Router {
     ) -> v1::TaskEntry {
         let service = Arc::new(TaskService::new(task, seed, prepared));
         let entry = service.entry();
+        let key = (task_code(task), seed);
+        // A replaced bundle's catalog lease (if any) lapses with it;
+        // callers that load *from* the catalog re-lease afterwards.
+        self.cat_leases
+            .lock()
+            .expect("router lease table poisoned")
+            .remove(&key);
         if let Some(replaced) = self
             .services
             .write()
             .expect("router registry poisoned")
-            .insert((task_code(task), seed), service)
+            .insert(key, service)
         {
             self.retire(&replaced);
         }
@@ -166,10 +242,58 @@ impl Router {
         Ok(self.insert_artifacts(load_bundle(path)?))
     }
 
+    /// Loads a bundle by spec: a `cat:<fingerprint>` ref resolves
+    /// through the mounted catalog (the loaded bundle holds a lease on
+    /// the object until it is unloaded or replaced); anything else is
+    /// treated as a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::CatalogOp`] for catalog-side problems (no catalog
+    /// mounted, unknown/corrupt object), [`ErrorKind::Checkpoint`] for
+    /// bundle decode/load failures — the same split a protocol client
+    /// sees on the `load_bundle` verb.
+    pub fn load_bundle_ref(&self, spec: &str) -> Result<v1::TaskEntry, ErrorKind> {
+        if !spec.starts_with(hdx_catalog::REF_PREFIX) {
+            return self
+                .load_bundle_path(Path::new(spec))
+                .map_err(|e| ErrorKind::Checkpoint {
+                    message: e.to_string(),
+                });
+        }
+        let fingerprint = hdx_catalog::parse_ref(spec).ok_or_else(|| ErrorKind::CatalogOp {
+            message: format!("malformed catalog ref {spec:?} (want cat:<16 hex digits>)"),
+        })?;
+        let catalog = self.catalog().ok_or_else(|| ErrorKind::CatalogOp {
+            message: "no catalog mounted (start the server with --catalog <dir>)".to_owned(),
+        })?;
+        let catalog_err = |e: hdx_catalog::CatalogError| ErrorKind::CatalogOp {
+            message: e.to_string(),
+        };
+        // Lease before reading so neither GC nor an explicit evict can
+        // delete the object between the read and the registry insert.
+        let lease = catalog.lease(fingerprint).map_err(catalog_err)?;
+        let bytes = catalog.get(fingerprint).map_err(catalog_err)?;
+        let artifacts = load_bundle_bytes(&bytes).map_err(|e| ErrorKind::Checkpoint {
+            message: e.to_string(),
+        })?;
+        let key = (task_code(artifacts.task), artifacts.seed);
+        let entry = self.insert_artifacts(artifacts);
+        self.cat_leases
+            .lock()
+            .expect("router lease table poisoned")
+            .insert(key, lease);
+        Ok(entry)
+    }
+
     /// Drops the bundle registered under `(task, seed)`. Returns
     /// whether one was present. Its serving counters fold into the
     /// retired totals, so aggregate stats never go backwards.
     pub fn unload(&self, task: Task, seed: u64) -> bool {
+        self.cat_leases
+            .lock()
+            .expect("router lease table poisoned")
+            .remove(&(task_code(task), seed));
         let removed = self
             .services
             .write()
@@ -480,14 +604,49 @@ impl Router {
                             v1::RequestBody::LoadBundle { path } => {
                                 OBS_VERB_LOAD_BUNDLE.incr();
                                 respond(&mut pending, &mut writer, &mut || {
-                                    let body = match self.load_bundle_path(Path::new(&path)) {
+                                    let body = match self.load_bundle_ref(&path) {
                                         Ok(entry) => v1::ResponseBody::Loaded(entry),
-                                        Err(e) => v1::ResponseBody::Error(ProtoError::new(
-                                            id,
-                                            ErrorKind::Checkpoint {
-                                                message: e.to_string(),
-                                            },
-                                        )),
+                                        Err(kind) => {
+                                            v1::ResponseBody::Error(ProtoError::new(id, kind))
+                                        }
+                                    };
+                                    reply(body)
+                                })?;
+                            }
+                            v1::RequestBody::CatalogList => {
+                                OBS_VERB_CATALOG_LIST.incr();
+                                respond(&mut pending, &mut writer, &mut || {
+                                    let body = match self.catalog_entries() {
+                                        Ok(entries) => v1::ResponseBody::Catalog(entries),
+                                        Err(kind) => {
+                                            v1::ResponseBody::Error(ProtoError::new(id, kind))
+                                        }
+                                    };
+                                    reply(body)
+                                })?;
+                            }
+                            v1::RequestBody::CatalogPin { fingerprint, on } => {
+                                OBS_VERB_CATALOG_PIN.incr();
+                                respond(&mut pending, &mut writer, &mut || {
+                                    let body = match self.with_catalog(|c| c.pin(fingerprint, on)) {
+                                        Ok(_) => v1::ResponseBody::Pinned { fingerprint, on },
+                                        Err(kind) => {
+                                            v1::ResponseBody::Error(ProtoError::new(id, kind))
+                                        }
+                                    };
+                                    reply(body)
+                                })?;
+                            }
+                            v1::RequestBody::CatalogEvict { fingerprint } => {
+                                OBS_VERB_CATALOG_EVICT.incr();
+                                respond(&mut pending, &mut writer, &mut || {
+                                    let body = match self.with_catalog(|c| c.evict(fingerprint)) {
+                                        Ok(freed) => {
+                                            v1::ResponseBody::Evicted { fingerprint, freed }
+                                        }
+                                        Err(kind) => {
+                                            v1::ResponseBody::Error(ProtoError::new(id, kind))
+                                        }
                                     };
                                     reply(body)
                                 })?;

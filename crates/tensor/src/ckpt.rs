@@ -514,31 +514,17 @@ impl Checkpoint {
         Ok(ckpt)
     }
 
-    /// Writes the checkpoint to `path` (atomically: a temp file in the
-    /// same directory renamed into place, so readers never observe a
-    /// half-written checkpoint). The temp name appends `.tmp` to the
-    /// full file name — not `with_extension`, which would strip the
-    /// real extension and let saves to `model.est` and `model.lut`
-    /// collide on one temp file.
+    /// Writes the checkpoint to `path` crash-safely via
+    /// [`atomic_write`]: a fsynced temp file in the same directory
+    /// renamed into place, so readers never observe a half-written
+    /// checkpoint and a crash never truncates an existing one.
     ///
     /// # Errors
     ///
     /// [`CkptError::Io`] on filesystem failures (including a path with
     /// no file name).
     pub fn save(&self, path: &Path) -> Result<(), CkptError> {
-        let mut tmp_name = path
-            .file_name()
-            .ok_or_else(|| {
-                CkptError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    format!("checkpoint path {} has no file name", path.display()),
-                ))
-            })?
-            .to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)?;
+        atomic_write(path, &self.to_bytes())?;
         Ok(())
     }
 
@@ -633,14 +619,58 @@ impl Checkpoint {
 }
 
 /// FNV-1a 64-bit hash (stable across platforms and Rust versions,
-/// unlike `DefaultHasher`).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// unlike `DefaultHasher`). Public because the artifact catalog uses
+/// the same digest for content addressing, so a fingerprint printed by
+/// one layer always matches the checksum verified by another.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
     hash
+}
+
+/// Writes `bytes` to `path` crash-safely: a temp file in the same
+/// directory is written, fsynced, and renamed into place, then the
+/// parent directory is fsynced so the rename itself is durable. A
+/// crash at any point leaves either the old file or the new file —
+/// never a visible partial write. The temp name appends `.tmp` to the
+/// full file name — not `with_extension`, which would strip the real
+/// extension and let saves to `model.est` and `model.lut` collide on
+/// one temp file.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on filesystem failures (including a path with no
+/// file name).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    use std::io::Write;
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            CkptError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("artifact path {} has no file name", path.display()),
+            ))
+        })?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename needs the directory entry flushed too.
+    // Some filesystems refuse fsync on directories; that only weakens
+    // durability, not atomicity, so ignore the error.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Bounds-checked cursor over an untrusted byte buffer.

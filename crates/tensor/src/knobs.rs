@@ -105,6 +105,12 @@ pub const REGISTRY: &[Knob] = &[
         default: "4096",
         summary: "per-thread span ring-buffer capacity (events)",
     },
+    Knob {
+        name: "HDX_CATALOG_KEEP",
+        owner: "catalog::gc",
+        default: "unbounded",
+        summary: "retention GC: generations kept per (task, seed) in the artifact catalog",
+    },
 ];
 
 /// Looks up a declared knob.

@@ -56,7 +56,7 @@ hdx-workload — deterministic serving-workload harness
 
 USAGE:
   hdx-workload gen-bundles --out DIR (--reference | --family LABEL [--seed N])
-                           [--small] [--jobs N]
+                           [--small] [--jobs N] [--catalog DIR]
   hdx-workload record      --out FILE --bundle FILE [--bundle FILE …]
                            (--reference | --requests FILE) [--jobs N]
   hdx-workload replay      --trace FILE --bundle FILE [--bundle FILE …]
@@ -64,7 +64,9 @@ USAGE:
                            [--interleave round-robin|blocks] [--bench FILE]
 
 gen-bundles  expands (family, seed) keys into ready-to-serve bundle
-             files — deterministic: same key, same bytes.
+             files — deterministic: same key, same bytes. --catalog
+             also publishes each bundle into the artifact catalog
+             (family \"workload\") and runs HDX_CATALOG_KEEP GC.
 record       serves each request (plus a per-entry seal ping) on an
              in-memory connection and writes the checksummed trace.
              --requests reads one request line per non-empty line.
@@ -146,7 +148,15 @@ impl Flags {
 
 fn cmd_gen_bundles(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    flags.reject_unknown(&["out", "reference", "family", "seed", "small", "jobs"])?;
+    flags.reject_unknown(&[
+        "out",
+        "reference",
+        "family",
+        "seed",
+        "small",
+        "jobs",
+        "catalog",
+    ])?;
     let out = PathBuf::from(flags.require("out")?);
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let jobs: usize = flags.parse_num("jobs", 0)?;
@@ -177,6 +187,13 @@ fn cmd_gen_bundles(args: &[String]) -> Result<(), String> {
             })
             .collect::<Result<_, String>>()?
     };
+    let catalog = match flags.get("catalog") {
+        Some(dir) => Some(
+            hdx_catalog::Catalog::open(&PathBuf::from(dir))
+                .map_err(|e| format!("cannot open catalog {dir}: {e}"))?,
+        ),
+        None => None,
+    };
     for spec in &specs {
         let watch = hdx_obs::Stopwatch::start();
         let path = spec.write_bundle(&out, jobs).map_err(|e| e.to_string())?;
@@ -188,6 +205,32 @@ fn cmd_gen_bundles(args: &[String]) -> Result<(), String> {
             spec.est_epochs,
             spec.warm_luts,
         );
+        if let Some(catalog) = &catalog {
+            let bytes = std::fs::read(&path)
+                .map_err(|e| format!("cannot read back bundle {}: {e}", path.display()))?;
+            let code = u8::try_from(hdx_serve::task_code(spec.task)).expect("task codes fit in u8");
+            let receipt = catalog
+                .publish(code, "workload", spec.seed, &bytes)
+                .map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+            eprintln!(
+                "published {} gen={} ({} bytes)",
+                hdx_catalog::format_ref(receipt.fingerprint),
+                receipt.gen,
+                receipt.len,
+            );
+        }
+    }
+    if let Some(catalog) = &catalog {
+        let report = catalog
+            .gc_from_env()
+            .map_err(|e| format!("catalog retention GC failed: {e}"))?;
+        if !report.evicted.is_empty() {
+            eprintln!(
+                "catalog GC evicted {} generation(s), freed {} bytes",
+                report.evicted.len(),
+                report.freed
+            );
+        }
     }
     Ok(())
 }

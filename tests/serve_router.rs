@@ -470,8 +470,12 @@ fn trailing_garbage_sweep_rejects_with_offsets() {
         "hdx1 meta id=1 fps=30 max_searches=2",
         "hdx1 resume id=1 ckpt=/tmp/s.ckpt",
         "hdx1 load_bundle id=1 path=/tmp/b.ckpt",
+        "hdx1 load_bundle id=1 path=cat:00000000000000ff",
         "hdx1 unload_bundle id=1 task=cifar bundle_seed=0",
         "hdx1 metrics id=1",
+        "hdx1 catalog_list id=1",
+        "hdx1 catalog_pin id=1 ref=cat:00000000000000ff on=1",
+        "hdx1 catalog_evict id=1 ref=cat:00000000000000ff",
     ];
     // …and a corpus of garbage suffixes: bare tokens, stray verbs,
     // unknown fields, malformed pairs.
@@ -527,9 +531,9 @@ enum FuzzDir {
 fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
     use v1::{Envelope, RequestBody, ResponseBody};
 
-    // Canonical request lines: the full v0 grammar plus all ten v1
-    // verbs, built through the real encoders so they are canonical by
-    // construction.
+    // Canonical request lines: the full v0 grammar plus all thirteen
+    // v1 verbs, built through the real encoders so they are canonical
+    // by construction.
     let grid_req = SearchRequest {
         lambda_grid: vec![0.001, 0.01],
         ..quick(1, Task::Cifar, 0)
@@ -599,6 +603,38 @@ fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
             enc(&Envelope::v1(9, RequestBody::Metrics)),
             FuzzDir::V1Request,
         ),
+        (
+            enc(&Envelope::v1(
+                10,
+                RequestBody::LoadBundle {
+                    path: "cat:00000000000000ff".to_owned(),
+                },
+            )),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(11, RequestBody::CatalogList)),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(
+                12,
+                RequestBody::CatalogPin {
+                    fingerprint: 0x0123_4567_89ab_cdef,
+                    on: true,
+                },
+            )),
+            FuzzDir::V1Request,
+        ),
+        (
+            enc(&Envelope::v1(
+                13,
+                RequestBody::CatalogEvict {
+                    fingerprint: 0x00ff_0000_0000_0001,
+                },
+            )),
+            FuzzDir::V1Request,
+        ),
     ]
     .into_iter()
     .collect();
@@ -658,6 +694,52 @@ fn byte_mutation_fuzz_sweep_never_panics_and_keeps_offsets_in_bounds() {
                     ("engine.searches".to_owned(), 3),
                     ("router.verb.metrics".to_owned(), 1),
                 ]),
+            )),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(
+                18,
+                ResponseBody::Catalog(vec![
+                    v1::CatalogEntry {
+                        task: Task::Cifar,
+                        family: "train".to_owned(),
+                        seed: 0,
+                        gen: 1,
+                        fingerprint: 0x00ab_cdef_0123_4567,
+                        len: 4096,
+                        pinned: false,
+                    },
+                    v1::CatalogEntry {
+                        task: Task::ImageNet,
+                        family: "workload".to_owned(),
+                        seed: 2,
+                        gen: 3,
+                        fingerprint: u64::MAX,
+                        len: 65536,
+                        pinned: true,
+                    },
+                ]),
+            )),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(
+                19,
+                ResponseBody::Pinned {
+                    fingerprint: 0x0123_4567_89ab_cdef,
+                    on: true,
+                },
+            )),
+            FuzzDir::V1Response,
+        ),
+        (
+            encr(&Envelope::v1(
+                20,
+                ResponseBody::Evicted {
+                    fingerprint: 0xfeed_face_0000_0001,
+                    freed: 8192,
+                },
             )),
             FuzzDir::V1Response,
         ),
